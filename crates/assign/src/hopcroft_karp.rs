@@ -1,0 +1,262 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Used two ways in this reproduction:
+//!
+//! * as a *feasibility oracle* in tests — the exact algorithm (EA) of the
+//!   paper succeeds iff a perfect matching of function-matrix rows into
+//!   compatible crossbar rows exists, which Hopcroft–Karp decides directly;
+//! * as an ablation baseline for the mapping benchmarks (it finds a maximum
+//!   matching faster than Munkres finds a minimum-cost assignment).
+
+use std::collections::VecDeque;
+
+/// A bipartite graph between `left_count` left vertices and `right_count`
+/// right vertices, stored as left-side adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteGraph {
+    left_count: usize,
+    right_count: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// An edgeless graph.
+    #[must_use]
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        Self {
+            left_count,
+            right_count,
+            adjacency: vec![Vec::new(); left_count],
+        }
+    }
+
+    /// Builds the graph from a predicate: an edge `(l, r)` exists when
+    /// `compatible(l, r)` is true.
+    #[must_use]
+    pub fn from_fn(
+        left_count: usize,
+        right_count: usize,
+        mut compatible: impl FnMut(usize, usize) -> bool,
+    ) -> Self {
+        let mut g = Self::new(left_count, right_count);
+        for l in 0..left_count {
+            for r in 0..right_count {
+                if compatible(l, r) {
+                    g.add_edge(l, r);
+                }
+            }
+        }
+        g
+    }
+
+    /// Adds edge `(left, right)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices.
+    pub fn add_edge(&mut self, left: usize, right: usize) {
+        assert!(left < self.left_count, "left vertex out of range");
+        assert!(right < self.right_count, "right vertex out of range");
+        self.adjacency[left].push(right);
+    }
+
+    /// Number of left vertices.
+    #[must_use]
+    pub fn left_count(&self) -> usize {
+        self.left_count
+    }
+
+    /// Number of right vertices.
+    #[must_use]
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// Neighbors of a left vertex.
+    #[must_use]
+    pub fn neighbors(&self, left: usize) -> &[usize] {
+        &self.adjacency[left]
+    }
+}
+
+/// A maximum matching: `left_to_right[l]` is the right vertex matched to
+/// `l`, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// Right partner of each left vertex.
+    pub left_to_right: Vec<Option<usize>>,
+    /// Left partner of each right vertex.
+    pub right_to_left: Vec<Option<usize>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+impl Matching {
+    /// True when every left vertex is matched.
+    #[must_use]
+    pub fn is_perfect_on_left(&self) -> bool {
+        self.size == self.left_to_right.len()
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// Computes a maximum matching in `O(E √V)`.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_assign::{hopcroft_karp, BipartiteGraph};
+///
+/// let mut g = BipartiteGraph::new(2, 2);
+/// g.add_edge(0, 0);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 0);
+/// let m = hopcroft_karp(&g);
+/// assert_eq!(m.size, 2);
+/// assert!(m.is_perfect_on_left());
+/// ```
+#[must_use]
+pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
+    let n = graph.left_count;
+    let mut match_left = vec![NIL; n];
+    let mut match_right = vec![NIL; graph.right_count];
+    let mut dist = vec![0u32; n];
+
+    loop {
+        // BFS layering from free left vertices.
+        let mut queue = VecDeque::new();
+        const UNREACHED: u32 = u32::MAX;
+        let mut found_augmenting_layer = false;
+        for l in 0..n {
+            if match_left[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = UNREACHED;
+            }
+        }
+        while let Some(l) = queue.pop_front() {
+            for &r in graph.neighbors(l) {
+                let next = match_right[r];
+                if next == NIL {
+                    found_augmenting_layer = true;
+                } else if dist[next] == UNREACHED {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS augmentation along layered paths.
+        fn try_augment(
+            l: usize,
+            graph: &BipartiteGraph,
+            match_left: &mut [usize],
+            match_right: &mut [usize],
+            dist: &mut [u32],
+        ) -> bool {
+            for i in 0..graph.neighbors(l).len() {
+                let r = graph.neighbors(l)[i];
+                let next = match_right[r];
+                let ok = if next == NIL {
+                    true
+                } else if dist[next] == dist[l] + 1 {
+                    try_augment(next, graph, match_left, match_right, dist)
+                } else {
+                    false
+                };
+                if ok {
+                    match_left[l] = r;
+                    match_right[r] = l;
+                    return true;
+                }
+            }
+            dist[l] = u32::MAX;
+            false
+        }
+        for l in 0..n {
+            if match_left[l] == NIL {
+                try_augment(l, graph, &mut match_left, &mut match_right, &mut dist);
+            }
+        }
+    }
+
+    let size = match_left.iter().filter(|&&r| r != NIL).count();
+    Matching {
+        left_to_right: match_left
+            .into_iter()
+            .map(|r| if r == NIL { None } else { Some(r) })
+            .collect(),
+        right_to_left: match_right
+            .into_iter()
+            .map(|l| if l == NIL { None } else { Some(l) })
+            .collect(),
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let g = BipartiteGraph::from_fn(4, 4, |l, r| l == r);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 4);
+        for l in 0..4 {
+            assert_eq!(m.left_to_right[l], Some(l));
+        }
+    }
+
+    #[test]
+    fn bottleneck_limits_matching() {
+        // All three left vertices only reach right vertex 0.
+        let g = BipartiteGraph::from_fn(3, 3, |_, r| r == 0);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 1);
+        assert!(!m.is_perfect_on_left());
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // l0-{r0,r1}, l1-{r0}: greedy l0→r0 must be undone.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.left_to_right[1], Some(0));
+        assert_eq!(m.left_to_right[0], Some(1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = hopcroft_karp(&BipartiteGraph::new(3, 3));
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn rectangular_graph() {
+        let g = BipartiteGraph::from_fn(2, 5, |l, r| r == l + 3);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.right_to_left[3], Some(0));
+        assert_eq!(m.right_to_left[4], Some(1));
+    }
+
+    #[test]
+    fn matching_consistency() {
+        let g = BipartiteGraph::from_fn(6, 6, |l, r| (l + r) % 3 != 0);
+        let m = hopcroft_karp(&g);
+        for (l, &r) in m.left_to_right.iter().enumerate() {
+            if let Some(r) = r {
+                assert_eq!(m.right_to_left[r], Some(l));
+            }
+        }
+    }
+}

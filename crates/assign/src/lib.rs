@@ -1,0 +1,77 @@
+//! # xbar-assign
+//!
+//! Assignment-problem substrate for the memristive-crossbar reproduction of
+//! Tunali & Altun (DATE 2018).
+//!
+//! The paper's defect-tolerant mapping reduces output-row placement to a
+//! minimum-cost assignment over the *matching matrix* and solves it with
+//! Munkres' algorithm (their reference \[21\]); the exact algorithm (EA) does
+//! the same for all rows. This crate provides:
+//!
+//! * [`munkres`] — `O(n²m)` Hungarian method on rectangular [`CostMatrix`]
+//!   instances (rows ≤ cols), exact minimum cost;
+//! * [`hopcroft_karp`] — `O(E√V)` maximum bipartite matching on
+//!   [`BipartiteGraph`], used as a feasibility oracle and ablation baseline;
+//! * [`brute_force_assignment`] — factorial oracle for tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use xbar_assign::{munkres, CostMatrix};
+//!
+//! // A 0/1 matching matrix: zero-cost assignment == valid mapping.
+//! let m = CostMatrix::from_rows(2, 2, vec![0, 1, 1, 0]);
+//! let sol = munkres(&m)?;
+//! assert_eq!(sol.cost, 0);
+//! # Ok::<(), xbar_assign::SolveAssignmentError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hopcroft_karp;
+mod matrix;
+mod munkres;
+
+pub use hopcroft_karp::{hopcroft_karp, BipartiteGraph, Matching};
+pub use matrix::CostMatrix;
+pub use munkres::{brute_force_assignment, munkres, Assignment, SolveAssignmentError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Munkres on a 0/1 feasibility matrix finds cost 0 exactly when
+    /// Hopcroft–Karp finds a perfect matching.
+    #[test]
+    fn munkres_and_hopcroft_karp_agree_on_feasibility() {
+        let mut state = 0x9e3779b97f4a7c15_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..100 {
+            let rows = (next() % 6 + 1) as usize;
+            let cols = rows + (next() % 3) as usize;
+            let density = 40 + next() % 50;
+            let mut edges = Vec::new();
+            let m = CostMatrix::from_fn(rows, cols, |r, c| {
+                if next() % 100 < density {
+                    edges.push((r, c));
+                    0
+                } else {
+                    1
+                }
+            });
+            let mut g = BipartiteGraph::new(rows, cols);
+            for (r, c) in edges {
+                g.add_edge(r, c);
+            }
+            let assignment_feasible = munkres(&m).expect("rows <= cols").cost == 0;
+            let matching_perfect = hopcroft_karp(&g).is_perfect_on_left();
+            assert_eq!(assignment_feasible, matching_perfect);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Dense rectangular cost matrices for assignment problems.
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `i64` costs.
+///
+/// The paper's *matching matrix* (Fig. 8c) is the special case with entries
+/// in `{0, 1}`: 0 where a function-matrix row can be assigned to a crossbar
+/// row, 1 where it cannot. A zero-cost assignment then certifies a valid
+/// defect-tolerant mapping.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_assign::CostMatrix;
+///
+/// let m = CostMatrix::from_fn(2, 3, |r, c| (r + c) as i64);
+/// assert_eq!(m.get(1, 2), 3);
+/// assert_eq!(m.rows(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl CostMatrix {
+    /// All-zero matrix.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut m = Self::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<i64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cost at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> i64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the cost at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, row: usize, col: usize, value: i64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Total cost of an assignment given as `assignment[row] = col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the assignment references out-of-range columns or has
+    /// the wrong length.
+    #[must_use]
+    pub fn assignment_cost(&self, assignment: &[usize]) -> i64 {
+        assert_eq!(assignment.len(), self.rows, "assignment length");
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| self.get(r, c))
+            .sum()
+    }
+}
+
+impl fmt::Debug for CostMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CostMatrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>4}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let m = CostMatrix::from_fn(3, 2, |r, c| (10 * r + c) as i64);
+        assert_eq!(m.get(2, 1), 21);
+    }
+
+    #[test]
+    fn assignment_cost_sums_entries() {
+        let m = CostMatrix::from_rows(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(m.assignment_cost(&[1, 0]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn get_out_of_range_panics() {
+        let _ = CostMatrix::new(2, 2).get(2, 0);
+    }
+}

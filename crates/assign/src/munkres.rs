@@ -1,0 +1,281 @@
+//! Munkres' algorithm (the Hungarian method) for the rectangular assignment
+//! problem — reference [21] of the paper.
+//!
+//! Implemented as the `O(rows² · cols)` shortest-augmenting-path formulation
+//! with dual potentials. Handles `rows ≤ cols`; every row is assigned a
+//! distinct column and the total cost is minimized.
+
+use crate::matrix::CostMatrix;
+use std::error::Error;
+use std::fmt;
+
+/// Result of an assignment: `assignment[row] = col`, plus the total cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Column assigned to each row.
+    pub assignment: Vec<usize>,
+    /// Total cost of the assignment.
+    pub cost: i64,
+}
+
+/// Error returned when the matrix has more rows than columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveAssignmentError {
+    rows: usize,
+    cols: usize,
+}
+
+impl fmt::Display for SolveAssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "assignment needs rows <= cols, got {} rows and {} cols",
+            self.rows, self.cols
+        )
+    }
+}
+
+impl Error for SolveAssignmentError {}
+
+/// Solves the minimum-cost rectangular assignment problem.
+///
+/// # Errors
+///
+/// Returns [`SolveAssignmentError`] when `matrix.rows() > matrix.cols()`
+/// (no complete assignment of rows exists).
+///
+/// # Examples
+///
+/// ```
+/// use xbar_assign::{munkres, CostMatrix};
+///
+/// let m = CostMatrix::from_rows(2, 2, vec![4, 1, 2, 3]);
+/// let sol = munkres(&m)?;
+/// assert_eq!(sol.assignment, vec![1, 0]);
+/// assert_eq!(sol.cost, 3);
+/// # Ok::<(), xbar_assign::SolveAssignmentError>(())
+/// ```
+pub fn munkres(matrix: &CostMatrix) -> Result<Assignment, SolveAssignmentError> {
+    let n = matrix.rows();
+    let m = matrix.cols();
+    if n > m {
+        return Err(SolveAssignmentError { rows: n, cols: m });
+    }
+    if n == 0 {
+        return Ok(Assignment {
+            assignment: Vec::new(),
+            cost: 0,
+        });
+    }
+
+    const INF: i64 = i64::MAX / 4;
+
+    // 1-based potentials over rows (u) and columns (v); p[j] = row matched
+    // to column j (0 = none). Column 0 is the virtual source column.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = matrix.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&c| c != usize::MAX));
+    let cost = matrix.assignment_cost(&assignment);
+    Ok(Assignment { assignment, cost })
+}
+
+/// Exhaustive minimum-cost assignment for tiny matrices; the correctness
+/// oracle for [`munkres`] in tests.
+///
+/// # Panics
+///
+/// Panics when `matrix.rows() > 10` (factorial blow-up) or
+/// `rows > cols`.
+#[must_use]
+pub fn brute_force_assignment(matrix: &CostMatrix) -> Assignment {
+    let n = matrix.rows();
+    let m = matrix.cols();
+    assert!(n <= 10, "brute force limited to 10 rows");
+    assert!(n <= m, "needs rows <= cols");
+    let mut best: Option<Assignment> = None;
+    let mut cols: Vec<usize> = (0..m).collect();
+    permute(&mut cols, n, &mut |prefix| {
+        let cost = prefix
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| matrix.get(r, c))
+            .sum::<i64>();
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Assignment {
+                assignment: prefix.to_vec(),
+                cost,
+            });
+        }
+    });
+    best.expect("at least one assignment exists")
+}
+
+/// Enumerates all ordered selections of `k` elements from `items`, invoking
+/// `f` with each prefix of length `k`.
+fn permute(items: &mut [usize], k: usize, f: &mut impl FnMut(&[usize])) {
+    fn rec(items: &mut [usize], depth: usize, k: usize, f: &mut impl FnMut(&[usize])) {
+        if depth == k {
+            f(&items[..k]);
+            return;
+        }
+        for i in depth..items.len() {
+            items.swap(depth, i);
+            rec(items, depth + 1, k, f);
+            items.swap(depth, i);
+        }
+    }
+    rec(items, 0, k, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_example() {
+        let m = CostMatrix::from_rows(3, 3, vec![
+            1, 2, 3, //
+            2, 4, 6, //
+            3, 6, 9,
+        ]);
+        let sol = munkres(&m).expect("square");
+        assert_eq!(sol.cost, 10); // 3 + 4 + 3
+    }
+
+    #[test]
+    fn rectangular_picks_cheapest_columns() {
+        let m = CostMatrix::from_rows(2, 4, vec![
+            9, 9, 1, 9, //
+            9, 9, 9, 1,
+        ]);
+        let sol = munkres(&m).expect("rect");
+        assert_eq!(sol.assignment, vec![2, 3]);
+        assert_eq!(sol.cost, 2);
+    }
+
+    #[test]
+    fn more_rows_than_cols_is_error() {
+        let m = CostMatrix::new(3, 2);
+        assert!(munkres(&m).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let sol = munkres(&CostMatrix::new(0, 0)).expect("empty");
+        assert_eq!(sol.cost, 0);
+        assert!(sol.assignment.is_empty());
+    }
+
+    #[test]
+    fn zero_one_matrix_finds_zero_cost_when_it_exists() {
+        // Permutation-like feasibility matrix.
+        let m = CostMatrix::from_rows(3, 3, vec![
+            1, 0, 1, //
+            0, 1, 1, //
+            1, 1, 0,
+        ]);
+        let sol = munkres(&m).expect("square");
+        assert_eq!(sol.cost, 0);
+        assert_eq!(sol.assignment, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn detects_infeasible_zero_cost() {
+        // Two rows can only use column 0: zero-cost assignment impossible.
+        let m = CostMatrix::from_rows(2, 2, vec![
+            0, 1, //
+            0, 1,
+        ]);
+        let sol = munkres(&m).expect("square");
+        assert_eq!(sol.cost, 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let rows = (next() % 5 + 1) as usize;
+            let cols = rows + (next() % 3) as usize;
+            let m = CostMatrix::from_fn(rows, cols, |_, _| (next() % 20) as i64);
+            let fast = munkres(&m).expect("rows <= cols");
+            let slow = brute_force_assignment(&m);
+            assert_eq!(fast.cost, slow.cost, "matrix {m:?}");
+            // Assignments must be a valid injection.
+            let mut seen = vec![false; cols];
+            for &c in &fast.assignment {
+                assert!(!seen[c], "duplicate column");
+                seen[c] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn negative_costs_are_supported() {
+        let m = CostMatrix::from_rows(2, 2, vec![-5, 0, 0, -5]);
+        let sol = munkres(&m).expect("square");
+        assert_eq!(sol.cost, -10);
+    }
+}

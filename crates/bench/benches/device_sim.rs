@@ -1,0 +1,51 @@
+//! Device-simulator throughput: two-level phase execution per input vector
+//! and the analog nodal-analysis read (Fig. 1 / Ext-D substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xbar_bench::mapping_workload;
+use xbar_core::{map_hybrid, program_two_level, CrossbarMatrix};
+use xbar_device::analog::{row_nand_read, ReadConfig};
+use xbar_device::{Crossbar, ProgramState};
+
+fn bench_two_level_evaluate(c: &mut Criterion) {
+    let w = mapping_workload("rd53", 1, 3);
+    // Map on a defect-free matrix: this bench measures phase-execution
+    // throughput, not mapping success.
+    let clean = CrossbarMatrix::perfect(w.fm.num_rows(), w.fm.num_cols());
+    let assignment = map_hybrid(&w.fm, &clean)
+        .assignment
+        .expect("clean crossbar always maps");
+    let machine = program_two_level(
+        &w.cover,
+        &assignment,
+        Crossbar::new(w.fm.num_rows(), w.fm.num_cols()),
+    )
+    .expect("fits");
+    c.bench_function("device_sim/two_level_evaluate_rd53_32_inputs", |b| {
+        b.iter_batched(
+            || machine.clone(),
+            |mut m| {
+                for a in 0..32u64 {
+                    black_box(m.evaluate(a));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_analog_read(c: &mut Criterion) {
+    let mut xbar = Crossbar::new(16, 16);
+    for col in 0..4 {
+        xbar.set_program(8, col, ProgramState::Active);
+        xbar.store_value(8, col, true);
+    }
+    let config = ReadConfig::default();
+    c.bench_function("device_sim/analog_nand_read_16x16", |b| {
+        b.iter(|| black_box(row_nand_read(&xbar, 8, &[0, 1, 2, 3], &config).expect("solvable")));
+    });
+}
+
+criterion_group!(benches, bench_two_level_evaluate, bench_analog_read);
+criterion_main!(benches);

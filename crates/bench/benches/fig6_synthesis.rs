@@ -1,0 +1,34 @@
+//! Fig. 6 workload throughput: random-function generation + factoring +
+//! NAND mapping per input size (the per-sample cost of the Monte Carlo
+//! area study).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xbar_core::TwoLevelLayout;
+use xbar_logic::RandomSopSpec;
+use xbar_netlist::{map_cover, MapOptions, MultiLevelCost};
+
+fn bench_fig6_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_synthesis");
+    for n in [8usize, 10, 15] {
+        let covers: Vec<_> = (0..8)
+            .map(|s| RandomSopSpec::figure6(n, (n - 1).max(2)).generate_seeded(s))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("two_plus_multi_level", n), &covers, |b, cs| {
+            b.iter(|| {
+                for cover in cs {
+                    let tl = TwoLevelLayout::of_cover(cover).area();
+                    let net = map_cover(
+                        cover,
+                        &MapOptions { factoring: true, max_fanin: Some(n) },
+                    );
+                    black_box((tl, MultiLevelCost::of(&net).area()));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_sample);
+criterion_main!(benches);

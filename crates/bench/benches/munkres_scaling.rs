@@ -1,0 +1,31 @@
+//! Munkres (Hungarian) scaling: the inner solver of both the EA mapper and
+//! HBA's output assignment, on 0/1 feasibility matrices of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xbar_assign::{munkres, CostMatrix};
+
+fn feasibility_matrix(n: usize, seed: u64) -> CostMatrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
+    CostMatrix::from_fn(n, n, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        i64::from(state % 100 < 35) // ~35% infeasible entries
+    })
+}
+
+fn bench_munkres(c: &mut Criterion) {
+    let mut group = c.benchmark_group("munkres_scaling");
+    for n in [50usize, 100, 200, 400] {
+        let m = feasibility_matrix(n, 7);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(munkres(m).expect("square").cost));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_munkres);
+criterion_main!(benches);

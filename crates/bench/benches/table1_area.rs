@@ -1,0 +1,38 @@
+//! Table I pipeline cost: per-circuit synthesis time of the two flows
+//! (espresso-style two-level vs factoring + NAND multi-level), including
+//! the exact benchmarks' truth-table minimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xbar_core::TwoLevelLayout;
+use xbar_logic::bench_reg::find;
+use xbar_netlist::{map_cover, t481_analog, MapOptions, MultiLevelCost};
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_area");
+    group.sample_size(10);
+    for name in ["rd53", "misex1", "b12"] {
+        let info = find(name).expect("registered");
+        let cover = info.cover(1);
+        group.bench_with_input(BenchmarkId::new("multilevel_flow", name), &cover, |b, cover| {
+            let options = MapOptions {
+                factoring: true,
+                max_fanin: Some(cover.num_inputs().max(2)),
+            };
+            b.iter(|| {
+                let net = map_cover(cover, &options);
+                black_box((TwoLevelLayout::of_cover(cover).area(), MultiLevelCost::of(&net).area()))
+            });
+        });
+    }
+    group.bench_function("exact_synthesis/rd53_truth_table_to_cover", |b| {
+        b.iter(|| black_box(xbar_logic::bench_reg::exact_cover("rd53").expect("defined").len()));
+    });
+    group.bench_function("structural_analog/t481_network_cost", |b| {
+        b.iter(|| black_box(MultiLevelCost::of(&t481_analog()).area()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

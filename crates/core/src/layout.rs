@@ -1,0 +1,157 @@
+//! Two-level crossbar layout arithmetic: area cost and inclusion ratio.
+
+use xbar_logic::Cover;
+
+/// Geometry of a two-level (NAND–AND) crossbar implementation of a
+/// `P`-product, `I`-input, `K`-output SOP.
+///
+/// The paper's benchmark tables follow `area = (P + K) · (2I + 2K)`
+/// (verified against every row of Tables I and II; see DESIGN.md). The
+/// worked example of Fig. 3 additionally counts one extra horizontal line
+/// (126 = 7 × 18 for a 5-product single-output function); enable
+/// `inversion_row` to reproduce that count.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_core::TwoLevelLayout;
+///
+/// // rd53: I = 5, K = 3, P = 31 → area 544 (Table II).
+/// let layout = TwoLevelLayout::new(5, 3, 31);
+/// assert_eq!(layout.area(), 544);
+///
+/// // Fig. 3's example counts an extra row: 7 × 18 = 126.
+/// let fig3 = TwoLevelLayout::new(8, 1, 5).with_inversion_row();
+/// assert_eq!(fig3.area(), 126);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TwoLevelLayout {
+    /// Input count `I`.
+    pub num_inputs: usize,
+    /// Output count `K`.
+    pub num_outputs: usize,
+    /// Product count `P`.
+    pub products: usize,
+    /// Whether an extra inversion row is counted (Fig. 3 convention).
+    pub inversion_row: bool,
+}
+
+impl TwoLevelLayout {
+    /// Layout without the extra inversion row (the Tables I/II convention).
+    #[must_use]
+    pub fn new(num_inputs: usize, num_outputs: usize, products: usize) -> Self {
+        Self {
+            num_inputs,
+            num_outputs,
+            products,
+            inversion_row: false,
+        }
+    }
+
+    /// Layout of a cover (products = cube count).
+    #[must_use]
+    pub fn of_cover(cover: &Cover) -> Self {
+        Self::new(cover.num_inputs(), cover.num_outputs(), cover.len())
+    }
+
+    /// Adds the extra inversion row of the Fig. 3 worked example.
+    #[must_use]
+    pub fn with_inversion_row(mut self) -> Self {
+        self.inversion_row = true;
+        self
+    }
+
+    /// Horizontal lines: `P + K` (+1 with the inversion row).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.products + self.num_outputs + usize::from(self.inversion_row)
+    }
+
+    /// Vertical lines: `2I + 2K`.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        2 * self.num_inputs + 2 * self.num_outputs
+    }
+
+    /// Area cost = rows × cols.
+    #[must_use]
+    pub fn area(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Number of active (programmed) memristors for `cover`: one per
+    /// literal, one per cube-output membership, two per output row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover dimensions disagree with the layout.
+    #[must_use]
+    pub fn active_switches(&self, cover: &Cover) -> usize {
+        assert_eq!(cover.num_inputs(), self.num_inputs, "cover inputs");
+        assert_eq!(cover.num_outputs(), self.num_outputs, "cover outputs");
+        cover.total_literals() + cover.total_output_memberships() + 2 * self.num_outputs
+    }
+
+    /// Inclusion ratio: active switches / area.
+    #[must_use]
+    pub fn inclusion_ratio(&self, cover: &Cover) -> f64 {
+        self.active_switches(cover) as f64 / self.area() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_logic::{cube, Cover};
+
+    #[test]
+    fn table2_areas() {
+        // Spot checks against the paper's Table II.
+        assert_eq!(TwoLevelLayout::new(5, 3, 31).area(), 544); // rd53
+        assert_eq!(TwoLevelLayout::new(5, 8, 25).area(), 858); // squar5
+        assert_eq!(TwoLevelLayout::new(7, 9, 30).area(), 1248); // inc
+        assert_eq!(TwoLevelLayout::new(8, 7, 12).area(), 570); // misex1
+        assert_eq!(TwoLevelLayout::new(14, 8, 575).area(), 25652); // alu4
+    }
+
+    #[test]
+    fn fig3_with_inversion_row() {
+        let layout = TwoLevelLayout::new(8, 1, 5).with_inversion_row();
+        assert_eq!(layout.rows(), 7);
+        assert_eq!(layout.cols(), 18);
+        assert_eq!(layout.area(), 126);
+    }
+
+    #[test]
+    fn fig3_inclusion_ratio_is_31_switches() {
+        // Fig. 3's f = x0+x1+x2+x3+x4x5x6x7: 8 literals + 5 memberships +
+        // 2 output-row switches = 15 active in the (P+K)-row convention.
+        // The paper counts 31 switches on the 7-row layout (its figure also
+        // programs the input-latch diagonal: 16 IL cells + 15 = 31).
+        let cover = Cover::from_cubes(
+            8,
+            1,
+            [
+                cube("1------- 1"),
+                cube("-1------ 1"),
+                cube("--1----- 1"),
+                cube("---1---- 1"),
+                cube("----1111 1"),
+            ],
+        )
+        .expect("dims");
+        let layout = TwoLevelLayout::of_cover(&cover);
+        assert_eq!(layout.active_switches(&cover), 15);
+        // With the input latch diagonal (2I cells) included, the paper's 31:
+        assert_eq!(layout.active_switches(&cover) + 2 * 8, 31);
+    }
+
+    #[test]
+    fn of_cover_matches_dimensions() {
+        let cover = Cover::from_cubes(3, 2, [cube("1-- 10"), cube("-11 01")]).expect("dims");
+        let layout = TwoLevelLayout::of_cover(&cover);
+        assert_eq!(layout.rows(), 4);
+        assert_eq!(layout.cols(), 10);
+    }
+}

@@ -1,0 +1,425 @@
+//! The paper's mapping formalism (Fig. 8): function matrix, crossbar matrix
+//! and row matching.
+//!
+//! * **Function matrix (FM)** — one bit-row per product (`FMm`) and per
+//!   output (`FMo`) over the `2I + 2K` crossbar columns; a 1 marks a
+//!   crosspoint the mapping must program as *active*.
+//! * **Crossbar matrix (CM)** — one bit-row per physical horizontal line; a
+//!   1 marks a *functional* crosspoint. Stuck-open defects are 0s.
+//!   Stuck-closed defects poison their whole row (row forced all-0) and
+//!   column (column cleared in every row).
+//! * **Row matching** — `FM row r` fits `CM row c` iff every 1 of `r` lands
+//!   on a 1 of `c` (0s of the FM may sit on either, since a stuck-open
+//!   device is exactly a disabled device).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::fmt;
+use xbar_device::{Crossbar, Defect};
+use xbar_logic::{Cover, Phase};
+
+/// A packed bit-row over the crossbar columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRow {
+    words: Vec<u64>,
+    cols: usize,
+}
+
+impl BitRow {
+    /// All-zero row.
+    #[must_use]
+    pub fn zeros(cols: usize) -> Self {
+        Self {
+            words: vec![0; cols.div_ceil(64).max(1)],
+            cols,
+        }
+    }
+
+    /// All-one row.
+    #[must_use]
+    pub fn ones(cols: usize) -> Self {
+        let mut row = Self::zeros(cols);
+        for c in 0..cols {
+            row.set(c, true);
+        }
+        row
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Bit at `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is out of range.
+    #[must_use]
+    pub fn get(&self, col: usize) -> bool {
+        assert!(col < self.cols, "column out of range");
+        self.words[col / 64] >> (col % 64) & 1 == 1
+    }
+
+    /// Sets bit `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is out of range.
+    pub fn set(&mut self, col: usize, value: bool) {
+        assert!(col < self.cols, "column out of range");
+        let word = col / 64;
+        let bit = 1u64 << (col % 64);
+        if value {
+            self.words[word] |= bit;
+        } else {
+            self.words[word] &= !bit;
+        }
+    }
+
+    /// Number of 1s.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every 1 of `self` lands on a 1 of `other` — the paper's row
+    /// matching rule (`self` an FM row, `other` a CM row).
+    #[must_use]
+    pub fn fits_in(&self, other: &BitRow) -> bool {
+        debug_assert_eq!(self.cols, other.cols);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl fmt::Display for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in 0..self.cols {
+            write!(f, "{}", u8::from(self.get(c)))?;
+        }
+        Ok(())
+    }
+}
+
+/// The function matrix: `P` minterm rows followed by `K` output rows, over
+/// `2I + 2K` columns ordered `x, x̄, O, Ō` (Fig. 8a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionMatrix {
+    num_inputs: usize,
+    num_outputs: usize,
+    minterm_rows: Vec<BitRow>,
+    output_rows: Vec<BitRow>,
+    /// Literal/membership source for re-programming machines.
+    cubes: Vec<(Vec<(usize, bool)>, Vec<usize>)>,
+}
+
+impl FunctionMatrix {
+    /// Builds the FM of a cover.
+    #[must_use]
+    pub fn from_cover(cover: &Cover) -> Self {
+        let i = cover.num_inputs();
+        let k = cover.num_outputs();
+        let cols = 2 * i + 2 * k;
+        let mut minterm_rows = Vec::with_capacity(cover.len());
+        let mut cubes = Vec::with_capacity(cover.len());
+        for cube in cover.iter() {
+            let mut row = BitRow::zeros(cols);
+            let mut literals = Vec::new();
+            let mut memberships = Vec::new();
+            for (var, phase) in cube.literals() {
+                let positive = phase == Phase::Positive;
+                row.set(if positive { var } else { i + var }, true);
+                literals.push((var, positive));
+            }
+            for o in cube.outputs() {
+                row.set(2 * i + o, true);
+                memberships.push(o);
+            }
+            minterm_rows.push(row);
+            cubes.push((literals, memberships));
+        }
+        let mut output_rows = Vec::with_capacity(k);
+        for o in 0..k {
+            let mut row = BitRow::zeros(cols);
+            row.set(2 * i + o, true);
+            row.set(2 * i + k + o, true);
+            output_rows.push(row);
+        }
+        Self {
+            num_inputs: i,
+            num_outputs: k,
+            minterm_rows,
+            output_rows,
+            cubes,
+        }
+    }
+
+    /// Input count `I`.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Output count `K`.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of minterm rows `P`.
+    #[must_use]
+    pub fn num_minterms(&self) -> usize {
+        self.minterm_rows.len()
+    }
+
+    /// Total FM rows: `P + K`.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.minterm_rows.len() + self.output_rows.len()
+    }
+
+    /// Column count: `2I + 2K`.
+    #[must_use]
+    pub fn num_cols(&self) -> usize {
+        2 * self.num_inputs + 2 * self.num_outputs
+    }
+
+    /// The `FMm` rows.
+    #[must_use]
+    pub fn minterm_rows(&self) -> &[BitRow] {
+        &self.minterm_rows
+    }
+
+    /// The `FMo` rows.
+    #[must_use]
+    pub fn output_rows(&self) -> &[BitRow] {
+        &self.output_rows
+    }
+
+    /// Row by global index (minterms first, then outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &BitRow {
+        if row < self.minterm_rows.len() {
+            &self.minterm_rows[row]
+        } else {
+            &self.output_rows[row - self.minterm_rows.len()]
+        }
+    }
+
+    /// Literals and output memberships of minterm `i` (for programming a
+    /// machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn minterm_program(&self, i: usize) -> (&[(usize, bool)], &[usize]) {
+        let (lits, mems) = &self.cubes[i];
+        (lits, mems)
+    }
+}
+
+/// The crossbar matrix: functional map of the physical array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarMatrix {
+    rows: Vec<BitRow>,
+    cols: usize,
+}
+
+impl CrossbarMatrix {
+    /// A defect-free CM.
+    #[must_use]
+    pub fn perfect(rows: usize, cols: usize) -> Self {
+        Self {
+            rows: (0..rows).map(|_| BitRow::ones(cols)).collect(),
+            cols,
+        }
+    }
+
+    /// Samples a stuck-open-only defect map: each crosspoint is defective
+    /// independently with probability `rate` (the paper's Table II model).
+    #[must_use]
+    pub fn sample_stuck_open(rows: usize, cols: usize, rate: f64, rng: &mut StdRng) -> Self {
+        let mut cm = Self::perfect(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.random_bool(rate.clamp(0.0, 1.0)) {
+                    cm.rows[r].set(c, false);
+                }
+            }
+        }
+        cm
+    }
+
+    /// Derives the CM from a device-level crossbar: stuck-open crosspoints
+    /// become 0s; stuck-closed defects zero their whole row and clear their
+    /// column everywhere (both lines are unusable, §IV-A).
+    #[must_use]
+    pub fn from_crossbar(xbar: &Crossbar) -> Self {
+        let mut cm = Self::perfect(xbar.rows(), xbar.cols());
+        for r in 0..xbar.rows() {
+            for c in 0..xbar.cols() {
+                if xbar.crosspoint(r, c).defect == Defect::StuckOpen {
+                    cm.rows[r].set(c, false);
+                }
+            }
+        }
+        for r in 0..xbar.rows() {
+            if xbar.row_has_stuck_closed(r) {
+                cm.rows[r] = BitRow::zeros(xbar.cols());
+            }
+        }
+        for c in 0..xbar.cols() {
+            if xbar.col_has_stuck_closed(c) {
+                for r in 0..xbar.rows() {
+                    cm.rows[r].set(c, false);
+                }
+            }
+        }
+        cm
+    }
+
+    /// Number of physical rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &BitRow {
+        &self.rows[row]
+    }
+
+    /// Marks a crosspoint defective (stuck-open) — test helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set_defective(&mut self, row: usize, col: usize) {
+        self.rows[row].set(col, false);
+    }
+
+    /// Fraction of functional crosspoints.
+    #[must_use]
+    pub fn functional_fraction(&self) -> f64 {
+        let total = self.rows.len() * self.cols;
+        if total == 0 {
+            return 1.0;
+        }
+        let ones: usize = self.rows.iter().map(BitRow::count_ones).sum();
+        ones as f64 / total as f64
+    }
+}
+
+/// The paper's row-matching rule: can FM row `fm` be hosted by CM row `cm`?
+#[must_use]
+pub fn row_compatible(fm: &BitRow, cm: &BitRow) -> bool {
+    fm.fits_in(cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xbar_logic::cube;
+
+    /// The Fig. 8(a) function: O1 = x1x2 + x̄2x3, O2 = x̄1x̄3 + x2x3
+    /// (3 inputs, 2 outputs, 4 minterms).
+    fn fig8_cover() -> Cover {
+        Cover::from_cubes(
+            3,
+            2,
+            [
+                cube("11- 10"),
+                cube("-01 10"),
+                cube("0-0 01"),
+                cube("-11 01"),
+            ],
+        )
+        .expect("dims")
+    }
+
+    #[test]
+    fn fm_shape_matches_fig8() {
+        let fm = FunctionMatrix::from_cover(&fig8_cover());
+        assert_eq!(fm.num_rows(), 6);
+        assert_eq!(fm.num_cols(), 10);
+        assert_eq!(fm.num_minterms(), 4);
+        // m1 = x1x2 driving O1: 1s at x1, x2, O1 columns (0, 1, 6).
+        let m1 = fm.row(0);
+        assert_eq!(m1.to_string(), "1100001000");
+        // Output row O1: 1s at O1 (col 6) and Ō1 (col 8).
+        assert_eq!(fm.row(4).to_string(), "0000001010");
+        assert_eq!(fm.row(5).to_string(), "0000000101");
+    }
+
+    #[test]
+    fn fm_minterm_program_roundtrip() {
+        let fm = FunctionMatrix::from_cover(&fig8_cover());
+        let (lits, mems) = fm.minterm_program(1);
+        assert_eq!(lits, &[(1, false), (2, true)]);
+        assert_eq!(mems, &[0]);
+    }
+
+    #[test]
+    fn row_matching_rules() {
+        let fm = FunctionMatrix::from_cover(&fig8_cover());
+        let mut cm_row = BitRow::ones(10);
+        assert!(row_compatible(fm.row(0), &cm_row));
+        // Defect on an FM-needed column breaks the match...
+        cm_row.set(0, false);
+        assert!(!row_compatible(fm.row(0), &cm_row));
+        // ...but not for rows that don't use that column.
+        assert!(row_compatible(fm.row(2), &cm_row));
+    }
+
+    #[test]
+    fn sampled_cm_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cm = CrossbarMatrix::sample_stuck_open(60, 60, 0.1, &mut rng);
+        let frac = cm.functional_fraction();
+        assert!((0.87..0.93).contains(&frac), "≈90% functional, got {frac}");
+    }
+
+    #[test]
+    fn from_crossbar_translates_defects() {
+        let mut xbar = Crossbar::new(3, 10);
+        xbar.set_defect(0, 4, Defect::StuckOpen);
+        xbar.set_defect(1, 7, Defect::StuckClosed);
+        let cm = CrossbarMatrix::from_crossbar(&xbar);
+        assert!(!cm.row(0).get(4), "stuck-open is a 0");
+        assert!(cm.row(0).get(3));
+        assert_eq!(cm.row(1).count_ones(), 0, "stuck-closed row is all-0");
+        assert!(!cm.row(2).get(7), "stuck-closed column cleared everywhere");
+        assert!(!cm.row(0).get(7));
+    }
+
+    #[test]
+    fn perfect_cm_hosts_everything() {
+        let fm = FunctionMatrix::from_cover(&fig8_cover());
+        let cm = CrossbarMatrix::perfect(6, 10);
+        for r in 0..fm.num_rows() {
+            assert!(row_compatible(fm.row(r), cm.row(0)));
+            let _ = r;
+        }
+    }
+}

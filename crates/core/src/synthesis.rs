@@ -1,0 +1,187 @@
+//! Two-level synthesis pipeline with the paper's dual (negated-circuit)
+//! optimization.
+//!
+//! §I of the paper: the crossbar produces both `f` and `f̄`, so a mapper
+//! should synthesize both the function and its complement and implement
+//! whichever needs the smaller crossbar (Table II prints dual
+//! implementations in bold). The final inversion is free — the output latch
+//! exposes both polarities.
+
+use crate::layout::TwoLevelLayout;
+use xbar_logic::{complement_multi, minimize, Cover, MinimizeOptions};
+
+/// Options of [`synthesize_two_level`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Run the espresso-style minimizer on the input cover (disable when
+    /// the cover is already minimized).
+    pub minimize: bool,
+    /// Also synthesize the complement and keep the smaller implementation.
+    pub consider_dual: bool,
+    /// Minimizer knobs.
+    pub minimize_options: MinimizeOptions,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        Self {
+            minimize: true,
+            consider_dual: true,
+            minimize_options: MinimizeOptions::default(),
+        }
+    }
+}
+
+/// A chosen two-level implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelDesign {
+    /// The implemented cover (of `f`, or of `f̄` when `negated`).
+    pub cover: Cover,
+    /// Whether the *complement* is implemented (outputs are read from the
+    /// opposite latch column).
+    pub negated: bool,
+    /// The crossbar geometry.
+    pub layout: TwoLevelLayout,
+}
+
+impl TwoLevelDesign {
+    /// Area cost of the design.
+    #[must_use]
+    pub fn area(&self) -> usize {
+        self.layout.area()
+    }
+
+    /// Inclusion ratio of the design.
+    #[must_use]
+    pub fn inclusion_ratio(&self) -> f64 {
+        self.layout.inclusion_ratio(&self.cover)
+    }
+
+    /// Evaluates the *original* function (un-negating if needed).
+    #[must_use]
+    pub fn evaluate(&self, assignment: u64) -> Vec<bool> {
+        let mut v = self.cover.evaluate(assignment);
+        if self.negated {
+            for b in &mut v {
+                *b = !*b;
+            }
+        }
+        v
+    }
+}
+
+/// Synthesizes the two-level implementation of `cover`, optionally
+/// minimizing and optionally choosing between the function and its dual.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_core::{synthesize_two_level, SynthesisOptions};
+/// use xbar_logic::{cube, Cover};
+///
+/// // f = x̄0x̄1 + x̄0x1 + x0x̄1 (3 products) has the 1-product dual
+/// // f̄ = x0·x1: the dual implementation wins.
+/// let cover = Cover::from_cubes(2, 1, [cube("00 1"), cube("01 1"), cube("10 1")])?;
+/// let design = synthesize_two_level(&cover, &SynthesisOptions::default());
+/// assert!(design.negated);
+/// assert_eq!(design.evaluate(0b11), vec![false]);
+/// assert_eq!(design.evaluate(0b01), vec![true]);
+/// # Ok::<(), xbar_logic::LogicError>(())
+/// ```
+#[must_use]
+pub fn synthesize_two_level(cover: &Cover, options: &SynthesisOptions) -> TwoLevelDesign {
+    let dc = Cover::new(cover.num_inputs(), cover.num_outputs());
+    let direct = if options.minimize {
+        minimize(cover, &dc, options.minimize_options)
+    } else {
+        cover.clone()
+    };
+
+    let mut best = TwoLevelDesign {
+        layout: TwoLevelLayout::of_cover(&direct),
+        cover: direct,
+        negated: false,
+    };
+
+    if options.consider_dual {
+        let neg = complement_multi(cover);
+        let neg = if options.minimize {
+            minimize(&neg, &dc, options.minimize_options)
+        } else {
+            neg
+        };
+        let layout = TwoLevelLayout::of_cover(&neg);
+        if layout.area() < best.layout.area() {
+            best = TwoLevelDesign {
+                cover: neg,
+                negated: true,
+                layout,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_logic::{cube, RandomSopSpec, TruthTable};
+
+    #[test]
+    fn dual_chosen_when_smaller() {
+        // f = NOT(x0·x1·x2) needs 3 products directly, 1 negated.
+        let table = TruthTable::from_fn(3, 1, |a| vec![a != 0b111]).expect("small");
+        let on = table.minterm_cover();
+        let design = synthesize_two_level(&on, &SynthesisOptions::default());
+        assert!(design.negated);
+        assert_eq!(design.cover.len(), 1);
+        for a in 0..8u64 {
+            assert_eq!(design.evaluate(a), vec![a != 0b111]);
+        }
+    }
+
+    #[test]
+    fn direct_chosen_when_smaller() {
+        let cover = Cover::from_cubes(3, 1, [cube("111 1")]).expect("dims");
+        let design = synthesize_two_level(&cover, &SynthesisOptions::default());
+        assert!(!design.negated);
+        assert_eq!(design.cover.len(), 1);
+    }
+
+    #[test]
+    fn dual_disabled_keeps_direct() {
+        let table = TruthTable::from_fn(3, 1, |a| vec![a != 0b111]).expect("small");
+        let on = table.minterm_cover();
+        let options = SynthesisOptions {
+            consider_dual: false,
+            ..SynthesisOptions::default()
+        };
+        let design = synthesize_two_level(&on, &options);
+        assert!(!design.negated);
+    }
+
+    #[test]
+    fn evaluation_matches_original_for_random_functions() {
+        for seed in 0..10u64 {
+            let cover = RandomSopSpec::figure6(5, 4).generate_seeded(seed);
+            let design = synthesize_two_level(&cover, &SynthesisOptions::default());
+            for a in 0..32u64 {
+                assert_eq!(
+                    design.evaluate(a),
+                    cover.evaluate(a),
+                    "seed {seed}, input {a:05b}, negated={}",
+                    design.negated
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_output_dual() {
+        let cover = Cover::from_cubes(3, 2, [cube("11- 10"), cube("--0 01")]).expect("dims");
+        let design = synthesize_two_level(&cover, &SynthesisOptions::default());
+        for a in 0..8u64 {
+            assert_eq!(design.evaluate(a), cover.evaluate(a));
+        }
+    }
+}

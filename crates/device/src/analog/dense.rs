@@ -1,0 +1,248 @@
+//! Minimal dense linear algebra: LU factorization with partial pivoting.
+//!
+//! Sized for crossbar nodal analysis (hundreds of unknowns), not BLAS-class
+//! workloads.
+
+use std::fmt;
+
+/// A dense row-major `n × n` (or rectangular) matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)` (the stamping operation of nodal
+    /// analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.cols()`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum())
+            .collect()
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(12) {
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:>12.4e}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from a singular (or numerically singular) system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveLinearError;
+
+impl fmt::Display for SolveLinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("linear system is singular")
+    }
+}
+
+impl std::error::Error for SolveLinearError {}
+
+/// Solves `A·x = b` by LU factorization with partial pivoting. `A` is
+/// consumed as workspace.
+///
+/// # Errors
+///
+/// Returns [`SolveLinearError`] when a pivot underflows (singular matrix).
+///
+/// # Panics
+///
+/// Panics when `A` is not square or `b` has the wrong length.
+pub fn lu_solve(mut a: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, SolveLinearError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length");
+    const EPS: f64 = 1e-13;
+
+    for k in 0..n {
+        // Partial pivot.
+        let mut pivot_row = k;
+        let mut pivot_val = a.get(k, k).abs();
+        for r in k + 1..n {
+            let v = a.get(r, k).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < EPS {
+            return Err(SolveLinearError);
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = a.get(k, c);
+                a.set(k, c, a.get(pivot_row, c));
+                a.set(pivot_row, c, tmp);
+            }
+            b.swap(k, pivot_row);
+        }
+        // Eliminate below.
+        for r in k + 1..n {
+            let factor = a.get(r, k) / a.get(k, k);
+            if factor == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                let v = a.get(r, c) - factor * a.get(k, c);
+                a.set(r, c, v);
+            }
+            b[r] -= factor * b[k];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut sum = b[k];
+        for c in k + 1..n {
+            sum -= a.get(k, c) * x[c];
+        }
+        x[k] = sum / a.get(k, k);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = DenseMatrix::identity(3);
+        let x = lu_solve(a, vec![1.0, 2.0, 3.0]).expect("identity");
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let x = lu_solve(a, vec![5.0, 10.0]).expect("nonsingular");
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        let x = lu_solve(a, vec![2.0, 3.0]).expect("permutation matrix");
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert!(lu_solve(a, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn residual_is_small_on_random_system() {
+        let n = 20;
+        let mut state = 123u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let mut a = DenseMatrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, next());
+            }
+            a.add(r, r, 4.0); // diagonally dominant → nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = lu_solve(a.clone(), b.clone()).expect("well conditioned");
+        let ax = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-9, "residual at {i}");
+        }
+    }
+}

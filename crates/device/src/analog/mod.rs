@@ -1,0 +1,9 @@
+//! Analog validation of the crossbar's digital abstraction: dense linear
+//! algebra and nodal analysis of the resistive read path (sneak paths
+//! included).
+
+mod dense;
+mod nodal;
+
+pub use dense::{lu_solve, DenseMatrix, SolveLinearError};
+pub use nodal::{row_nand_read, ReadConfig, RowRead};

@@ -1,0 +1,238 @@
+//! Nodal analysis of the crossbar read path.
+//!
+//! The digital machines in this crate decide a row's NAND by inspecting
+//! stored logic values. This module validates that abstraction electrically:
+//! it solves the full resistive network of the array — including sneak paths
+//! through unselected rows and floating columns — for the classic
+//! pull-up-read scheme:
+//!
+//! * the selected row is driven from `v_read` through a load resistor;
+//! * the columns participating in the NAND are grounded;
+//! * every other line floats and is resolved by the solver.
+//!
+//! If any participating crosspoint stores `R_ON` (logic 0), it pulls the row
+//! low → the comparator reports NAND = 1. With all participants at `R_OFF`
+//! the row stays near `v_read` → NAND = 0.
+
+use crate::analog::dense::{lu_solve, DenseMatrix, SolveLinearError};
+use crate::crossbar::{Crossbar, Defect};
+
+/// Electrical read configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadConfig {
+    /// Read voltage applied through the load resistor (V). Keep below the
+    /// device `v_write` so reads are non-destructive.
+    pub v_read: f64,
+    /// Load (pull-up) resistance in ohms. Sensible values sit between
+    /// `R_ON` and `R_OFF` (geometric mean works well).
+    pub r_load: f64,
+    /// Decision threshold as a fraction of `v_read` (0.5 = midpoint).
+    pub threshold_fraction: f64,
+}
+
+impl Default for ReadConfig {
+    fn default() -> Self {
+        Self {
+            v_read: 0.4,
+            r_load: 30.0e3, // ≈ √(R_ON·R_OFF) for the default device
+            threshold_fraction: 0.5,
+        }
+    }
+}
+
+/// Outcome of an analog row read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowRead {
+    /// Solved voltage on the selected row line (V).
+    pub row_voltage: f64,
+    /// Comparator decision: row pulled below threshold ⇒ NAND = 1.
+    pub nand_value: bool,
+    /// Distance from the threshold (V); small margins flag unreliable reads.
+    pub margin: f64,
+}
+
+/// Effective resistance of a crosspoint, including defects: stuck-closed is
+/// `R_ON`, stuck-open (and disabled devices) `R_OFF`.
+fn crosspoint_resistance(xbar: &Crossbar, row: usize, col: usize) -> f64 {
+    let cell = xbar.crosspoint(row, col);
+    let p = xbar.params();
+    match cell.defect {
+        Defect::StuckClosed => p.r_on,
+        Defect::StuckOpen => p.r_off,
+        Defect::None => {
+            // Logic 0 = R_ON: `stored_value` is the logic value.
+            if xbar.stored_value(row, col) {
+                p.r_off
+            } else {
+                p.r_on
+            }
+        }
+    }
+}
+
+/// Solves the resistive network for a NAND read of `row` over the grounded
+/// `sense_cols`, with every crosspoint of the array participating (sneak
+/// paths included).
+///
+/// # Errors
+///
+/// Returns [`SolveLinearError`] if the conductance matrix is singular
+/// (cannot happen for positive resistances with at least one sense column,
+/// but surfaced rather than panicking).
+///
+/// # Panics
+///
+/// Panics when `row` or any sense column is out of range.
+pub fn row_nand_read(
+    xbar: &Crossbar,
+    row: usize,
+    sense_cols: &[usize],
+    config: &ReadConfig,
+) -> Result<RowRead, SolveLinearError> {
+    assert!(row < xbar.rows(), "row out of range");
+    for &c in sense_cols {
+        assert!(c < xbar.cols(), "sense column out of range");
+    }
+
+    // Unknown nodes: every row, plus every non-grounded column.
+    let grounded = |c: usize| sense_cols.contains(&c);
+    let row_node = |r: usize| r;
+    let mut col_nodes = vec![usize::MAX; xbar.cols()];
+    let mut next = xbar.rows();
+    for c in 0..xbar.cols() {
+        if !grounded(c) {
+            col_nodes[c] = next;
+            next += 1;
+        }
+    }
+    let n = next;
+    let mut g = DenseMatrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+
+    // Stamp every crosspoint conductance between its row and column.
+    for r in 0..xbar.rows() {
+        for c in 0..xbar.cols() {
+            let conductance = 1.0 / crosspoint_resistance(xbar, r, c);
+            let rn = row_node(r);
+            g.add(rn, rn, conductance);
+            if grounded(c) {
+                // Column fixed at 0 V: only the diagonal term remains.
+            } else {
+                let cn = col_nodes[c];
+                g.add(cn, cn, conductance);
+                g.add(rn, cn, -conductance);
+                g.add(cn, rn, -conductance);
+            }
+        }
+    }
+
+    // Pull-up source into the selected row.
+    let g_load = 1.0 / config.r_load;
+    g.add(row_node(row), row_node(row), g_load);
+    rhs[row_node(row)] += g_load * config.v_read;
+
+    let solution = lu_solve(g, rhs)?;
+    let row_voltage = solution[row_node(row)];
+    let threshold = config.threshold_fraction * config.v_read;
+    Ok(RowRead {
+        row_voltage,
+        nand_value: row_voltage < threshold,
+        margin: (row_voltage - threshold).abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::ProgramState;
+
+    /// Programs a 1-row crossbar holding `values` on its first cells.
+    fn single_row_bar(values: &[bool], total_cols: usize) -> (Crossbar, Vec<usize>) {
+        let mut xbar = Crossbar::new(1, total_cols);
+        let mut cols = Vec::new();
+        for (c, &v) in values.iter().enumerate() {
+            xbar.set_program(0, c, ProgramState::Active);
+            xbar.store_value(0, c, v);
+            cols.push(c);
+        }
+        (xbar, cols)
+    }
+
+    #[test]
+    fn all_ones_reads_nand_zero() {
+        let (xbar, cols) = single_row_bar(&[true, true, true], 6);
+        let read = row_nand_read(&xbar, 0, &cols, &ReadConfig::default()).expect("solvable");
+        assert!(!read.nand_value, "NAND(1,1,1) = 0");
+        assert!(read.row_voltage > 0.3, "row stays near v_read");
+    }
+
+    #[test]
+    fn single_zero_pulls_the_row() {
+        let (xbar, cols) = single_row_bar(&[true, false, true], 6);
+        let read = row_nand_read(&xbar, 0, &cols, &ReadConfig::default()).expect("solvable");
+        assert!(read.nand_value, "NAND with a 0 input = 1");
+        assert!(read.row_voltage < 0.05, "R_ON pulls the row hard");
+    }
+
+    #[test]
+    fn analog_matches_digital_for_all_3bit_patterns() {
+        for pattern in 0..8u32 {
+            let values: Vec<bool> = (0..3).map(|b| pattern >> b & 1 == 1).collect();
+            let (xbar, cols) = single_row_bar(&values, 6);
+            let read = row_nand_read(&xbar, 0, &cols, &ReadConfig::default()).expect("solvable");
+            let digital_nand = !values.iter().all(|&v| v);
+            assert_eq!(read.nand_value, digital_nand, "pattern {pattern:03b}");
+        }
+    }
+
+    #[test]
+    fn sneak_paths_on_larger_array_do_not_flip_the_read() {
+        // 8x10 array, everything disabled (R_OFF) except the selected row's
+        // three participants; other rows provide sneak paths.
+        let mut xbar = Crossbar::new(8, 10);
+        for (c, v) in [(0, true), (1, true), (2, true)] {
+            xbar.set_program(3, c, ProgramState::Active);
+            xbar.store_value(3, c, v);
+        }
+        let read = row_nand_read(&xbar, 3, &[0, 1, 2], &ReadConfig::default()).expect("solvable");
+        assert!(!read.nand_value, "all-ones row must still read NAND = 0");
+
+        // Now store a 0 and confirm the pull-down wins despite sneak paths.
+        xbar.store_value(3, 1, false);
+        let read = row_nand_read(&xbar, 3, &[0, 1, 2], &ReadConfig::default()).expect("solvable");
+        assert!(read.nand_value);
+    }
+
+    #[test]
+    fn stuck_closed_reads_like_logic_zero() {
+        let mut xbar = Crossbar::new(2, 6);
+        xbar.set_program(0, 0, ProgramState::Active);
+        xbar.store_value(0, 0, true);
+        xbar.set_defect(0, 1, Defect::StuckClosed);
+        xbar.set_program(0, 1, ProgramState::Active);
+        let read = row_nand_read(&xbar, 0, &[0, 1], &ReadConfig::default()).expect("solvable");
+        assert!(read.nand_value, "stuck-closed behaves as a hard 0");
+    }
+
+    #[test]
+    fn margin_shrinks_with_more_parallel_offs() {
+        // More R_OFF devices in parallel lower the row voltage towards the
+        // threshold: the classic read-margin degradation.
+        let few = {
+            let (xbar, cols) = single_row_bar(&[true, true], 20);
+            row_nand_read(&xbar, 0, &cols, &ReadConfig::default()).expect("solvable")
+        };
+        let many = {
+            let values = vec![true; 16];
+            let (xbar, cols) = single_row_bar(&values, 20);
+            row_nand_read(&xbar, 0, &cols, &ReadConfig::default()).expect("solvable")
+        };
+        assert!(!few.nand_value && !many.nand_value);
+        assert!(
+            many.margin < few.margin,
+            "margin {:.4} should shrink below {:.4}",
+            many.margin,
+            few.margin
+        );
+    }
+}

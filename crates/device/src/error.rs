@@ -1,0 +1,70 @@
+//! Error type for machine configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring a crossbar machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The crossbar's column count does not match the machine layout.
+    ColumnCountMismatch {
+        /// Columns required by the layout.
+        expected: usize,
+        /// Columns the crossbar has.
+        got: usize,
+    },
+    /// A row index exceeded the crossbar height.
+    RowOutOfRange {
+        /// Offending row.
+        row: usize,
+        /// Crossbar height.
+        rows: usize,
+    },
+    /// A row was programmed twice.
+    RowAlreadyUsed {
+        /// Offending row.
+        row: usize,
+    },
+    /// A variable, gate or output index exceeded the layout.
+    IndexOutOfRange {
+        /// What kind of index ("input", "output", "connection").
+        kind: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Number available.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::ColumnCountMismatch { expected, got } => {
+                write!(f, "crossbar has {got} columns but the layout needs {expected}")
+            }
+            DeviceError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for a {rows}-row crossbar")
+            }
+            DeviceError::RowAlreadyUsed { row } => {
+                write!(f, "row {row} is already programmed")
+            }
+            DeviceError::IndexOutOfRange { kind, index, limit } => {
+                write!(f, "{kind} index {index} out of range (limit {limit})")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_detail() {
+        let e = DeviceError::ColumnCountMismatch { expected: 18, got: 10 };
+        assert!(e.to_string().contains("18"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Threshold-switching memristor device model.
+//!
+//! Reproduces the behaviour sketched in the paper's Fig. 1: a bipolar
+//! resistive switch that SETs (to `R_ON`) above `+v_write`, RESETs (to
+//! `R_OFF`) below `-v_write`, and holds its state for voltages inside the
+//! threshold window. Two variants are provided:
+//!
+//! * **abrupt** — the idealized two-state device used by the Snider Boolean
+//!   logic abstraction (logic 0 = `R_ON`, logic 1 = `R_OFF`);
+//! * **linear drift** — a continuous internal state `w ∈ [0, 1]` integrated
+//!   over time above threshold, which produces the classic pinched
+//!   hysteresis loop of the I-V sweep.
+
+/// Electrical and switching parameters of a memristor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemristorParams {
+    /// Low-resistance (SET / logic 0) value in ohms.
+    pub r_on: f64,
+    /// High-resistance (RESET / logic 1) value in ohms.
+    pub r_off: f64,
+    /// Write threshold `v_write` (V): |v| above this switches the device.
+    pub v_write: f64,
+    /// Hold/read threshold `v_hold` (V): |v| below this never disturbs the
+    /// state; used to pick safe read voltages.
+    pub v_hold: f64,
+    /// State drift rate for the linear-drift model (1/(V·s)).
+    pub mobility: f64,
+}
+
+impl MemristorParams {
+    /// Parameters loosely modelled on the HP TiO₂ device and the voltage
+    /// windows assumed by the Snider/Xie crossbar papers.
+    #[must_use]
+    pub fn snider_default() -> Self {
+        Self {
+            r_on: 1.0e3,
+            r_off: 1.0e6,
+            v_write: 2.0,
+            v_hold: 0.5,
+            // Chosen so a millisecond-scale write pulse at v_write fully
+            // switches the device (Δw ≈ mobility · (v − v_hold) · dt).
+            mobility: 2000.0,
+        }
+    }
+}
+
+impl Default for MemristorParams {
+    fn default() -> Self {
+        Self::snider_default()
+    }
+}
+
+/// A single memristor with continuous internal state.
+///
+/// `w = 1` is fully SET (`R_ON`), `w = 0` fully RESET (`R_OFF`). The abrupt
+/// model jumps between the extremes; the drift model integrates.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_device::{Memristor, MemristorParams};
+///
+/// let mut m = Memristor::new(MemristorParams::default());
+/// assert!(!m.is_set());
+/// m.apply_abrupt(2.5); // above +v_write: SET
+/// assert!(m.is_set());
+/// m.apply_abrupt(-2.5); // below -v_write: RESET
+/// assert!(!m.is_set());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Memristor {
+    params: MemristorParams,
+    /// Internal state in `[0, 1]`; 1 = fully SET.
+    w: f64,
+}
+
+impl Memristor {
+    /// A device in the RESET (`R_OFF`, logic 1) state.
+    #[must_use]
+    pub fn new(params: MemristorParams) -> Self {
+        Self { params, w: 0.0 }
+    }
+
+    /// Device parameters.
+    #[must_use]
+    pub fn params(&self) -> &MemristorParams {
+        &self.params
+    }
+
+    /// Internal state `w ∈ [0, 1]`.
+    #[must_use]
+    pub fn state(&self) -> f64 {
+        self.w
+    }
+
+    /// Present resistance: linear mix of `R_ON` and `R_OFF` by state.
+    #[must_use]
+    pub fn resistance(&self) -> f64 {
+        self.params.r_on * self.w + self.params.r_off * (1.0 - self.w)
+    }
+
+    /// Present conductance (1/Ω).
+    #[must_use]
+    pub fn conductance(&self) -> f64 {
+        1.0 / self.resistance()
+    }
+
+    /// True when the device is closer to `R_ON` than to `R_OFF`.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.w >= 0.5
+    }
+
+    /// Logic value under the Snider convention: `R_ON` ⇔ logic **0**,
+    /// `R_OFF` ⇔ logic **1**.
+    #[must_use]
+    pub fn logic_value(&self) -> bool {
+        !self.is_set()
+    }
+
+    /// Forces the abrupt state: `true` = SET (`R_ON`, logic 0).
+    pub fn force(&mut self, set: bool) {
+        self.w = if set { 1.0 } else { 0.0 };
+    }
+
+    /// Abrupt threshold switching: SET above `+v_write`, RESET below
+    /// `-v_write`, hold otherwise.
+    pub fn apply_abrupt(&mut self, voltage: f64) {
+        if voltage >= self.params.v_write {
+            self.w = 1.0;
+        } else if voltage <= -self.params.v_write {
+            self.w = 0.0;
+        }
+    }
+
+    /// Linear ion-drift switching integrated over `dt` seconds: the state
+    /// moves proportionally to the voltage excess beyond `±v_hold`,
+    /// saturating at the rails. Produces a smooth hysteresis loop.
+    pub fn apply_drift(&mut self, voltage: f64, dt: f64) {
+        let excess = if voltage > self.params.v_hold {
+            voltage - self.params.v_hold
+        } else if voltage < -self.params.v_hold {
+            voltage + self.params.v_hold
+        } else {
+            0.0
+        };
+        self.w = (self.w + self.params.mobility * excess * dt).clamp(0.0, 1.0);
+    }
+
+    /// Current through the device at `voltage` (Ohm's law on the present
+    /// resistance).
+    #[must_use]
+    pub fn current(&self, voltage: f64) -> f64 {
+        voltage * self.conductance()
+    }
+}
+
+/// One point of an I-V sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvPoint {
+    /// Applied voltage (V).
+    pub voltage: f64,
+    /// Resulting current (A).
+    pub current: f64,
+    /// Internal state after the step.
+    pub state: f64,
+}
+
+/// Sweeps a triangular voltage waveform `0 → +v_max → -v_max → 0` across a
+/// fresh device and records the I-V trajectory — the data behind the
+/// paper's Fig. 1 hysteresis plot.
+///
+/// `steps_per_leg` points are taken on each of the four legs. `abrupt`
+/// selects the idealized two-state model; otherwise linear drift is used
+/// with a time step making one full leg last 1 ms.
+#[must_use]
+pub fn iv_sweep(params: MemristorParams, v_max: f64, steps_per_leg: usize, abrupt: bool) -> Vec<IvPoint> {
+    let mut device = Memristor::new(params);
+    let mut points = Vec::with_capacity(steps_per_leg * 4);
+    let dt = 1.0e-3 / steps_per_leg as f64;
+    let legs: [(f64, f64); 4] = [
+        (0.0, v_max),
+        (v_max, 0.0),
+        (0.0, -v_max),
+        (-v_max, 0.0),
+    ];
+    for (from, to) in legs {
+        for s in 0..steps_per_leg {
+            let t = (s + 1) as f64 / steps_per_leg as f64;
+            let v = from + (to - from) * t;
+            if abrupt {
+                device.apply_abrupt(v);
+            } else {
+                device.apply_drift(v, dt);
+            }
+            points.push(IvPoint {
+                voltage: v,
+                current: device.current(v),
+                state: device.state(),
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_device_is_reset() {
+        let m = Memristor::new(MemristorParams::default());
+        assert!(!m.is_set());
+        assert!(m.logic_value(), "R_OFF is logic 1");
+        assert!((m.resistance() - 1.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn abrupt_set_and_reset() {
+        let mut m = Memristor::new(MemristorParams::default());
+        m.apply_abrupt(2.0);
+        assert!(m.is_set());
+        assert!(!m.logic_value(), "R_ON is logic 0");
+        m.apply_abrupt(1.0); // inside window: hold
+        assert!(m.is_set());
+        m.apply_abrupt(-2.0);
+        assert!(!m.is_set());
+    }
+
+    #[test]
+    fn read_voltage_does_not_disturb() {
+        let mut m = Memristor::new(MemristorParams::default());
+        m.apply_abrupt(2.5);
+        for _ in 0..100 {
+            m.apply_abrupt(0.4);
+            m.apply_abrupt(-0.4);
+        }
+        assert!(m.is_set());
+    }
+
+    #[test]
+    fn drift_accumulates_and_saturates() {
+        let mut m = Memristor::new(MemristorParams::default());
+        for _ in 0..10_000 {
+            m.apply_drift(3.0, 1.0e-4);
+        }
+        assert!((m.state() - 1.0).abs() < 1e-9, "saturates at w=1");
+        for _ in 0..10_000 {
+            m.apply_drift(-3.0, 1.0e-4);
+        }
+        assert!(m.state() < 1e-9, "saturates at w=0");
+    }
+
+    #[test]
+    fn iv_sweep_shows_hysteresis() {
+        let pts = iv_sweep(MemristorParams::default(), 3.0, 50, false);
+        assert_eq!(pts.len(), 200);
+        // The device must end SET after the positive leg and RESET at the end.
+        let after_positive = &pts[99];
+        assert!(after_positive.state > 0.5, "SET after positive excursion");
+        let last = pts.last().expect("non-empty");
+        assert!(last.state < 0.5, "RESET after negative excursion");
+        // Hysteresis: current at +1V differs between the up and down legs.
+        let up = pts.iter().take(50).find(|p| p.voltage >= 1.0).expect("point");
+        let down = pts
+            .iter()
+            .skip(50)
+            .take(50)
+            .find(|p| p.voltage <= 1.0)
+            .expect("point");
+        assert!(
+            down.current > up.current * 2.0,
+            "down-leg current should be much larger (device SET)"
+        );
+    }
+
+    #[test]
+    fn conductance_is_inverse_resistance() {
+        let m = Memristor::new(MemristorParams::default());
+        let g = m.conductance();
+        assert!((g * m.resistance() - 1.0).abs() < 1e-12);
+    }
+}

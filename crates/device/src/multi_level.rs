@@ -1,0 +1,621 @@
+//! Executable multi-level crossbar machine — Figs. 4 and 5 of the paper.
+//!
+//! The AND plane of the two-level design is replaced by *multi-level
+//! connection* columns. NAND gates occupy rows and are evaluated one per
+//! `CFM → EVM → CR` cycle; the `CR` (copy result) phase latches a gate's
+//! value onto its destination column so later gates can consume it.
+//!
+//! Column layout: `x_0..x_{I-1}`, `x̄_0..x̄_{I-1}`, `c_0..c_{C-1}`
+//! (connections), `O_0..O_{K-1}`, `Ō_0..Ō_{K-1}`.
+
+use crate::crossbar::{Crossbar, ProgramState};
+use crate::error::DeviceError;
+use crate::phases::MultiLevelPhase;
+
+/// Column bookkeeping for a multi-level crossbar: `2I + C + 2K` lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiLevelLayout {
+    /// Number of function inputs `I`.
+    pub num_inputs: usize,
+    /// Number of multi-level connection columns `C`.
+    pub num_connections: usize,
+    /// Number of function outputs `K`.
+    pub num_outputs: usize,
+}
+
+impl MultiLevelLayout {
+    /// Total vertical lines: `2I + C + 2K`.
+    #[must_use]
+    pub fn total_cols(&self) -> usize {
+        2 * self.num_inputs + self.num_connections + 2 * self.num_outputs
+    }
+
+    /// Column of literal `x_var`/`x̄_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is out of range.
+    #[must_use]
+    pub fn input_col(&self, var: usize, positive: bool) -> usize {
+        assert!(var < self.num_inputs, "input var out of range");
+        if positive {
+            var
+        } else {
+            self.num_inputs + var
+        }
+    }
+
+    /// Column of connection net `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    #[must_use]
+    pub fn connection_col(&self, j: usize) -> usize {
+        assert!(j < self.num_connections, "connection index out of range");
+        2 * self.num_inputs + j
+    }
+
+    /// Column of output `O_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    #[must_use]
+    pub fn output_col(&self, k: usize) -> usize {
+        assert!(k < self.num_outputs, "output index out of range");
+        2 * self.num_inputs + self.num_connections + k
+    }
+
+    /// Column of inverted output `Ō_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    #[must_use]
+    pub fn output_bar_col(&self, k: usize) -> usize {
+        assert!(k < self.num_outputs, "output index out of range");
+        2 * self.num_inputs + self.num_connections + self.num_outputs + k
+    }
+}
+
+/// A fan-in source of a gate row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Literal `x_var` (positive) or `x̄_var`.
+    Input {
+        /// Variable index.
+        var: usize,
+        /// Phase: `true` = `x`, `false` = `x̄`.
+        positive: bool,
+    },
+    /// The value latched on connection column `j` by an earlier gate.
+    Connection(usize),
+}
+
+/// Destination of a gate result during its CR phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// Latch onto connection column `j` (feeds later gates).
+    Connection(usize),
+    /// Latch onto output column `O_k` (this gate computes output `k`).
+    Output(usize),
+}
+
+/// One NAND gate row: fan-ins, destinations, and its crossbar row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateRow {
+    /// Crossbar row hosting the gate.
+    pub row: usize,
+    /// Fan-in signals (NAND inputs).
+    pub fanins: Vec<Signal>,
+    /// Where the result goes.
+    pub destinations: Vec<Destination>,
+}
+
+/// A programmed multi-level crossbar machine.
+///
+/// Gates are evaluated in the order they were added (callers must schedule
+/// topologically: a gate may only read connection columns written by
+/// earlier gates).
+///
+/// # Examples
+///
+/// ```
+/// use xbar_device::{Crossbar, MultiLevelMachine, MultiLevelLayout, Signal, Destination};
+///
+/// // Fig. 5: f = x0+x1+x2+x3 + x4·x5·x6·x7 as two NANDs:
+/// // g0 = NAND(x4..x7); f = NAND(x̄0..x̄3, g0).
+/// let layout = MultiLevelLayout { num_inputs: 8, num_connections: 1, num_outputs: 1 };
+/// let xbar = Crossbar::new(3, layout.total_cols());
+/// let mut m = MultiLevelMachine::new(xbar, layout)?;
+/// m.add_gate(0,
+///     (4..8).map(|v| Signal::Input { var: v, positive: true }).collect(),
+///     vec![Destination::Connection(0)])?;
+/// m.add_gate(1,
+///     (0..4).map(|v| Signal::Input { var: v, positive: false })
+///         .chain([Signal::Connection(0)]).collect(),
+///     vec![Destination::Output(0)])?;
+/// m.program_output_row(2, 0)?;
+/// assert_eq!(m.evaluate(0b0000_0001), vec![true]);  // x0 = 1
+/// assert_eq!(m.evaluate(0b1111_0000), vec![true]);  // x4..x7 = 1
+/// assert_eq!(m.evaluate(0b0000_0000), vec![false]);
+/// # Ok::<(), xbar_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiLevelMachine {
+    xbar: Crossbar,
+    layout: MultiLevelLayout,
+    gates: Vec<GateRow>,
+    /// `output_rows[k]` = crossbar row of output `k`'s inversion row.
+    output_rows: Vec<Option<usize>>,
+    used_rows: Vec<bool>,
+}
+
+/// Trace of one multi-level computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiLevelTrace {
+    /// `(phase, gate index if any, summary)` in execution order.
+    pub phases: Vec<(MultiLevelPhase, Option<usize>, String)>,
+    /// Result value of each gate.
+    pub gate_values: Vec<bool>,
+    /// Final outputs `f_k` (read from `O_k`).
+    pub outputs: Vec<bool>,
+    /// Inverted outputs `f̄_k` (produced by INR on `Ō_k`).
+    pub outputs_bar: Vec<bool>,
+}
+
+impl MultiLevelMachine {
+    /// Wraps a crossbar matching the layout width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ColumnCountMismatch`] otherwise.
+    pub fn new(xbar: Crossbar, layout: MultiLevelLayout) -> Result<Self, DeviceError> {
+        if xbar.cols() != layout.total_cols() {
+            return Err(DeviceError::ColumnCountMismatch {
+                expected: layout.total_cols(),
+                got: xbar.cols(),
+            });
+        }
+        let rows = xbar.rows();
+        Ok(Self {
+            xbar,
+            layout,
+            gates: Vec::new(),
+            output_rows: vec![None; layout.num_outputs],
+            used_rows: vec![false; rows],
+        })
+    }
+
+    /// The layout.
+    #[must_use]
+    pub fn layout(&self) -> &MultiLevelLayout {
+        &self.layout
+    }
+
+    /// The underlying crossbar.
+    #[must_use]
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.xbar
+    }
+
+    /// Mutable crossbar access (defect injection in tests).
+    pub fn crossbar_mut(&mut self) -> &mut Crossbar {
+        &mut self.xbar
+    }
+
+    /// Number of scheduled gates.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    fn claim_row(&mut self, row: usize) -> Result<(), DeviceError> {
+        if row >= self.xbar.rows() {
+            return Err(DeviceError::RowOutOfRange {
+                row,
+                rows: self.xbar.rows(),
+            });
+        }
+        if self.used_rows[row] {
+            return Err(DeviceError::RowAlreadyUsed { row });
+        }
+        self.used_rows[row] = true;
+        Ok(())
+    }
+
+    fn signal_col(&self, signal: Signal) -> Result<usize, DeviceError> {
+        match signal {
+            Signal::Input { var, positive } => {
+                if var >= self.layout.num_inputs {
+                    return Err(DeviceError::IndexOutOfRange {
+                        kind: "input",
+                        index: var,
+                        limit: self.layout.num_inputs,
+                    });
+                }
+                Ok(self.layout.input_col(var, positive))
+            }
+            Signal::Connection(j) => {
+                if j >= self.layout.num_connections {
+                    return Err(DeviceError::IndexOutOfRange {
+                        kind: "connection",
+                        index: j,
+                        limit: self.layout.num_connections,
+                    });
+                }
+                Ok(self.layout.connection_col(j))
+            }
+        }
+    }
+
+    fn destination_col(&self, dest: Destination) -> Result<usize, DeviceError> {
+        match dest {
+            Destination::Connection(j) => {
+                if j >= self.layout.num_connections {
+                    return Err(DeviceError::IndexOutOfRange {
+                        kind: "connection",
+                        index: j,
+                        limit: self.layout.num_connections,
+                    });
+                }
+                Ok(self.layout.connection_col(j))
+            }
+            Destination::Output(k) => {
+                if k >= self.layout.num_outputs {
+                    return Err(DeviceError::IndexOutOfRange {
+                        kind: "output",
+                        index: k,
+                        limit: self.layout.num_outputs,
+                    });
+                }
+                Ok(self.layout.output_col(k))
+            }
+        }
+    }
+
+    /// Schedules a NAND gate on `row`. Gates run in insertion order; a gate
+    /// may read any connection column written by an earlier gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] on bad indices or row reuse.
+    pub fn add_gate(
+        &mut self,
+        row: usize,
+        fanins: Vec<Signal>,
+        destinations: Vec<Destination>,
+    ) -> Result<(), DeviceError> {
+        // Validate before claiming the row.
+        for &s in &fanins {
+            let _ = self.signal_col(s)?;
+        }
+        for &d in &destinations {
+            let _ = self.destination_col(d)?;
+        }
+        self.claim_row(row)?;
+        for &s in &fanins {
+            let col = self.signal_col(s).expect("validated");
+            self.xbar.set_program(row, col, ProgramState::Active);
+        }
+        for &d in &destinations {
+            let col = self.destination_col(d).expect("validated");
+            self.xbar.set_program(row, col, ProgramState::Active);
+        }
+        self.gates.push(GateRow {
+            row,
+            fanins,
+            destinations,
+        });
+        Ok(())
+    }
+
+    /// Programs output `k`'s inversion row (active at `O_k` and `Ō_k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] on bad indices or row reuse.
+    pub fn program_output_row(&mut self, row: usize, k: usize) -> Result<(), DeviceError> {
+        if k >= self.layout.num_outputs {
+            return Err(DeviceError::IndexOutOfRange {
+                kind: "output",
+                index: k,
+                limit: self.layout.num_outputs,
+            });
+        }
+        self.claim_row(row)?;
+        self.xbar
+            .set_program(row, self.layout.output_col(k), ProgramState::Active);
+        self.xbar
+            .set_program(row, self.layout.output_bar_col(k), ProgramState::Active);
+        self.output_rows[k] = Some(row);
+        Ok(())
+    }
+
+    /// Runs the computation; returns `f_k` per output.
+    pub fn evaluate(&mut self, inputs: u64) -> Vec<bool> {
+        self.run(inputs, false).outputs
+    }
+
+    /// Runs the computation recording a full trace.
+    pub fn trace(&mut self, inputs: u64) -> MultiLevelTrace {
+        self.run(inputs, true)
+    }
+
+    fn run(&mut self, inputs: u64, record: bool) -> MultiLevelTrace {
+        let mut phases: Vec<(MultiLevelPhase, Option<usize>, String)> = Vec::new();
+        let mut log = |phase: MultiLevelPhase, gate: Option<usize>, text: String| {
+            if record {
+                phases.push((phase, gate, text));
+            }
+        };
+
+        self.xbar.initialize_all();
+        log(MultiLevelPhase::Ina, None, "all functional memristors reset to R_OFF".into());
+
+        // Column latches: inputs now, connections/outputs as gates complete.
+        let mut latch: Vec<Option<bool>> = vec![None; self.xbar.cols()];
+        for var in 0..self.layout.num_inputs {
+            let v = inputs >> var & 1 == 1;
+            latch[self.layout.input_col(var, true)] = Some(v);
+            latch[self.layout.input_col(var, false)] = Some(!v);
+        }
+        log(
+            MultiLevelPhase::Ri,
+            None,
+            format!(
+                "input latch receives x = {:0width$b}",
+                inputs & ((1u64 << self.layout.num_inputs.min(63)) - 1),
+                width = self.layout.num_inputs
+            ),
+        );
+
+        let col_poisoned: Vec<bool> = (0..self.xbar.cols())
+            .map(|c| self.xbar.col_has_stuck_closed(c))
+            .collect();
+
+        let gates = self.gates.clone();
+        let mut gate_values = Vec::with_capacity(gates.len());
+        for (g, gate) in gates.iter().enumerate() {
+            // CFM: copy fan-in column values into the gate row.
+            for &s in &gate.fanins {
+                let col = self.signal_col(s).expect("validated at add_gate");
+                let value = if col_poisoned[col] {
+                    false
+                } else {
+                    latch[col].unwrap_or(true)
+                };
+                self.xbar.store_value(gate.row, col, value);
+            }
+            log(
+                MultiLevelPhase::Cfm,
+                Some(g),
+                format!("gate {g} row {} configured from {} fan-ins", gate.row, gate.fanins.len()),
+            );
+
+            // EVM: NAND over the fan-in crosspoints (stuck-closed row → 1).
+            let result = if self.xbar.row_has_stuck_closed(gate.row) {
+                true
+            } else {
+                let mut conjunction = true;
+                for &s in &gate.fanins {
+                    let col = self.signal_col(s).expect("validated");
+                    if !self.xbar.stored_value(gate.row, col) {
+                        conjunction = false;
+                    }
+                }
+                !conjunction
+            };
+            gate_values.push(result);
+            log(MultiLevelPhase::Evm, Some(g), format!("gate {g} NAND = {}", u8::from(result)));
+
+            // CR: store the result at destination crosspoints and latch the
+            // columns with what the crosspoint actually holds (defects at
+            // the destination propagate downstream).
+            for &d in &gate.destinations {
+                let col = self.destination_col(d).expect("validated");
+                self.xbar.store_value(gate.row, col, result);
+                let seen = if col_poisoned[col] {
+                    false
+                } else {
+                    self.xbar.stored_value(gate.row, col)
+                };
+                latch[col] = Some(seen);
+            }
+            log(
+                MultiLevelPhase::Cr,
+                Some(g),
+                format!("gate {g} result copied to {} destination(s)", gate.destinations.len()),
+            );
+        }
+
+        // INR + SO on output rows: read O_k, store inversion on Ō_k.
+        let mut outputs = vec![false; self.layout.num_outputs];
+        let mut outputs_bar = vec![true; self.layout.num_outputs];
+        for k in 0..self.layout.num_outputs {
+            let col = self.layout.output_col(k);
+            let bar_col = self.layout.output_bar_col(k);
+            let value = if col_poisoned[col] {
+                false
+            } else {
+                latch[col].unwrap_or(false)
+            };
+            if let Some(row) = self.output_rows[k] {
+                let row_ok = !self.xbar.row_has_stuck_closed(row);
+                self.xbar.store_value(row, col, value);
+                let read = if row_ok {
+                    self.xbar.stored_value(row, col)
+                } else {
+                    false
+                };
+                self.xbar.store_value(row, bar_col, !read);
+                outputs[k] = read;
+                outputs_bar[k] = if col_poisoned[bar_col] {
+                    false
+                } else {
+                    self.xbar.stored_value(row, bar_col)
+                };
+            } else {
+                outputs[k] = value;
+                outputs_bar[k] = !value;
+            }
+        }
+        log(MultiLevelPhase::Inr, None, format!("f = {outputs:?}"));
+        log(MultiLevelPhase::So, None, "outputs written to the output latch".into());
+
+        MultiLevelTrace {
+            phases,
+            gate_values,
+            outputs,
+            outputs_bar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::Defect;
+
+    /// The Fig. 5 machine: f = x0+x1+x2+x3+x4x5x6x7 with 2 gates.
+    fn fig5_machine() -> MultiLevelMachine {
+        let layout = MultiLevelLayout {
+            num_inputs: 8,
+            num_connections: 1,
+            num_outputs: 1,
+        };
+        let xbar = Crossbar::new(3, layout.total_cols());
+        let mut m = MultiLevelMachine::new(xbar, layout).expect("layout");
+        m.add_gate(
+            0,
+            (4..8).map(|v| Signal::Input { var: v, positive: true }).collect(),
+            vec![Destination::Connection(0)],
+        )
+        .expect("gate 0");
+        m.add_gate(
+            1,
+            (0..4)
+                .map(|v| Signal::Input { var: v, positive: false })
+                .chain([Signal::Connection(0)])
+                .collect(),
+            vec![Destination::Output(0)],
+        )
+        .expect("gate 1");
+        m.program_output_row(2, 0).expect("output row");
+        m
+    }
+
+    #[test]
+    fn fig5_matches_the_two_level_function_exhaustively() {
+        let mut m = fig5_machine();
+        for a in 0..256u64 {
+            let expected = (a & 0b1111) != 0 || (a >> 4) & 0b1111 == 0b1111;
+            assert_eq!(m.evaluate(a), vec![expected], "input {a:08b}");
+        }
+    }
+
+    #[test]
+    fn fig5_area_is_57() {
+        let m = fig5_machine();
+        assert_eq!(m.crossbar().rows(), 3);
+        assert_eq!(m.crossbar().cols(), 19);
+        // The paper's text says 59 for this 3×19 crossbar; 3·19 = 57.
+        assert_eq!(m.crossbar().area(), 57);
+    }
+
+    #[test]
+    fn trace_shows_per_gate_cycles() {
+        let mut m = fig5_machine();
+        let trace = m.trace(0);
+        let names: Vec<String> = trace.phases.iter().map(|(p, _, _)| p.to_string()).collect();
+        assert_eq!(
+            names,
+            ["INA", "RI", "CFM", "EVM", "CR", "CFM", "EVM", "CR", "INR", "SO"]
+        );
+        assert_eq!(trace.gate_values.len(), 2);
+        assert_eq!(trace.outputs_bar, vec![true]);
+    }
+
+    #[test]
+    fn inverter_gate_works() {
+        // f = x̄0 via a single 1-input NAND.
+        let layout = MultiLevelLayout {
+            num_inputs: 1,
+            num_connections: 0,
+            num_outputs: 1,
+        };
+        let xbar = Crossbar::new(2, layout.total_cols());
+        let mut m = MultiLevelMachine::new(xbar, layout).expect("layout");
+        m.add_gate(
+            0,
+            vec![Signal::Input { var: 0, positive: true }],
+            vec![Destination::Output(0)],
+        )
+        .expect("gate");
+        m.program_output_row(1, 0).expect("output row");
+        assert_eq!(m.evaluate(0), vec![true]);
+        assert_eq!(m.evaluate(1), vec![false]);
+    }
+
+    #[test]
+    fn stuck_open_on_connection_write_forces_one_downstream() {
+        let mut m = fig5_machine();
+        // Gate 0 writes its result to connection col; make that crosspoint
+        // stuck-open: downstream always sees logic 1 (as if x4..x7 never all
+        // set... i.e. NAND result always 1 → f fires whenever an x̄i is 0).
+        let col = m.layout().connection_col(0);
+        m.crossbar_mut().set_defect(0, col, Defect::StuckOpen);
+        // all-zero input: gate1 sees NAND(1,1,1,1, 1) = 0 → f = 0. Same as
+        // clean. Observable difference: x4..x7 = 1111 with x0..x3 = 0 should
+        // give f = 1; with the defect, connection reads 1 (instead of 0),
+        // so gate1 = NAND(1,1,1,1,1) = 0 → f = 0. Wrong.
+        assert_eq!(m.evaluate(0b1111_0000), vec![false], "defect masks the AND term");
+        let mut clean = fig5_machine();
+        assert_eq!(clean.evaluate(0b1111_0000), vec![true]);
+    }
+
+    #[test]
+    fn stuck_closed_in_gate_row_forces_gate_to_one() {
+        let mut m = fig5_machine();
+        // Stuck-closed on an unused crosspoint of gate 0's row.
+        m.crossbar_mut().set_defect(0, 0, Defect::StuckClosed);
+        // Gate 0 always outputs 1... but column 0 (x0 positive) is also
+        // poisoned; gate 1 reads x̄0 (col 8), unaffected. Gate0 = 1 means
+        // "x4..x7 not all set" permanently: f loses the AND term.
+        assert_eq!(m.evaluate(0b1111_0000), vec![false]);
+        // OR part still works.
+        assert_eq!(m.evaluate(0b0000_0001), vec![true]);
+    }
+
+    #[test]
+    fn row_reuse_is_rejected() {
+        let layout = MultiLevelLayout {
+            num_inputs: 2,
+            num_connections: 0,
+            num_outputs: 1,
+        };
+        let xbar = Crossbar::new(1, layout.total_cols());
+        let mut m = MultiLevelMachine::new(xbar, layout).expect("layout");
+        m.add_gate(
+            0,
+            vec![Signal::Input { var: 0, positive: true }],
+            vec![Destination::Output(0)],
+        )
+        .expect("gate");
+        assert!(m.program_output_row(0, 0).is_err());
+    }
+
+    #[test]
+    fn bad_connection_index_is_rejected() {
+        let layout = MultiLevelLayout {
+            num_inputs: 2,
+            num_connections: 1,
+            num_outputs: 1,
+        };
+        let xbar = Crossbar::new(2, layout.total_cols());
+        let mut m = MultiLevelMachine::new(xbar, layout).expect("layout");
+        let err = m.add_gate(0, vec![Signal::Connection(3)], vec![Destination::Output(0)]);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! The computation state machines of the paper's Fig. 2(b) and Fig. 4(b).
+//!
+//! Every crossbar computation is a fixed sequence of voltage-controlled
+//! phases. The two-level design evaluates all minterms simultaneously; the
+//! multi-level design loops `CFM → EVM → CR` once per gate level, feeding
+//! NAND results back as inputs to later gates.
+
+use std::fmt;
+
+/// Phases of the two-level computation (Fig. 2b): `INA → RI → CFM → EVM →
+/// EVR → INR → SO`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TwoLevelPhase {
+    /// Initialize all memristors to `R_OFF`.
+    Ina,
+    /// Receive inputs into the input latch.
+    Ri,
+    /// Configure minterms: copy latched input values into the NAND plane.
+    Cfm,
+    /// Evaluate all minterms (row NANDs) and write into the AND plane.
+    Evm,
+    /// Evaluate results: wired-AND of each output column (computes `f̄`).
+    Evr,
+    /// Invert results to recover `f` from `f̄`.
+    Inr,
+    /// Send outputs to the output latch.
+    So,
+}
+
+impl TwoLevelPhase {
+    /// The canonical phase order.
+    pub const SEQUENCE: [TwoLevelPhase; 7] = [
+        TwoLevelPhase::Ina,
+        TwoLevelPhase::Ri,
+        TwoLevelPhase::Cfm,
+        TwoLevelPhase::Evm,
+        TwoLevelPhase::Evr,
+        TwoLevelPhase::Inr,
+        TwoLevelPhase::So,
+    ];
+
+    /// The phase that follows this one, or `None` after [`So`](Self::So).
+    #[must_use]
+    pub fn next(self) -> Option<TwoLevelPhase> {
+        let i = Self::SEQUENCE.iter().position(|&p| p == self).expect("in sequence");
+        Self::SEQUENCE.get(i + 1).copied()
+    }
+}
+
+impl fmt::Display for TwoLevelPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TwoLevelPhase::Ina => "INA",
+            TwoLevelPhase::Ri => "RI",
+            TwoLevelPhase::Cfm => "CFM",
+            TwoLevelPhase::Evm => "EVM",
+            TwoLevelPhase::Evr => "EVR",
+            TwoLevelPhase::Inr => "INR",
+            TwoLevelPhase::So => "SO",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Phases of the multi-level computation (Fig. 4b). `Cfm → Evm → Cr` repeat
+/// once per scheduled gate while `level < gate_count` (the paper's
+/// `nL < n` guard), then `Inr → So`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MultiLevelPhase {
+    /// Initialize all memristors to `R_OFF`.
+    Ina,
+    /// Receive inputs into the input latch.
+    Ri,
+    /// Configure the current gate row from its fan-in columns.
+    Cfm,
+    /// Evaluate the current gate row (NAND).
+    Evm,
+    /// Copy result: latch the gate's value onto its destination column(s).
+    Cr,
+    /// Invert output results.
+    Inr,
+    /// Send outputs to the output latch.
+    So,
+}
+
+impl MultiLevelPhase {
+    /// The phase that follows, given how many gates have completed out of
+    /// `gate_count` (implements the `nL < n` loop-back of Fig. 4b).
+    #[must_use]
+    pub fn next(self, completed_gates: usize, gate_count: usize) -> Option<MultiLevelPhase> {
+        match self {
+            MultiLevelPhase::Ina => Some(MultiLevelPhase::Ri),
+            MultiLevelPhase::Ri => Some(MultiLevelPhase::Cfm),
+            MultiLevelPhase::Cfm => Some(MultiLevelPhase::Evm),
+            MultiLevelPhase::Evm => Some(MultiLevelPhase::Cr),
+            MultiLevelPhase::Cr => {
+                if completed_gates < gate_count {
+                    Some(MultiLevelPhase::Cfm)
+                } else {
+                    Some(MultiLevelPhase::Inr)
+                }
+            }
+            MultiLevelPhase::Inr => Some(MultiLevelPhase::So),
+            MultiLevelPhase::So => None,
+        }
+    }
+}
+
+impl fmt::Display for MultiLevelPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MultiLevelPhase::Ina => "INA",
+            MultiLevelPhase::Ri => "RI",
+            MultiLevelPhase::Cfm => "CFM",
+            MultiLevelPhase::Evm => "EVM",
+            MultiLevelPhase::Cr => "CR",
+            MultiLevelPhase::Inr => "INR",
+            MultiLevelPhase::So => "SO",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_sequence_is_the_paper_order() {
+        let mut phase = TwoLevelPhase::Ina;
+        let mut names = vec![phase.to_string()];
+        while let Some(next) = phase.next() {
+            names.push(next.to_string());
+            phase = next;
+        }
+        assert_eq!(names, ["INA", "RI", "CFM", "EVM", "EVR", "INR", "SO"]);
+    }
+
+    #[test]
+    fn multi_level_loops_per_gate() {
+        // Two gates: CFM/EVM/CR runs twice before INR.
+        let mut completed = 0usize;
+        let mut phase = MultiLevelPhase::Ina;
+        let mut trace = vec![phase];
+        loop {
+            if phase == MultiLevelPhase::Cr {
+                completed += 1;
+            }
+            match phase.next(completed, 2) {
+                Some(p) => {
+                    trace.push(p);
+                    phase = p;
+                }
+                None => break,
+            }
+        }
+        let names: Vec<String> = trace.iter().map(ToString::to_string).collect();
+        assert_eq!(
+            names,
+            ["INA", "RI", "CFM", "EVM", "CR", "CFM", "EVM", "CR", "INR", "SO"]
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Defect-map extraction: march-style test procedures that *discover* the
+//! crossbar matrix the paper's mapping algorithms take as input.
+//!
+//! The paper assumes the defect map is known; physically it must be
+//! measured, which is the memristor-memory testing problem of its
+//! references [11] (Kannan et al., VTS'14) and [12] (Hamdioui et al., TC
+//! 2015). This module implements the two classic strategies on our fabric:
+//!
+//! * **cell-by-cell scan** — SET then RESET each crosspoint and read back:
+//!   a device that cannot reach `R_ON` is stuck-open, one that cannot reach
+//!   `R_OFF` is stuck-closed. `2` writes + `2` reads per cell.
+//! * **march scan** — row-parallel version: write whole rows, then read
+//!   each cell, in two passes (⇓w0 r0 ⇑w1 r1 in march notation), costing
+//!   `2·R` write operations plus `2·R·C` reads.
+//!
+//! Both recover the exact defect map on the simulated fabric (asserted in
+//! tests), so the mapping experiments' assumption is justified end to end.
+
+use crate::crossbar::{Crossbar, Defect, ProgramState};
+
+/// Outcome of scanning one crosspoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellDiagnosis {
+    /// Switches both ways.
+    Functional,
+    /// Never leaves `R_OFF` (cannot be SET).
+    StuckOpen,
+    /// Never leaves `R_ON` (cannot be RESET).
+    StuckClosed,
+}
+
+impl CellDiagnosis {
+    /// The defect this diagnosis corresponds to.
+    #[must_use]
+    pub fn as_defect(self) -> Defect {
+        match self {
+            CellDiagnosis::Functional => Defect::None,
+            CellDiagnosis::StuckOpen => Defect::StuckOpen,
+            CellDiagnosis::StuckClosed => Defect::StuckClosed,
+        }
+    }
+}
+
+/// A measured defect map plus the test cost that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    rows: usize,
+    cols: usize,
+    cells: Vec<CellDiagnosis>,
+    /// Number of write operations issued.
+    pub write_ops: usize,
+    /// Number of read operations issued.
+    pub read_ops: usize,
+}
+
+impl ScanReport {
+    /// Diagnosis of crosspoint `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn diagnosis(&self, row: usize, col: usize) -> CellDiagnosis {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        self.cells[row * self.cols + col]
+    }
+
+    /// Number of cells with each diagnosis: `(functional, open, closed)`.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut f = 0;
+        let mut o = 0;
+        let mut c = 0;
+        for cell in &self.cells {
+            match cell {
+                CellDiagnosis::Functional => f += 1,
+                CellDiagnosis::StuckOpen => o += 1,
+                CellDiagnosis::StuckClosed => c += 1,
+            }
+        }
+        (f, o, c)
+    }
+
+    /// Whether the report matches the fabric's true defects exactly.
+    #[must_use]
+    pub fn matches_ground_truth(&self, xbar: &Crossbar) -> bool {
+        if xbar.rows() != self.rows || xbar.cols() != self.cols {
+            return false;
+        }
+        (0..self.rows).all(|r| {
+            (0..self.cols).all(|c| self.diagnosis(r, c).as_defect() == xbar.crosspoint(r, c).defect)
+        })
+    }
+}
+
+/// Cell-by-cell extraction: for every crosspoint, attempt SET (write logic
+/// 0) and read, then attempt RESET (write logic 1) and read.
+///
+/// The fabric's programming state is saved and restored; its defects are of
+/// course untouched.
+#[must_use]
+pub fn scan_cell_by_cell(xbar: &mut Crossbar) -> ScanReport {
+    let rows = xbar.rows();
+    let cols = xbar.cols();
+    let saved: Vec<ProgramState> = snapshot_program(xbar);
+    let mut cells = Vec::with_capacity(rows * cols);
+    let mut write_ops = 0;
+    let mut read_ops = 0;
+
+    for r in 0..rows {
+        for c in 0..cols {
+            xbar.set_program(r, c, ProgramState::Active);
+            // Attempt SET: store logic 0 (R_ON).
+            xbar.store_value(r, c, false);
+            write_ops += 1;
+            let after_set = xbar.stored_value(r, c);
+            read_ops += 1;
+            // Attempt RESET: store logic 1 (R_OFF).
+            xbar.store_value(r, c, true);
+            write_ops += 1;
+            let after_reset = xbar.stored_value(r, c);
+            read_ops += 1;
+            cells.push(classify(after_set, after_reset));
+            xbar.set_program(r, c, ProgramState::Disabled);
+        }
+    }
+    restore_program(xbar, &saved);
+    ScanReport {
+        rows,
+        cols,
+        cells,
+        write_ops,
+        read_ops,
+    }
+}
+
+/// March-style extraction (⇓w0 r0 ⇑w1 r1): whole-row writes (one write
+/// operation per row per pass), then per-cell reads.
+#[must_use]
+pub fn scan_march(xbar: &mut Crossbar) -> ScanReport {
+    let rows = xbar.rows();
+    let cols = xbar.cols();
+    let saved = snapshot_program(xbar);
+    // Activate everything for the test.
+    for r in 0..rows {
+        for c in 0..cols {
+            xbar.set_program(r, c, ProgramState::Active);
+        }
+    }
+    let mut write_ops = 0;
+    let mut read_ops = 0;
+
+    // Pass 1 (⇓): write 0 row by row, read each cell.
+    let mut after_set = vec![false; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            xbar.store_value(r, c, false);
+        }
+        write_ops += 1; // one row-parallel write pulse
+        for c in 0..cols {
+            after_set[r * cols + c] = xbar.stored_value(r, c);
+            read_ops += 1;
+        }
+    }
+    // Pass 2 (⇑): write 1 row by row (ascending again is fine for these
+    // static faults), read each cell.
+    let mut after_reset = vec![false; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            xbar.store_value(r, c, true);
+        }
+        write_ops += 1;
+        for c in 0..cols {
+            after_reset[r * cols + c] = xbar.stored_value(r, c);
+            read_ops += 1;
+        }
+    }
+
+    let cells = (0..rows * cols)
+        .map(|i| classify(after_set[i], after_reset[i]))
+        .collect();
+    restore_program(xbar, &saved);
+    ScanReport {
+        rows,
+        cols,
+        cells,
+        write_ops,
+        read_ops,
+    }
+}
+
+fn classify(after_set: bool, after_reset: bool) -> CellDiagnosis {
+    match (after_set, after_reset) {
+        // SET succeeded (reads 0) and RESET succeeded (reads 1).
+        (false, true) => CellDiagnosis::Functional,
+        // Could not be driven to R_ON.
+        (true, true) => CellDiagnosis::StuckOpen,
+        // Could not be driven back to R_OFF.
+        (false, false) => CellDiagnosis::StuckClosed,
+        // R_OFF after SET but R_ON after RESET would be an inverted device;
+        // not in the fault model, classify conservatively as stuck-open.
+        (true, false) => CellDiagnosis::StuckOpen,
+    }
+}
+
+fn snapshot_program(xbar: &Crossbar) -> Vec<ProgramState> {
+    let mut saved = Vec::with_capacity(xbar.rows() * xbar.cols());
+    for r in 0..xbar.rows() {
+        for c in 0..xbar.cols() {
+            saved.push(xbar.crosspoint(r, c).program);
+        }
+    }
+    saved
+}
+
+fn restore_program(xbar: &mut Crossbar, saved: &[ProgramState]) {
+    let cols = xbar.cols();
+    for r in 0..xbar.rows() {
+        for c in 0..cols {
+            xbar.set_program(r, c, saved[r * cols + c]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::DefectProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_fabric_scans_clean() {
+        let mut xbar = Crossbar::new(4, 6);
+        let report = scan_cell_by_cell(&mut xbar);
+        assert_eq!(report.counts(), (24, 0, 0));
+        assert!(report.matches_ground_truth(&xbar));
+    }
+
+    #[test]
+    fn cell_scan_recovers_planted_defects() {
+        let mut xbar = Crossbar::new(5, 5);
+        xbar.set_defect(1, 2, Defect::StuckOpen);
+        xbar.set_defect(3, 4, Defect::StuckClosed);
+        let report = scan_cell_by_cell(&mut xbar);
+        assert_eq!(report.diagnosis(1, 2), CellDiagnosis::StuckOpen);
+        assert_eq!(report.diagnosis(3, 4), CellDiagnosis::StuckClosed);
+        assert_eq!(report.counts(), (23, 1, 1));
+        assert!(report.matches_ground_truth(&xbar));
+    }
+
+    #[test]
+    fn march_scan_recovers_random_defect_maps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let profile = DefectProfile {
+                rate: 0.15,
+                stuck_closed_fraction: 0.4,
+            };
+            let mut xbar = Crossbar::with_random_defects(8, 10, profile, &mut rng);
+            let report = scan_march(&mut xbar);
+            assert!(report.matches_ground_truth(&xbar));
+        }
+    }
+
+    #[test]
+    fn march_scan_is_cheaper_in_writes() {
+        let mut xbar = Crossbar::new(16, 16);
+        let cell = scan_cell_by_cell(&mut xbar);
+        let march = scan_march(&mut xbar);
+        assert_eq!(cell.write_ops, 2 * 16 * 16);
+        assert_eq!(march.write_ops, 2 * 16, "row-parallel writes");
+        assert_eq!(cell.read_ops, march.read_ops);
+    }
+
+    #[test]
+    fn scan_preserves_programming() {
+        let mut xbar = Crossbar::new(3, 3);
+        xbar.set_program(1, 1, ProgramState::Active);
+        let _ = scan_march(&mut xbar);
+        assert_eq!(xbar.crosspoint(1, 1).program, ProgramState::Active);
+        assert_eq!(xbar.crosspoint(0, 0).program, ProgramState::Disabled);
+    }
+
+    #[test]
+    fn both_scans_agree() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let profile = DefectProfile {
+            rate: 0.2,
+            stuck_closed_fraction: 0.25,
+        };
+        let mut xbar = Crossbar::with_random_defects(6, 8, profile, &mut rng);
+        let a = scan_cell_by_cell(&mut xbar);
+        let b = scan_march(&mut xbar);
+        for r in 0..6 {
+            for c in 0..8 {
+                assert_eq!(a.diagnosis(r, c), b.diagnosis(r, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Write-disturb analysis of the programming phases: the half-select (V/2)
+//! scheme that makes selective crosspoint writes possible at all.
+//!
+//! Programming one crosspoint applies `v_program` across the selected
+//! row/column pair. Every other device on the selected row or column is
+//! *half-selected* and sees a fraction of the programming voltage; devices
+//! on unselected lines see none (or `V/2` in the simpler ground scheme).
+//! The write succeeds without disturbing neighbours iff
+//!
+//! * `v_program ≥ v_write` (the selected device switches), and
+//! * `half-select voltage < v_write` (neighbours hold their state).
+//!
+//! This module checks those margins for the two classic biasing schemes and
+//! simulates a full-array write pattern to count disturbed cells.
+
+use crate::crossbar::Crossbar;
+use crate::memristor::MemristorParams;
+
+/// Crossbar write biasing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasScheme {
+    /// Selected row at `V`, selected column at 0, all other lines floating
+    /// via grounded terminations: unselected cells on the selected lines
+    /// see the full `V` minus the sneak divider — modelled pessimistically
+    /// as `V` (no protection). Disturbs aggressively; kept as the negative
+    /// baseline.
+    FullVoltage,
+    /// The V/2 scheme: selected row at `V`, selected column at 0, every
+    /// other line at `V/2`. Half-selected cells see `±V/2`, unselected
+    /// cells 0.
+    HalfVoltage,
+}
+
+/// Disturb analysis result for one write pulse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteMargins {
+    /// Voltage across the selected device.
+    pub selected: f64,
+    /// Worst-case |voltage| across half-selected devices (same row/column).
+    pub half_selected: f64,
+    /// |voltage| across fully unselected devices.
+    pub unselected: f64,
+    /// Whether the selected device switches (`selected ≥ v_write`).
+    pub writes: bool,
+    /// Whether any neighbour can be disturbed
+    /// (`half_selected ≥ v_write` or `unselected ≥ v_write`).
+    pub disturbs: bool,
+}
+
+/// Computes the write/disturb margins of a scheme for the given device
+/// parameters and programming voltage.
+#[must_use]
+pub fn write_margins(scheme: BiasScheme, params: &MemristorParams, v_program: f64) -> WriteMargins {
+    let (half, unsel) = match scheme {
+        BiasScheme::FullVoltage => (v_program, 0.0),
+        BiasScheme::HalfVoltage => (v_program / 2.0, 0.0),
+    };
+    WriteMargins {
+        selected: v_program,
+        half_selected: half,
+        unselected: unsel,
+        writes: v_program >= params.v_write,
+        disturbs: half >= params.v_write || unsel >= params.v_write,
+    }
+}
+
+/// The safe programming-voltage window of the V/2 scheme:
+/// `v_write ≤ V < 2·v_write`. Returns `None` when the window is empty.
+#[must_use]
+pub fn half_select_window(params: &MemristorParams) -> Option<(f64, f64)> {
+    let low = params.v_write;
+    let high = 2.0 * params.v_write;
+    (low < high).then_some((low, high))
+}
+
+/// Simulates writing a checkerboard pattern cell by cell under a scheme and
+/// counts how many *previously written* cells were disturbed by subsequent
+/// pulses. With `HalfVoltage` inside the safe window this is always zero.
+#[must_use]
+pub fn count_disturbs(xbar: &mut Crossbar, scheme: BiasScheme, v_program: f64) -> usize {
+    let params = *xbar.params();
+    let rows = xbar.rows();
+    let cols = xbar.cols();
+    // Track intended values; apply device-level voltages per pulse.
+    let mut intended: Vec<Option<bool>> = vec![None; rows * cols];
+    let mut disturbed = 0usize;
+
+    for r in 0..rows {
+        for c in 0..cols {
+            let value = (r + c) % 2 == 0; // checkerboard of logic values
+            // Pulse polarity: SET (to logic 0 = R_ON) is +V, RESET −V.
+            let polarity = if value { -1.0 } else { 1.0 };
+            for rr in 0..rows {
+                for cc in 0..cols {
+                    let cell = &mut xbar.crosspoint_mut(rr, cc).device;
+                    let voltage = if rr == r && cc == c {
+                        polarity * v_program
+                    } else if rr == r || cc == c {
+                        polarity
+                            * match scheme {
+                                BiasScheme::FullVoltage => v_program,
+                                BiasScheme::HalfVoltage => v_program / 2.0,
+                            }
+                    } else {
+                        0.0
+                    };
+                    cell.apply_abrupt(voltage);
+                }
+            }
+            // Check all previously-written cells still hold their value.
+            intended[r * cols + c] = Some(value);
+            let _ = &params;
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if let Some(v) = intended[r * cols + c] {
+                if xbar.crosspoint(r, c).device.logic_value() != v {
+                    disturbed += 1;
+                }
+            }
+        }
+    }
+    disturbed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_select_window_exists_for_default_device() {
+        let params = MemristorParams::default();
+        let (low, high) = half_select_window(&params).expect("window");
+        assert_eq!(low, 2.0);
+        assert_eq!(high, 4.0);
+    }
+
+    #[test]
+    fn half_voltage_inside_window_writes_without_disturb() {
+        let params = MemristorParams::default();
+        let margins = write_margins(BiasScheme::HalfVoltage, &params, 3.0);
+        assert!(margins.writes);
+        assert!(!margins.disturbs);
+        assert_eq!(margins.half_selected, 1.5);
+    }
+
+    #[test]
+    fn half_voltage_above_window_disturbs() {
+        let params = MemristorParams::default();
+        let margins = write_margins(BiasScheme::HalfVoltage, &params, 4.5);
+        assert!(margins.writes);
+        assert!(margins.disturbs, "V/2 = 2.25 ≥ v_write");
+    }
+
+    #[test]
+    fn full_voltage_always_disturbs_when_it_writes() {
+        let params = MemristorParams::default();
+        let margins = write_margins(BiasScheme::FullVoltage, &params, 2.5);
+        assert!(margins.writes);
+        assert!(margins.disturbs);
+    }
+
+    #[test]
+    fn checkerboard_write_is_clean_under_half_select() {
+        let mut xbar = Crossbar::new(6, 6);
+        let disturbed = count_disturbs(&mut xbar, BiasScheme::HalfVoltage, 3.0);
+        assert_eq!(disturbed, 0, "V/2 scheme must not disturb neighbours");
+    }
+
+    #[test]
+    fn checkerboard_write_is_corrupted_under_full_voltage() {
+        let mut xbar = Crossbar::new(6, 6);
+        let disturbed = count_disturbs(&mut xbar, BiasScheme::FullVoltage, 3.0);
+        assert!(
+            disturbed > 0,
+            "full-voltage writes must disturb neighbours on a checkerboard"
+        );
+    }
+}

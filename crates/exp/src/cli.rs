@@ -1,0 +1,128 @@
+//! Minimal flag parsing shared by all experiment binaries (no external
+//! dependency).
+//!
+//! Supported flags: `--samples N`, `--seed N`, `--defect-rate F`,
+//! `--csv PATH`, `--quick` (divides samples by 10 for smoke runs), and
+//! `--help`.
+
+use std::path::PathBuf;
+
+/// Common experiment parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpArgs {
+    /// Monte Carlo sample count (paper default: 200).
+    pub samples: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-crosspoint defect probability (paper default: 0.10).
+    pub defect_rate: f64,
+    /// Optional CSV output path.
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            samples: 200,
+            seed: 2018,
+            defect_rate: 0.10,
+            csv: None,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, exiting with usage text on `--help` or a
+    /// malformed flag.
+    #[must_use]
+    pub fn parse(description: &str) -> Self {
+        Self::parse_from(description, std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed flags (binaries surface this as a process
+    /// abort with a readable message, which is acceptable for an
+    /// experiment driver).
+    #[must_use]
+    pub fn parse_from(description: &str, args: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.peekable();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--samples" => {
+                    out.samples = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--samples needs a number"));
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                }
+                "--defect-rate" => {
+                    out.defect_rate = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--defect-rate needs a float"));
+                }
+                "--csv" => {
+                    out.csv = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| panic!("--csv needs a path")),
+                    ));
+                }
+                "--quick" => {
+                    out.samples = (out.samples / 10).max(10);
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "{description}\n\nflags:\n  --samples N       Monte Carlo samples (default 200)\n  --seed N          experiment seed (default 2018)\n  --defect-rate F   defect probability (default 0.10)\n  --csv PATH        also write CSV output\n  --quick           1/10th of the samples (smoke run)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?}; try --help"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> ExpArgs {
+        ExpArgs::parse_from("test", words.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let args = parse(&[]);
+        assert_eq!(args.samples, 200);
+        assert!((args.defect_rate - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flags_override() {
+        let args = parse(&["--samples", "50", "--seed", "9", "--defect-rate", "0.2"]);
+        assert_eq!(args.samples, 50);
+        assert_eq!(args.seed, 9);
+        assert!((args.defect_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_divides_samples() {
+        let args = parse(&["--quick"]);
+        assert_eq!(args.samples, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--frobnicate"]);
+    }
+}

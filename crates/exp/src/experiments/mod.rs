@@ -1,0 +1,5 @@
+//! Experiment implementations, one module per paper table/figure family.
+
+pub mod fig6;
+pub mod table1;
+pub mod table2;

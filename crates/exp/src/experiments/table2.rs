@@ -1,0 +1,164 @@
+//! Table II: success rate and runtime of HBA vs EA on optimum-size
+//! crossbars with stuck-open defects.
+
+use crate::cli::ExpArgs;
+use crate::mc::{mean, monte_carlo};
+use std::time::Instant;
+use xbar_core::{map_exact, map_hybrid, CrossbarMatrix, FunctionMatrix, TwoLevelLayout};
+use xbar_logic::bench_reg::{registry, BenchmarkInfo};
+
+/// Measured results for one circuit, paired with the paper's numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Circuit name.
+    pub name: String,
+    /// Inputs.
+    pub inputs: usize,
+    /// Outputs.
+    pub outputs: usize,
+    /// Product count of the cover we mapped (published for twins, our
+    /// minimizer's for exact circuits).
+    pub products: usize,
+    /// Our crossbar area `(P+O)(2I+2O)`.
+    pub area: usize,
+    /// The paper's published area.
+    pub area_published: usize,
+    /// Our inclusion ratio (0..1).
+    pub inclusion_ratio: f64,
+    /// Published inclusion ratio (0..1), when given.
+    pub ir_published: Option<f64>,
+    /// Measured HBA success rate (0..1).
+    pub hba_success: f64,
+    /// Mean HBA runtime per mapping attempt (seconds).
+    pub hba_time: f64,
+    /// Measured EA success rate (0..1).
+    pub ea_success: f64,
+    /// Mean EA runtime per attempt (seconds).
+    pub ea_time: f64,
+    /// Published HBA `(success fraction, seconds)`.
+    pub hba_published: Option<(f64, f64)>,
+    /// Published EA `(success fraction, seconds)`.
+    pub ea_published: Option<(f64, f64)>,
+}
+
+/// Per-sample result.
+struct Sample {
+    hba_ok: bool,
+    hba_secs: f64,
+    ea_ok: bool,
+    ea_secs: f64,
+}
+
+/// Runs the Table II experiment for one circuit.
+#[must_use]
+pub fn run_circuit(info: &BenchmarkInfo, args: &ExpArgs) -> Table2Row {
+    let cover = info.mapping_cover(args.seed);
+    let fm = FunctionMatrix::from_cover(&cover);
+    let layout = TwoLevelLayout::of_cover(&cover);
+    let rows = fm.num_rows();
+    let cols = fm.num_cols();
+
+    let samples = monte_carlo(args.samples, args.seed ^ 0xBEEF, |_, seed| {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let cm = CrossbarMatrix::sample_stuck_open(rows, cols, args.defect_rate, &mut rng);
+        let t0 = Instant::now();
+        let hba = map_hybrid(&fm, &cm);
+        let hba_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let ea = map_exact(&fm, &cm);
+        let ea_secs = t1.elapsed().as_secs_f64();
+        debug_assert!(
+            !hba.is_success() || ea.is_success(),
+            "HBA success must imply EA success"
+        );
+        Sample {
+            hba_ok: hba.is_success(),
+            hba_secs,
+            ea_ok: ea.is_success(),
+            ea_secs,
+        }
+    });
+
+    let frac = |ok: &dyn Fn(&Sample) -> bool| {
+        samples.iter().filter(|s| ok(s)).count() as f64 / samples.len().max(1) as f64
+    };
+    Table2Row {
+        name: info.name.to_owned(),
+        inputs: info.inputs,
+        outputs: cover.num_outputs(),
+        products: cover.len(),
+        area: layout.area(),
+        area_published: info.area,
+        inclusion_ratio: layout.inclusion_ratio(&cover),
+        ir_published: info.ir_percent.map(|p| p / 100.0),
+        hba_success: frac(&|s: &Sample| s.hba_ok),
+        hba_time: mean(&samples.iter().map(|s| s.hba_secs).collect::<Vec<_>>()),
+        ea_success: frac(&|s: &Sample| s.ea_ok),
+        ea_time: mean(&samples.iter().map(|s| s.ea_secs).collect::<Vec<_>>()),
+        hba_published: info.hba.map(|(p, t)| (p / 100.0, t)),
+        ea_published: info.ea.map(|(p, t)| (p / 100.0, t)),
+    }
+}
+
+/// Runs the full Table II (all 16 circuits, or a named subset).
+#[must_use]
+pub fn run_table2(args: &ExpArgs, subset: Option<&[&str]>) -> Vec<Table2Row> {
+    registry()
+        .iter()
+        .filter(|info| info.hba.is_some())
+        .filter(|info| subset.is_none_or(|names| names.contains(&info.name)))
+        .map(|info| run_circuit(info, args))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_logic::bench_reg::find;
+
+    fn quick_args() -> ExpArgs {
+        ExpArgs {
+            samples: 40,
+            seed: 5,
+            defect_rate: 0.10,
+            csv: None,
+        }
+    }
+
+    #[test]
+    fn small_easy_circuit_maps_nearly_always() {
+        // misex1: published 100%/100% at 10% defects.
+        let row = run_circuit(find("misex1").expect("registered"), &quick_args());
+        assert_eq!(row.area, 570);
+        assert!(row.hba_success >= 0.9, "hba {}", row.hba_success);
+        assert!(row.ea_success >= row.hba_success);
+    }
+
+    #[test]
+    fn rd73_shows_the_hba_ea_gap_direction() {
+        // Published: HBA 78%, EA 92% — EA must not be below HBA.
+        let row = run_circuit(find("rd73").expect("registered"), &quick_args());
+        assert!(row.ea_success >= row.hba_success);
+        assert_eq!(row.area_published, 2600);
+        assert_eq!(row.products, 127, "exact rd73 minimizes to 127 products");
+    }
+
+    #[test]
+    fn hba_is_faster_than_ea_on_a_large_circuit() {
+        let args = ExpArgs { samples: 5, ..quick_args() };
+        let row = run_circuit(find("ex1010").expect("registered"), &args);
+        assert!(
+            row.hba_time < row.ea_time,
+            "hba {} !< ea {}",
+            row.hba_time,
+            row.ea_time
+        );
+    }
+
+    #[test]
+    fn subset_filter_works() {
+        let rows = run_table2(&ExpArgs { samples: 5, ..quick_args() }, Some(&["rd53", "bw"]));
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["rd53", "bw"]);
+    }
+}

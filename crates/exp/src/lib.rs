@@ -1,0 +1,34 @@
+//! # xbar-exp
+//!
+//! Experiment harness reproducing every table and figure of Tunali &
+//! Altun (DATE 2018). Heavy experiments live here as library functions
+//! (tested); the `src/bin/*` drivers are thin wrappers that print the
+//! paper's rows next to our measurements.
+//!
+//! | Experiment | binary |
+//! |---|---|
+//! | Fig. 1 (device I-V) | `fig1_iv_curve` |
+//! | Fig. 2/4 (state machines) | `fig2_fig4_state_traces` |
+//! | Fig. 3 (two-level example) | `fig3_twolevel_example` |
+//! | Fig. 5 (multi-level example) | `fig5_multilevel_example` |
+//! | Fig. 6 (area Monte Carlo) | `fig6_area_comparison` |
+//! | Fig. 7 (defect mapping example) | `fig7_defect_mapping` |
+//! | Fig. 8 (matching matrices) | `fig8_matching_demo` |
+//! | Table I (benchmark areas) | `table1_benchmark_area` |
+//! | Table II (HBA vs EA) | `table2_defect_tolerance` |
+//! | Ext-A (yield vs redundancy) | `ext_yield_redundancy` |
+//! | Ext-B (multi-level defects) | `ext_multilevel_defects` |
+//! | Ext-C (HBA ablations) | `ext_ablation_hba` |
+//! | Ext-D (analog validation) | `ext_analog_validation` |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cli;
+pub mod experiments;
+mod mc;
+mod table;
+
+pub use cli::ExpArgs;
+pub use mc::{mean, monte_carlo, sample_seed};
+pub use table::{pct, secs, Table};

@@ -1,0 +1,89 @@
+//! Error types for the logic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the logic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A cube's dimensions disagreed with its cover's.
+    DimensionMismatch {
+        /// Inputs expected by the cover.
+        expected_inputs: usize,
+        /// Outputs expected by the cover.
+        expected_outputs: usize,
+        /// Inputs found on the offending cube.
+        got_inputs: usize,
+        /// Outputs found on the offending cube.
+        got_outputs: usize,
+    },
+    /// A PLA file or cube line could not be parsed.
+    ParsePla {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A truth table was requested for a function with too many inputs.
+    TooManyInputs {
+        /// Number of inputs requested.
+        inputs: usize,
+        /// Maximum supported by the operation.
+        limit: usize,
+    },
+    /// An unknown benchmark name was requested from the registry.
+    UnknownBenchmark {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::DimensionMismatch {
+                expected_inputs,
+                expected_outputs,
+                got_inputs,
+                got_outputs,
+            } => write!(
+                f,
+                "cube dimension mismatch: expected {expected_inputs} inputs / {expected_outputs} outputs, got {got_inputs} / {got_outputs}"
+            ),
+            LogicError::ParsePla { line, message } => {
+                write!(f, "PLA parse error at line {line}: {message}")
+            }
+            LogicError::TooManyInputs { inputs, limit } => {
+                write!(f, "function has {inputs} inputs but the operation supports at most {limit}")
+            }
+            LogicError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LogicError::ParsePla {
+            line: 3,
+            message: "bad char".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 3"));
+        assert!(s.contains("bad char"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+}

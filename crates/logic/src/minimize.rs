@@ -1,0 +1,438 @@
+//! Espresso-style heuristic two-level minimization.
+//!
+//! The paper maps espresso-minimized MCNC PLAs onto crossbars; this module is
+//! the stand-in for espresso. It implements the classic
+//! EXPAND → IRREDUNDANT → REDUCE loop on multi-output covers:
+//!
+//! * **expand** raises literals (and output memberships) of each cube as long
+//!   as the cube stays inside `ON ∪ DC` of every output it drives, then drops
+//!   cubes swallowed by the expanded one;
+//! * **irredundant** removes cubes (or output memberships) covered by the
+//!   rest of the cover plus the DC set;
+//! * **reduce** shrinks cubes to give the next expand pass freedom to escape
+//!   local minima.
+//!
+//! The validity oracle — "is this candidate cube inside the function?" — is
+//! the fixed per-output cover `ON(o) ∪ DC(o)`, queried through
+//! [`cover_contains_input_cube`](crate::calculus::cover_contains_input_cube).
+
+use crate::calculus::cover_contains_input_cube;
+use crate::cover::Cover;
+use crate::cube::{Cube, Phase, VarState};
+
+/// Tuning knobs for [`minimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizeOptions {
+    /// Maximum number of EXPAND/IRREDUNDANT/REDUCE iterations.
+    pub max_iterations: usize,
+    /// Whether to run the REDUCE perturbation step (disable for speed).
+    pub reduce: bool,
+    /// Whether EXPAND may add output memberships (multi-output sharing).
+    pub expand_outputs: bool,
+}
+
+impl Default for MinimizeOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 4,
+            reduce: true,
+            expand_outputs: true,
+        }
+    }
+}
+
+/// Cost of a cover in espresso's ordering: cube count first, then total
+/// literal count, then output memberships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CoverCost {
+    /// Number of cubes (crossbar product rows).
+    pub cubes: usize,
+    /// Total input literals (NAND-plane switches).
+    pub literals: usize,
+    /// Total output memberships (AND-plane switches).
+    pub memberships: usize,
+}
+
+impl CoverCost {
+    /// Cost of a cover.
+    #[must_use]
+    pub fn of(cover: &Cover) -> Self {
+        Self {
+            cubes: cover.len(),
+            literals: cover.total_literals(),
+            memberships: cover.total_output_memberships(),
+        }
+    }
+}
+
+/// Heuristically minimizes `on` against the don't-care set `dc` (which may
+/// be empty). Returns an equivalent (modulo DC) cover, typically much
+/// smaller.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_logic::{minimize, Cover, cube, MinimizeOptions};
+///
+/// // Four minterms of x0 ⊕ nothing: together they form the cube "1-".
+/// let on = Cover::from_cubes(2, 1, [cube("10 1"), cube("11 1")])?;
+/// let dc = Cover::new(2, 1);
+/// let min = minimize(&on, &dc, MinimizeOptions::default());
+/// assert_eq!(min.len(), 1);
+/// # Ok::<(), xbar_logic::LogicError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `on` and `dc` dimensions disagree.
+#[must_use]
+pub fn minimize(on: &Cover, dc: &Cover, options: MinimizeOptions) -> Cover {
+    assert_eq!(on.num_inputs(), dc.num_inputs(), "ON/DC input arity");
+    assert_eq!(on.num_outputs(), dc.num_outputs(), "ON/DC output arity");
+
+    // Fixed validity oracle: per-output ON ∪ DC.
+    let oracle = ValidityOracle::new(on, dc);
+
+    let mut current = on.clone();
+    current.drop_empty_cubes();
+    current.drop_contained_cubes();
+
+    let mut best = current.clone();
+    let mut best_cost = CoverCost::of(&best);
+
+    for iteration in 0..options.max_iterations {
+        expand(&mut current, &oracle, options.expand_outputs);
+        irredundant(&mut current, dc);
+        let cost = CoverCost::of(&current);
+        if cost < best_cost {
+            best = current.clone();
+            best_cost = cost;
+        } else if iteration > 0 {
+            break;
+        }
+        if !options.reduce || iteration + 1 == options.max_iterations {
+            if !options.reduce {
+                break;
+            }
+            continue;
+        }
+        reduce(&mut current, dc);
+    }
+    best
+}
+
+/// Per-output `ON ∪ DC` covers used as the expand validity oracle.
+struct ValidityOracle {
+    per_output: Vec<Cover>,
+}
+
+impl ValidityOracle {
+    fn new(on: &Cover, dc: &Cover) -> Self {
+        let per_output = (0..on.num_outputs())
+            .map(|o| {
+                let mut cover = on.output_cover(o);
+                for cube in dc.output_cover(o).iter() {
+                    cover.push(cube.clone());
+                }
+                cover
+            })
+            .collect();
+        Self { per_output }
+    }
+
+    /// True when `input_part` (a 1-output cube) fits inside output `out`.
+    fn admits(&self, input_part: &Cube, out: usize) -> bool {
+        cover_contains_input_cube(&self.per_output[out], input_part)
+    }
+
+    /// True when the input part fits inside every output in `outs`.
+    fn admits_all(&self, input_part: &Cube, outs: impl Iterator<Item = usize>) -> bool {
+        for o in outs {
+            if !self.admits(input_part, o) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn single_output_input_part(cube: &Cube) -> Cube {
+    let mut c = Cube::universe(cube.num_inputs(), 1);
+    for (var, phase) in cube.literals() {
+        c.set_literal(var, phase);
+    }
+    c
+}
+
+/// EXPAND: raise each cube maximally, then drop cubes contained in others.
+fn expand(cover: &mut Cover, oracle: &ValidityOracle, expand_outputs: bool) {
+    // Process cubes from most specific (most literals) to least; expanded
+    // large cubes then swallow the rest.
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    let counts: Vec<usize> = cover.iter().map(Cube::literal_count).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+
+    let mut cubes: Vec<Option<Cube>> = cover.iter().cloned().map(Some).collect();
+    for &idx in &order {
+        let Some(mut cube) = cubes[idx].take() else {
+            continue;
+        };
+        // Output expansion first: crossbar area is `(P+O)(2I+2O)`, so
+        // sharing a product row across outputs (reducing P) beats raising
+        // literals (which only lowers IR). Raising literals first would
+        // often block the sharing.
+        if expand_outputs {
+            let input_part = single_output_input_part(&cube);
+            for o in 0..cube.num_outputs() {
+                if !cube.output(o) && oracle.admits(&input_part, o) {
+                    cube.set_output(o, true);
+                }
+            }
+        }
+        // Then try clearing each literal, subject to every driven output.
+        let literals: Vec<(usize, Phase)> = cube.literals().collect();
+        for (var, _) in literals {
+            let mut candidate = single_output_input_part(&cube);
+            candidate.clear_literal(var);
+            if oracle.admits_all(&candidate, cube.outputs()) {
+                cube.clear_literal(var);
+            }
+        }
+        // A raised input part may now fit additional outputs.
+        if expand_outputs {
+            let input_part = single_output_input_part(&cube);
+            for o in 0..cube.num_outputs() {
+                if !cube.output(o) && oracle.admits(&input_part, o) {
+                    cube.set_output(o, true);
+                }
+            }
+        }
+        // Swallow other cubes fully contained in the expanded cube.
+        for other in cubes.iter_mut() {
+            if let Some(c) = other {
+                if cube.contains(c) {
+                    *other = None;
+                }
+            }
+        }
+        cubes[idx] = Some(cube);
+    }
+
+    let ni = cover.num_inputs();
+    let no = cover.num_outputs();
+    *cover = Cover::from_cubes(ni, no, cubes.into_iter().flatten())
+        .expect("dimensions preserved by expand");
+}
+
+/// IRREDUNDANT: remove cubes, or individual output memberships, that the
+/// rest of the cover (plus DC) already covers.
+fn irredundant(cover: &mut Cover, dc: &Cover) {
+    // Drop the most specific (least useful) cubes first.
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    let counts: Vec<usize> = cover.iter().map(Cube::literal_count).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+
+    let mut cubes: Vec<Option<Cube>> = cover.iter().cloned().map(Some).collect();
+    for &idx in &order {
+        let Some(cube) = cubes[idx].clone() else {
+            continue;
+        };
+        let input_part = single_output_input_part(&cube);
+        let mut kept = cube.clone();
+        let mut changed = false;
+        for o in cube.outputs() {
+            // Cover of output o from all other live cubes + DC.
+            let mut rest = Cover::new(cover.num_inputs(), 1);
+            for (j, other) in cubes.iter().enumerate() {
+                if j == idx {
+                    continue;
+                }
+                if let Some(c) = other {
+                    if c.output(o) {
+                        rest.push(single_output_input_part(c));
+                    }
+                }
+            }
+            for c in dc.output_cover(o).iter() {
+                rest.push(c.clone());
+            }
+            if cover_contains_input_cube(&rest, &input_part) {
+                kept.set_output(o, false);
+                changed = true;
+            }
+        }
+        if changed {
+            cubes[idx] = if kept.output_count() == 0 {
+                None
+            } else {
+                Some(kept)
+            };
+        }
+    }
+    let ni = cover.num_inputs();
+    let no = cover.num_outputs();
+    *cover = Cover::from_cubes(ni, no, cubes.into_iter().flatten())
+        .expect("dimensions preserved by irredundant");
+}
+
+/// REDUCE: shrink each cube to the smallest cube that still keeps the whole
+/// cover covering the ON-set, giving the next EXPAND pass a different
+/// starting point.
+fn reduce(cover: &mut Cover, dc: &Cover) {
+    let len = cover.len();
+    for idx in 0..len {
+        let cube = cover.cubes()[idx].clone();
+        let mut shrunk = cube.clone();
+        for var in 0..cover.num_inputs() {
+            if !matches!(shrunk.var_state(var), VarState::DontCare) {
+                continue;
+            }
+            for phase in [Phase::Positive, Phase::Negative] {
+                // Candidate: restrict var to `phase`; the dropped half is
+                // `shrunk` with var = !phase. Shrinking is safe when the
+                // dropped half is covered by the rest of the cover + DC for
+                // every output the cube drives.
+                let mut dropped = single_output_input_part(&shrunk);
+                dropped.set_literal(var, phase.inverted());
+                let mut safe = true;
+                for o in shrunk.outputs() {
+                    let mut rest = Cover::new(cover.num_inputs(), 1);
+                    for (j, other) in cover.iter().enumerate() {
+                        if j != idx && other.output(o) {
+                            rest.push(single_output_input_part(other));
+                        }
+                    }
+                    for c in dc.output_cover(o).iter() {
+                        rest.push(c.clone());
+                    }
+                    if !cover_contains_input_cube(&rest, &dropped) {
+                        safe = false;
+                        break;
+                    }
+                }
+                if safe {
+                    shrunk.set_literal(var, phase);
+                    break;
+                }
+            }
+        }
+        if shrunk != cube {
+            *cover = replace_cube(cover, idx, shrunk);
+        }
+    }
+}
+
+fn replace_cube(cover: &Cover, idx: usize, cube: Cube) -> Cover {
+    let mut cubes: Vec<Cube> = cover.iter().cloned().collect();
+    cubes[idx] = cube;
+    Cover::from_cubes(cover.num_inputs(), cover.num_outputs(), cubes)
+        .expect("dimensions preserved by replace")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::cube;
+    use crate::truth::TruthTable;
+
+    fn minimize_default(on: &Cover) -> Cover {
+        let dc = Cover::new(on.num_inputs(), on.num_outputs());
+        minimize(on, &dc, MinimizeOptions::default())
+    }
+
+    #[test]
+    fn merges_adjacent_minterms() {
+        let on = Cover::from_cubes(3, 1, [cube("000 1"), cube("001 1"), cube("010 1"), cube("011 1")])
+            .expect("dims");
+        let min = minimize_default(&on);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.cubes()[0].literal_count(), 1);
+        assert!(min.equivalent(&on));
+    }
+
+    #[test]
+    fn preserves_function_exactly() {
+        let table = TruthTable::from_fn(4, 1, |a| vec![(a * 7 + 3) % 5 < 2]).expect("small");
+        let on = table.minterm_cover();
+        let min = minimize_default(&on);
+        assert!(table.matches_cover(&min), "minimized cover changed the function");
+        assert!(min.len() <= on.len());
+    }
+
+    #[test]
+    fn multi_output_sharing_reduces_products() {
+        // Both outputs contain the cube 11-; expand should share it.
+        let on = Cover::from_cubes(3, 2, [cube("11- 10"), cube("11- 01"), cube("0-- 10")])
+            .expect("dims");
+        let min = minimize_default(&on);
+        assert!(min.equivalent(&on));
+        assert!(min.len() <= 2, "expected sharing, got {} cubes", min.len());
+    }
+
+    #[test]
+    fn uses_dont_cares() {
+        // ON = {00}, DC = {01, 10, 11}: minimal cover is the universe.
+        let on = Cover::from_cubes(2, 1, [cube("00 1")]).expect("dims");
+        let dc = Cover::from_cubes(2, 1, [cube("01 1"), cube("10 1"), cube("11 1")]).expect("dims");
+        let min = minimize(&on, &dc, MinimizeOptions::default());
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.cubes()[0].literal_count(), 0);
+    }
+
+    #[test]
+    fn xor_is_not_collapsed() {
+        let table = TruthTable::from_fn(3, 1, |a| vec![a.count_ones() % 2 == 1]).expect("small");
+        let on = table.minterm_cover();
+        let min = minimize_default(&on);
+        // Parity has no mergeable minterms.
+        assert_eq!(min.len(), 4);
+        assert!(table.matches_cover(&min));
+    }
+
+    #[test]
+    fn irredundant_removes_absorbed_cube() {
+        let on = Cover::from_cubes(3, 1, [cube("1-- 1"), cube("-1- 1"), cube("11- 1")])
+            .expect("dims");
+        let min = minimize_default(&on);
+        assert_eq!(min.len(), 2);
+        assert!(min.equivalent(&on));
+    }
+
+    #[test]
+    fn majority_of_three() {
+        let table = TruthTable::from_fn(3, 1, |a| vec![a.count_ones() >= 2]).expect("small");
+        let min = minimize_default(&table.minterm_cover());
+        // Known minimum: ab + ac + bc.
+        assert_eq!(min.len(), 3);
+        assert_eq!(min.total_literals(), 6);
+        assert!(table.matches_cover(&min));
+    }
+
+    #[test]
+    fn reduce_does_not_change_function() {
+        let table = TruthTable::from_fn(4, 2, |a| {
+            vec![a.count_ones() >= 2, (a & 0b11) == 0b10]
+        })
+        .expect("small");
+        let on = table.minterm_cover();
+        let mut cover = on.clone();
+        let dc = Cover::new(4, 2);
+        let oracle_opts = MinimizeOptions {
+            reduce: true,
+            ..MinimizeOptions::default()
+        };
+        let min = minimize(&cover, &dc, oracle_opts);
+        assert!(table.matches_cover(&min));
+        // Direct reduce on the raw cover must also preserve the function.
+        reduce(&mut cover, &dc);
+        assert!(table.matches_cover(&cover));
+    }
+
+    #[test]
+    fn cost_ordering() {
+        let a = CoverCost { cubes: 3, literals: 10, memberships: 3 };
+        let b = CoverCost { cubes: 3, literals: 9, memberships: 9 };
+        let c = CoverCost { cubes: 2, literals: 50, memberships: 9 };
+        assert!(c < b && b < a);
+    }
+}

@@ -1,0 +1,306 @@
+//! Exact two-level minimization (Quine–McCluskey + branch-and-bound cover)
+//! for small single-output functions.
+//!
+//! Used as the exactness oracle for the heuristic minimizer in tests and for
+//! synthesizing the mathematically defined benchmarks where the paper's
+//! product counts correspond to minimum covers.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Phase};
+use crate::error::LogicError;
+use crate::truth::TruthTable;
+use std::collections::HashSet;
+
+/// An implicant over `n ≤ 32` variables: `values` gives the literal phases,
+/// `mask` has a 1 for every *don't-care* position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Implicant {
+    values: u32,
+    mask: u32,
+}
+
+impl Implicant {
+    fn to_cube(self, num_inputs: usize) -> Cube {
+        let mut cube = Cube::universe(num_inputs, 1);
+        for var in 0..num_inputs {
+            if self.mask >> var & 1 == 0 {
+                cube.set_literal(var, Phase::from_bool(self.values >> var & 1 == 1));
+            }
+        }
+        cube
+    }
+}
+
+/// Maximum inputs accepted by the exact minimizer.
+pub const MAX_QM_INPUTS: usize = 14;
+
+/// All prime implicants of output `out` of the table (ON minterms only; no
+/// don't-care support — the exact path is used on completely specified
+/// functions).
+///
+/// # Errors
+///
+/// Returns [`LogicError::TooManyInputs`] above [`MAX_QM_INPUTS`] inputs.
+pub fn prime_implicants(table: &TruthTable, out: usize) -> Result<Cover, LogicError> {
+    let n = table.num_inputs();
+    if n > MAX_QM_INPUTS {
+        return Err(LogicError::TooManyInputs {
+            inputs: n,
+            limit: MAX_QM_INPUTS,
+        });
+    }
+    let minterms: Vec<u32> = (0..1u64 << n)
+        .filter(|&a| table.value(a, out))
+        .map(|a| a as u32)
+        .collect();
+
+    let mut current: HashSet<Implicant> = minterms
+        .iter()
+        .map(|&m| Implicant { values: m, mask: 0 })
+        .collect();
+    let mut primes: HashSet<Implicant> = HashSet::new();
+
+    while !current.is_empty() {
+        let list: Vec<Implicant> = current.iter().copied().collect();
+        let mut merged_flags = vec![false; list.len()];
+        let mut next: HashSet<Implicant> = HashSet::new();
+        for i in 0..list.len() {
+            for j in i + 1..list.len() {
+                let (a, b) = (list[i], list[j]);
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = a.values ^ b.values;
+                if diff.count_ones() == 1 {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.insert(Implicant {
+                        values: a.values & !diff,
+                        mask: a.mask | diff,
+                    });
+                }
+            }
+        }
+        for (i, &imp) in list.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.insert(imp);
+            }
+        }
+        current = next;
+    }
+
+    let mut sorted: Vec<Implicant> = primes.into_iter().collect();
+    sorted.sort();
+    Cover::from_cubes(n, 1, sorted.into_iter().map(|p| p.to_cube(n)))
+}
+
+/// Exact minimum single-output cover via prime implicants + essential-prime
+/// extraction + branch-and-bound set cover. `node_limit` bounds the search;
+/// when exceeded, the best cover found so far is returned (still correct,
+/// possibly non-minimum).
+///
+/// # Errors
+///
+/// Returns [`LogicError::TooManyInputs`] above [`MAX_QM_INPUTS`] inputs.
+pub fn minimize_exact(
+    table: &TruthTable,
+    out: usize,
+    node_limit: usize,
+) -> Result<Cover, LogicError> {
+    let n = table.num_inputs();
+    let primes_cover = prime_implicants(table, out)?;
+    let primes: Vec<Cube> = primes_cover.iter().cloned().collect();
+    let minterms: Vec<u64> = (0..1u64 << n).filter(|&a| table.value(a, out)).collect();
+    if minterms.is_empty() {
+        return Ok(Cover::new(n, 1));
+    }
+
+    // covers[p] = bitset of minterm indices covered by prime p.
+    let covers: Vec<Vec<usize>> = primes
+        .iter()
+        .map(|p| {
+            minterms
+                .iter()
+                .enumerate()
+                .filter(|&(_, &m)| p.evaluate(m))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    // For each minterm, which primes cover it.
+    let mut covered_by: Vec<Vec<usize>> = vec![Vec::new(); minterms.len()];
+    for (p, list) in covers.iter().enumerate() {
+        for &m in list {
+            covered_by[m].push(p);
+        }
+    }
+
+    // Essential primes: sole cover of some minterm.
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; minterms.len()];
+    for m in 0..minterms.len() {
+        if covered_by[m].len() == 1 {
+            let p = covered_by[m][0];
+            if !chosen.contains(&p) {
+                chosen.push(p);
+                for &mm in &covers[p] {
+                    covered[mm] = true;
+                }
+            }
+        }
+    }
+
+    // Branch and bound over the remaining minterms.
+    struct Search<'a> {
+        covers: &'a [Vec<usize>],
+        covered_by: &'a [Vec<usize>],
+        best: Vec<usize>,
+        nodes: usize,
+        node_limit: usize,
+    }
+    impl Search<'_> {
+        fn run(&mut self, covered: &mut [bool], chosen: &mut Vec<usize>) {
+            self.nodes += 1;
+            if self.nodes > self.node_limit {
+                return;
+            }
+            let Some(first_uncovered) = covered.iter().position(|&c| !c) else {
+                if self.best.is_empty() || chosen.len() < self.best.len() {
+                    self.best = chosen.clone();
+                }
+                return;
+            };
+            // Prune: adding at least one more prime cannot beat the best.
+            if !self.best.is_empty() && chosen.len() + 1 >= self.best.len() {
+                return;
+            }
+            // Branch on each prime covering the first uncovered minterm,
+            // preferring primes that cover the most uncovered minterms.
+            let mut candidates: Vec<usize> = self.covered_by[first_uncovered].clone();
+            candidates.sort_by_key(|&p| {
+                std::cmp::Reverse(self.covers[p].iter().filter(|&&m| !covered[m]).count())
+            });
+            for p in candidates {
+                let newly: Vec<usize> = self.covers[p].iter().copied().filter(|&m| !covered[m]).collect();
+                for &m in &newly {
+                    covered[m] = true;
+                }
+                chosen.push(p);
+                self.run(covered, chosen);
+                chosen.pop();
+                for &m in &newly {
+                    covered[m] = false;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        covers: &covers,
+        covered_by: &covered_by,
+        best: Vec::new(),
+        nodes: 0,
+        node_limit,
+    };
+    let mut chosen_work = chosen.clone();
+    let mut covered_work = covered.clone();
+    search.run(&mut covered_work, &mut chosen_work);
+
+    let selected: Vec<usize> = if search.best.is_empty() {
+        // Node limit hit before any complete cover: greedy fallback.
+        let mut sel = chosen;
+        let mut cov = covered;
+        while let Some(_m) = cov.iter().position(|&c| !c) {
+            let p = (0..primes.len())
+                .max_by_key(|&p| covers[p].iter().filter(|&&mm| !cov[mm]).count())
+                .expect("primes cover all minterms");
+            sel.push(p);
+            for &mm in &covers[p] {
+                cov[mm] = true;
+            }
+        }
+        sel
+    } else {
+        search.best
+    };
+
+    Cover::from_cubes(n, 1, selected.into_iter().map(|p| primes[p].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes_of_majority() {
+        let table = TruthTable::from_fn(3, 1, |a| vec![a.count_ones() >= 2]).expect("small");
+        let primes = prime_implicants(&table, 0).expect("small");
+        // Majority-of-3 has exactly 3 primes: ab, ac, bc.
+        assert_eq!(primes.len(), 3);
+        for cube in primes.iter() {
+            assert_eq!(cube.literal_count(), 2);
+        }
+    }
+
+    #[test]
+    fn exact_cover_of_majority() {
+        let table = TruthTable::from_fn(3, 1, |a| vec![a.count_ones() >= 2]).expect("small");
+        let min = minimize_exact(&table, 0, 100_000).expect("small");
+        assert_eq!(min.len(), 3);
+        assert!(table.matches_cover(&min));
+    }
+
+    #[test]
+    fn exact_cover_of_parity_uses_all_minterms() {
+        let table = TruthTable::from_fn(4, 1, |a| vec![a.count_ones() % 2 == 1]).expect("small");
+        let min = minimize_exact(&table, 0, 100_000).expect("small");
+        assert_eq!(min.len(), 8);
+        assert!(table.matches_cover(&min));
+    }
+
+    #[test]
+    fn exact_cover_of_constant_zero_is_empty() {
+        let table = TruthTable::new(3, 1).expect("small");
+        let min = minimize_exact(&table, 0, 1000).expect("small");
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn exact_cover_of_constant_one_is_universe() {
+        let table = TruthTable::from_fn(3, 1, |_| vec![true]).expect("small");
+        let min = minimize_exact(&table, 0, 1000).expect("small");
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.cubes()[0].literal_count(), 0);
+    }
+
+    #[test]
+    fn exact_never_worse_than_heuristic() {
+        use crate::minimize::{minimize, MinimizeOptions};
+        for seed in 0..6u64 {
+            let table = TruthTable::from_fn(4, 1, |a| {
+                vec![(a.wrapping_mul(2654435761 + seed * 97) >> 3) & 1 == 1]
+            })
+            .expect("small");
+            let exact = minimize_exact(&table, 0, 1_000_000).expect("small");
+            let on = table.minterm_cover();
+            let dc = Cover::new(4, 1);
+            let heur = minimize(&on, &dc, MinimizeOptions::default());
+            assert!(table.matches_cover(&exact));
+            assert!(table.matches_cover(&heur));
+            assert!(
+                exact.len() <= heur.len(),
+                "seed {seed}: exact {} > heuristic {}",
+                exact.len(),
+                heur.len()
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_inputs_is_error() {
+        let table = TruthTable::new(15, 1);
+        // TruthTable allows 15; QM does not.
+        let table = table.expect("truth table ok");
+        assert!(prime_implicants(&table, 0).is_err());
+    }
+}

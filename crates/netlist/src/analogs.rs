@@ -1,0 +1,170 @@
+//! Structural analogs of `t481` and `cordic` (see DESIGN.md §4).
+//!
+//! These two Table I benchmarks exist to demonstrate the multi-level-wins
+//! crossover: circuits whose two-level covers are huge (481 and 914
+//! products) but whose factored forms are tiny. Their MCNC netlists are not
+//! redistributable, so we build functions with the same character: compact
+//! NAND networks whose flattened SOPs blow up combinatorially.
+
+use crate::network::{NetSignal, Network};
+
+fn lit(var: usize, positive: bool) -> NetSignal {
+    NetSignal::Literal { var, positive }
+}
+
+/// `t481` analog: 16 inputs, 1 output —
+/// `f = ⋀_{i=0..7} (x_{2i} ⊕ x_{2i+1})`.
+///
+/// The AND-of-XORs structure factors to ~26 NAND gates while its minimal
+/// SOP has `2^8 = 256` products of 16 literals each (the real t481's
+/// espresso cover has 481 products; same regime).
+#[must_use]
+pub fn t481_analog() -> Network {
+    let mut net = Network::new(16, 1);
+    let mut xors = Vec::new();
+    for i in 0..8 {
+        let a = 2 * i;
+        let b = 2 * i + 1;
+        // XOR(a, b) = NAND(NAND(a, b̄), NAND(ā, b)).
+        let g1 = net.add_gate(vec![lit(a, true), lit(b, false)]);
+        let g2 = net.add_gate(vec![lit(a, false), lit(b, true)]);
+        let x = net.add_gate(vec![g1, g2]);
+        xors.push(x);
+    }
+    // AND of the 8 XORs = INV(NAND(xors)).
+    let nand_all = net.add_gate(xors);
+    let out = net.add_gate(vec![nand_all]);
+    net.set_output(0, out);
+    net
+}
+
+/// Reference model of the t481 analog.
+#[must_use]
+pub fn t481_analog_reference(assignment: u64) -> bool {
+    (0..8).all(|i| (assignment >> (2 * i) & 1) != (assignment >> (2 * i + 1) & 1))
+}
+
+/// `cordic` analog: 23 inputs, 2 outputs — an 11-bit magnitude comparator
+/// (`a > b` and `a == b`, gated by `x22`):
+///
+/// * `O0 = (a > b)` where `a = x[0..11]`, `b = x[11..22]`;
+/// * `O1 = (a == b) ∧ x22`.
+///
+/// A ripple comparator needs ~5 gates/bit; the flat SOP of an 11-bit `>`
+/// comparator has thousands of products (the real cordic's espresso cover
+/// has 914).
+#[must_use]
+pub fn cordic_analog() -> Network {
+    let bits = 11;
+    let mut net = Network::new(23, 2);
+    // Per-bit equality (XNOR) and a·b̄ ("a wins at this bit"), MSB = bit 10.
+    let mut eqs = Vec::new();
+    let mut wins = Vec::new();
+    for i in 0..bits {
+        let a = lit(i, true);
+        let an = lit(i, false);
+        let b = lit(bits + i, true);
+        let bn = lit(bits + i, false);
+        // XNOR(a,b) = NAND(NAND(a,b), NAND(ā,b̄)).
+        let g1 = net.add_gate(vec![a, b]);
+        let g2 = net.add_gate(vec![an, bn]);
+        let xnor = net.add_gate(vec![g1, g2]);
+        eqs.push(xnor);
+        // win_i = a_i · b̄_i = INV(NAND(a, b̄)).
+        let nw = net.add_gate(vec![a, bn]);
+        let w = net.add_gate(vec![nw]);
+        wins.push(w);
+    }
+    // gt = OR over i of (win_i AND eq_{i+1..MSB}).
+    // term_i = AND(win_i, eq_{i+1}, ..., eq_{10}); OR via NAND of NANDs.
+    let mut term_nands = Vec::new(); // NAND versions (inverted terms)
+    for i in (0..bits).rev() {
+        let mut fanins = vec![wins[i]];
+        fanins.extend_from_slice(&eqs[i + 1..bits]);
+        let t = net.add_gate(fanins); // = NOT(term_i)
+        term_nands.push(t);
+    }
+    let gt = net.add_gate(term_nands); // NAND of inverted terms = OR of terms
+    net.set_output(0, gt);
+    // eq_all ∧ x22 = INV(NAND(eq_0..eq_10, x22)).
+    let mut fanins: Vec<NetSignal> = eqs.clone();
+    fanins.push(lit(22, true));
+    let ne = net.add_gate(fanins);
+    let eq_out = net.add_gate(vec![ne]);
+    net.set_output(1, eq_out);
+    net
+}
+
+/// Reference model of the cordic analog.
+#[must_use]
+pub fn cordic_analog_reference(assignment: u64) -> (bool, bool) {
+    let a = assignment & 0x7FF;
+    let b = assignment >> 11 & 0x7FF;
+    let gate = assignment >> 22 & 1 == 1;
+    (a > b, a == b && gate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MultiLevelCost;
+
+    #[test]
+    fn t481_analog_matches_reference_on_samples() {
+        let net = t481_analog();
+        let mut state = 0xDEAD_BEEFu64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state >> 20 & 0xFFFF;
+            assert_eq!(
+                net.evaluate(a),
+                vec![t481_analog_reference(a)],
+                "assignment {a:016b}"
+            );
+        }
+    }
+
+    #[test]
+    fn t481_analog_is_compact() {
+        let net = t481_analog();
+        let cost = MultiLevelCost::of(&net);
+        assert_eq!(net.num_inputs(), 16);
+        assert!(cost.gates <= 30, "gates = {}", cost.gates);
+        // Far below the published two-level area of 16388.
+        assert!(cost.area() < 16388 / 4, "area = {}", cost.area());
+    }
+
+    #[test]
+    fn cordic_analog_matches_reference_on_samples() {
+        let net = cordic_analog();
+        let mut state = 0x1234_5678u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let a = state >> 17 & 0x7F_FFFF;
+            let (gt, eq) = cordic_analog_reference(a);
+            assert_eq!(net.evaluate(a), vec![gt, eq], "assignment {a:023b}");
+        }
+    }
+
+    #[test]
+    fn cordic_analog_boundary_cases() {
+        let net = cordic_analog();
+        // a == b == 0, gate on: eq fires, gt does not.
+        let gate_on = 1u64 << 22;
+        assert_eq!(net.evaluate(gate_on), vec![false, true]);
+        assert_eq!(net.evaluate(0), vec![false, false]);
+        // a = 1, b = 0.
+        assert_eq!(net.evaluate(1), vec![true, false]);
+        // a = 0, b = 1.
+        assert_eq!(net.evaluate(1 << 11), vec![false, false]);
+    }
+
+    #[test]
+    fn cordic_analog_is_compact() {
+        let net = cordic_analog();
+        let cost = MultiLevelCost::of(&net);
+        assert_eq!(net.num_inputs(), 23);
+        // Far below the published two-level area of 45800.
+        assert!(cost.area() < 45800 / 3, "area = {}", cost.area());
+    }
+}

@@ -1,0 +1,192 @@
+//! BLIF (Berkeley Logic Interchange Format) export for NAND networks.
+//!
+//! The paper's multi-level flow runs through Berkeley ABC; exporting our
+//! networks as BLIF closes the interoperability loop — a downstream user
+//! can hand any `Network` produced here straight back to ABC (or any other
+//! BLIF consumer) for comparison or further optimization.
+
+use crate::network::{NetSignal, Network};
+use std::fmt::Write as _;
+
+/// Serializes a network as a BLIF model.
+///
+/// Each NAND gate becomes a `.names` block in the standard off-set-free
+/// encoding: a `k`-input NAND is 1 unless all inputs are 1, expressed as
+/// `k` single-literal ON-set rows (`0--…- 1`, `-0-…- 1`, …). Inverted
+/// literals are routed through shared `inv_x*` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_netlist::{network_to_blif, Network, NetSignal};
+///
+/// let mut net = Network::new(2, 1);
+/// let g = net.add_gate(vec![
+///     NetSignal::Literal { var: 0, positive: true },
+///     NetSignal::Literal { var: 1, positive: true },
+/// ]);
+/// net.set_output(0, g);
+/// let blif = network_to_blif(&net, "nand2");
+/// assert!(blif.contains(".model nand2"));
+/// assert!(blif.contains(".names x0 x1 g0"));
+/// ```
+#[must_use]
+pub fn network_to_blif(network: &Network, model_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model_name}");
+    let inputs: Vec<String> = (0..network.num_inputs()).map(|v| format!("x{v}")).collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = (0..network.num_outputs()).map(|k| format!("o{k}")).collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+
+    // Which negative literals are consumed anywhere (gates or outputs)?
+    let mut need_inverter = vec![false; network.num_inputs()];
+    let mut mark = |s: NetSignal| {
+        if let NetSignal::Literal { var, positive: false } = s {
+            need_inverter[var] = true;
+        }
+    };
+    for gate in network.gates() {
+        for &s in &gate.fanins {
+            mark(s);
+        }
+    }
+    for k in 0..network.num_outputs() {
+        if let Some(s) = network.output(k) {
+            mark(s);
+        }
+    }
+    for (var, &needed) in need_inverter.iter().enumerate() {
+        if needed {
+            let _ = writeln!(out, ".names x{var} inv_x{var}");
+            let _ = writeln!(out, "0 1");
+        }
+    }
+
+    let signal_name = |s: NetSignal| -> String {
+        match s {
+            NetSignal::Literal { var, positive: true } => format!("x{var}"),
+            NetSignal::Literal { var, positive: false } => format!("inv_x{var}"),
+            NetSignal::Gate(id) => format!("g{id}"),
+        }
+    };
+
+    for (id, gate) in network.gates().iter().enumerate() {
+        let fanin_names: Vec<String> =
+            gate.fanins.iter().map(|&s| signal_name(s)).collect();
+        let _ = writeln!(out, ".names {} g{id}", fanin_names.join(" "));
+        // NAND: output 1 whenever any input is 0.
+        for i in 0..gate.fanins.len() {
+            let mut row = String::with_capacity(gate.fanins.len() + 2);
+            for j in 0..gate.fanins.len() {
+                row.push(if i == j { '0' } else { '-' });
+            }
+            row.push_str(" 1");
+            let _ = writeln!(out, "{row}");
+        }
+    }
+
+    for k in 0..network.num_outputs() {
+        let source = network
+            .output(k)
+            .expect("BLIF export requires connected outputs");
+        // Output buffer: o_k = source.
+        let _ = writeln!(out, ".names {} o{k}", signal_name(source));
+        let _ = writeln!(out, "1 1");
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nand_map::{map_cover, MapOptions};
+    use xbar_logic::{cube, Cover};
+
+    /// A tiny BLIF interpreter for round-trip checking (supports only the
+    /// subset the exporter emits: `.names` with ON-set rows).
+    fn eval_blif(blif: &str, assignment: u64, num_inputs: usize, num_outputs: usize) -> Vec<bool> {
+        use std::collections::HashMap;
+        let mut values: HashMap<String, bool> = HashMap::new();
+        for v in 0..num_inputs {
+            values.insert(format!("x{v}"), assignment >> v & 1 == 1);
+        }
+        let mut lines = blif.lines().peekable();
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix(".names ") {
+                let names: Vec<&str> = rest.split_whitespace().collect();
+                let (inputs, target) = names.split_at(names.len() - 1);
+                let mut result = false;
+                while let Some(&row) = lines.peek() {
+                    let row = row.trim();
+                    if row.starts_with('.') || row.is_empty() {
+                        break;
+                    }
+                    lines.next();
+                    let (pattern, value) = row.split_once(' ').expect("row format");
+                    assert_eq!(value, "1", "exporter emits ON-set rows only");
+                    let matches = pattern.chars().zip(inputs).all(|(ch, name)| match ch {
+                        '1' => values[*name],
+                        '0' => !values[*name],
+                        '-' => true,
+                        other => panic!("bad pattern char {other}"),
+                    });
+                    result |= matches;
+                }
+                values.insert(target[0].to_owned(), result);
+            }
+        }
+        (0..num_outputs)
+            .map(|k| values[&format!("o{k}")])
+            .collect()
+    }
+
+    #[test]
+    fn blif_roundtrip_matches_network() {
+        let cover = Cover::from_cubes(
+            4,
+            2,
+            [cube("11-- 10"), cube("--01 11"), cube("0--- 01")],
+        )
+        .expect("dims");
+        let net = map_cover(&cover, &MapOptions::default());
+        let blif = network_to_blif(&net, "roundtrip");
+        for a in 0..16u64 {
+            assert_eq!(
+                eval_blif(&blif, a, 4, 2),
+                net.evaluate(a),
+                "input {a:04b}\n{blif}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_and_structure() {
+        let mut net = Network::new(3, 1);
+        let g = net.add_gate(vec![
+            NetSignal::Literal { var: 0, positive: true },
+            NetSignal::Literal { var: 2, positive: false },
+        ]);
+        net.set_output(0, g);
+        let blif = network_to_blif(&net, "demo");
+        assert!(blif.starts_with(".model demo\n"));
+        assert!(blif.contains(".inputs x0 x1 x2"));
+        assert!(blif.contains(".outputs o0"));
+        assert!(blif.contains(".names x2 inv_x2"), "inverter node for x̄2");
+        assert!(blif.contains(".names x0 inv_x2 g0"));
+        assert!(blif.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn literal_output_gets_a_buffer() {
+        let mut net = Network::new(2, 1);
+        net.set_output(0, NetSignal::Literal { var: 1, positive: false });
+        let blif = network_to_blif(&net, "buf");
+        assert!(blif.contains(".names inv_x1 o0"));
+        for a in 0..4u64 {
+            assert_eq!(eval_blif(&blif, a, 2, 1), vec![a >> 1 & 1 == 0]);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Good-factor style algebraic factoring: SOP → factored expression tree.
+//!
+//! The paper's multi-level flow asks ABC for a NAND implementation; the area
+//! win over two-level comes entirely from *sharing* — factoring common
+//! subexpressions out of the SOP. This module is that optimization step.
+
+use crate::kernels::{
+    algebraic_divide, common_cube, cube_minus, decode_literal, divide_by_cube, kernels,
+    sop_from_cover, AlgCube, AlgSop,
+};
+use std::fmt;
+use xbar_logic::Cover;
+
+/// A factored Boolean expression.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal `x_var` or `x̄_var`.
+    Lit {
+        /// Variable index.
+        var: usize,
+        /// `true` = positive phase.
+        positive: bool,
+    },
+    /// Conjunction of sub-expressions.
+    And(Vec<Expr>),
+    /// Disjunction of sub-expressions (empty = constant 0).
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression on an assignment (bit `i` = `x_i`).
+    #[must_use]
+    pub fn evaluate(&self, assignment: u64) -> bool {
+        match self {
+            Expr::Lit { var, positive } => (assignment >> var & 1 == 1) == *positive,
+            Expr::And(children) => children.iter().all(|c| c.evaluate(assignment)),
+            Expr::Or(children) => children.iter().any(|c| c.evaluate(assignment)),
+        }
+    }
+
+    /// Number of literal leaves (the classic factored-form cost metric).
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Lit { .. } => 1,
+            Expr::And(children) | Expr::Or(children) => {
+                children.iter().map(Expr::literal_count).sum()
+            }
+        }
+    }
+
+    /// Constant-0 expression.
+    #[must_use]
+    pub fn zero() -> Self {
+        Expr::Or(Vec::new())
+    }
+
+    /// True when this is the empty disjunction (constant 0).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Expr::Or(children) if children.is_empty())
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit { var, positive } => {
+                write!(f, "{}x{var}", if *positive { "" } else { "!" })
+            }
+            Expr::And(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{c:?}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(children) => {
+                if children.is_empty() {
+                    return write!(f, "0");
+                }
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{c:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn cube_expr(cube: &AlgCube) -> Expr {
+    let lits: Vec<Expr> = cube
+        .iter()
+        .map(|&id| {
+            let (var, positive) = decode_literal(id);
+            Expr::Lit { var, positive }
+        })
+        .collect();
+    match lits.len() {
+        1 => lits.into_iter().next().expect("one literal"),
+        _ => Expr::And(lits),
+    }
+}
+
+fn and2(a: Expr, b: Expr) -> Expr {
+    let mut children = Vec::new();
+    for e in [a, b] {
+        match e {
+            Expr::And(cs) => children.extend(cs),
+            other => children.push(other),
+        }
+    }
+    if children.len() == 1 {
+        children.into_iter().next().expect("one child")
+    } else {
+        Expr::And(children)
+    }
+}
+
+fn or2(a: Expr, b: Expr) -> Expr {
+    let mut children = Vec::new();
+    for e in [a, b] {
+        match e {
+            Expr::Or(cs) => children.extend(cs),
+            other => children.push(other),
+        }
+    }
+    if children.len() == 1 {
+        children.into_iter().next().expect("one child")
+    } else {
+        Expr::Or(children)
+    }
+}
+
+/// Factors a single-output cover into a (heuristically) minimal-literal
+/// expression via kernel-based good factoring.
+///
+/// # Panics
+///
+/// Panics when the cover is not single-output.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_logic::{cube, Cover};
+/// use xbar_netlist::factor_cover;
+///
+/// // ac + ad + bc + bd factors to (a+b)(c+d): 4 literals instead of 8.
+/// let cover = Cover::from_cubes(4, 1,
+///     [cube("1-1- 1"), cube("1--1 1"), cube("-11- 1"), cube("-1-1 1")])?;
+/// let expr = factor_cover(&cover);
+/// assert_eq!(expr.literal_count(), 4);
+/// # Ok::<(), xbar_logic::LogicError>(())
+/// ```
+#[must_use]
+pub fn factor_cover(cover: &Cover) -> Expr {
+    let sop = sop_from_cover(cover);
+    factor_sop(&sop)
+}
+
+/// Factors an algebraic SOP.
+#[must_use]
+pub fn factor_sop(sop: &AlgSop) -> Expr {
+    if sop.is_empty() {
+        return Expr::zero();
+    }
+    if sop.len() == 1 {
+        return cube_expr(&sop[0]);
+    }
+    // Pull out the common cube first: F = c · F'.
+    let common = common_cube(sop);
+    if !common.is_empty() {
+        let rest: AlgSop = sop.iter().map(|c| cube_minus(c, &common)).collect();
+        if rest.iter().any(AlgCube::is_empty) {
+            // The common cube IS one of the cubes: F = c·(1 + ...) = c.
+            return cube_expr(&common);
+        }
+        return and2(cube_expr(&common), factor_sop(&rest));
+    }
+
+    // Kernel-based division: pick the kernel whose extraction saves the
+    // most literals.
+    let candidate = best_kernel(sop);
+    if let Some(kernel) = candidate {
+        let (quotient, remainder) = algebraic_divide(sop, &kernel);
+        if !quotient.is_empty() && quotient.len() < sop.len() {
+            let dq = and2(factor_sop(&kernel), factor_sop(&quotient));
+            return if remainder.is_empty() {
+                dq
+            } else {
+                or2(dq, factor_sop(&remainder))
+            };
+        }
+    }
+
+    // Literal factoring fallback: split on the most frequent literal.
+    if let Some(l) = most_frequent_literal(sop) {
+        let quotient = divide_by_cube(sop, &vec![l]);
+        let remainder: AlgSop = sop.iter().filter(|c| !c.contains(&l)).cloned().collect();
+        if quotient.len() >= 2 {
+            let head = and2(cube_expr(&vec![l]), factor_sop(&quotient));
+            return if remainder.is_empty() {
+                head
+            } else {
+                or2(head, factor_sop(&remainder))
+            };
+        }
+    }
+
+    // Plain disjunction of cubes.
+    Expr::Or(sop.iter().map(cube_expr).collect())
+}
+
+/// Above this cube count, kernel enumeration is skipped in favour of
+/// literal factoring: parity-like covers have combinatorially many kernels
+/// and would blow up the recursion (rd84's 128-cube parity output is the
+/// canonical offender).
+const KERNEL_CUBE_LIMIT: usize = 48;
+
+/// Picks the kernel (other than the SOP itself) with the highest extraction
+/// value `(|quotient| − 1) · literals(kernel)`.
+fn best_kernel(sop: &AlgSop) -> Option<AlgSop> {
+    if sop.len() > KERNEL_CUBE_LIMIT {
+        return None;
+    }
+    let mut sorted_self: AlgSop = sop.clone();
+    sorted_self.iter_mut().for_each(|c| c.sort_unstable());
+    sorted_self.sort();
+
+    let mut best: Option<(usize, AlgSop)> = None;
+    for kernel in kernels(sop) {
+        if kernel == sorted_self {
+            continue;
+        }
+        let (quotient, _) = algebraic_divide(sop, &kernel);
+        if quotient.is_empty() {
+            continue;
+        }
+        let kernel_literals: usize = kernel.iter().map(Vec::len).sum();
+        let value = quotient.len().saturating_sub(1) * kernel_literals;
+        if value > 0 && best.as_ref().is_none_or(|(v, _)| value > *v) {
+            best = Some((value, kernel));
+        }
+    }
+    best.map(|(_, k)| k)
+}
+
+fn most_frequent_literal(sop: &AlgSop) -> Option<u32> {
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for cube in sop {
+        for &l in cube {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c >= 2)
+        .max_by_key(|&(l, c)| (c, std::cmp::Reverse(l)))
+        .map(|(l, _)| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_logic::cube;
+
+    fn check_equivalent(cover: &Cover, expr: &Expr) {
+        for a in 0..1u64 << cover.num_inputs() {
+            assert_eq!(
+                expr.evaluate(a),
+                cover.evaluate_output(a, 0),
+                "mismatch at {a:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_cube_is_an_and() {
+        let cover = Cover::from_cubes(3, 1, [cube("110 1")]).expect("dims");
+        let expr = factor_cover(&cover);
+        check_equivalent(&cover, &expr);
+        assert_eq!(expr.literal_count(), 3);
+    }
+
+    #[test]
+    fn distributive_factoring_saves_literals() {
+        // ac + ad + bc + bd = (a+b)(c+d).
+        let cover = Cover::from_cubes(
+            4,
+            1,
+            [cube("1-1- 1"), cube("1--1 1"), cube("-11- 1"), cube("-1-1 1")],
+        )
+        .expect("dims");
+        let expr = factor_cover(&cover);
+        check_equivalent(&cover, &expr);
+        assert_eq!(expr.literal_count(), 4, "expected (a+b)(c+d), got {expr:?}");
+    }
+
+    #[test]
+    fn textbook_example_with_remainder() {
+        // (a+b+c)(d+e)f + g: 7 literals factored (vs 19 flat).
+        let cover = Cover::from_cubes(
+            7,
+            1,
+            [
+                cube("1--1-1- 1"),
+                cube("1---11- 1"),
+                cube("-1-1-1- 1"),
+                cube("-1--11- 1"),
+                cube("--11-1- 1"),
+                cube("--1-11- 1"),
+                cube("------1 1"),
+            ],
+        )
+        .expect("dims");
+        let expr = factor_cover(&cover);
+        check_equivalent(&cover, &expr);
+        assert!(
+            expr.literal_count() <= 8,
+            "expected ≈7 literals, got {} in {expr:?}",
+            expr.literal_count()
+        );
+    }
+
+    #[test]
+    fn common_cube_is_pulled_out() {
+        // abc + abd = ab(c+d).
+        let cover =
+            Cover::from_cubes(4, 1, [cube("111- 1"), cube("11-1 1")]).expect("dims");
+        let expr = factor_cover(&cover);
+        check_equivalent(&cover, &expr);
+        assert_eq!(expr.literal_count(), 4);
+    }
+
+    #[test]
+    fn absorbed_cube_collapses() {
+        // ab + ab·c: algebraically ab(1 + c) = ab.
+        let cover = Cover::from_cubes(3, 1, [cube("11- 1"), cube("111 1")]).expect("dims");
+        let expr = factor_cover(&cover);
+        check_equivalent(&cover, &expr);
+        assert_eq!(expr.literal_count(), 2);
+    }
+
+    #[test]
+    fn empty_cover_is_constant_zero() {
+        let cover = Cover::new(3, 1);
+        let expr = factor_cover(&cover);
+        assert!(expr.is_zero());
+        assert!(!expr.evaluate(0b101));
+    }
+
+    #[test]
+    fn unfactorable_sop_stays_flat() {
+        // ab + cd has no savings; literal count stays 4.
+        let cover =
+            Cover::from_cubes(4, 1, [cube("11-- 1"), cube("--11 1")]).expect("dims");
+        let expr = factor_cover(&cover);
+        check_equivalent(&cover, &expr);
+        assert_eq!(expr.literal_count(), 4);
+    }
+
+    #[test]
+    fn negative_literals_are_preserved() {
+        let cover =
+            Cover::from_cubes(3, 1, [cube("0-1 1"), cube("0-0 1")]).expect("dims");
+        let expr = factor_cover(&cover);
+        check_equivalent(&cover, &expr);
+        // Algebraic factoring pulls out x̄0 but keeps (x2 + x̄2): Boolean
+        // simplification is the minimizer's job, not the factorer's.
+        assert!(expr.literal_count() <= 3);
+    }
+
+    #[test]
+    fn random_covers_stay_equivalent_after_factoring() {
+        use xbar_logic::RandomSopSpec;
+        for seed in 0..20u64 {
+            let spec = RandomSopSpec::figure6(6, 5);
+            let cover = spec.generate_seeded(seed);
+            let expr = factor_cover(&cover);
+            check_equivalent(&cover, &expr);
+        }
+    }
+}

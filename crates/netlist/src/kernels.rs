@@ -1,0 +1,288 @@
+//! Algebraic division and kernel extraction — the machinery of multi-level
+//! logic factoring (the stand-in for ABC's algebraic optimization passes).
+//!
+//! Internally a single-output SOP is a set of cubes, each cube a sorted set
+//! of *literal ids* (`2·var + 1` for `x_var`, `2·var` for `x̄_var`).
+
+use xbar_logic::{Cover, Phase};
+
+/// A literal id: `2·var + 1` encodes `x_var`, `2·var` encodes `x̄_var`.
+pub type LiteralId = u32;
+
+/// A cube as a sorted vector of literal ids.
+pub type AlgCube = Vec<LiteralId>;
+
+/// A single-output SOP as a vector of cubes.
+pub type AlgSop = Vec<AlgCube>;
+
+/// Encodes a literal id.
+#[must_use]
+pub fn literal_id(var: usize, positive: bool) -> LiteralId {
+    (2 * var + usize::from(positive)) as LiteralId
+}
+
+/// Decodes a literal id into `(var, positive)`.
+#[must_use]
+pub fn decode_literal(id: LiteralId) -> (usize, bool) {
+    ((id / 2) as usize, id % 2 == 1)
+}
+
+/// Converts a *single-output* cover into the algebraic representation.
+///
+/// # Panics
+///
+/// Panics when the cover is not single-output.
+#[must_use]
+pub fn sop_from_cover(cover: &Cover) -> AlgSop {
+    assert_eq!(cover.num_outputs(), 1, "algebraic ops need single-output covers");
+    cover
+        .iter()
+        .map(|cube| {
+            let mut lits: AlgCube = cube
+                .literals()
+                .map(|(var, phase)| literal_id(var, phase == Phase::Positive))
+                .collect();
+            lits.sort_unstable();
+            lits
+        })
+        .collect()
+}
+
+/// Whether sorted cube `sup` contains all literals of sorted cube `sub`.
+#[must_use]
+pub fn cube_contains(sup: &AlgCube, sub: &AlgCube) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|l| it.any(|s| s == l))
+}
+
+/// Set-difference of sorted cubes: literals of `cube` not in `remove`.
+#[must_use]
+pub fn cube_minus(cube: &AlgCube, remove: &AlgCube) -> AlgCube {
+    cube.iter().copied().filter(|l| !remove.contains(l)).collect()
+}
+
+/// The largest cube dividing every cube of `sop` (intersection of literal
+/// sets); empty when `sop` is cube-free or empty.
+#[must_use]
+pub fn common_cube(sop: &AlgSop) -> AlgCube {
+    let Some(first) = sop.first() else {
+        return Vec::new();
+    };
+    let mut common: AlgCube = first.clone();
+    for cube in &sop[1..] {
+        common.retain(|l| cube.contains(l));
+        if common.is_empty() {
+            break;
+        }
+    }
+    common
+}
+
+/// Divides `sop` by a single cube: quotient = `{ f − d : f ∈ sop, f ⊇ d }`.
+#[must_use]
+pub fn divide_by_cube(sop: &AlgSop, divisor: &AlgCube) -> AlgSop {
+    sop.iter()
+        .filter(|f| cube_contains(f, divisor))
+        .map(|f| cube_minus(f, divisor))
+        .collect()
+}
+
+/// Weak (algebraic) division: `sop = divisor·quotient + remainder` with the
+/// quotient maximal. Returns `(quotient, remainder)`.
+#[must_use]
+pub fn algebraic_divide(sop: &AlgSop, divisor: &AlgSop) -> (AlgSop, AlgSop) {
+    if divisor.is_empty() {
+        return (Vec::new(), sop.clone());
+    }
+    // Quotient = intersection over divisor cubes of the single-cube
+    // quotients.
+    let mut quotient: Option<AlgSop> = None;
+    for d in divisor {
+        let q = divide_by_cube(sop, d);
+        quotient = Some(match quotient {
+            None => q,
+            Some(prev) => prev.into_iter().filter(|c| q.contains(c)).collect(),
+        });
+        if quotient.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    let quotient = quotient.unwrap_or_default();
+    // Remainder = sop minus the expanded product divisor × quotient.
+    let mut product: Vec<AlgCube> = Vec::new();
+    for d in divisor {
+        for q in &quotient {
+            let mut cube: AlgCube = d.iter().chain(q.iter()).copied().collect();
+            cube.sort_unstable();
+            cube.dedup();
+            product.push(cube);
+        }
+    }
+    let remainder: AlgSop = sop
+        .iter()
+        .filter(|f| {
+            let mut sorted = (*f).clone();
+            sorted.sort_unstable();
+            !product.contains(&sorted)
+        })
+        .cloned()
+        .collect();
+    (quotient, remainder)
+}
+
+/// All kernels of `sop` (cube-free quotients by cubes), including the
+/// cube-free version of `sop` itself. Duplicates removed.
+#[must_use]
+pub fn kernels(sop: &AlgSop) -> Vec<AlgSop> {
+    let mut out: Vec<AlgSop> = Vec::new();
+    let common = common_cube(sop);
+    let cube_free: AlgSop = if common.is_empty() {
+        sop.clone()
+    } else {
+        sop.iter().map(|c| cube_minus(c, &common)).collect()
+    };
+    kernels_rec(&cube_free, 0, &mut out);
+    push_unique(&mut out, cube_free);
+    out
+}
+
+fn kernels_rec(sop: &AlgSop, min_literal: LiteralId, out: &mut Vec<AlgSop>) {
+    let max_literal = sop.iter().flatten().copied().max().unwrap_or(0);
+    for l in min_literal..=max_literal {
+        let count = sop.iter().filter(|c| c.contains(&l)).count();
+        if count < 2 {
+            continue;
+        }
+        let quotient = divide_by_cube(sop, &vec![l]);
+        let common = common_cube(&quotient);
+        // Skip if the co-kernel includes an already-processed literal
+        // (that kernel was found from the smaller literal).
+        if common.iter().any(|&c| c < l) {
+            continue;
+        }
+        let kernel: AlgSop = quotient.iter().map(|c| cube_minus(c, &common)).collect();
+        kernels_rec(&kernel, l + 1, out);
+        push_unique(out, kernel);
+    }
+}
+
+fn push_unique(out: &mut Vec<AlgSop>, mut kernel: AlgSop) {
+    kernel.iter_mut().for_each(|c| c.sort_unstable());
+    kernel.sort();
+    if kernel.len() >= 2 && !out.contains(&kernel) {
+        out.push(kernel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(var: usize, pos: bool) -> LiteralId {
+        literal_id(var, pos)
+    }
+
+    /// abc + abd + e → kernels should include {c + d} (co-kernel ab) and the
+    /// whole cube-free SOP.
+    fn sample_sop() -> AlgSop {
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let c = lit(2, true);
+        let d = lit(3, true);
+        let e = lit(4, true);
+        vec![vec![a, b, c], vec![a, b, d], vec![e]]
+    }
+
+    #[test]
+    fn literal_id_roundtrip() {
+        for var in 0..10 {
+            for pos in [false, true] {
+                assert_eq!(decode_literal(literal_id(var, pos)), (var, pos));
+            }
+        }
+    }
+
+    #[test]
+    fn common_cube_of_shared_prefix() {
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let sop = vec![vec![a, b, lit(2, true)], vec![a, b, lit(3, false)]];
+        assert_eq!(common_cube(&sop), vec![a, b]);
+    }
+
+    #[test]
+    fn divide_by_cube_extracts_quotient() {
+        let sop = sample_sop();
+        let ab = vec![lit(0, true), lit(1, true)];
+        let q = divide_by_cube(&sop, &ab);
+        assert_eq!(q, vec![vec![lit(2, true)], vec![lit(3, true)]]);
+    }
+
+    #[test]
+    fn algebraic_divide_reconstructs() {
+        // (c + d) divides abc + abd + e with quotient ab, remainder e.
+        let sop = sample_sop();
+        let divisor = vec![vec![lit(2, true)], vec![lit(3, true)]];
+        let (q, r) = algebraic_divide(&sop, &divisor);
+        assert_eq!(q, vec![vec![lit(0, true), lit(1, true)]]);
+        assert_eq!(r, vec![vec![lit(4, true)]]);
+    }
+
+    #[test]
+    fn kernels_include_c_plus_d() {
+        let ks = kernels(&sample_sop());
+        let c_plus_d: AlgSop = vec![vec![lit(2, true)], vec![lit(3, true)]];
+        assert!(
+            ks.contains(&c_plus_d),
+            "kernels {ks:?} should include c + d"
+        );
+    }
+
+    #[test]
+    fn kernels_of_unfactorable_sop() {
+        // ab + cd: kernels = only the SOP itself.
+        let sop = vec![
+            vec![lit(0, true), lit(1, true)],
+            vec![lit(2, true), lit(3, true)],
+        ];
+        let ks = kernels(&sop);
+        assert_eq!(ks.len(), 1);
+    }
+
+    #[test]
+    fn classic_textbook_kernels() {
+        // F = adf + aef + bdf + bef + cdf + cef + g
+        //   = (a+b+c)(d+e)f + g.
+        let a = lit(0, true);
+        let b = lit(1, true);
+        let c = lit(2, true);
+        let d = lit(3, true);
+        let e = lit(4, true);
+        let f_ = lit(5, true);
+        let g = lit(6, true);
+        let sop: AlgSop = vec![
+            vec![a, d, f_],
+            vec![a, e, f_],
+            vec![b, d, f_],
+            vec![b, e, f_],
+            vec![c, d, f_],
+            vec![c, e, f_],
+            vec![g],
+        ];
+        let ks = kernels(&sop);
+        let abc: AlgSop = vec![vec![a], vec![b], vec![c]];
+        let de: AlgSop = vec![vec![d], vec![e]];
+        assert!(ks.contains(&abc), "a+b+c is a kernel");
+        assert!(ks.contains(&de), "d+e is a kernel");
+    }
+
+    #[test]
+    fn sop_from_cover_roundtrip() {
+        use xbar_logic::{cube, Cover};
+        let cover = Cover::from_cubes(3, 1, [cube("11- 1"), cube("0-1 1")]).expect("dims");
+        let sop = sop_from_cover(&cover);
+        assert_eq!(sop.len(), 2);
+        assert_eq!(sop[0], vec![lit(0, true), lit(1, true)]);
+        assert_eq!(sop[1], vec![lit(0, false), lit(2, true)]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Technology mapping onto NAND-only networks with bounded fan-in — the
+//! stand-in for the paper's ABC flow ("we force ABC to use a set of NAND
+//! gates which have fan-in sizes 2 to n").
+//!
+//! Mapping is polarity-aware: complemented literals are free on a crossbar
+//! (the `x̄` columns), so De Morgan transformations cost nothing at the
+//! leaves, and inverters (1-input NANDs) are inserted only when a positive
+//! AND/negative OR is genuinely required.
+
+use crate::factor::{factor_cover, Expr};
+use crate::network::{NetSignal, Network};
+use std::collections::HashMap;
+use xbar_logic::Cover;
+
+/// Options of the SOP → NAND flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOptions {
+    /// Maximum NAND fan-in (the paper uses the function's input count);
+    /// `None` = unbounded.
+    pub max_fanin: Option<usize>,
+    /// Run kernel factoring before mapping (disable for the "flat"
+    /// ablation, which translates the SOP directly).
+    pub factoring: bool,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        Self {
+            max_fanin: None,
+            factoring: true,
+        }
+    }
+}
+
+/// Incremental NAND network builder with structural hashing (identical
+/// fan-in sets share one gate).
+#[derive(Debug)]
+struct Builder {
+    network: Network,
+    dedup: HashMap<Vec<NetSignal>, NetSignal>,
+    max_fanin: usize,
+}
+
+impl Builder {
+    fn new(num_inputs: usize, num_outputs: usize, max_fanin: Option<usize>) -> Self {
+        Self {
+            network: Network::new(num_inputs, num_outputs),
+            dedup: HashMap::new(),
+            max_fanin: max_fanin.unwrap_or(usize::MAX).max(2),
+        }
+    }
+
+    /// A NAND gate over `fanins`, decomposed into an AND-tree when the
+    /// fan-in bound is exceeded; structurally hashed.
+    fn nand(&mut self, mut fanins: Vec<NetSignal>) -> NetSignal {
+        fanins.sort_unstable();
+        fanins.dedup();
+        if fanins.len() > self.max_fanin {
+            // Reduce groups of `max_fanin` signals into AND nodes
+            // (NAND + inverter), then NAND the survivors.
+            let mut reduced: Vec<NetSignal> = Vec::new();
+            for chunk in fanins.chunks(self.max_fanin) {
+                if chunk.len() == 1 {
+                    reduced.push(chunk[0]);
+                } else {
+                    let n = self.nand(chunk.to_vec());
+                    reduced.push(self.invert(n));
+                }
+            }
+            return self.nand(reduced);
+        }
+        if let Some(&existing) = self.dedup.get(&fanins) {
+            return existing;
+        }
+        let signal = self.network.add_gate(fanins.clone());
+        self.dedup.insert(fanins, signal);
+        signal
+    }
+
+    /// An inverter (1-input NAND); literals invert for free.
+    fn invert(&mut self, signal: NetSignal) -> NetSignal {
+        match signal {
+            NetSignal::Literal { var, positive } => NetSignal::Literal {
+                var,
+                positive: !positive,
+            },
+            NetSignal::Gate(_) => self.nand(vec![signal]),
+        }
+    }
+
+    /// Emits `expr` (or its complement when `inverted`).
+    fn emit(&mut self, expr: &Expr, inverted: bool) -> NetSignal {
+        match expr {
+            Expr::Lit { var, positive } => NetSignal::Literal {
+                var: *var,
+                positive: *positive != inverted,
+            },
+            Expr::And(children) => {
+                if children.is_empty() {
+                    // Empty conjunction = constant 1.
+                    return self.constant(!inverted);
+                }
+                if children.len() == 1 {
+                    return self.emit(&children[0], inverted);
+                }
+                let fanins: Vec<NetSignal> =
+                    children.iter().map(|c| self.emit(c, false)).collect();
+                let nand = self.nand(fanins);
+                if inverted {
+                    nand // NAND == inverted AND
+                } else {
+                    self.invert(nand)
+                }
+            }
+            Expr::Or(children) => {
+                if children.is_empty() {
+                    return self.constant(inverted);
+                }
+                if children.len() == 1 {
+                    return self.emit(&children[0], inverted);
+                }
+                // OR(c...) = NAND(c̄...).
+                let fanins: Vec<NetSignal> =
+                    children.iter().map(|c| self.emit(c, true)).collect();
+                let or = self.nand(fanins);
+                if inverted {
+                    self.invert(or)
+                } else {
+                    or
+                }
+            }
+        }
+    }
+
+    /// A constant signal: `NAND(x0, x̄0)` is always 1; inverting gives 0.
+    /// (Networks have no constant sources; this costs one or two gates and
+    /// only appears for degenerate constant outputs.)
+    fn constant(&mut self, value: bool) -> NetSignal {
+        let one = self.nand(vec![
+            NetSignal::Literal { var: 0, positive: true },
+            NetSignal::Literal { var: 0, positive: false },
+        ]);
+        if value {
+            one
+        } else {
+            self.invert(one)
+        }
+    }
+
+    /// Guarantees the signal is produced by a gate (output columns must be
+    /// written by a gate row): literals are wrapped in `NAND(x̄) = x`.
+    fn as_gate(&mut self, signal: NetSignal) -> NetSignal {
+        match signal {
+            NetSignal::Gate(_) => signal,
+            NetSignal::Literal { var, positive } => self.nand(vec![NetSignal::Literal {
+                var,
+                positive: !positive,
+            }]),
+        }
+    }
+}
+
+/// Maps expressions (one per output) onto a NAND network.
+///
+/// # Panics
+///
+/// Panics if an expression references a variable `≥ num_inputs`.
+#[must_use]
+pub fn map_exprs(exprs: &[Expr], num_inputs: usize, options: &MapOptions) -> Network {
+    let mut builder = Builder::new(num_inputs, exprs.len(), options.max_fanin);
+    for (k, expr) in exprs.iter().enumerate() {
+        let signal = builder.emit(expr, false);
+        let gate = builder.as_gate(signal);
+        builder.network.set_output(k, gate);
+    }
+    builder.network
+}
+
+/// Full SOP → NAND flow: per-output factoring (unless disabled) followed by
+/// polarity-aware NAND mapping with structural hashing across outputs.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_logic::{cube, Cover};
+/// use xbar_netlist::{map_cover, MapOptions, MultiLevelCost};
+///
+/// // Fig. 5 of the paper: f = x0+x1+x2+x3 + x4·x5·x6·x7.
+/// let cover = Cover::from_cubes(8, 1, [
+///     cube("1------- 1"), cube("-1------ 1"), cube("--1----- 1"),
+///     cube("---1---- 1"), cube("----1111 1"),
+/// ])?;
+/// let net = map_cover(&cover, &MapOptions::default());
+/// let cost = MultiLevelCost::of(&net);
+/// assert_eq!((cost.rows, cost.cols, cost.area()), (3, 19, 57));
+/// # Ok::<(), xbar_logic::LogicError>(())
+/// ```
+#[must_use]
+pub fn map_cover(cover: &Cover, options: &MapOptions) -> Network {
+    let exprs: Vec<Expr> = (0..cover.num_outputs())
+        .map(|k| {
+            let single = cover.output_cover(k);
+            if options.factoring {
+                factor_cover(&single)
+            } else {
+                flat_expr(&single)
+            }
+        })
+        .collect();
+    map_exprs(&exprs, cover.num_inputs(), options)
+}
+
+/// The unfactored Or-of-Ands expression of a single-output cover.
+#[must_use]
+pub fn flat_expr(cover: &Cover) -> Expr {
+    let cubes: Vec<Expr> = cover
+        .iter()
+        .map(|cube| {
+            let lits: Vec<Expr> = cube
+                .literals()
+                .map(|(var, phase)| Expr::Lit {
+                    var,
+                    positive: phase == xbar_logic::Phase::Positive,
+                })
+                .collect();
+            match lits.len() {
+                0 => Expr::And(Vec::new()),
+                1 => lits.into_iter().next().expect("one"),
+                _ => Expr::And(lits),
+            }
+        })
+        .collect();
+    Expr::Or(cubes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MultiLevelCost;
+    use xbar_logic::{cube, RandomSopSpec};
+
+    fn check_equivalence(cover: &Cover, net: &Network) {
+        for a in 0..1u64 << cover.num_inputs() {
+            assert_eq!(net.evaluate(a), cover.evaluate(a), "input {a:b}");
+        }
+    }
+
+    #[test]
+    fn fig5_reproduces_paper_structure() {
+        let cover = Cover::from_cubes(
+            8,
+            1,
+            [
+                cube("1------- 1"),
+                cube("-1------ 1"),
+                cube("--1----- 1"),
+                cube("---1---- 1"),
+                cube("----1111 1"),
+            ],
+        )
+        .expect("dims");
+        let net = map_cover(&cover, &MapOptions::default());
+        check_equivalence(&cover, &net);
+        let cost = MultiLevelCost::of(&net);
+        assert_eq!(cost.gates, 2, "{net:?}");
+        assert_eq!(cost.connections, 1);
+        assert_eq!(cost.area(), 57);
+    }
+
+    #[test]
+    fn random_covers_map_equivalently() {
+        for seed in 0..25u64 {
+            let spec = RandomSopSpec::figure6(7, 6);
+            let cover = spec.generate_seeded(seed);
+            for factoring in [false, true] {
+                let net = map_cover(
+                    &cover,
+                    &MapOptions {
+                        factoring,
+                        max_fanin: None,
+                    },
+                );
+                check_equivalence(&cover, &net);
+            }
+        }
+    }
+
+    #[test]
+    fn fanin_bound_is_respected_and_preserves_function() {
+        let spec = RandomSopSpec {
+            num_inputs: 8,
+            num_outputs: 1,
+            products: 10,
+            literals: xbar_logic::LiteralDistribution::Uniform { min: 4, max: 8 },
+            extra_output_prob: 0.0,
+        };
+        let cover = spec.generate_seeded(3);
+        for bound in [2, 3, 4] {
+            let net = map_cover(
+                &cover,
+                &MapOptions {
+                    factoring: true,
+                    max_fanin: Some(bound),
+                },
+            );
+            assert!(net.max_fanin() <= bound, "bound {bound} violated");
+            check_equivalence(&cover, &net);
+        }
+    }
+
+    #[test]
+    fn structural_hashing_shares_gates_across_outputs() {
+        // Two identical outputs must not double the gate count.
+        let cover = Cover::from_cubes(3, 2, [cube("11- 11"), cube("--1 11")]).expect("dims");
+        let net = map_cover(&cover, &MapOptions::default());
+        check_equivalence(&cover, &net);
+        let single = Cover::from_cubes(3, 1, [cube("11- 1"), cube("--1 1")]).expect("dims");
+        let single_net = map_cover(&single, &MapOptions::default());
+        assert_eq!(net.gate_count(), single_net.gate_count());
+    }
+
+    #[test]
+    fn single_literal_output_gets_a_driver_gate() {
+        let cover = Cover::from_cubes(2, 1, [cube("1- 1")]).expect("dims");
+        let net = map_cover(&cover, &MapOptions::default());
+        check_equivalence(&cover, &net);
+        assert!(matches!(net.output(0), Some(NetSignal::Gate(_))));
+        assert_eq!(net.gate_count(), 1, "one inverter NAND(x̄0) = x0");
+    }
+
+    #[test]
+    fn constant_zero_output() {
+        let cover = Cover::new(2, 1);
+        let net = map_cover(&cover, &MapOptions::default());
+        for a in 0..4u64 {
+            assert_eq!(net.evaluate(a), vec![false]);
+        }
+    }
+
+    #[test]
+    fn universal_cube_output_is_constant_one() {
+        let cover = Cover::from_cubes(2, 1, [cube("-- 1")]).expect("dims");
+        let net = map_cover(&cover, &MapOptions::default());
+        for a in 0..4u64 {
+            assert_eq!(net.evaluate(a), vec![true]);
+        }
+    }
+
+    #[test]
+    fn factoring_never_hurts_gate_count_much_on_factorable_input() {
+        // (a+b)(c+d) flat: 4 product NANDs + or = more gates than factored.
+        let cover = Cover::from_cubes(
+            4,
+            1,
+            [cube("1-1- 1"), cube("1--1 1"), cube("-11- 1"), cube("-1-1 1")],
+        )
+        .expect("dims");
+        let flat = map_cover(&cover, &MapOptions { factoring: false, max_fanin: None });
+        let factored = map_cover(&cover, &MapOptions { factoring: true, max_fanin: None });
+        check_equivalence(&cover, &flat);
+        check_equivalence(&cover, &factored);
+        assert!(
+            factored.gate_count() <= flat.gate_count(),
+            "factored {} > flat {}",
+            factored.gate_count(),
+            flat.gate_count()
+        );
+    }
+}

@@ -1,0 +1,361 @@
+//! NAND-only Boolean networks: the output of the multi-level technology
+//! mapping flow and the input to the multi-level crossbar design.
+//!
+//! The paper forces Berkeley ABC to map onto NAND gates of fan-in 2..n so
+//! the result is implementable on a crossbar (each gate = one horizontal
+//! line computing a NAND). This module is the network container that flow
+//! produces, together with the multi-level area-cost model derived from the
+//! paper's Fig. 5 example.
+
+use std::fmt;
+
+/// A signal in a NAND network: a literal column or an earlier gate's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetSignal {
+    /// Input literal `x_var` (positive) or `x̄_var` (negative). Both phases
+    /// are free on a crossbar (dedicated columns).
+    Literal {
+        /// Variable index.
+        var: usize,
+        /// `true` = `x`, `false` = `x̄`.
+        positive: bool,
+    },
+    /// Output of gate `id` (must precede the consumer topologically).
+    Gate(usize),
+}
+
+/// One NAND gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NandGate {
+    /// Fan-in signals; the gate computes `NOT(AND(fanins))`.
+    pub fanins: Vec<NetSignal>,
+}
+
+/// A NAND-only combinational network.
+///
+/// Gates are stored in topological order: gate `i` may only reference gates
+/// `j < i`. Outputs may tap any signal.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_netlist::{Network, NetSignal};
+///
+/// // f = x0 AND x1 = NAND(NAND(x0, x1)).
+/// let mut net = Network::new(2, 1);
+/// let inner = net.add_gate(vec![
+///     NetSignal::Literal { var: 0, positive: true },
+///     NetSignal::Literal { var: 1, positive: true },
+/// ]);
+/// let outer = net.add_gate(vec![inner]);
+/// net.set_output(0, outer);
+/// assert_eq!(net.evaluate(0b11), vec![true]);
+/// assert_eq!(net.evaluate(0b01), vec![false]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Network {
+    num_inputs: usize,
+    num_outputs: usize,
+    gates: Vec<NandGate>,
+    outputs: Vec<Option<NetSignal>>,
+}
+
+impl Network {
+    /// An empty network with unset outputs.
+    #[must_use]
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        Self {
+            num_inputs,
+            num_outputs,
+            gates: Vec::new(),
+            outputs: vec![None; num_outputs],
+        }
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The gates in topological order.
+    #[must_use]
+    pub fn gates(&self) -> &[NandGate] {
+        &self.gates
+    }
+
+    /// Number of NAND gates (`G` in the area model).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Appends a NAND gate and returns its output signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fan-in references an out-of-range variable, a not-yet-
+    /// created gate (topological violation), or the fan-in list is empty.
+    pub fn add_gate(&mut self, fanins: Vec<NetSignal>) -> NetSignal {
+        assert!(!fanins.is_empty(), "NAND gate needs at least one fan-in");
+        for &s in &fanins {
+            match s {
+                NetSignal::Literal { var, .. } => {
+                    assert!(var < self.num_inputs, "literal variable out of range");
+                }
+                NetSignal::Gate(id) => {
+                    assert!(id < self.gates.len(), "fan-in gate must already exist");
+                }
+            }
+        }
+        self.gates.push(NandGate { fanins });
+        NetSignal::Gate(self.gates.len() - 1)
+    }
+
+    /// Connects output `k` to a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad output index or an out-of-range signal.
+    pub fn set_output(&mut self, k: usize, signal: NetSignal) {
+        assert!(k < self.num_outputs, "output index out of range");
+        if let NetSignal::Gate(id) = signal {
+            assert!(id < self.gates.len(), "output gate must exist");
+        }
+        self.outputs[k] = Some(signal);
+    }
+
+    /// The signal driving output `k`, if connected.
+    #[must_use]
+    pub fn output(&self, k: usize) -> Option<NetSignal> {
+        self.outputs[k]
+    }
+
+    /// Evaluates all outputs on an input assignment (bit `i` = `x_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output is unconnected.
+    #[must_use]
+    pub fn evaluate(&self, assignment: u64) -> Vec<bool> {
+        let mut values = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let conj = gate
+                .fanins
+                .iter()
+                .all(|&s| self.signal_value(s, assignment, &values));
+            values.push(!conj);
+        }
+        (0..self.num_outputs)
+            .map(|k| {
+                let s = self.outputs[k].expect("output must be connected");
+                self.signal_value(s, assignment, &values)
+            })
+            .collect()
+    }
+
+    fn signal_value(&self, signal: NetSignal, assignment: u64, gate_values: &[bool]) -> bool {
+        match signal {
+            NetSignal::Literal { var, positive } => (assignment >> var & 1 == 1) == positive,
+            NetSignal::Gate(id) => gate_values[id],
+        }
+    }
+
+    /// Maximum gate fan-in.
+    #[must_use]
+    pub fn max_fanin(&self) -> usize {
+        self.gates.iter().map(|g| g.fanins.len()).max().unwrap_or(0)
+    }
+
+    /// The number of *multi-level connection* columns the crossbar needs:
+    /// gates whose output feeds at least one other gate (`C` in the area
+    /// model). Output taps use the output columns instead.
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        let mut feeds_gate = vec![false; self.gates.len()];
+        for gate in &self.gates {
+            for &s in &gate.fanins {
+                if let NetSignal::Gate(id) = s {
+                    feeds_gate[id] = true;
+                }
+            }
+        }
+        feeds_gate.iter().filter(|&&b| b).count()
+    }
+
+    /// Depth (levels) of the network: longest literal-to-output gate chain.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            level[i] = 1 + gate
+                .fanins
+                .iter()
+                .map(|&s| match s {
+                    NetSignal::Gate(id) => level[id],
+                    NetSignal::Literal { .. } => 0,
+                })
+                .max()
+                .unwrap_or(0);
+        }
+        self.outputs
+            .iter()
+            .flatten()
+            .map(|&s| match s {
+                NetSignal::Gate(id) => level[id],
+                NetSignal::Literal { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Network(inputs={}, outputs={}, gates={})",
+            self.num_inputs,
+            self.num_outputs,
+            self.gates.len()
+        )?;
+        for (i, gate) in self.gates.iter().enumerate() {
+            write!(f, "  g{i} = NAND(")?;
+            for (j, s) in gate.fanins.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                match s {
+                    NetSignal::Literal { var, positive } => {
+                        write!(f, "{}x{var}", if *positive { "" } else { "!" })?;
+                    }
+                    NetSignal::Gate(id) => write!(f, "g{id}")?,
+                }
+            }
+            writeln!(f, ")")?;
+        }
+        for (k, o) in self.outputs.iter().enumerate() {
+            writeln!(f, "  O{k} = {o:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The multi-level crossbar cost model derived from Fig. 5 (see DESIGN.md):
+/// rows = `G + O`, cols = `2I + C + 2O`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiLevelCost {
+    /// NAND gate count `G` (crossbar gate rows).
+    pub gates: usize,
+    /// Connection column count `C`.
+    pub connections: usize,
+    /// Horizontal lines: `G + O`.
+    pub rows: usize,
+    /// Vertical lines: `2I + C + 2O`.
+    pub cols: usize,
+}
+
+impl MultiLevelCost {
+    /// Computes the cost of a network.
+    #[must_use]
+    pub fn of(network: &Network) -> Self {
+        let gates = network.gate_count();
+        let connections = network.connection_count();
+        let rows = gates + network.num_outputs();
+        let cols = 2 * network.num_inputs() + connections + 2 * network.num_outputs();
+        Self {
+            gates,
+            connections,
+            rows,
+            cols,
+        }
+    }
+
+    /// Area cost: rows × cols.
+    #[must_use]
+    pub fn area(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(var: usize, positive: bool) -> NetSignal {
+        NetSignal::Literal { var, positive }
+    }
+
+    /// The Fig. 5 network: f = x0+x1+x2+x3 + x4·x5·x6·x7.
+    fn fig5_network() -> Network {
+        let mut net = Network::new(8, 1);
+        let g0 = net.add_gate((4..8).map(|v| lit(v, true)).collect());
+        let g1 = net.add_gate((0..4).map(|v| lit(v, false)).chain([g0]).collect());
+        net.set_output(0, g1);
+        net
+    }
+
+    #[test]
+    fn fig5_network_evaluates_correctly() {
+        let net = fig5_network();
+        for a in 0..256u64 {
+            let expected = (a & 0b1111) != 0 || (a >> 4) & 0b1111 == 0b1111;
+            assert_eq!(net.evaluate(a), vec![expected], "input {a:08b}");
+        }
+    }
+
+    #[test]
+    fn fig5_cost_is_3_by_19_equals_57() {
+        let cost = MultiLevelCost::of(&fig5_network());
+        assert_eq!(cost.gates, 2);
+        assert_eq!(cost.connections, 1);
+        assert_eq!(cost.rows, 3);
+        assert_eq!(cost.cols, 19);
+        assert_eq!(cost.area(), 57);
+    }
+
+    #[test]
+    fn literal_output_is_allowed() {
+        let mut net = Network::new(2, 1);
+        net.set_output(0, lit(1, false));
+        assert_eq!(net.evaluate(0b00), vec![true]);
+        assert_eq!(net.evaluate(0b10), vec![false]);
+    }
+
+    #[test]
+    fn depth_counts_levels() {
+        let net = fig5_network();
+        assert_eq!(net.depth(), 2);
+    }
+
+    #[test]
+    fn connection_count_ignores_output_taps() {
+        // Single gate feeding only an output: no connection column needed.
+        let mut net = Network::new(2, 1);
+        let g = net.add_gate(vec![lit(0, true), lit(1, true)]);
+        net.set_output(0, g);
+        assert_eq!(net.connection_count(), 0);
+        // cols = 2I + C + 2O with C = 0.
+        assert_eq!(MultiLevelCost::of(&net).cols, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in gate must already exist")]
+    fn forward_reference_is_rejected() {
+        let mut net = Network::new(1, 1);
+        net.add_gate(vec![NetSignal::Gate(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output must be connected")]
+    fn unconnected_output_panics_on_evaluate() {
+        let net = Network::new(1, 1);
+        let _ = net.evaluate(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the device layer: machine/network equivalence,
+//! scan-roundtrip exactness, and analog/digital read agreement.
+
+use memristive_xbar_repro::core::{CrossbarMatrix, MultiLevelDesign, MultiLevelMapping};
+use memristive_xbar_repro::device::analog::{row_nand_read, ReadConfig};
+use memristive_xbar_repro::device::{
+    scan_cell_by_cell, scan_march, Crossbar, Defect, DefectProfile, ProgramState,
+};
+use memristive_xbar_repro::logic::{LiteralDistribution, RandomSopSpec};
+use memristive_xbar_repro::netlist::MapOptions;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any random SOP, factored and scheduled onto a clean multi-level
+    /// machine, computes the same function as the SOP.
+    #[test]
+    fn multilevel_machine_equals_cover(seed in 0u64..10_000, products in 2usize..8) {
+        let spec = RandomSopSpec {
+            num_inputs: 6,
+            num_outputs: 2,
+            products,
+            literals: LiteralDistribution::Uniform { min: 1, max: 4 },
+            extra_output_prob: 0.2,
+        };
+        let cover = spec.generate_seeded(seed);
+        prop_assume!(cover.len() >= 2);
+        let design = MultiLevelDesign::synthesize(
+            &cover,
+            &MapOptions { factoring: true, max_fanin: Some(6) },
+        );
+        let mapping = MultiLevelMapping::identity(&design);
+        let xbar = Crossbar::new(design.cost.rows, design.cost.cols);
+        let mut machine = design.build_machine(xbar, &mapping).expect("fits");
+        for a in 0..64u64 {
+            prop_assert_eq!(machine.evaluate(a), cover.evaluate(a), "input {:06b}", a);
+        }
+    }
+
+    /// March and cell-by-cell scans always recover the exact defect map.
+    #[test]
+    fn scans_recover_any_defect_map(seed in 0u64..10_000, rate in 0.0f64..0.4, closed in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = DefectProfile { rate, stuck_closed_fraction: closed };
+        let mut xbar = Crossbar::with_random_defects(6, 8, profile, &mut rng);
+        prop_assert!(scan_march(&mut xbar).matches_ground_truth(&xbar));
+        prop_assert!(scan_cell_by_cell(&mut xbar).matches_ground_truth(&xbar));
+    }
+
+    /// The analog nodal-analysis read agrees with the digital NAND for any
+    /// stored pattern up to 6 participants on an array with sneak paths.
+    #[test]
+    fn analog_read_agrees_with_digital(pattern in 0u32..64, extra_rows in 1usize..6) {
+        let fanin = 6;
+        let mut xbar = Crossbar::new(extra_rows + 1, fanin + 4);
+        let target = extra_rows / 2;
+        let values: Vec<bool> = (0..fanin).map(|b| pattern >> b & 1 == 1).collect();
+        let mut sense = Vec::new();
+        for (c, &v) in values.iter().enumerate() {
+            xbar.set_program(target, c, ProgramState::Active);
+            xbar.store_value(target, c, v);
+            sense.push(c);
+        }
+        let read = row_nand_read(&xbar, target, &sense, &ReadConfig::default())
+            .expect("solvable network");
+        let digital = !values.iter().all(|&v| v);
+        prop_assert_eq!(read.nand_value, digital, "pattern {:06b}", pattern);
+    }
+
+    /// CrossbarMatrix::from_crossbar and the mapper's compatibility rule
+    /// are consistent: a defect-free CM row hosts every FM row of matching
+    /// width, and adding a stuck-closed defect anywhere in a row makes that
+    /// row host nothing.
+    #[test]
+    fn stuck_closed_row_is_universally_unusable(row in 0usize..4, col in 0usize..8) {
+        let mut xbar = Crossbar::new(4, 8);
+        xbar.set_defect(row, col, Defect::StuckClosed);
+        let cm = CrossbarMatrix::from_crossbar(&xbar);
+        prop_assert_eq!(cm.row(row).count_ones(), 0);
+        for r in 0..4 {
+            prop_assert!(!cm.row(r).get(col), "column must be cleared everywhere");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end pipeline integration tests spanning every crate:
+//! PLA text → minimization → synthesis → mapping → device execution.
+
+use memristive_xbar_repro::core::{
+    map_exact, map_hybrid, program_two_level, synthesize_two_level, verify_against_cover,
+    CrossbarMatrix, FunctionMatrix, MultiLevelDesign, MultiLevelMapping, SynthesisOptions,
+    VerifyMode,
+};
+use memristive_xbar_repro::device::{Crossbar, DefectProfile};
+use memristive_xbar_repro::logic::bench_reg::find;
+use memristive_xbar_repro::logic::{Pla, RandomSopSpec, TruthTable};
+use memristive_xbar_repro::netlist::MapOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAJORITY_PLA: &str = "\
+.i 5
+.o 2
+.p 16
+11--- 10
+1-1-- 10
+-11-- 10
+--11- 01
+-1-1- 01
+1--1- 01
+11111 11
+00000 00
+1---1 10
+-1--1 10
+--1-1 10
+---11 01
+0000- 00
+-0000 00
+10101 11
+01010 01
+.e
+";
+
+#[test]
+fn pla_to_defective_crossbar_pipeline() {
+    let pla = Pla::parse(MAJORITY_PLA).expect("valid pla");
+    let reference = TruthTable::from_cover(&pla.on_set).expect("small");
+
+    // Synthesize (minimize + dual).
+    let design = synthesize_two_level(&pla.on_set, &SynthesisOptions::default());
+    assert!(design.cover.len() <= pla.on_set.len());
+    for a in 0..32u64 {
+        let got = design.evaluate(a);
+        for k in 0..2 {
+            assert_eq!(got[k], reference.value(a, k), "output {k} at {a:05b}");
+        }
+    }
+
+    // Map onto defective fabrics and execute.
+    let fm = FunctionMatrix::from_cover(&design.cover);
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut executed = 0;
+    for _ in 0..50 {
+        let xbar = Crossbar::with_random_defects(
+            fm.num_rows(),
+            fm.num_cols(),
+            DefectProfile::stuck_open_only(0.1),
+            &mut rng,
+        );
+        let cm = CrossbarMatrix::from_crossbar(&xbar);
+        if let Some(assignment) = map_hybrid(&fm, &cm).assignment {
+            let mut machine =
+                program_two_level(&design.cover, &assignment, xbar).expect("fits");
+            assert_eq!(
+                verify_against_cover(&mut machine, &design.cover, VerifyMode::Exhaustive, 0),
+                None,
+                "mapped design must compute the synthesized cover"
+            );
+            executed += 1;
+        }
+    }
+    assert!(executed > 25, "most instances should map, got {executed}");
+}
+
+#[test]
+fn benchmark_registry_to_table2_row_pipeline() {
+    // The full Table II path for one circuit: registry → FM → Monte Carlo
+    // mapping with both algorithms.
+    let info = find("squar5").expect("registered");
+    let cover = info.mapping_cover(0);
+    let fm = FunctionMatrix::from_cover(&cover);
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut hba_successes = 0;
+    let mut ea_successes = 0;
+    for _ in 0..60 {
+        let cm = CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), 0.10, &mut rng);
+        let hba = map_hybrid(&fm, &cm);
+        let ea = map_exact(&fm, &cm);
+        if hba.is_success() {
+            assert!(ea.is_success(), "HBA success implies EA success");
+            hba_successes += 1;
+        }
+        ea_successes += usize::from(ea.is_success());
+    }
+    // Published: 100%/100%; allow sampling noise.
+    assert!(hba_successes >= 55, "HBA {hba_successes}/60");
+    assert!(ea_successes >= hba_successes);
+}
+
+#[test]
+fn random_function_to_fig6_sample_pipeline() {
+    // One Fig. 6 sample end to end: random SOP → two-level area +
+    // multi-level synthesis → executable machines agreeing with the SOP.
+    let cover = RandomSopSpec::figure6(8, 6).generate_seeded(12);
+    let design = MultiLevelDesign::synthesize(
+        &cover,
+        &MapOptions {
+            factoring: true,
+            max_fanin: Some(8),
+        },
+    );
+    let mapping = MultiLevelMapping::identity(&design);
+    let xbar = Crossbar::new(design.cost.rows, design.cost.cols);
+    let mut machine = design.build_machine(xbar, &mapping).expect("fits");
+    for a in 0..256u64 {
+        assert_eq!(machine.evaluate(a), cover.evaluate(a), "input {a:08b}");
+    }
+}
+
+#[test]
+fn exact_benchmarks_execute_on_simulated_fabric() {
+    for name in ["rd53", "squar5"] {
+        let info = find(name).expect("registered");
+        let cover = info.cover(0);
+        let table = memristive_xbar_repro::logic::bench_reg::exact_truth_table(name)
+            .expect("exact function");
+        assert!(table.matches_cover(&cover), "{name}: minimized cover wrong");
+
+        let fm = FunctionMatrix::from_cover(&cover);
+        let cm = CrossbarMatrix::perfect(fm.num_rows(), fm.num_cols());
+        let assignment = map_hybrid(&fm, &cm).assignment.expect("clean fabric");
+        let mut machine = program_two_level(
+            &cover,
+            &assignment,
+            Crossbar::new(fm.num_rows(), fm.num_cols()),
+        )
+        .expect("fits");
+        assert_eq!(
+            verify_against_cover(&mut machine, &cover, VerifyMode::Exhaustive, 0),
+            None,
+            "{name}: device execution differs from the cover"
+        );
+    }
+}
