@@ -190,21 +190,29 @@ mod tests {
 
     #[test]
     fn square_example() {
-        let m = CostMatrix::from_rows(3, 3, vec![
-            1, 2, 3, //
-            2, 4, 6, //
-            3, 6, 9,
-        ]);
+        let m = CostMatrix::from_rows(
+            3,
+            3,
+            vec![
+                1, 2, 3, //
+                2, 4, 6, //
+                3, 6, 9,
+            ],
+        );
         let sol = munkres(&m).expect("square");
         assert_eq!(sol.cost, 10); // 3 + 4 + 3
     }
 
     #[test]
     fn rectangular_picks_cheapest_columns() {
-        let m = CostMatrix::from_rows(2, 4, vec![
-            9, 9, 1, 9, //
-            9, 9, 9, 1,
-        ]);
+        let m = CostMatrix::from_rows(
+            2,
+            4,
+            vec![
+                9, 9, 1, 9, //
+                9, 9, 9, 1,
+            ],
+        );
         let sol = munkres(&m).expect("rect");
         assert_eq!(sol.assignment, vec![2, 3]);
         assert_eq!(sol.cost, 2);
@@ -226,11 +234,15 @@ mod tests {
     #[test]
     fn zero_one_matrix_finds_zero_cost_when_it_exists() {
         // Permutation-like feasibility matrix.
-        let m = CostMatrix::from_rows(3, 3, vec![
-            1, 0, 1, //
-            0, 1, 1, //
-            1, 1, 0,
-        ]);
+        let m = CostMatrix::from_rows(
+            3,
+            3,
+            vec![
+                1, 0, 1, //
+                0, 1, 1, //
+                1, 1, 0,
+            ],
+        );
         let sol = munkres(&m).expect("square");
         assert_eq!(sol.cost, 0);
         assert_eq!(sol.assignment, vec![1, 0, 2]);
@@ -239,10 +251,14 @@ mod tests {
     #[test]
     fn detects_infeasible_zero_cost() {
         // Two rows can only use column 0: zero-cost assignment impossible.
-        let m = CostMatrix::from_rows(2, 2, vec![
-            0, 1, //
-            0, 1,
-        ]);
+        let m = CostMatrix::from_rows(
+            2,
+            2,
+            vec![
+                0, 1, //
+                0, 1,
+            ],
+        );
         let sol = munkres(&m).expect("square");
         assert_eq!(sol.cost, 1);
     }

@@ -14,18 +14,25 @@ fn bench_fig6_sample(c: &mut Criterion) {
         let covers: Vec<_> = (0..8)
             .map(|s| RandomSopSpec::figure6(n, (n - 1).max(2)).generate_seeded(s))
             .collect();
-        group.bench_with_input(BenchmarkId::new("two_plus_multi_level", n), &covers, |b, cs| {
-            b.iter(|| {
-                for cover in cs {
-                    let tl = TwoLevelLayout::of_cover(cover).area();
-                    let net = map_cover(
-                        cover,
-                        &MapOptions { factoring: true, max_fanin: Some(n) },
-                    );
-                    black_box((tl, MultiLevelCost::of(&net).area()));
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("two_plus_multi_level", n),
+            &covers,
+            |b, cs| {
+                b.iter(|| {
+                    for cover in cs {
+                        let tl = TwoLevelLayout::of_cover(cover).area();
+                        let net = map_cover(
+                            cover,
+                            &MapOptions {
+                                factoring: true,
+                                max_fanin: Some(n),
+                            },
+                        );
+                        black_box((tl, MultiLevelCost::of(&net).area()));
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -14,19 +14,32 @@ fn bench_flows(c: &mut Criterion) {
     for name in ["rd53", "misex1", "b12"] {
         let info = find(name).expect("registered");
         let cover = info.cover(1);
-        group.bench_with_input(BenchmarkId::new("multilevel_flow", name), &cover, |b, cover| {
-            let options = MapOptions {
-                factoring: true,
-                max_fanin: Some(cover.num_inputs().max(2)),
-            };
-            b.iter(|| {
-                let net = map_cover(cover, &options);
-                black_box((TwoLevelLayout::of_cover(cover).area(), MultiLevelCost::of(&net).area()))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("multilevel_flow", name),
+            &cover,
+            |b, cover| {
+                let options = MapOptions {
+                    factoring: true,
+                    max_fanin: Some(cover.num_inputs().max(2)),
+                };
+                b.iter(|| {
+                    let net = map_cover(cover, &options);
+                    black_box((
+                        TwoLevelLayout::of_cover(cover).area(),
+                        MultiLevelCost::of(&net).area(),
+                    ))
+                });
+            },
+        );
     }
     group.bench_function("exact_synthesis/rd53_truth_table_to_cover", |b| {
-        b.iter(|| black_box(xbar_logic::bench_reg::exact_cover("rd53").expect("defined").len()));
+        b.iter(|| {
+            black_box(
+                xbar_logic::bench_reg::exact_cover("rd53")
+                    .expect("defined")
+                    .len(),
+            )
+        });
     });
     group.bench_function("structural_analog/t481_network_cost", |b| {
         b.iter(|| black_box(MultiLevelCost::of(&t481_analog()).area()));

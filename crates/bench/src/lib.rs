@@ -8,8 +8,7 @@ use xbar_logic::bench_reg::find;
 use xbar_logic::Cover;
 
 /// The circuits benchmarked in the Table II runtime columns, small → large.
-pub const TABLE2_BENCH_CIRCUITS: &[&str] =
-    &["rd53", "misex1", "rd73", "rd84", "ex1010", "alu4"];
+pub const TABLE2_BENCH_CIRCUITS: &[&str] = &["rd53", "misex1", "rd73", "rd84", "ex1010", "alu4"];
 
 /// A prepared mapping workload: the function matrix plus a deterministic
 /// set of sampled defect maps.
@@ -38,9 +37,7 @@ pub fn mapping_workload(name: &str, maps: usize, seed: u64) -> MappingWorkload {
     let fm = FunctionMatrix::from_cover(&cover);
     let mut rng = StdRng::seed_from_u64(seed);
     let defect_maps = (0..maps)
-        .map(|_| {
-            CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), 0.10, &mut rng)
-        })
+        .map(|_| CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), 0.10, &mut rng))
         .collect();
     MappingWorkload {
         name: name.to_owned(),

@@ -25,7 +25,6 @@ use xbar_logic::Cover;
 /// assert_eq!(fig3.area(), 126);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TwoLevelLayout {
     /// Input count `I`.
     pub num_inputs: usize,

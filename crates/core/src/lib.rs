@@ -75,8 +75,6 @@ pub use mapping::{
 };
 pub use matrices::{row_compatible, BitRow, CrossbarMatrix, FunctionMatrix};
 pub use multilevel::{map_multilevel, MultiLevelDesign, MultiLevelMapping};
-pub use redundancy::{
-    estimate_yield, redundancy_sweep, MapperKind, YieldConfig, YieldResult,
-};
+pub use redundancy::{estimate_yield, redundancy_sweep, MapperKind, YieldConfig, YieldResult};
 pub use synthesis::{synthesize_two_level, SynthesisOptions, TwoLevelDesign};
 pub use verify::{program_two_level, verify_against_cover, VerifyMode};

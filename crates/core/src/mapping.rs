@@ -143,9 +143,9 @@ pub fn map_hybrid_with(
     for i in 0..p {
         // First pass: unmatched CM rows, top to bottom.
         let mut placed = false;
-        for t in 0..r {
-            if occupant[t].is_none() && compat(i, t, &mut stats) {
-                occupant[t] = Some(i);
+        for (t, slot) in occupant.iter_mut().enumerate() {
+            if slot.is_none() && compat(i, t, &mut stats) {
+                *slot = Some(i);
                 minterm_to_cm[i] = t;
                 placed = true;
                 break;
@@ -331,7 +331,11 @@ mod tests {
     fn perfect_crossbar_maps_with_all_algorithms() {
         let fm = fig8_fm();
         let cm = CrossbarMatrix::perfect(6, 10);
-        for outcome in [map_naive(&fm, &cm), map_hybrid(&fm, &cm), map_exact(&fm, &cm)] {
+        for outcome in [
+            map_naive(&fm, &cm),
+            map_hybrid(&fm, &cm),
+            map_exact(&fm, &cm),
+        ] {
             let a = outcome.assignment.expect("perfect crossbar must map");
             assert!(a.is_valid(&fm, &cm));
         }
@@ -421,12 +425,8 @@ mod tests {
         // Greedy: A→0, B→1, C needs 0: steal 0 (A) → re-home A: A fits 1
         // (taken) — single re-home only looks at unmatched rows {2}: A does
         // not fit 2 → HBA fails. EA finds C→0, A→1, B→2.
-        let cover = Cover::from_cubes(
-            3,
-            1,
-            [cube("1-- 1"), cube("-1- 1"), cube("11- 1")],
-        )
-        .expect("dims");
+        let cover =
+            Cover::from_cubes(3, 1, [cube("1-- 1"), cube("-1- 1"), cube("11- 1")]).expect("dims");
         // FM: A = x0 → cols {0, 6}; B = x1 → {1, 6}; C = x0x1 → {0, 1, 6};
         // output row → {6, 7}. Cols = 8.
         let fm = FunctionMatrix::from_cover(&cover);
@@ -471,11 +471,17 @@ mod tests {
             let variants = [
                 (HybridOptions::default(), &mut full),
                 (
-                    HybridOptions { backtracking: false, ..HybridOptions::default() },
+                    HybridOptions {
+                        backtracking: false,
+                        ..HybridOptions::default()
+                    },
                     &mut no_backtrack,
                 ),
                 (
-                    HybridOptions { exact_outputs: false, ..HybridOptions::default() },
+                    HybridOptions {
+                        exact_outputs: false,
+                        ..HybridOptions::default()
+                    },
                     &mut greedy_outputs,
                 ),
             ];

@@ -114,8 +114,12 @@ pub struct FunctionMatrix {
     minterm_rows: Vec<BitRow>,
     output_rows: Vec<BitRow>,
     /// Literal/membership source for re-programming machines.
-    cubes: Vec<(Vec<(usize, bool)>, Vec<usize>)>,
+    cubes: Vec<CubeSpec>,
 }
+
+/// One cube as programmed: its `(input, phase)` literals and the outputs it
+/// belongs to.
+type CubeSpec = (Vec<(usize, bool)>, Vec<usize>);
 
 impl FunctionMatrix {
     /// Builds the FM of a cover.

@@ -13,9 +13,11 @@
 use crate::matrices::{BitRow, CrossbarMatrix};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use xbar_device::{Crossbar, Destination, DeviceError, MultiLevelLayout, MultiLevelMachine, Signal};
-use xbar_netlist::{map_cover, MapOptions, MultiLevelCost, NetSignal, Network};
+use xbar_device::{
+    Crossbar, Destination, DeviceError, MultiLevelLayout, MultiLevelMachine, Signal,
+};
 use xbar_logic::Cover;
+use xbar_netlist::{map_cover, MapOptions, MultiLevelCost, NetSignal, Network};
 
 /// A multi-level crossbar design: the network plus its column allocation.
 #[derive(Debug, Clone)]
@@ -245,9 +247,9 @@ fn try_rows(
     let mut row_of: Vec<usize> = vec![usize::MAX; needs.len()];
     for i in 0..needs.len() {
         let mut placed = false;
-        for t in 0..r {
-            if occupant[t].is_none() && needs[i].fits_in(cm.row(t)) {
-                occupant[t] = Some(i);
+        for (t, slot) in occupant.iter_mut().enumerate() {
+            if slot.is_none() && needs[i].fits_in(cm.row(t)) {
+                *slot = Some(i);
                 row_of[i] = t;
                 placed = true;
                 break;
@@ -364,12 +366,8 @@ mod tests {
     fn connection_permutation_rescues_a_blocked_column() {
         // Design with ≥2 connection nets; poison one connection column in
         // the row where the identity permutation would use it.
-        let cover = Cover::from_cubes(
-            4,
-            1,
-            [cube("11-- 1"), cube("--11 1"), cube("1--1 1")],
-        )
-        .expect("dims");
+        let cover = Cover::from_cubes(4, 1, [cube("11-- 1"), cube("--11 1"), cube("1--1 1")])
+            .expect("dims");
         let design = MultiLevelDesign::synthesize(&cover, &MapOptions::default());
         if design.cost.connections < 2 {
             // Factoring may collapse this; the permutation path is then

@@ -169,7 +169,10 @@ mod tests {
         assert!(
             sweep[2].1.success_rate > sweep[0].1.success_rate + 0.01,
             "4 spares should measurably help: {:?}",
-            sweep.iter().map(|(s, r)| (*s, r.success_rate)).collect::<Vec<_>>()
+            sweep
+                .iter()
+                .map(|(s, r)| (*s, r.success_rate))
+                .collect::<Vec<_>>()
         );
         assert!(sweep[2].1.area_overhead > 1.0);
     }
@@ -177,15 +180,33 @@ mod tests {
     #[test]
     fn yield_degrades_with_defect_rate() {
         let fm = sample_fm();
-        let low = estimate_yield(&fm, &YieldConfig { defect_rate: 0.05, ..base_config() });
-        let high = estimate_yield(&fm, &YieldConfig { defect_rate: 0.35, ..base_config() });
+        let low = estimate_yield(
+            &fm,
+            &YieldConfig {
+                defect_rate: 0.05,
+                ..base_config()
+            },
+        );
+        let high = estimate_yield(
+            &fm,
+            &YieldConfig {
+                defect_rate: 0.35,
+                ..base_config()
+            },
+        );
         assert!(low.success_rate > high.success_rate);
     }
 
     #[test]
     fn stuck_closed_defects_are_much_harsher() {
         let fm = sample_fm();
-        let open_only = estimate_yield(&fm, &YieldConfig { defect_rate: 0.08, ..base_config() });
+        let open_only = estimate_yield(
+            &fm,
+            &YieldConfig {
+                defect_rate: 0.08,
+                ..base_config()
+            },
+        );
         let with_closed = estimate_yield(
             &fm,
             &YieldConfig {
@@ -217,7 +238,13 @@ mod tests {
             ..base_config()
         };
         let none = estimate_yield(&fm, &cfg);
-        let spared = estimate_yield(&fm, &YieldConfig { spare_rows: 4, ..cfg });
+        let spared = estimate_yield(
+            &fm,
+            &YieldConfig {
+                spare_rows: 4,
+                ..cfg
+            },
+        );
         assert!(
             spared.success_rate <= none.success_rate,
             "column kills grow with row count: {} vs {}",
@@ -231,7 +258,13 @@ mod tests {
         let fm = sample_fm();
         let cfg = base_config();
         let exact = estimate_yield(&fm, &cfg);
-        let hybrid = estimate_yield(&fm, &YieldConfig { mapper: MapperKind::Hybrid, ..cfg });
+        let hybrid = estimate_yield(
+            &fm,
+            &YieldConfig {
+                mapper: MapperKind::Hybrid,
+                ..cfg
+            },
+        );
         assert!(hybrid.success_rate <= exact.success_rate + 1e-9);
     }
 }

@@ -125,8 +125,7 @@ mod tests {
             let cm = CrossbarMatrix::from_crossbar(&xbar);
             let outcome = map_hybrid(&fm, &cm);
             if let Some(assignment) = outcome.assignment {
-                let mut machine =
-                    program_two_level(&cover, &assignment, xbar).expect("fits");
+                let mut machine = program_two_level(&cover, &assignment, xbar).expect("fits");
                 assert_eq!(
                     verify_against_cover(&mut machine, &cover, VerifyMode::Exhaustive, 0),
                     None,

@@ -172,8 +172,8 @@ pub fn lu_solve(mut a: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, SolveLi
     let mut x = vec![0.0; n];
     for k in (0..n).rev() {
         let mut sum = b[k];
-        for c in k + 1..n {
-            sum -= a.get(k, c) * x[c];
+        for (c, &xc) in x.iter().enumerate().skip(k + 1) {
+            sum -= a.get(k, c) * xc;
         }
         x[k] = sum / a.get(k, k);
     }
@@ -228,7 +228,9 @@ mod tests {
         let n = 20;
         let mut state = 123u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
         };
         let mut a = DenseMatrix::zeros(n, n);

@@ -99,9 +99,9 @@ pub fn row_nand_read(
     let row_node = |r: usize| r;
     let mut col_nodes = vec![usize::MAX; xbar.cols()];
     let mut next = xbar.rows();
-    for c in 0..xbar.cols() {
+    for (c, node) in col_nodes.iter_mut().enumerate() {
         if !grounded(c) {
-            col_nodes[c] = next;
+            *node = next;
             next += 1;
         }
     }
@@ -111,14 +111,13 @@ pub fn row_nand_read(
 
     // Stamp every crosspoint conductance between its row and column.
     for r in 0..xbar.rows() {
-        for c in 0..xbar.cols() {
+        for (c, &cn) in col_nodes.iter().enumerate() {
             let conductance = 1.0 / crosspoint_resistance(xbar, r, c);
             let rn = row_node(r);
             g.add(rn, rn, conductance);
             if grounded(c) {
                 // Column fixed at 0 V: only the diagonal term remains.
             } else {
-                let cn = col_nodes[c];
                 g.add(cn, cn, conductance);
                 g.add(rn, cn, -conductance);
                 g.add(cn, rn, -conductance);

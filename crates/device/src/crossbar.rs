@@ -166,7 +166,10 @@ impl Crossbar {
     }
 
     fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "crosspoint out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "crosspoint out of range"
+        );
         row * self.cols + col
     }
 
@@ -299,7 +302,13 @@ impl Crossbar {
 
 impl fmt::Debug for Crossbar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Crossbar {}x{} (area {})", self.rows, self.cols, self.area())?;
+        writeln!(
+            f,
+            "Crossbar {}x{} (area {})",
+            self.rows,
+            self.cols,
+            self.area()
+        )?;
         for r in 0..self.rows {
             for c in 0..self.cols {
                 let cell = self.crosspoint(r, c);
@@ -349,7 +358,10 @@ mod tests {
         };
         let xbar = Crossbar::with_random_defects(50, 50, profile, &mut rng);
         let (open, closed) = xbar.defect_counts();
-        assert!(open > 100 && closed > 100, "both kinds present: {open}/{closed}");
+        assert!(
+            open > 100 && closed > 100,
+            "both kinds present: {open}/{closed}"
+        );
     }
 
     #[test]

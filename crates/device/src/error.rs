@@ -41,7 +41,10 @@ impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceError::ColumnCountMismatch { expected, got } => {
-                write!(f, "crossbar has {got} columns but the layout needs {expected}")
+                write!(
+                    f,
+                    "crossbar has {got} columns but the layout needs {expected}"
+                )
             }
             DeviceError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range for a {rows}-row crossbar")
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn display_mentions_detail() {
-        let e = DeviceError::ColumnCountMismatch { expected: 18, got: 10 };
+        let e = DeviceError::ColumnCountMismatch {
+            expected: 18,
+            got: 10,
+        };
         assert!(e.to_string().contains("18"));
     }
 }

@@ -60,7 +60,9 @@ pub use multi_level::{
 pub use phases::{MultiLevelPhase, TwoLevelPhase};
 pub use scan::{scan_cell_by_cell, scan_march, CellDiagnosis, ScanReport};
 pub use two_level::{ColumnLayout, RowRole, TwoLevelMachine, TwoLevelTrace};
-pub use write_scheme::{count_disturbs, half_select_window, write_margins, BiasScheme, WriteMargins};
+pub use write_scheme::{
+    count_disturbs, half_select_window, write_margins, BiasScheme, WriteMargins,
+};
 
 #[cfg(test)]
 mod tests {

@@ -174,16 +174,16 @@ pub struct IvPoint {
 /// selects the idealized two-state model; otherwise linear drift is used
 /// with a time step making one full leg last 1 ms.
 #[must_use]
-pub fn iv_sweep(params: MemristorParams, v_max: f64, steps_per_leg: usize, abrupt: bool) -> Vec<IvPoint> {
+pub fn iv_sweep(
+    params: MemristorParams,
+    v_max: f64,
+    steps_per_leg: usize,
+    abrupt: bool,
+) -> Vec<IvPoint> {
     let mut device = Memristor::new(params);
     let mut points = Vec::with_capacity(steps_per_leg * 4);
     let dt = 1.0e-3 / steps_per_leg as f64;
-    let legs: [(f64, f64); 4] = [
-        (0.0, v_max),
-        (v_max, 0.0),
-        (0.0, -v_max),
-        (-v_max, 0.0),
-    ];
+    let legs: [(f64, f64); 4] = [(0.0, v_max), (v_max, 0.0), (0.0, -v_max), (-v_max, 0.0)];
     for (from, to) in legs {
         for s in 0..steps_per_leg {
             let t = (s + 1) as f64 / steps_per_leg as f64;
@@ -261,7 +261,11 @@ mod tests {
         let last = pts.last().expect("non-empty");
         assert!(last.state < 0.5, "RESET after negative excursion");
         // Hysteresis: current at +1V differs between the up and down legs.
-        let up = pts.iter().take(50).find(|p| p.voltage >= 1.0).expect("point");
+        let up = pts
+            .iter()
+            .take(50)
+            .find(|p| p.voltage >= 1.0)
+            .expect("point");
         let down = pts
             .iter()
             .skip(50)

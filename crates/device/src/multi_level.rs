@@ -352,7 +352,11 @@ impl MultiLevelMachine {
         };
 
         self.xbar.initialize_all();
-        log(MultiLevelPhase::Ina, None, "all functional memristors reset to R_OFF".into());
+        log(
+            MultiLevelPhase::Ina,
+            None,
+            "all functional memristors reset to R_OFF".into(),
+        );
 
         // Column latches: inputs now, connections/outputs as gates complete.
         let mut latch: Vec<Option<bool>> = vec![None; self.xbar.cols()];
@@ -391,7 +395,11 @@ impl MultiLevelMachine {
             log(
                 MultiLevelPhase::Cfm,
                 Some(g),
-                format!("gate {g} row {} configured from {} fan-ins", gate.row, gate.fanins.len()),
+                format!(
+                    "gate {g} row {} configured from {} fan-ins",
+                    gate.row,
+                    gate.fanins.len()
+                ),
             );
 
             // EVM: NAND over the fan-in crosspoints (stuck-closed row → 1).
@@ -408,7 +416,11 @@ impl MultiLevelMachine {
                 !conjunction
             };
             gate_values.push(result);
-            log(MultiLevelPhase::Evm, Some(g), format!("gate {g} NAND = {}", u8::from(result)));
+            log(
+                MultiLevelPhase::Evm,
+                Some(g),
+                format!("gate {g} NAND = {}", u8::from(result)),
+            );
 
             // CR: store the result at destination crosspoints and latch the
             // columns with what the crosspoint actually holds (defects at
@@ -426,7 +438,10 @@ impl MultiLevelMachine {
             log(
                 MultiLevelPhase::Cr,
                 Some(g),
-                format!("gate {g} result copied to {} destination(s)", gate.destinations.len()),
+                format!(
+                    "gate {g} result copied to {} destination(s)",
+                    gate.destinations.len()
+                ),
             );
         }
 
@@ -462,7 +477,11 @@ impl MultiLevelMachine {
             }
         }
         log(MultiLevelPhase::Inr, None, format!("f = {outputs:?}"));
-        log(MultiLevelPhase::So, None, "outputs written to the output latch".into());
+        log(
+            MultiLevelPhase::So,
+            None,
+            "outputs written to the output latch".into(),
+        );
 
         MultiLevelTrace {
             phases,
@@ -489,14 +508,22 @@ mod tests {
         let mut m = MultiLevelMachine::new(xbar, layout).expect("layout");
         m.add_gate(
             0,
-            (4..8).map(|v| Signal::Input { var: v, positive: true }).collect(),
+            (4..8)
+                .map(|v| Signal::Input {
+                    var: v,
+                    positive: true,
+                })
+                .collect(),
             vec![Destination::Connection(0)],
         )
         .expect("gate 0");
         m.add_gate(
             1,
             (0..4)
-                .map(|v| Signal::Input { var: v, positive: false })
+                .map(|v| Signal::Input {
+                    var: v,
+                    positive: false,
+                })
                 .chain([Signal::Connection(0)])
                 .collect(),
             vec![Destination::Output(0)],
@@ -549,7 +576,10 @@ mod tests {
         let mut m = MultiLevelMachine::new(xbar, layout).expect("layout");
         m.add_gate(
             0,
-            vec![Signal::Input { var: 0, positive: true }],
+            vec![Signal::Input {
+                var: 0,
+                positive: true,
+            }],
             vec![Destination::Output(0)],
         )
         .expect("gate");
@@ -570,7 +600,11 @@ mod tests {
         // clean. Observable difference: x4..x7 = 1111 with x0..x3 = 0 should
         // give f = 1; with the defect, connection reads 1 (instead of 0),
         // so gate1 = NAND(1,1,1,1,1) = 0 → f = 0. Wrong.
-        assert_eq!(m.evaluate(0b1111_0000), vec![false], "defect masks the AND term");
+        assert_eq!(
+            m.evaluate(0b1111_0000),
+            vec![false],
+            "defect masks the AND term"
+        );
         let mut clean = fig5_machine();
         assert_eq!(clean.evaluate(0b1111_0000), vec![true]);
     }
@@ -599,7 +633,10 @@ mod tests {
         let mut m = MultiLevelMachine::new(xbar, layout).expect("layout");
         m.add_gate(
             0,
-            vec![Signal::Input { var: 0, positive: true }],
+            vec![Signal::Input {
+                var: 0,
+                positive: true,
+            }],
             vec![Destination::Output(0)],
         )
         .expect("gate");

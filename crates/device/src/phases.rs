@@ -42,7 +42,10 @@ impl TwoLevelPhase {
     /// The phase that follows this one, or `None` after [`So`](Self::So).
     #[must_use]
     pub fn next(self) -> Option<TwoLevelPhase> {
-        let i = Self::SEQUENCE.iter().position(|&p| p == self).expect("in sequence");
+        let i = Self::SEQUENCE
+            .iter()
+            .position(|&p| p == self)
+            .expect("in sequence");
         Self::SEQUENCE.get(i + 1).copied()
     }
 }

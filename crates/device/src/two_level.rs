@@ -126,11 +126,7 @@ impl TwoLevelMachine {
     /// # Errors
     ///
     /// Returns [`DeviceError::ColumnCountMismatch`] otherwise.
-    pub fn new(
-        xbar: Crossbar,
-        num_inputs: usize,
-        num_outputs: usize,
-    ) -> Result<Self, DeviceError> {
+    pub fn new(xbar: Crossbar, num_inputs: usize, num_outputs: usize) -> Result<Self, DeviceError> {
         let layout = ColumnLayout {
             num_inputs,
             num_outputs,
@@ -275,7 +271,10 @@ impl TwoLevelMachine {
 
         // INA: everything to R_OFF.
         self.xbar.initialize_all();
-        log(TwoLevelPhase::Ina, "all functional memristors reset to R_OFF (logic 1)".into());
+        log(
+            TwoLevelPhase::Ina,
+            "all functional memristors reset to R_OFF (logic 1)".into(),
+        );
 
         // RI: latch inputs onto input columns (and complements).
         let mut latch: Vec<Option<bool>> = vec![None; self.xbar.cols()];
@@ -317,16 +316,19 @@ impl TwoLevelMachine {
                 }
             }
         }
-        log(TwoLevelPhase::Cfm, format!("{copied} literal crosspoints configured from the input latch"));
+        log(
+            TwoLevelPhase::Cfm,
+            format!("{copied} literal crosspoints configured from the input latch"),
+        );
 
         // EVM: row NANDs, written into the AND plane.
         let mut minterm_results: Vec<Option<bool>> = vec![None; self.xbar.rows()];
-        for row in 0..self.xbar.rows() {
+        for (row, slot) in minterm_results.iter_mut().enumerate() {
             if self.row_roles[row] != RowRole::Minterm {
                 continue;
             }
             let result = self.row_nand(row, 0, 2 * i_count);
-            minterm_results[row] = Some(result);
+            *slot = Some(result);
             for k in 0..k_count {
                 let col = self.layout.output_col(k);
                 if self.xbar.crosspoint(row, col).program == ProgramState::Active {
@@ -338,14 +340,18 @@ impl TwoLevelMachine {
             TwoLevelPhase::Evm,
             format!(
                 "minterm NAND results: {:?}",
-                minterm_results.iter().flatten().map(|&b| u8::from(b)).collect::<Vec<_>>()
+                minterm_results
+                    .iter()
+                    .flatten()
+                    .map(|&b| u8::from(b))
+                    .collect::<Vec<_>>()
             ),
         );
 
         // EVR: wired-AND down each output column = f̄_k, stored into the
         // output row's O_k crosspoint.
         let mut outputs_bar = vec![true; k_count];
-        for k in 0..k_count {
+        for (k, out) in outputs_bar.iter_mut().enumerate() {
             let col = self.layout.output_col(k);
             let mut value = true; // empty AND = 1 (f with no minterms is 0)
             for row in 0..self.xbar.rows() {
@@ -359,20 +365,23 @@ impl TwoLevelMachine {
             if col_poisoned[col] {
                 value = false;
             }
-            outputs_bar[k] = value;
+            *out = value;
             if let Some(out_row) = self.output_row(k) {
                 self.xbar.store_value(out_row, col, value);
             }
         }
         log(
             TwoLevelPhase::Evr,
-            format!("f̄ = {:?}", outputs_bar.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()),
+            format!(
+                "f̄ = {:?}",
+                outputs_bar.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()
+            ),
         );
 
         // INR: output rows invert O_k into Ō_k. A stuck-closed anywhere in
         // the output row corrupts the row: it reads logic 0.
         let mut outputs = vec![false; k_count];
-        for k in 0..k_count {
+        for (k, out) in outputs.iter_mut().enumerate() {
             let col = self.layout.output_col(k);
             let bar_col = self.layout.output_bar_col(k);
             if let Some(out_row) = self.output_row(k) {
@@ -390,17 +399,23 @@ impl TwoLevelMachine {
                 } else {
                     self.xbar.stored_value(out_row, bar_col)
                 };
-                outputs[k] = read;
+                *out = read;
             } else {
                 // No output row mapped: the output cannot be observed.
-                outputs[k] = false;
+                *out = false;
             }
         }
         log(
             TwoLevelPhase::Inr,
-            format!("f = {:?}", outputs.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()),
+            format!(
+                "f = {:?}",
+                outputs.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()
+            ),
         );
-        log(TwoLevelPhase::So, "outputs written to the output latch".into());
+        log(
+            TwoLevelPhase::So,
+            "outputs written to the output latch".into(),
+        );
 
         TwoLevelTrace {
             phases,
@@ -430,9 +445,7 @@ impl TwoLevelMachine {
     }
 
     fn output_row(&self, k: usize) -> Option<usize> {
-        self.row_roles
-            .iter()
-            .position(|&r| r == RowRole::Output(k))
+        self.row_roles.iter().position(|&r| r == RowRole::Output(k))
     }
 
     /// Convenience: number of defective-but-used crosspoints (diagnostics).
@@ -461,7 +474,8 @@ mod tests {
         let xbar = Crossbar::new(6, 18);
         let mut m = TwoLevelMachine::new(xbar, 8, 1).expect("layout");
         for (row, var) in (0..4).enumerate() {
-            m.program_minterm(row, &[(var, true)], &[0]).expect("program");
+            m.program_minterm(row, &[(var, true)], &[0])
+                .expect("program");
         }
         m.program_minterm(4, &[(4, true), (5, true), (6, true), (7, true)], &[0])
             .expect("program");
@@ -493,7 +507,8 @@ mod tests {
         // O0 = x0·x1, O1 = x̄1 (3 rows: 2 minterms + ... 4 rows with outputs).
         let xbar = Crossbar::new(4, 8); // 2 inputs → 2*2 + 2*2 = 8 cols
         let mut m = TwoLevelMachine::new(xbar, 2, 2).expect("layout");
-        m.program_minterm(0, &[(0, true), (1, true)], &[0]).expect("p");
+        m.program_minterm(0, &[(0, true), (1, true)], &[0])
+            .expect("p");
         m.program_minterm(1, &[(1, false)], &[1]).expect("p");
         m.program_output(2, 0).expect("p");
         m.program_output(3, 1).expect("p");

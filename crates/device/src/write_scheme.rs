@@ -88,7 +88,7 @@ pub fn count_disturbs(xbar: &mut Crossbar, scheme: BiasScheme, v_program: f64) -
     for r in 0..rows {
         for c in 0..cols {
             let value = (r + c) % 2 == 0; // checkerboard of logic values
-            // Pulse polarity: SET (to logic 0 = R_ON) is +V, RESET −V.
+                                          // Pulse polarity: SET (to logic 0 = R_ON) is +V, RESET −V.
             let polarity = if value { -1.0 } else { 1.0 };
             for rr in 0..rows {
                 for cc in 0..cols {

@@ -47,24 +47,29 @@ fn main() {
         let samples = monte_carlo(args.samples, args.seed ^ 0xAB1A, |_, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let cm = CrossbarMatrix::sample_stuck_open(rows, cols, args.defect_rate, &mut rng);
-            let mut c = Counts::default();
-            c.full = map_hybrid_with(&fm, &cm, HybridOptions::default())
-                .is_success() as usize;
-            c.no_backtrack = map_hybrid_with(
-                &fm,
-                &cm,
-                HybridOptions { backtracking: false, ..HybridOptions::default() },
-            )
-            .is_success() as usize;
-            c.greedy_outputs = map_hybrid_with(
-                &fm,
-                &cm,
-                HybridOptions { exact_outputs: false, ..HybridOptions::default() },
-            )
-            .is_success() as usize;
-            c.exact = map_exact(&fm, &cm).is_success() as usize;
-            c.feasible = mapping_feasible(&fm, &cm) as usize;
-            c
+            Counts {
+                full: map_hybrid_with(&fm, &cm, HybridOptions::default()).is_success() as usize,
+                no_backtrack: map_hybrid_with(
+                    &fm,
+                    &cm,
+                    HybridOptions {
+                        backtracking: false,
+                        ..HybridOptions::default()
+                    },
+                )
+                .is_success() as usize,
+                greedy_outputs: map_hybrid_with(
+                    &fm,
+                    &cm,
+                    HybridOptions {
+                        exact_outputs: false,
+                        ..HybridOptions::default()
+                    },
+                )
+                .is_success() as usize,
+                exact: map_exact(&fm, &cm).is_success() as usize,
+                feasible: mapping_feasible(&fm, &cm) as usize,
+            }
         });
         let total = samples.len() as f64;
         let sum = samples.iter().fold(Counts::default(), |a, b| Counts {

@@ -7,7 +7,12 @@ use xbar_device::analog::{row_nand_read, ReadConfig};
 use xbar_device::{Crossbar, ProgramState};
 use xbar_exp::{ExpArgs, Table};
 
-fn programmed_row(values: &[bool], rows: usize, cols: usize, target_row: usize) -> (Crossbar, Vec<usize>) {
+fn programmed_row(
+    values: &[bool],
+    rows: usize,
+    cols: usize,
+    target_row: usize,
+) -> (Crossbar, Vec<usize>) {
     let mut xbar = Crossbar::new(rows, cols);
     let mut sense = Vec::new();
     for (c, &v) in values.iter().enumerate() {
@@ -56,7 +61,12 @@ fn main() {
             fanin.to_string(),
             format!("{:.4}", read.row_voltage),
             format!("{:.4}", read.margin),
-            if read.nand_value { "NAND=1 (WRONG)" } else { "NAND=0 (correct)" }.to_string(),
+            if read.nand_value {
+                "NAND=1 (WRONG)"
+            } else {
+                "NAND=0 (correct)"
+            }
+            .to_string(),
         ]);
     }
     margin_table.print();

@@ -19,7 +19,14 @@ fn main() {
 
     let mut table = Table::new(
         "Ext-E — success rate % vs (spare rows, spare cols), EA + column routing",
-        &["defect rate", "(0r,0c)", "(4r,0c)", "(0r,4c)", "(4r,4c)", "(8r,8c)"],
+        &[
+            "defect rate",
+            "(0r,0c)",
+            "(4r,0c)",
+            "(0r,4c)",
+            "(4r,4c)",
+            "(8r,8c)",
+        ],
     );
     for &rate in &[0.005, 0.01, 0.02, 0.03] {
         let mut row = vec![format!("{:.1}%", rate * 100.0)];

@@ -8,7 +8,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xbar_core::{map_hybrid, program_two_level, verify_against_cover, CrossbarMatrix, FunctionMatrix, VerifyMode};
+use xbar_core::{
+    map_hybrid, program_two_level, verify_against_cover, CrossbarMatrix, FunctionMatrix, VerifyMode,
+};
 use xbar_device::{scan_cell_by_cell, scan_march, Crossbar, DefectProfile};
 use xbar_exp::{ExpArgs, Table};
 use xbar_logic::bench_reg::find;
@@ -37,14 +39,24 @@ fn main() {
         "cell-by-cell".to_owned(),
         cell.write_ops.to_string(),
         cell.read_ops.to_string(),
-        if cell.matches_ground_truth(&xbar) { "exact" } else { "WRONG" }.to_owned(),
+        if cell.matches_ground_truth(&xbar) {
+            "exact"
+        } else {
+            "WRONG"
+        }
+        .to_owned(),
     ]);
     let march = scan_march(&mut xbar);
     cost.row([
         "march (row-parallel writes)".to_owned(),
         march.write_ops.to_string(),
         march.read_ops.to_string(),
-        if march.matches_ground_truth(&xbar) { "exact" } else { "WRONG" }.to_owned(),
+        if march.matches_ground_truth(&xbar) {
+            "exact"
+        } else {
+            "WRONG"
+        }
+        .to_owned(),
     ]);
     cost.print();
     let (functional, open, closed) = march.counts();
@@ -86,5 +98,8 @@ fn main() {
         "closed loop over {attempted} fabrics at {:.0}% stuck-open: {mapped} mapped, {verified} functionally verified",
         args.defect_rate * 100.0
     );
-    assert_eq!(mapped, verified, "every mapping from a measured map must verify");
+    assert_eq!(
+        mapped, verified,
+        "every mapping from a measured map must verify"
+    );
 }

@@ -50,7 +50,15 @@ fn main() {
     let args = ExpArgs::parse("Ext-B: defect-tolerant multi-level mapping");
     let mut table = Table::new(
         "Ext-B — multi-level mapping success rate % vs defect rate",
-        &["design", "rows x cols", "defects", "spare 0", "spare 1", "spare 2", "spare 4"],
+        &[
+            "design",
+            "rows x cols",
+            "defects",
+            "spare 0",
+            "spare 1",
+            "spare 2",
+            "spare 4",
+        ],
     );
 
     let designs: Vec<(String, MultiLevelDesign)> = vec![
@@ -82,8 +90,7 @@ fn main() {
                 format!("{:.0}%", rate * 100.0),
             ];
             for &spare in &[0usize, 1, 2, 4] {
-                let rate_val =
-                    success_rate(design, spare, rate, args.samples, args.seed, 8);
+                let rate_val = success_rate(design, spare, rate, args.samples, args.seed, 8);
                 row.push(pct(rate_val));
             }
             table.row(row);

@@ -29,7 +29,14 @@ fn main() {
 
     let mut open_table = Table::new(
         "Ext-A.1 — success rate % (stuck-open only), HBA",
-        &["defect rate", "spare 0", "spare 2", "spare 4", "spare 8", "spare 17 (1.5x rows)"],
+        &[
+            "defect rate",
+            "spare 0",
+            "spare 2",
+            "spare 4",
+            "spare 8",
+            "spare 17 (1.5x rows)",
+        ],
     );
     for &rate in &rates {
         let mut row = vec![format!("{:.0}%", rate * 100.0)];
@@ -53,7 +60,14 @@ fn main() {
 
     let mut closed_table = Table::new(
         "Ext-A.2 — success rate % (30% of defects stuck-closed), EA",
-        &["defect rate", "spare 0", "spare 2", "spare 4", "spare 8", "spare 17"],
+        &[
+            "defect rate",
+            "spare 0",
+            "spare 2",
+            "spare 4",
+            "spare 8",
+            "spare 17",
+        ],
     );
     // Stuck-closed kills whole lines, so meaningful rates sit far below the
     // stuck-open regime (see Ext-E for the column-redundancy remedy).

@@ -17,7 +17,13 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 1 — I-V sweep (0 → +3V → 0 → −3V → 0)",
-        &["leg_point", "voltage_V", "abrupt_current_A", "drift_current_A", "drift_state_w"],
+        &[
+            "leg_point",
+            "voltage_V",
+            "abrupt_current_A",
+            "drift_current_A",
+            "drift_state_w",
+        ],
     );
     let abrupt = iv_sweep(params, 3.0, 40, true);
     let drift = iv_sweep(params, 3.0, 40, false);

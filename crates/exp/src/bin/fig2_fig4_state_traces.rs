@@ -2,7 +2,10 @@
 //! machines, demonstrated as executable phase traces on the worked example
 //! function f = x0+x1+x2+x3 + x4·x5·x6·x7.
 
-use xbar_core::{map_naive, program_two_level, CrossbarMatrix, FunctionMatrix, MultiLevelDesign, MultiLevelMapping};
+use xbar_core::{
+    map_naive, program_two_level, CrossbarMatrix, FunctionMatrix, MultiLevelDesign,
+    MultiLevelMapping,
+};
 use xbar_device::Crossbar;
 use xbar_exp::ExpArgs;
 use xbar_logic::{cube, Cover};
@@ -32,13 +35,16 @@ fn main() {
     let fm = FunctionMatrix::from_cover(&cover);
     let cm = CrossbarMatrix::perfect(fm.num_rows(), fm.num_cols());
     let assignment = map_naive(&fm, &cm).assignment.expect("clean crossbar");
-    let mut machine = program_two_level(&cover, &assignment, Crossbar::new(6, 18))
-        .expect("layout fits");
+    let mut machine =
+        program_two_level(&cover, &assignment, Crossbar::new(6, 18)).expect("layout fits");
     let trace = machine.trace(input);
     for (phase, text) in &trace.phases {
         println!("  {phase:>4}: {text}");
     }
-    println!("  outputs f = {:?}, f̄ = {:?}", trace.outputs, trace.outputs_bar);
+    println!(
+        "  outputs f = {:?}, f̄ = {:?}",
+        trace.outputs, trace.outputs_bar
+    );
     assert_eq!(trace.outputs, cover.evaluate(input));
 
     println!();
@@ -55,7 +61,10 @@ fn main() {
         }
     }
     println!("  gate values = {:?}", trace.gate_values);
-    println!("  outputs f = {:?}, f̄ = {:?}", trace.outputs, trace.outputs_bar);
+    println!(
+        "  outputs f = {:?}, f̄ = {:?}",
+        trace.outputs, trace.outputs_bar
+    );
     assert_eq!(trace.outputs, cover.evaluate(input));
     println!();
     println!(

@@ -45,7 +45,10 @@ fn main() {
     table.row([
         "inclusion ratio".to_string(),
         "25%".to_string(),
-        format!("{:.1}%", switches as f64 / paper_layout.area() as f64 * 100.0),
+        format!(
+            "{:.1}%",
+            switches as f64 / paper_layout.area() as f64 * 100.0
+        ),
     ]);
     table.print();
 

@@ -10,14 +10,18 @@ fn main() {
 
     let mut summary = Table::new(
         "Fig. 6 — success rate (% of samples with multi-level < two-level)",
-        &["input size", "samples", "success % (paper)", "success % (ours)"],
+        &[
+            "input size",
+            "samples",
+            "success % (paper)",
+            "success % (ours)",
+        ],
     );
     for s in &series {
         summary.row([
             s.input_size.to_string(),
             s.points.len().to_string(),
-            s.published_success_rate
-                .map_or("-".to_owned(), pct),
+            s.published_success_rate.map_or("-".to_owned(), pct),
             pct(s.success_rate),
         ]);
     }
@@ -25,7 +29,14 @@ fn main() {
 
     let mut points = Table::new(
         "Fig. 6 — per-sample series (sorted by product count)",
-        &["input_size", "sample", "products", "two_level_area", "multi_level_area", "ml_wins"],
+        &[
+            "input_size",
+            "sample",
+            "products",
+            "two_level_area",
+            "multi_level_area",
+            "ml_wins",
+        ],
     );
     for s in &series {
         for (i, p) in s.points.iter().enumerate() {

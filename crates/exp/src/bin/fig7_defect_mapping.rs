@@ -51,7 +51,11 @@ fn main() {
     let naive = map_naive(&fm, &cm);
     println!(
         "(a) naive mapping (identity, defects disregarded): {}",
-        if naive.is_success() { "VALID" } else { "INVALID" }
+        if naive.is_success() {
+            "VALID"
+        } else {
+            "INVALID"
+        }
     );
     // Execute the naive placement anyway to show the functional corruption.
     let identity = RowAssignment {

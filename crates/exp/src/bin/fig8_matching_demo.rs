@@ -23,12 +23,8 @@ fn main() {
     .expect("valid cubes");
     let fm = FunctionMatrix::from_cover(&cover);
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let cm = CrossbarMatrix::sample_stuck_open(
-        fm.num_rows(),
-        fm.num_cols(),
-        args.defect_rate,
-        &mut rng,
-    );
+    let cm =
+        CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), args.defect_rate, &mut rng);
 
     println!("(a) function matrix FM (rows m1..m4, O1, O2):");
     for r in 0..fm.num_rows() {

@@ -41,7 +41,12 @@ fn main() {
             r.two_level_neg.map_or("-".into(), |v| v.to_string()),
             r.published_neg.1.to_string(),
             r.multi_level_neg.map_or("-".into(), |v| v.to_string()),
-            if r.winner_matches_paper() { "yes" } else { "NO" }.to_string(),
+            if r.winner_matches_paper() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     table.print();

@@ -17,9 +17,22 @@ fn main() {
     let mut table = Table::new(
         "Table II — HBA vs EA on optimum-size crossbars",
         &[
-            "name", "I", "O", "P", "area", "area paper", "IR%", "IR% paper",
-            "HBA Psucc%", "paper", "HBA time s", "paper",
-            "EA Psucc%", "paper", "EA time s", "paper",
+            "name",
+            "I",
+            "O",
+            "P",
+            "area",
+            "area paper",
+            "IR%",
+            "IR% paper",
+            "HBA Psucc%",
+            "paper",
+            "HBA time s",
+            "paper",
+            "EA Psucc%",
+            "paper",
+            "EA time s",
+            "paper",
         ],
     );
     for r in &rows {

@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn success_rate_declines_with_input_size() {
         // The paper's headline trend: 65% at n=8 down to 33% at n=15.
-        let args = ExpArgs { samples: 120, ..quick_args() };
+        let args = ExpArgs {
+            samples: 120,
+            ..quick_args()
+        };
         let small = run_series(8, &args);
         let large = run_series(15, &args);
         assert!(
@@ -144,7 +147,10 @@ mod tests {
 
     #[test]
     fn success_rates_are_in_the_papers_ballpark() {
-        let args = ExpArgs { samples: 150, ..quick_args() };
+        let args = ExpArgs {
+            samples: 150,
+            ..quick_args()
+        };
         for n in [8, 15] {
             let series = run_series(n, &args);
             let published = series.published_success_rate.expect("published");
@@ -165,7 +171,10 @@ mod tests {
         // (connection columns grow with the product count faster than
         // factoring can recover) — recorded as a deviation in
         // EXPERIMENTS.md. Assert the paper-matching regime.
-        let args = ExpArgs { samples: 300, ..quick_args() };
+        let args = ExpArgs {
+            samples: 300,
+            ..quick_args()
+        };
         let series = run_series(8, &args);
         let half = series.points.len() / 2;
         let low: f64 = series.points[..half]

@@ -50,7 +50,13 @@ pub fn negated_network(net: &Network) -> Network {
     for k in 0..net.num_outputs() {
         match net.output(k).expect("connected output") {
             NetSignal::Literal { var, positive } => {
-                out.set_output(k, NetSignal::Literal { var, positive: !positive });
+                out.set_output(
+                    k,
+                    NetSignal::Literal {
+                        var,
+                        positive: !positive,
+                    },
+                );
             }
             gate @ NetSignal::Gate(_) => {
                 let inv = out.add_gate(vec![gate]);
@@ -82,8 +88,7 @@ fn exact_negated_cover(name: &str) -> Option<Cover> {
 #[must_use]
 pub fn run_circuit(info: &BenchmarkInfo, seed: u64) -> Table1Row {
     let published = info.twolevel_area.zip(info.multilevel_area);
-    let (published_tl, published_ml) =
-        published.expect("Table I circuits have published areas");
+    let (published_tl, published_ml) = published.expect("Table I circuits have published areas");
 
     let (two_level, multi_level, two_level_neg, multi_level_neg) = match info.source {
         BenchmarkSource::StructuralAnalog => {
@@ -95,9 +100,9 @@ pub fn run_circuit(info: &BenchmarkInfo, seed: u64) -> Table1Row {
             // Two-level areas come from the published product counts (the
             // analog's own SOP differs; see DESIGN.md §4).
             let tl = info.formula_area();
-            let tl_neg = info.neg_products.map(|p| {
-                TwoLevelLayout::new(info.inputs, info.outputs, p).area()
-            });
+            let tl_neg = info
+                .neg_products
+                .map(|p| TwoLevelLayout::new(info.inputs, info.outputs, p).area());
             let ml = MultiLevelCost::of(&net).area();
             let ml_neg = Some(MultiLevelCost::of(&negated_network(&net)).area());
             (tl, ml, tl_neg, ml_neg)
@@ -118,7 +123,9 @@ pub fn run_circuit(info: &BenchmarkInfo, seed: u64) -> Table1Row {
             let neg_cover = info
                 .neg_twin_spec()
                 .map(|spec| spec.generate_seeded(seed ^ 0x5A5A));
-            let tl_neg = neg_cover.as_ref().map(|c| TwoLevelLayout::of_cover(c).area());
+            let tl_neg = neg_cover
+                .as_ref()
+                .map(|c| TwoLevelLayout::of_cover(c).area());
             let ml_neg = neg_cover.as_ref().map(multilevel_area_of_cover);
             (tl, ml, tl_neg, ml_neg)
         }

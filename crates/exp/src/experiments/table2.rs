@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn hba_is_faster_than_ea_on_a_large_circuit() {
-        let args = ExpArgs { samples: 5, ..quick_args() };
+        let args = ExpArgs {
+            samples: 5,
+            ..quick_args()
+        };
         let row = run_circuit(find("ex1010").expect("registered"), &args);
         assert!(
             row.hba_time < row.ea_time,
@@ -157,7 +160,13 @@ mod tests {
 
     #[test]
     fn subset_filter_works() {
-        let rows = run_table2(&ExpArgs { samples: 5, ..quick_args() }, Some(&["rd53", "bw"]));
+        let rows = run_table2(
+            &ExpArgs {
+                samples: 5,
+                ..quick_args()
+            },
+            Some(&["rd53", "bw"]),
+        );
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, ["rd53", "bw"]);
     }

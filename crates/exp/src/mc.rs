@@ -5,15 +5,15 @@
 //! experiment seed, so results are reproducible regardless of thread count
 //! or scheduling.
 
-use crossbeam::thread;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::thread;
 
 /// Derives a per-sample seed from the experiment seed (SplitMix64 step).
 #[must_use]
 pub fn sample_seed(experiment_seed: u64, sample: usize) -> u64 {
-    let mut z = experiment_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(sample as u64 + 1));
+    let mut z =
+        experiment_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(sample as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -39,21 +39,18 @@ where
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= samples {
                     break;
                 }
                 let value = f(i, sample_seed(experiment_seed, i));
-                results
-                    .lock()
-                    .expect("no poisoned worker")
-                    .get_mut(i)
-                    .map(|slot| *slot = Some(value));
+                if let Some(slot) = results.lock().expect("no poisoned worker").get_mut(i) {
+                    *slot = Some(value);
+                }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_inner()

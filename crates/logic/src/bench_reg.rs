@@ -141,31 +141,291 @@ impl BenchmarkInfo {
 pub fn registry() -> &'static [BenchmarkInfo] {
     use BenchmarkSource::{Exact, Statistical, StructuralAnalog};
     const R: &[BenchmarkInfo] = &[
-        BenchmarkInfo { name: "rd53", inputs: 5, outputs: 3, products: 31, ir_percent: Some(33.0), area: 544, neg_products: Some(32), multilevel_area: Some((3000, 2000)), twolevel_area: Some((544, 560)), hba: Some((98.0, 0.001)), ea: Some((98.0, 0.001)), source: Exact },
-        BenchmarkInfo { name: "squar5", inputs: 5, outputs: 8, products: 25, ir_percent: Some(16.0), area: 858, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((100.0, 0.001)), ea: Some((100.0, 0.001)), source: Exact },
-        BenchmarkInfo { name: "bw", inputs: 5, outputs: 28, products: 22, ir_percent: Some(12.0), area: 3300, neg_products: Some(26), multilevel_area: Some((52875, 53110)), twolevel_area: Some((3300, 3564)), hba: Some((100.0, 0.002)), ea: Some((100.0, 0.003)), source: Statistical },
-        BenchmarkInfo { name: "inc", inputs: 7, outputs: 9, products: 30, ir_percent: Some(17.0), area: 1248, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((100.0, 0.001)), ea: Some((100.0, 0.002)), source: Statistical },
-        BenchmarkInfo { name: "misex1", inputs: 8, outputs: 7, products: 12, ir_percent: Some(19.0), area: 570, neg_products: Some(46), multilevel_area: Some((4836, 4161)), twolevel_area: Some((570, 1590)), hba: Some((100.0, 0.001)), ea: Some((100.0, 0.001)), source: Statistical },
-        BenchmarkInfo { name: "sqrt8", inputs: 8, outputs: 4, products: 29, ir_percent: Some(21.0), area: 792, neg_products: Some(38), multilevel_area: Some((2745, 3300)), twolevel_area: Some((1008, 792)), hba: Some((100.0, 0.001)), ea: Some((100.0, 0.002)), source: Exact },
-        BenchmarkInfo { name: "sao2", inputs: 10, outputs: 4, products: 58, ir_percent: Some(29.0), area: 1736, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((94.0, 0.001)), ea: Some((97.0, 0.003)), source: Statistical },
-        BenchmarkInfo { name: "rd73", inputs: 7, outputs: 3, products: 127, ir_percent: Some(34.0), area: 2600, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((78.0, 0.002)), ea: Some((92.0, 0.013)), source: Exact },
+        BenchmarkInfo {
+            name: "rd53",
+            inputs: 5,
+            outputs: 3,
+            products: 31,
+            ir_percent: Some(33.0),
+            area: 544,
+            neg_products: Some(32),
+            multilevel_area: Some((3000, 2000)),
+            twolevel_area: Some((544, 560)),
+            hba: Some((98.0, 0.001)),
+            ea: Some((98.0, 0.001)),
+            source: Exact,
+        },
+        BenchmarkInfo {
+            name: "squar5",
+            inputs: 5,
+            outputs: 8,
+            products: 25,
+            ir_percent: Some(16.0),
+            area: 858,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((100.0, 0.001)),
+            ea: Some((100.0, 0.001)),
+            source: Exact,
+        },
+        BenchmarkInfo {
+            name: "bw",
+            inputs: 5,
+            outputs: 28,
+            products: 22,
+            ir_percent: Some(12.0),
+            area: 3300,
+            neg_products: Some(26),
+            multilevel_area: Some((52875, 53110)),
+            twolevel_area: Some((3300, 3564)),
+            hba: Some((100.0, 0.002)),
+            ea: Some((100.0, 0.003)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "inc",
+            inputs: 7,
+            outputs: 9,
+            products: 30,
+            ir_percent: Some(17.0),
+            area: 1248,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((100.0, 0.001)),
+            ea: Some((100.0, 0.002)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "misex1",
+            inputs: 8,
+            outputs: 7,
+            products: 12,
+            ir_percent: Some(19.0),
+            area: 570,
+            neg_products: Some(46),
+            multilevel_area: Some((4836, 4161)),
+            twolevel_area: Some((570, 1590)),
+            hba: Some((100.0, 0.001)),
+            ea: Some((100.0, 0.001)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "sqrt8",
+            inputs: 8,
+            outputs: 4,
+            products: 29,
+            ir_percent: Some(21.0),
+            area: 792,
+            neg_products: Some(38),
+            multilevel_area: Some((2745, 3300)),
+            twolevel_area: Some((1008, 792)),
+            hba: Some((100.0, 0.001)),
+            ea: Some((100.0, 0.002)),
+            source: Exact,
+        },
+        BenchmarkInfo {
+            name: "sao2",
+            inputs: 10,
+            outputs: 4,
+            products: 58,
+            ir_percent: Some(29.0),
+            area: 1736,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((94.0, 0.001)),
+            ea: Some((97.0, 0.003)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "rd73",
+            inputs: 7,
+            outputs: 3,
+            products: 127,
+            ir_percent: Some(34.0),
+            area: 2600,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((78.0, 0.002)),
+            ea: Some((92.0, 0.013)),
+            source: Exact,
+        },
         // Note: the MCNC "clip" circuit is NOT a plain saturating clamp (a
         // clamp minimizes to ~13 products, the MCNC circuit to 120), so the
         // registry uses a statistical twin; `exact_truth_table("clip")`
         // still provides the clamp as a standalone function.
-        BenchmarkInfo { name: "clip", inputs: 9, outputs: 5, products: 120, ir_percent: Some(23.0), area: 3500, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((76.0, 0.005)), ea: Some((79.0, 0.082)), source: Statistical },
-        BenchmarkInfo { name: "rd84", inputs: 8, outputs: 4, products: 255, ir_percent: Some(33.0), area: 6216, neg_products: Some(293), multilevel_area: Some((48124, 20276)), twolevel_area: Some((6216, 7128)), hba: Some((82.0, 0.006)), ea: Some((89.0, 0.093)), source: Exact },
-        BenchmarkInfo { name: "ex1010", inputs: 10, outputs: 10, products: 284, ir_percent: Some(23.0), area: 11760, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((100.0, 0.003)), ea: Some((100.0, 0.062)), source: Statistical },
-        BenchmarkInfo { name: "table3", inputs: 14, outputs: 14, products: 175, ir_percent: Some(25.0), area: 10584, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((100.0, 0.004)), ea: Some((100.0, 0.032)), source: Statistical },
-        BenchmarkInfo { name: "misex3c", inputs: 14, outputs: 14, products: 197, ir_percent: Some(13.0), area: 11856, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((100.0, 0.003)), ea: Some((100.0, 0.035)), source: Statistical },
-        BenchmarkInfo { name: "exp5", inputs: 8, outputs: 63, products: 74, ir_percent: Some(10.0), area: 19454, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((65.0, 0.006)), ea: Some((80.0, 0.024)), source: Statistical },
-        BenchmarkInfo { name: "apex4", inputs: 9, outputs: 19, products: 436, ir_percent: Some(21.0), area: 25480, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((100.0, 0.008)), ea: Some((100.0, 0.173)), source: Statistical },
-        BenchmarkInfo { name: "alu4", inputs: 14, outputs: 8, products: 575, ir_percent: Some(19.0), area: 25652, neg_products: None, multilevel_area: None, twolevel_area: None, hba: Some((100.0, 0.008)), ea: Some((100.0, 0.284)), source: Statistical },
+        BenchmarkInfo {
+            name: "clip",
+            inputs: 9,
+            outputs: 5,
+            products: 120,
+            ir_percent: Some(23.0),
+            area: 3500,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((76.0, 0.005)),
+            ea: Some((79.0, 0.082)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "rd84",
+            inputs: 8,
+            outputs: 4,
+            products: 255,
+            ir_percent: Some(33.0),
+            area: 6216,
+            neg_products: Some(293),
+            multilevel_area: Some((48124, 20276)),
+            twolevel_area: Some((6216, 7128)),
+            hba: Some((82.0, 0.006)),
+            ea: Some((89.0, 0.093)),
+            source: Exact,
+        },
+        BenchmarkInfo {
+            name: "ex1010",
+            inputs: 10,
+            outputs: 10,
+            products: 284,
+            ir_percent: Some(23.0),
+            area: 11760,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((100.0, 0.003)),
+            ea: Some((100.0, 0.062)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "table3",
+            inputs: 14,
+            outputs: 14,
+            products: 175,
+            ir_percent: Some(25.0),
+            area: 10584,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((100.0, 0.004)),
+            ea: Some((100.0, 0.032)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "misex3c",
+            inputs: 14,
+            outputs: 14,
+            products: 197,
+            ir_percent: Some(13.0),
+            area: 11856,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((100.0, 0.003)),
+            ea: Some((100.0, 0.035)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "exp5",
+            inputs: 8,
+            outputs: 63,
+            products: 74,
+            ir_percent: Some(10.0),
+            area: 19454,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((65.0, 0.006)),
+            ea: Some((80.0, 0.024)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "apex4",
+            inputs: 9,
+            outputs: 19,
+            products: 436,
+            ir_percent: Some(21.0),
+            area: 25480,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((100.0, 0.008)),
+            ea: Some((100.0, 0.173)),
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "alu4",
+            inputs: 14,
+            outputs: 8,
+            products: 575,
+            ir_percent: Some(19.0),
+            area: 25652,
+            neg_products: None,
+            multilevel_area: None,
+            twolevel_area: None,
+            hba: Some((100.0, 0.008)),
+            ea: Some((100.0, 0.284)),
+            source: Statistical,
+        },
         // Table I only:
-        BenchmarkInfo { name: "con1", inputs: 7, outputs: 2, products: 9, ir_percent: None, area: 198, neg_products: Some(9), multilevel_area: Some((480, 527)), twolevel_area: Some((198, 198)), hba: None, ea: None, source: Statistical },
-        BenchmarkInfo { name: "b12", inputs: 15, outputs: 9, products: 43, ir_percent: None, area: 2496, neg_products: Some(34), multilevel_area: Some((7800, 2691)), twolevel_area: Some((2496, 2064)), hba: None, ea: None, source: Statistical },
-        BenchmarkInfo { name: "t481", inputs: 16, outputs: 1, products: 481, ir_percent: None, area: 16388, neg_products: Some(360), multilevel_area: Some((5760, 8034)), twolevel_area: Some((16388, 12274)), hba: None, ea: None, source: StructuralAnalog },
-        BenchmarkInfo { name: "cordic", inputs: 23, outputs: 2, products: 914, ir_percent: None, area: 45800, neg_products: Some(1191), multilevel_area: Some((9594, 10668)), twolevel_area: Some((45800, 59650)), hba: None, ea: None, source: StructuralAnalog },
+        BenchmarkInfo {
+            name: "con1",
+            inputs: 7,
+            outputs: 2,
+            products: 9,
+            ir_percent: None,
+            area: 198,
+            neg_products: Some(9),
+            multilevel_area: Some((480, 527)),
+            twolevel_area: Some((198, 198)),
+            hba: None,
+            ea: None,
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "b12",
+            inputs: 15,
+            outputs: 9,
+            products: 43,
+            ir_percent: None,
+            area: 2496,
+            neg_products: Some(34),
+            multilevel_area: Some((7800, 2691)),
+            twolevel_area: Some((2496, 2064)),
+            hba: None,
+            ea: None,
+            source: Statistical,
+        },
+        BenchmarkInfo {
+            name: "t481",
+            inputs: 16,
+            outputs: 1,
+            products: 481,
+            ir_percent: None,
+            area: 16388,
+            neg_products: Some(360),
+            multilevel_area: Some((5760, 8034)),
+            twolevel_area: Some((16388, 12274)),
+            hba: None,
+            ea: None,
+            source: StructuralAnalog,
+        },
+        BenchmarkInfo {
+            name: "cordic",
+            inputs: 23,
+            outputs: 2,
+            products: 914,
+            ir_percent: None,
+            area: 45800,
+            neg_products: Some(1191),
+            multilevel_area: Some((9594, 10668)),
+            twolevel_area: Some((45800, 59650)),
+            hba: None,
+            ea: None,
+            source: StructuralAnalog,
+        },
     ];
     R
 }
@@ -238,9 +498,8 @@ fn popcount_table(inputs: usize, outputs: usize) -> TruthTable {
 /// Returns [`LogicError::UnknownBenchmark`] when the function has no exact
 /// definition.
 pub fn exact_cover(name: &str) -> Result<Cover, LogicError> {
-    let table = exact_truth_table(name).ok_or_else(|| LogicError::UnknownBenchmark {
-        name: name.into(),
-    })?;
+    let table = exact_truth_table(name)
+        .ok_or_else(|| LogicError::UnknownBenchmark { name: name.into() })?;
     let on = table.minterm_cover();
     let dc = Cover::new(table.num_inputs(), table.num_outputs());
     let minimized = minimize(&on, &dc, MinimizeOptions::default());

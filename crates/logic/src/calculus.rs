@@ -203,7 +203,11 @@ fn single_output_input_part(cube: &Cube) -> Cube {
 /// ```
 #[must_use]
 pub fn complement(cover: &Cover) -> Cover {
-    assert_eq!(cover.num_outputs(), 1, "complement expects a single-output cover");
+    assert_eq!(
+        cover.num_outputs(),
+        1,
+        "complement expects a single-output cover"
+    );
     let cubes: Vec<Cube> = cover.iter().cloned().collect();
     let mut result_cubes = complement_rec(&cubes, cover.num_inputs(), 0);
     // Light cleanup: single-cube containment.
@@ -254,7 +258,9 @@ fn complement_rec(cubes: &[Cube], num_inputs: usize, depth: usize) -> Vec<Cube> 
 /// inverted.
 fn complement_single_cube(cube: &Cube) -> Vec<Cube> {
     cube.literals()
-        .map(|(var, phase)| Cube::universe(cube.num_inputs(), 1).with_literal(var, phase.inverted()))
+        .map(|(var, phase)| {
+            Cube::universe(cube.num_inputs(), 1).with_literal(var, phase.inverted())
+        })
         .collect()
 }
 

@@ -28,7 +28,6 @@ use std::fmt;
 /// assert_eq!(cover.evaluate(0b100), vec![false]);
 /// ```
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cover {
     num_inputs: usize,
     num_outputs: usize,
@@ -93,10 +92,12 @@ impl Cover {
             if line.is_empty() {
                 continue;
             }
-            let cube = crate::pla::parse_cube_line(line, num_inputs, num_outputs)
-                .map_err(|message| LogicError::ParsePla {
-                    line: lineno + 1,
-                    message,
+            let cube =
+                crate::pla::parse_cube_line(line, num_inputs, num_outputs).map_err(|message| {
+                    LogicError::ParsePla {
+                        line: lineno + 1,
+                        message,
+                    }
                 })?;
             cover.cubes.push(cube);
         }
@@ -346,7 +347,10 @@ impl Cover {
     pub fn equivalent(&self, other: &Cover) -> bool {
         assert_eq!(self.num_inputs, other.num_inputs);
         assert_eq!(self.num_outputs, other.num_outputs);
-        assert!(self.num_inputs <= 24, "exhaustive equivalence limited to 24 inputs");
+        assert!(
+            self.num_inputs <= 24,
+            "exhaustive equivalence limited to 24 inputs"
+        );
         for a in 0..1u64 << self.num_inputs {
             if self.evaluate(a) != other.evaluate(a) {
                 return false;
@@ -468,8 +472,8 @@ mod tests {
 
     #[test]
     fn share_identical_products_merges() {
-        let cover =
-            Cover::from_cubes(3, 2, [cube("11- 10"), cube("11- 01"), cube("0-- 10")]).expect("dims");
+        let cover = Cover::from_cubes(3, 2, [cube("11- 10"), cube("11- 01"), cube("0-- 10")])
+            .expect("dims");
         let shared = cover.share_identical_products();
         assert_eq!(shared.len(), 2);
         assert!(shared.equivalent(&cover));

@@ -85,7 +85,6 @@ const VARS_PER_WORD: usize = 64 / BITS_PER_VAR;
 /// assert!(!cube.evaluate(0b101)); // x2=1 violates x̄2
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cube {
     num_inputs: u16,
     num_outputs: u16,
@@ -126,7 +125,12 @@ impl Cube {
     /// `assignment` (bit `i` of `assignment` gives the value of variable `i`),
     /// driving the outputs whose bits are set in `outputs`.
     #[must_use]
-    pub fn minterm(num_inputs: usize, assignment: u64, outputs: &[usize], num_outputs: usize) -> Self {
+    pub fn minterm(
+        num_inputs: usize,
+        assignment: u64,
+        outputs: &[usize],
+        num_outputs: usize,
+    ) -> Self {
         let mut cube = Self::universe(num_inputs, num_outputs);
         for var in 0..num_inputs {
             cube.set_literal(var, Phase::from_bool(assignment >> var & 1 == 1));
@@ -378,7 +382,10 @@ impl Cube {
     /// Whether both output sets share at least one output.
     #[must_use]
     pub fn outputs_intersect(&self, other: &Self) -> bool {
-        self.outputs.iter().zip(&other.outputs).any(|(a, b)| a & b != 0)
+        self.outputs
+            .iter()
+            .zip(&other.outputs)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// The input-part distance: number of variables on which the two cubes

@@ -50,7 +50,9 @@ pub mod qm;
 mod random;
 mod truth;
 
-pub use calculus::{complement, complement_multi, cover_contains_cube, cover_contains_input_cube, is_tautology};
+pub use calculus::{
+    complement, complement_multi, cover_contains_cube, cover_contains_input_cube, is_tautology,
+};
 pub use cover::{cube, Cover};
 pub use cube::{Cube, Phase, VarState};
 pub use error::LogicError;

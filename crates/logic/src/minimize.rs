@@ -342,8 +342,12 @@ mod tests {
 
     #[test]
     fn merges_adjacent_minterms() {
-        let on = Cover::from_cubes(3, 1, [cube("000 1"), cube("001 1"), cube("010 1"), cube("011 1")])
-            .expect("dims");
+        let on = Cover::from_cubes(
+            3,
+            1,
+            [cube("000 1"), cube("001 1"), cube("010 1"), cube("011 1")],
+        )
+        .expect("dims");
         let min = minimize_default(&on);
         assert_eq!(min.len(), 1);
         assert_eq!(min.cubes()[0].literal_count(), 1);
@@ -355,7 +359,10 @@ mod tests {
         let table = TruthTable::from_fn(4, 1, |a| vec![(a * 7 + 3) % 5 < 2]).expect("small");
         let on = table.minterm_cover();
         let min = minimize_default(&on);
-        assert!(table.matches_cover(&min), "minimized cover changed the function");
+        assert!(
+            table.matches_cover(&min),
+            "minimized cover changed the function"
+        );
         assert!(min.len() <= on.len());
     }
 
@@ -391,8 +398,8 @@ mod tests {
 
     #[test]
     fn irredundant_removes_absorbed_cube() {
-        let on = Cover::from_cubes(3, 1, [cube("1-- 1"), cube("-1- 1"), cube("11- 1")])
-            .expect("dims");
+        let on =
+            Cover::from_cubes(3, 1, [cube("1-- 1"), cube("-1- 1"), cube("11- 1")]).expect("dims");
         let min = minimize_default(&on);
         assert_eq!(min.len(), 2);
         assert!(min.equivalent(&on));
@@ -410,10 +417,8 @@ mod tests {
 
     #[test]
     fn reduce_does_not_change_function() {
-        let table = TruthTable::from_fn(4, 2, |a| {
-            vec![a.count_ones() >= 2, (a & 0b11) == 0b10]
-        })
-        .expect("small");
+        let table = TruthTable::from_fn(4, 2, |a| vec![a.count_ones() >= 2, (a & 0b11) == 0b10])
+            .expect("small");
         let on = table.minterm_cover();
         let mut cover = on.clone();
         let dc = Cover::new(4, 2);
@@ -430,9 +435,21 @@ mod tests {
 
     #[test]
     fn cost_ordering() {
-        let a = CoverCost { cubes: 3, literals: 10, memberships: 3 };
-        let b = CoverCost { cubes: 3, literals: 9, memberships: 9 };
-        let c = CoverCost { cubes: 2, literals: 50, memberships: 9 };
+        let a = CoverCost {
+            cubes: 3,
+            literals: 10,
+            memberships: 3,
+        };
+        let b = CoverCost {
+            cubes: 3,
+            literals: 9,
+            memberships: 9,
+        };
+        let c = CoverCost {
+            cubes: 2,
+            literals: 50,
+            memberships: 9,
+        };
         assert!(c < b && b < a);
     }
 }

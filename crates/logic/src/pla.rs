@@ -97,8 +97,7 @@ impl Pla {
             }
             let ni = num_inputs.ok_or_else(|| err("cube before .i".into()))?;
             let no = num_outputs.ok_or_else(|| err("cube before .o".into()))?;
-            let (cube, is_dc) = parse_cube_line_dc(line, ni, no)
-                .map_err(err)?;
+            let (cube, is_dc) = parse_cube_line_dc(line, ni, no).map_err(err)?;
             if is_dc {
                 dc_cubes.push(cube);
             } else if !cube.is_empty() {

@@ -138,9 +138,9 @@ pub fn minimize_exact(
     // Essential primes: sole cover of some minterm.
     let mut chosen: Vec<usize> = Vec::new();
     let mut covered = vec![false; minterms.len()];
-    for m in 0..minterms.len() {
-        if covered_by[m].len() == 1 {
-            let p = covered_by[m][0];
+    for primes in &covered_by {
+        if primes.len() == 1 {
+            let p = primes[0];
             if !chosen.contains(&p) {
                 chosen.push(p);
                 for &mm in &covers[p] {
@@ -181,7 +181,11 @@ pub fn minimize_exact(
                 std::cmp::Reverse(self.covers[p].iter().filter(|&&m| !covered[m]).count())
             });
             for p in candidates {
-                let newly: Vec<usize> = self.covers[p].iter().copied().filter(|&m| !covered[m]).collect();
+                let newly: Vec<usize> = self.covers[p]
+                    .iter()
+                    .copied()
+                    .filter(|&m| !covered[m])
+                    .collect();
                 for &m in &newly {
                     covered[m] = true;
                 }

@@ -109,7 +109,10 @@ impl RandomSopSpec {
         let mut attempts = 0usize;
         while cover.len() < self.products && attempts < self.products * 50 {
             attempts += 1;
-            let k = self.literals.sample(self.num_inputs, rng).min(self.num_inputs);
+            let k = self
+                .literals
+                .sample(self.num_inputs, rng)
+                .min(self.num_inputs);
             let cube = random_cube(
                 rng,
                 self.num_inputs,
@@ -119,10 +122,7 @@ impl RandomSopSpec {
             );
             // Avoid duplicate or contained products: they would silently
             // shrink the effective product count.
-            if cover
-                .iter()
-                .any(|c| c.contains(&cube) || cube.contains(c))
-            {
+            if cover.iter().any(|c| c.contains(&cube) || cube.contains(c)) {
                 continue;
             }
             cover.push(cube);
@@ -172,9 +172,10 @@ fn random_cube(
 /// literal density calibrated so the two-level crossbar's inclusion ratio
 /// matches the published `IR`.
 ///
-/// The two-level implementation programs `Σ literals + Σ output memberships
-/// + 2·O` active crosspoints on a `(P+O) × (2I+2O)` crossbar, so the target
-/// average literal count per product is solved from the published IR.
+/// The two-level implementation programs `Σ literals + Σ output
+/// memberships + 2·O` active crosspoints on a `(P+O) × (2I+2O)` crossbar,
+/// so the target average literal count per product is solved from the
+/// published IR.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibratedTwinSpec {
     /// Published input count.
@@ -192,8 +193,8 @@ impl CalibratedTwinSpec {
     /// IR: literals per product plus output memberships per product.
     #[must_use]
     pub fn target_row_weight(&self) -> f64 {
-        let area = ((self.products + self.num_outputs) * (2 * self.num_inputs + 2 * self.num_outputs))
-            as f64;
+        let area = ((self.products + self.num_outputs)
+            * (2 * self.num_inputs + 2 * self.num_outputs)) as f64;
         let total_active = self.ir_percent / 100.0 * area;
         let output_row_switches = (2 * self.num_outputs) as f64;
         ((total_active - output_row_switches) / self.products as f64).max(1.0)
@@ -244,8 +245,8 @@ impl CalibratedTwinSpec {
             // Memberships: mean ± jitter proportional to the mean.
             let jitter_range = (mem_mean * 0.25).max(1.0);
             let jitter = rng.random_range(-jitter_range..=jitter_range);
-            let memberships = ((mem_mean + jitter).round() as i64)
-                .clamp(1, self.num_outputs as i64) as usize;
+            let memberships =
+                ((mem_mean + jitter).round() as i64).clamp(1, self.num_outputs as i64) as usize;
 
             let mut cube = Cube::universe(self.num_inputs, self.num_outputs);
             let mut vars: Vec<usize> = (0..self.num_inputs).collect();
@@ -353,8 +354,7 @@ mod tests {
         };
         let cover = spec.generate_seeded(5);
         let area = ((127 + 3) * (14 + 6)) as f64;
-        let active =
-            (cover.total_literals() + cover.total_output_memberships() + 2 * 3) as f64;
+        let active = (cover.total_literals() + cover.total_output_memberships() + 2 * 3) as f64;
         let ir = active / area * 100.0;
         assert!(
             (ir - 34.0).abs() < 5.0,

@@ -167,7 +167,9 @@ impl TruthTable {
     pub fn minterm_cover(&self) -> Cover {
         let mut cover = Cover::new(self.num_inputs, self.num_outputs);
         for a in 0..1u64 << self.num_inputs {
-            let outs: Vec<usize> = (0..self.num_outputs).filter(|&o| self.value(a, o)).collect();
+            let outs: Vec<usize> = (0..self.num_outputs)
+                .filter(|&o| self.value(a, o))
+                .collect();
             if !outs.is_empty() {
                 cover.push(Cube::minterm(self.num_inputs, a, &outs, self.num_outputs));
             }
@@ -229,10 +231,8 @@ mod tests {
 
     #[test]
     fn minterm_cover_is_equivalent() {
-        let table = TruthTable::from_fn(4, 2, |a| {
-            vec![a % 3 == 0, a.count_ones() % 2 == 1]
-        })
-        .expect("small");
+        let table = TruthTable::from_fn(4, 2, |a| vec![a % 3 == 0, a.count_ones() % 2 == 1])
+            .expect("small");
         let cover = table.minterm_cover();
         assert!(table.matches_cover(&cover));
     }

@@ -36,13 +36,19 @@ pub fn network_to_blif(network: &Network, model_name: &str) -> String {
     let _ = writeln!(out, ".model {model_name}");
     let inputs: Vec<String> = (0..network.num_inputs()).map(|v| format!("x{v}")).collect();
     let _ = writeln!(out, ".inputs {}", inputs.join(" "));
-    let outputs: Vec<String> = (0..network.num_outputs()).map(|k| format!("o{k}")).collect();
+    let outputs: Vec<String> = (0..network.num_outputs())
+        .map(|k| format!("o{k}"))
+        .collect();
     let _ = writeln!(out, ".outputs {}", outputs.join(" "));
 
     // Which negative literals are consumed anywhere (gates or outputs)?
     let mut need_inverter = vec![false; network.num_inputs()];
     let mut mark = |s: NetSignal| {
-        if let NetSignal::Literal { var, positive: false } = s {
+        if let NetSignal::Literal {
+            var,
+            positive: false,
+        } = s
+        {
             need_inverter[var] = true;
         }
     };
@@ -65,15 +71,20 @@ pub fn network_to_blif(network: &Network, model_name: &str) -> String {
 
     let signal_name = |s: NetSignal| -> String {
         match s {
-            NetSignal::Literal { var, positive: true } => format!("x{var}"),
-            NetSignal::Literal { var, positive: false } => format!("inv_x{var}"),
+            NetSignal::Literal {
+                var,
+                positive: true,
+            } => format!("x{var}"),
+            NetSignal::Literal {
+                var,
+                positive: false,
+            } => format!("inv_x{var}"),
             NetSignal::Gate(id) => format!("g{id}"),
         }
     };
 
     for (id, gate) in network.gates().iter().enumerate() {
-        let fanin_names: Vec<String> =
-            gate.fanins.iter().map(|&s| signal_name(s)).collect();
+        let fanin_names: Vec<String> = gate.fanins.iter().map(|&s| signal_name(s)).collect();
         let _ = writeln!(out, ".names {} g{id}", fanin_names.join(" "));
         // NAND: output 1 whenever any input is 0.
         for i in 0..gate.fanins.len() {
@@ -138,19 +149,13 @@ mod tests {
                 values.insert(target[0].to_owned(), result);
             }
         }
-        (0..num_outputs)
-            .map(|k| values[&format!("o{k}")])
-            .collect()
+        (0..num_outputs).map(|k| values[&format!("o{k}")]).collect()
     }
 
     #[test]
     fn blif_roundtrip_matches_network() {
-        let cover = Cover::from_cubes(
-            4,
-            2,
-            [cube("11-- 10"), cube("--01 11"), cube("0--- 01")],
-        )
-        .expect("dims");
+        let cover = Cover::from_cubes(4, 2, [cube("11-- 10"), cube("--01 11"), cube("0--- 01")])
+            .expect("dims");
         let net = map_cover(&cover, &MapOptions::default());
         let blif = network_to_blif(&net, "roundtrip");
         for a in 0..16u64 {
@@ -166,8 +171,14 @@ mod tests {
     fn header_and_structure() {
         let mut net = Network::new(3, 1);
         let g = net.add_gate(vec![
-            NetSignal::Literal { var: 0, positive: true },
-            NetSignal::Literal { var: 2, positive: false },
+            NetSignal::Literal {
+                var: 0,
+                positive: true,
+            },
+            NetSignal::Literal {
+                var: 2,
+                positive: false,
+            },
         ]);
         net.set_output(0, g);
         let blif = network_to_blif(&net, "demo");
@@ -182,7 +193,13 @@ mod tests {
     #[test]
     fn literal_output_gets_a_buffer() {
         let mut net = Network::new(2, 1);
-        net.set_output(0, NetSignal::Literal { var: 1, positive: false });
+        net.set_output(
+            0,
+            NetSignal::Literal {
+                var: 1,
+                positive: false,
+            },
+        );
         let blif = network_to_blif(&net, "buf");
         assert!(blif.contains(".names inv_x1 o0"));
         for a in 0..4u64 {

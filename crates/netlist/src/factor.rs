@@ -295,7 +295,12 @@ mod tests {
         let cover = Cover::from_cubes(
             4,
             1,
-            [cube("1-1- 1"), cube("1--1 1"), cube("-11- 1"), cube("-1-1 1")],
+            [
+                cube("1-1- 1"),
+                cube("1--1 1"),
+                cube("-11- 1"),
+                cube("-1-1 1"),
+            ],
         )
         .expect("dims");
         let expr = factor_cover(&cover);
@@ -332,8 +337,7 @@ mod tests {
     #[test]
     fn common_cube_is_pulled_out() {
         // abc + abd = ab(c+d).
-        let cover =
-            Cover::from_cubes(4, 1, [cube("111- 1"), cube("11-1 1")]).expect("dims");
+        let cover = Cover::from_cubes(4, 1, [cube("111- 1"), cube("11-1 1")]).expect("dims");
         let expr = factor_cover(&cover);
         check_equivalent(&cover, &expr);
         assert_eq!(expr.literal_count(), 4);
@@ -359,8 +363,7 @@ mod tests {
     #[test]
     fn unfactorable_sop_stays_flat() {
         // ab + cd has no savings; literal count stays 4.
-        let cover =
-            Cover::from_cubes(4, 1, [cube("11-- 1"), cube("--11 1")]).expect("dims");
+        let cover = Cover::from_cubes(4, 1, [cube("11-- 1"), cube("--11 1")]).expect("dims");
         let expr = factor_cover(&cover);
         check_equivalent(&cover, &expr);
         assert_eq!(expr.literal_count(), 4);
@@ -368,8 +371,7 @@ mod tests {
 
     #[test]
     fn negative_literals_are_preserved() {
-        let cover =
-            Cover::from_cubes(3, 1, [cube("0-1 1"), cube("0-0 1")]).expect("dims");
+        let cover = Cover::from_cubes(3, 1, [cube("0-1 1"), cube("0-0 1")]).expect("dims");
         let expr = factor_cover(&cover);
         check_equivalent(&cover, &expr);
         // Algebraic factoring pulls out x̄0 but keeps (x2 + x̄2): Boolean

@@ -34,7 +34,11 @@ pub fn decode_literal(id: LiteralId) -> (usize, bool) {
 /// Panics when the cover is not single-output.
 #[must_use]
 pub fn sop_from_cover(cover: &Cover) -> AlgSop {
-    assert_eq!(cover.num_outputs(), 1, "algebraic ops need single-output covers");
+    assert_eq!(
+        cover.num_outputs(),
+        1,
+        "algebraic ops need single-output covers"
+    );
     cover
         .iter()
         .map(|cube| {
@@ -58,7 +62,10 @@ pub fn cube_contains(sup: &AlgCube, sub: &AlgCube) -> bool {
 /// Set-difference of sorted cubes: literals of `cube` not in `remove`.
 #[must_use]
 pub fn cube_minus(cube: &AlgCube, remove: &AlgCube) -> AlgCube {
-    cube.iter().copied().filter(|l| !remove.contains(l)).collect()
+    cube.iter()
+        .copied()
+        .filter(|l| !remove.contains(l))
+        .collect()
 }
 
 /// The largest cube dividing every cube of `sop` (intersection of literal

@@ -103,8 +103,7 @@ impl Builder {
                 if children.len() == 1 {
                     return self.emit(&children[0], inverted);
                 }
-                let fanins: Vec<NetSignal> =
-                    children.iter().map(|c| self.emit(c, false)).collect();
+                let fanins: Vec<NetSignal> = children.iter().map(|c| self.emit(c, false)).collect();
                 let nand = self.nand(fanins);
                 if inverted {
                     nand // NAND == inverted AND
@@ -120,8 +119,7 @@ impl Builder {
                     return self.emit(&children[0], inverted);
                 }
                 // OR(c...) = NAND(c̄...).
-                let fanins: Vec<NetSignal> =
-                    children.iter().map(|c| self.emit(c, true)).collect();
+                let fanins: Vec<NetSignal> = children.iter().map(|c| self.emit(c, true)).collect();
                 let or = self.nand(fanins);
                 if inverted {
                     self.invert(or)
@@ -137,8 +135,14 @@ impl Builder {
     /// only appears for degenerate constant outputs.)
     fn constant(&mut self, value: bool) -> NetSignal {
         let one = self.nand(vec![
-            NetSignal::Literal { var: 0, positive: true },
-            NetSignal::Literal { var: 0, positive: false },
+            NetSignal::Literal {
+                var: 0,
+                positive: true,
+            },
+            NetSignal::Literal {
+                var: 0,
+                positive: false,
+            },
         ]);
         if value {
             one
@@ -352,11 +356,28 @@ mod tests {
         let cover = Cover::from_cubes(
             4,
             1,
-            [cube("1-1- 1"), cube("1--1 1"), cube("-11- 1"), cube("-1-1 1")],
+            [
+                cube("1-1- 1"),
+                cube("1--1 1"),
+                cube("-11- 1"),
+                cube("-1-1 1"),
+            ],
         )
         .expect("dims");
-        let flat = map_cover(&cover, &MapOptions { factoring: false, max_fanin: None });
-        let factored = map_cover(&cover, &MapOptions { factoring: true, max_fanin: None });
+        let flat = map_cover(
+            &cover,
+            &MapOptions {
+                factoring: false,
+                max_fanin: None,
+            },
+        );
+        let factored = map_cover(
+            &cover,
+            &MapOptions {
+                factoring: true,
+                max_fanin: None,
+            },
+        );
         check_equivalence(&cover, &flat);
         check_equivalence(&cover, &factored);
         assert!(

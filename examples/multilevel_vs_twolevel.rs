@@ -50,14 +50,20 @@ fn compare(name: &str, cover: &Cover) -> Result<(), Box<dyn std::error::Error>> 
         Crossbar::new(fm.num_rows(), fm.num_cols()),
     )?;
     let mapping = MultiLevelMapping::identity(&design);
-    let mut ml_machine = design.build_machine(
-        Crossbar::new(design.cost.rows, design.cost.cols),
-        &mapping,
-    )?;
+    let mut ml_machine =
+        design.build_machine(Crossbar::new(design.cost.rows, design.cost.cols), &mapping)?;
     for a in 0..1u64 << cover.num_inputs() {
         let expected = cover.evaluate(a);
-        assert_eq!(tl_machine.evaluate(a), expected, "{name}: two-level wrong at {a:b}");
-        assert_eq!(ml_machine.evaluate(a), expected, "{name}: multi-level wrong at {a:b}");
+        assert_eq!(
+            tl_machine.evaluate(a),
+            expected,
+            "{name}: two-level wrong at {a:b}"
+        );
+        assert_eq!(
+            ml_machine.evaluate(a),
+            expected,
+            "{name}: multi-level wrong at {a:b}"
+        );
     }
     println!("   both executed on simulated crossbars: functionally identical ✓");
     Ok(())

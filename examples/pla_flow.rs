@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "minimized: {} → {} products ({}), area {} → {}",
         pla.on_set.len(),
         design.cover.len(),
-        if design.negated { "dual form" } else { "direct form" },
+        if design.negated {
+            "dual form"
+        } else {
+            "direct form"
+        },
         raw_layout.area(),
         design.area()
     );

@@ -16,11 +16,7 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A 2-output function in sum-of-products form:
     //    O0 = x0·x1 + x̄2·x3, O1 = x1·x2.
-    let cover = Cover::from_cubes(
-        4,
-        2,
-        [cube("11-- 10"), cube("--01 10"), cube("-11- 01")],
-    )?;
+    let cover = Cover::from_cubes(4, 2, [cube("11-- 10"), cube("--01 10"), cube("-11- 01")])?;
 
     // 2. Two-level synthesis with the paper's dual optimization: the
     //    crossbar can output f or f̄, so the smaller of the two is chosen.
@@ -28,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "synthesized: {} products ({}), area {} ({}x{}), inclusion ratio {:.1}%",
         design.cover.len(),
-        if design.negated { "dual/negated form" } else { "direct form" },
+        if design.negated {
+            "dual/negated form"
+        } else {
+            "direct form"
+        },
         design.area(),
         design.layout.rows(),
         design.layout.cols(),
@@ -46,8 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     );
     let (open, closed) = xbar.defect_counts();
-    println!("fabric: {}x{} crossbar with {open} stuck-open / {closed} stuck-closed defects",
-        xbar.rows(), xbar.cols());
+    println!(
+        "fabric: {}x{} crossbar with {open} stuck-open / {closed} stuck-closed defects",
+        xbar.rows(),
+        xbar.cols()
+    );
 
     // 4. Defect-tolerant mapping with the paper's hybrid algorithm.
     let cm = CrossbarMatrix::from_crossbar(&xbar);

@@ -14,7 +14,10 @@ fn two_minterm_cover() -> Cover {
     Cover::from_cubes(3, 1, [cube("11- 1"), cube("--0 1")]).expect("valid cubes")
 }
 
-fn identity_machine(cover: &Cover, xbar: Crossbar) -> memristive_xbar_repro::device::TwoLevelMachine {
+fn identity_machine(
+    cover: &Cover,
+    xbar: Crossbar,
+) -> memristive_xbar_repro::device::TwoLevelMachine {
     let fm = FunctionMatrix::from_cover(cover);
     let assignment = RowAssignment {
         fm_to_cm: (0..fm.num_rows()).collect(),
@@ -31,7 +34,11 @@ fn stuck_open_on_literal_drops_the_literal() {
     let mut machine = identity_machine(&cover, xbar);
     // x0=0, x1=1, x2=1: true function = 0; with the x0 literal dropped the
     // first minterm behaves as (x1) and wrongly fires.
-    assert_eq!(machine.evaluate(0b110), vec![true], "defect fires the minterm");
+    assert_eq!(
+        machine.evaluate(0b110),
+        vec![true],
+        "defect fires the minterm"
+    );
     let mut clean = identity_machine(&cover, Crossbar::new(3, 8));
     assert_eq!(clean.evaluate(0b110), vec![false]);
 }
@@ -104,7 +111,10 @@ fn defect_free_output_rows_still_required() {
     for r in 0..3 {
         cm.set_defective(r, o_col);
     }
-    assert!(!map_exact(&fm, &cm).is_success(), "a single defect can discard a whole output");
+    assert!(
+        !map_exact(&fm, &cm).is_success(),
+        "a single defect can discard a whole output"
+    );
 }
 
 #[test]

@@ -30,7 +30,10 @@ fn fig3_area_126_and_31_memristors() {
     assert_eq!(layout.area(), 126);
     let switches =
         TwoLevelLayout::of_cover(&cover).active_switches(&cover) + 2 * cover.num_inputs();
-    assert_eq!(switches, 31, "the paper counts 31 memristors incl. the IL diagonal");
+    assert_eq!(
+        switches, 31,
+        "the paper counts 31 memristors incl. the IL diagonal"
+    );
 }
 
 #[test]
@@ -47,7 +50,11 @@ fn fig5_multilevel_3x19() {
 fn all_published_areas_follow_the_formula() {
     for info in registry() {
         let formula = info.formula_area();
-        let expected = if info.name == "misex3c" { 11816 } else { info.area };
+        let expected = if info.name == "misex3c" {
+            11816
+        } else {
+            info.area
+        };
         assert_eq!(formula, expected, "{}", info.name);
     }
 }
@@ -86,7 +93,10 @@ fn t481_and_cordic_multilevel_beats_twolevel() {
     let t481_ml = MultiLevelCost::of(&t481_analog()).area();
     assert!(t481_ml < 16388, "t481: ML {t481_ml} must beat TL 16388");
     let cordic_ml = MultiLevelCost::of(&cordic_analog()).area();
-    assert!(cordic_ml < 45800, "cordic: ML {cordic_ml} must beat TL 45800");
+    assert!(
+        cordic_ml < 45800,
+        "cordic: ML {cordic_ml} must beat TL 45800"
+    );
 }
 
 #[test]

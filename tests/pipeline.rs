@@ -46,8 +46,8 @@ fn pla_to_defective_crossbar_pipeline() {
     assert!(design.cover.len() <= pla.on_set.len());
     for a in 0..32u64 {
         let got = design.evaluate(a);
-        for k in 0..2 {
-            assert_eq!(got[k], reference.value(a, k), "output {k} at {a:05b}");
+        for (k, &bit) in got.iter().enumerate().take(2) {
+            assert_eq!(bit, reference.value(a, k), "output {k} at {a:05b}");
         }
     }
 
@@ -64,8 +64,7 @@ fn pla_to_defective_crossbar_pipeline() {
         );
         let cm = CrossbarMatrix::from_crossbar(&xbar);
         if let Some(assignment) = map_hybrid(&fm, &cm).assignment {
-            let mut machine =
-                program_two_level(&design.cover, &assignment, xbar).expect("fits");
+            let mut machine = program_two_level(&design.cover, &assignment, xbar).expect("fits");
             assert_eq!(
                 verify_against_cover(&mut machine, &design.cover, VerifyMode::Exhaustive, 0),
                 None,

@@ -1,0 +1,350 @@
+//! Offline, API-compatible stand-in for
+//! [`criterion`](https://crates.io/crates/criterion), vendored because this
+//! build environment has no registry access.
+//!
+//! Implements the surface this workspace's benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`] and [`Bencher::iter_batched`] — with a simple
+//! wall-clock measurement loop (median of samples, no statistical analysis,
+//! no HTML reports).
+//!
+//! Benches honour the harness arguments cargo passes (`--bench` is ignored)
+//! plus an optional positional substring filter, so
+//! `cargo bench -p xbar-bench -- munkres` works as expected.
+//!
+//! Swap back to the real crate by pointing `[workspace.dependencies]
+//! criterion` at the registry; no source changes are needed.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark (reported as elements or bytes
+/// per second next to the time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// measured invocation regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures closures handed to `bench_function`-style entry points.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by the measurement loop.
+    measured_ns: f64,
+}
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            measured_ns: 0.0,
+        }
+    }
+
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit in the per-sample budget?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.measured_ns = per_iter[per_iter.len() / 2];
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.measured_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(t: Throughput, ns: f64) -> String {
+    let per_sec = |count: u64| count as f64 / (ns / 1_000_000_000.0);
+    match t {
+        Throughput::Elements(n) => format!(" ({:.3e} elem/s)", per_sec(n)),
+        Throughput::Bytes(n) => format!(" ({:.3e} B/s)", per_sec(n)),
+    }
+}
+
+/// Benchmark registry and runner (the shim's analogue of
+/// `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a runner from the harness command line: ignores the flags
+    /// cargo/criterion pass (`--bench`, `--exact`, …) and treats the first
+    /// positional argument as a substring filter.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                c.filter = Some(arg);
+                break;
+            }
+        }
+        c
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut bencher = Bencher::new(self.default_sample_size);
+        f(&mut bencher);
+        let extra =
+            throughput.map_or_else(String::new, |t| format_throughput(t, bencher.measured_ns));
+        println!(
+            "{id:<60} time: {:>12}/iter{extra}",
+            format_time(bencher.measured_ns)
+        );
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Prints the final summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run_scoped(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let saved = self.criterion.default_sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.default_sample_size = n;
+        }
+        self.criterion.run_one(&id, self.throughput, f);
+        self.criterion.default_sample_size = saved;
+    }
+
+    /// Runs a benchmark identified by `id` over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run_scoped(full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.run_scoped(full, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("hba", "rd53").to_string(), "hba/rd53");
+        assert_eq!(BenchmarkId::from_parameter(400).to_string(), "400");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(2 + 2)));
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("batched", 1), &3u64, |b, n| {
+            b.iter_batched(|| *n, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let mut c = Criterion {
+            filter: Some("munkres".into()),
+            default_sample_size: 5,
+        };
+        assert!(c.should_run("munkres_scaling/400"));
+        assert!(!c.should_run("table1_area/rd53"));
+        // A filtered-out bench must not execute its closure.
+        c.bench_function("other/bench", |_b| panic!("must not run"));
+    }
+
+    #[test]
+    fn time_formatting_scales_units() {
+        assert_eq!(format_time(12.3), "12.30 ns");
+        assert_eq!(format_time(12_300.0), "12.30 µs");
+        assert_eq!(format_time(12_300_000.0), "12.30 ms");
+        assert_eq!(format_time(2_500_000_000.0), "2.50 s");
+    }
+}
