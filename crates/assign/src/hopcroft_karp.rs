@@ -198,6 +198,199 @@ pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
     }
 }
 
+/// Number of `u64` words a packed adjacency row over `right` vertices
+/// occupies (at least one, matching `BitRow`'s layout).
+#[must_use]
+pub fn adjacency_words(right: usize) -> usize {
+    right.div_ceil(64).max(1)
+}
+
+/// Reusable scratch + result buffers for [`hopcroft_karp_bitset`]-style
+/// matching over *packed* adjacency rows.
+///
+/// The adjacency is `left` rows of [`adjacency_words`]`(right)` words each,
+/// bit `r` of a row marking an edge to right vertex `r` — exactly the
+/// candidate bitsets the mapping engine precomputes. Repeated calls reuse
+/// every buffer, so a Monte Carlo loop pays zero allocations per solve.
+#[derive(Debug, Clone, Default)]
+pub struct BitsetMatching {
+    match_left: Vec<usize>,
+    match_right: Vec<usize>,
+    dist: Vec<u32>,
+    queue: Vec<usize>,
+    size: usize,
+}
+
+const UNREACHED: u32 = u32::MAX;
+
+impl BitsetMatching {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes a maximum matching over the packed adjacency and returns
+    /// its size. `adjacency` must hold `left * adjacency_words(right)`
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `adjacency` is shorter than `left` packed rows.
+    pub fn run(&mut self, left: usize, right: usize, adjacency: &[u64]) -> usize {
+        let words = adjacency_words(right);
+        assert!(
+            adjacency.len() >= left * words,
+            "adjacency needs {left} rows of {words} words"
+        );
+        self.match_left.clear();
+        self.match_left.resize(left, NIL);
+        self.match_right.clear();
+        self.match_right.resize(right, NIL);
+        self.dist.clear();
+        self.dist.resize(left, 0);
+
+        loop {
+            // BFS layering from free left vertices.
+            self.queue.clear();
+            let mut found_augmenting_layer = false;
+            for l in 0..left {
+                if self.match_left[l] == NIL {
+                    self.dist[l] = 0;
+                    self.queue.push(l);
+                } else {
+                    self.dist[l] = UNREACHED;
+                }
+            }
+            let mut head = 0;
+            while head < self.queue.len() {
+                let l = self.queue[head];
+                head += 1;
+                let row = &adjacency[l * words..(l + 1) * words];
+                for (w, &bits) in row.iter().enumerate() {
+                    let mut x = bits;
+                    while x != 0 {
+                        let r = w * 64 + x.trailing_zeros() as usize;
+                        x &= x - 1;
+                        let next = self.match_right[r];
+                        if next == NIL {
+                            found_augmenting_layer = true;
+                        } else if self.dist[next] == UNREACHED {
+                            self.dist[next] = self.dist[l] + 1;
+                            self.queue.push(next);
+                        }
+                    }
+                }
+            }
+            if !found_augmenting_layer {
+                break;
+            }
+            // DFS augmentation along layered paths.
+            for l in 0..left {
+                if self.match_left[l] == NIL {
+                    augment_bitset(
+                        l,
+                        words,
+                        adjacency,
+                        &mut self.match_left,
+                        &mut self.match_right,
+                        &mut self.dist,
+                    );
+                }
+            }
+        }
+
+        self.size = self.match_left.iter().filter(|&&r| r != NIL).count();
+        self.size
+    }
+
+    /// Size of the most recent matching.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Right partner of each left vertex after [`BitsetMatching::run`]
+    /// (`usize::MAX` = unmatched).
+    #[must_use]
+    pub fn left_to_right(&self) -> &[usize] {
+        &self.match_left
+    }
+
+    /// Left partner of each right vertex after [`BitsetMatching::run`]
+    /// (`usize::MAX` = unmatched).
+    #[must_use]
+    pub fn right_to_left(&self) -> &[usize] {
+        &self.match_right
+    }
+}
+
+fn augment_bitset(
+    l: usize,
+    words: usize,
+    adjacency: &[u64],
+    match_left: &mut [usize],
+    match_right: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    for w in 0..words {
+        let mut x = adjacency[l * words + w];
+        while x != 0 {
+            let r = w * 64 + x.trailing_zeros() as usize;
+            x &= x - 1;
+            let next = match_right[r];
+            let ok = if next == NIL {
+                true
+            } else if dist[next] == dist[l] + 1 {
+                augment_bitset(next, words, adjacency, match_left, match_right, dist)
+            } else {
+                false
+            };
+            if ok {
+                match_left[l] = r;
+                match_right[r] = l;
+                return true;
+            }
+        }
+    }
+    dist[l] = UNREACHED;
+    false
+}
+
+/// One-shot bitset Hopcroft–Karp over a packed adjacency (see
+/// [`BitsetMatching`] for the layout), returning the same [`Matching`] type
+/// as the adjacency-list solver.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_assign::hopcroft_karp_bitset;
+///
+/// // l0-{r0,r1}, l1-{r0}: the greedy l0→r0 must be undone.
+/// let adjacency = [0b11u64, 0b01u64];
+/// let m = hopcroft_karp_bitset(2, 2, &adjacency);
+/// assert_eq!(m.size, 2);
+/// assert!(m.is_perfect_on_left());
+/// ```
+#[must_use]
+pub fn hopcroft_karp_bitset(left: usize, right: usize, adjacency: &[u64]) -> Matching {
+    let mut scratch = BitsetMatching::new();
+    scratch.run(left, right, adjacency);
+    Matching {
+        left_to_right: scratch
+            .match_left
+            .iter()
+            .map(|&r| if r == NIL { None } else { Some(r) })
+            .collect(),
+        right_to_left: scratch
+            .match_right
+            .iter()
+            .map(|&l| if l == NIL { None } else { Some(l) })
+            .collect(),
+        size: scratch.size,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +451,79 @@ mod tests {
                 assert_eq!(m.right_to_left[r], Some(l));
             }
         }
+    }
+
+    /// Packs a predicate into adjacency words and a `BipartiteGraph` at
+    /// once.
+    fn packed_and_dense(
+        left: usize,
+        right: usize,
+        mut edge: impl FnMut(usize, usize) -> bool,
+    ) -> (Vec<u64>, BipartiteGraph) {
+        let words = adjacency_words(right);
+        let mut adjacency = vec![0u64; left * words];
+        let mut g = BipartiteGraph::new(left, right);
+        for l in 0..left {
+            for r in 0..right {
+                if edge(l, r) {
+                    adjacency[l * words + r / 64] |= 1 << (r % 64);
+                    g.add_edge(l, r);
+                }
+            }
+        }
+        (adjacency, g)
+    }
+
+    #[test]
+    fn bitset_variant_matches_dense_sizes_on_random_graphs() {
+        let mut state = 0xB17_5E7_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut scratch = BitsetMatching::new();
+        for round in 0..200 {
+            // Cross the 64-bit word boundary on some rounds.
+            let right = if round % 5 == 0 {
+                65 + (next() % 40) as usize
+            } else {
+                1 + (next() % 12) as usize
+            };
+            let left = 1 + (next() % right as u64) as usize;
+            let density = 20 + next() % 70;
+            let (adjacency, g) = packed_and_dense(left, right, |_, _| next() % 100 < density);
+            let dense = hopcroft_karp(&g);
+            let packed = hopcroft_karp_bitset(left, right, &adjacency);
+            assert_eq!(packed.size, dense.size, "left {left} right {right}");
+            assert_eq!(scratch.run(left, right, &adjacency), dense.size);
+            // The matching itself must be a consistent injection over edges.
+            for (l, &r) in packed.left_to_right.iter().enumerate() {
+                if let Some(r) = r {
+                    assert_eq!(packed.right_to_left[r], Some(l));
+                    assert!(adjacency[l * adjacency_words(right) + r / 64] >> (r % 64) & 1 == 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_scratch_reuse_shrinks_and_grows() {
+        let mut scratch = BitsetMatching::new();
+        let (big, _) = packed_and_dense(100, 130, |l, r| l == r);
+        assert_eq!(scratch.run(100, 130, &big), 100);
+        let (small, _) = packed_and_dense(2, 2, |l, r| l == r);
+        assert_eq!(scratch.run(2, 2, &small), 2);
+        assert_eq!(scratch.left_to_right(), &[0, 1]);
+        assert_eq!(scratch.right_to_left(), &[0, 1]);
+        assert_eq!(scratch.size(), 2);
+    }
+
+    #[test]
+    fn bitset_empty_cases() {
+        assert_eq!(hopcroft_karp_bitset(0, 0, &[]).size, 0);
+        let adjacency = [0u64; 3];
+        assert_eq!(hopcroft_karp_bitset(3, 3, &adjacency).size, 0);
     }
 }

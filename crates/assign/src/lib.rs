@@ -9,9 +9,13 @@
 //! the same for all rows. This crate provides:
 //!
 //! * [`munkres`] — `O(n²m)` Hungarian method on rectangular [`CostMatrix`]
-//!   instances (rows ≤ cols), exact minimum cost;
+//!   instances (rows ≤ cols), exact minimum cost; [`munkres_with_scratch`]
+//!   is the allocation-free variant for hot loops;
 //! * [`hopcroft_karp`] — `O(E√V)` maximum bipartite matching on
 //!   [`BipartiteGraph`], used as a feasibility oracle and ablation baseline;
+//! * [`hopcroft_karp_bitset`] / [`BitsetMatching`] — the same algorithm
+//!   over *packed* `u64` adjacency rows, the engine behind the zero-cost
+//!   (pure feasibility) mapping queries of `xbar-core`;
 //! * [`brute_force_assignment`] — factorial oracle for tests.
 //!
 //! ## Example
@@ -33,9 +37,14 @@ mod hopcroft_karp;
 mod matrix;
 mod munkres;
 
-pub use hopcroft_karp::{hopcroft_karp, BipartiteGraph, Matching};
+pub use hopcroft_karp::{
+    adjacency_words, hopcroft_karp, hopcroft_karp_bitset, BipartiteGraph, BitsetMatching, Matching,
+};
 pub use matrix::CostMatrix;
-pub use munkres::{brute_force_assignment, munkres, Assignment, SolveAssignmentError};
+pub use munkres::{
+    brute_force_assignment, munkres, munkres_with_scratch, Assignment, MunkresScratch,
+    SolveAssignmentError,
+};
 
 #[cfg(test)]
 mod tests {
@@ -72,6 +81,45 @@ mod tests {
             let assignment_feasible = munkres(&m).expect("rows <= cols").cost == 0;
             let matching_perfect = hopcroft_karp(&g).is_perfect_on_left();
             assert_eq!(assignment_feasible, matching_perfect);
+        }
+    }
+
+    /// Seeded property check (500 cases): the bitset Hopcroft–Karp finds a
+    /// perfect left matching exactly when Munkres finds a zero-cost
+    /// assignment of the 0/1 matrix — the equivalence the mapping engine
+    /// relies on when it routes feasibility queries away from Munkres.
+    #[test]
+    fn bitset_hopcroft_karp_agrees_with_munkres_zero_cost() {
+        let mut state = 0x5EED_CA5E_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut scratch = BitsetMatching::new();
+        for case in 0..500 {
+            // Push past one adjacency word every few cases.
+            let cols = if case % 7 == 0 {
+                64 + (next() % 30) as usize
+            } else {
+                1 + (next() % 10) as usize
+            };
+            let rows = 1 + (next() % cols.min(12) as u64) as usize;
+            let density = 30 + next() % 65;
+            let words = adjacency_words(cols);
+            let mut adjacency = vec![0u64; rows * words];
+            let m = CostMatrix::from_fn(rows, cols, |r, c| {
+                if next() % 100 < density {
+                    adjacency[r * words + c / 64] |= 1 << (c % 64);
+                    0
+                } else {
+                    1
+                }
+            });
+            let zero_cost = munkres(&m).expect("rows <= cols").cost == 0;
+            let perfect = scratch.run(rows, cols, &adjacency) == rows;
+            assert_eq!(zero_cost, perfect, "case {case}: {rows}x{cols}");
         }
     }
 }

@@ -36,16 +36,18 @@ impl CostMatrix {
         }
     }
 
-    /// Builds a matrix by evaluating `f(row, col)`.
+    /// Builds a matrix by evaluating `f(row, col)` in row-major order,
+    /// writing straight into the backing vector (no per-element bounds
+    /// checks).
     #[must_use]
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
-        let mut m = Self::new(rows, cols);
+        let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
-                m.set(r, c, f(r, c));
+                data.push(f(r, c));
             }
         }
-        m
+        Self { rows, cols, data }
     }
 
     /// Builds a matrix from row-major data.
@@ -57,6 +59,23 @@ impl CostMatrix {
     pub fn from_rows(rows: usize, cols: usize, data: Vec<i64>) -> Self {
         assert_eq!(data.len(), rows * cols, "row-major data length");
         Self { rows, cols, data }
+    }
+
+    /// [`CostMatrix::from_rows`] without the length check (debug-asserted
+    /// only) — the bulk constructor for hot paths that fill a reused buffer
+    /// and hand it over wholesale.
+    #[must_use]
+    pub fn from_rows_unchecked(rows: usize, cols: usize, data: Vec<i64>) -> Self {
+        debug_assert_eq!(data.len(), rows * cols, "row-major data length");
+        Self { rows, cols, data }
+    }
+
+    /// Consumes the matrix and returns its row-major backing vector, so a
+    /// caller that built the matrix with [`CostMatrix::from_rows_unchecked`]
+    /// can reclaim the allocation for the next round.
+    #[must_use]
+    pub fn into_data(self) -> Vec<i64> {
+        self.data
     }
 
     /// Number of rows.
@@ -142,5 +161,13 @@ mod tests {
     #[should_panic(expected = "index out of range")]
     fn get_out_of_range_panics() {
         let _ = CostMatrix::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn unchecked_roundtrips_through_into_data() {
+        let data = vec![5, 6, 7, 8, 9, 10];
+        let m = CostMatrix::from_rows_unchecked(2, 3, data.clone());
+        assert_eq!(m.get(1, 2), 10);
+        assert_eq!(m.into_data(), data);
     }
 }

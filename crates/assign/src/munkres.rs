@@ -37,6 +37,36 @@ impl fmt::Display for SolveAssignmentError {
 
 impl Error for SolveAssignmentError {}
 
+/// Reusable workspace for [`munkres_with_scratch`]: potentials, path
+/// bookkeeping and the output assignment, kept across calls so repeated
+/// solves (one per Monte Carlo sample) stop allocating.
+#[derive(Debug, Clone, Default)]
+pub struct MunkresScratch {
+    u: Vec<i64>,
+    v: Vec<i64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<i64>,
+    used: Vec<bool>,
+    assignment: Vec<usize>,
+}
+
+impl MunkresScratch {
+    /// An empty scratch; buffers grow to fit the first solve and are reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assignment produced by the most recent successful solve:
+    /// `assignment()[row] = col`.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+}
+
 /// Solves the minimum-cost rectangular assignment problem.
 ///
 /// # Errors
@@ -56,32 +86,59 @@ impl Error for SolveAssignmentError {}
 /// # Ok::<(), xbar_assign::SolveAssignmentError>(())
 /// ```
 pub fn munkres(matrix: &CostMatrix) -> Result<Assignment, SolveAssignmentError> {
+    let mut scratch = MunkresScratch::new();
+    let cost = munkres_with_scratch(matrix, &mut scratch)?;
+    Ok(Assignment {
+        assignment: scratch.assignment,
+        cost,
+    })
+}
+
+/// [`munkres`] writing into a caller-owned [`MunkresScratch`]: returns the
+/// minimum cost and leaves the assignment in `scratch.assignment()`. The
+/// result is identical to [`munkres`] on the same matrix; only the
+/// allocation behaviour differs.
+///
+/// # Errors
+///
+/// Returns [`SolveAssignmentError`] when `matrix.rows() > matrix.cols()`.
+pub fn munkres_with_scratch(
+    matrix: &CostMatrix,
+    scratch: &mut MunkresScratch,
+) -> Result<i64, SolveAssignmentError> {
     let n = matrix.rows();
     let m = matrix.cols();
     if n > m {
         return Err(SolveAssignmentError { rows: n, cols: m });
     }
+    scratch.assignment.clear();
     if n == 0 {
-        return Ok(Assignment {
-            assignment: Vec::new(),
-            cost: 0,
-        });
+        return Ok(0);
     }
 
     const INF: i64 = i64::MAX / 4;
 
     // 1-based potentials over rows (u) and columns (v); p[j] = row matched
     // to column j (0 = none). Column 0 is the virtual source column.
-    let mut u = vec![0i64; n + 1];
-    let mut v = vec![0i64; m + 1];
-    let mut p = vec![0usize; m + 1];
-    let mut way = vec![0usize; m + 1];
+    let MunkresScratch {
+        u,
+        v,
+        p,
+        way,
+        minv,
+        used,
+        assignment,
+    } = scratch;
+    reset(u, n + 1, 0i64);
+    reset(v, m + 1, 0i64);
+    reset(p, m + 1, 0usize);
+    reset(way, m + 1, 0usize);
 
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![INF; m + 1];
-        let mut used = vec![false; m + 1];
+        reset(minv, m + 1, INF);
+        reset(used, m + 1, false);
         loop {
             used[j0] = true;
             let i0 = p[j0];
@@ -125,15 +182,20 @@ pub fn munkres(matrix: &CostMatrix) -> Result<Assignment, SolveAssignmentError> 
         }
     }
 
-    let mut assignment = vec![usize::MAX; n];
+    reset(assignment, n, usize::MAX);
     for j in 1..=m {
         if p[j] != 0 {
             assignment[p[j] - 1] = j - 1;
         }
     }
     debug_assert!(assignment.iter().all(|&c| c != usize::MAX));
-    let cost = matrix.assignment_cost(&assignment);
-    Ok(Assignment { assignment, cost })
+    Ok(matrix.assignment_cost(assignment))
+}
+
+/// Resizes `buf` to `len` entries all equal to `value`, reusing capacity.
+fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
 }
 
 /// Exhaustive minimum-cost assignment for tiny matrices; the correctness
@@ -285,6 +347,27 @@ mod tests {
                 assert!(!seen[c], "duplicate column");
                 seen[c] = true;
             }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solves_across_sizes() {
+        let mut scratch = MunkresScratch::new();
+        let mut state = 0xD1CE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let rows = (next() % 6 + 1) as usize;
+            let cols = rows + (next() % 4) as usize;
+            let m = CostMatrix::from_fn(rows, cols, |_, _| (next() % 30) as i64);
+            let fresh = munkres(&m).expect("rows <= cols");
+            let cost = munkres_with_scratch(&m, &mut scratch).expect("rows <= cols");
+            assert_eq!(cost, fresh.cost);
+            assert_eq!(scratch.assignment(), fresh.assignment.as_slice());
         }
     }
 

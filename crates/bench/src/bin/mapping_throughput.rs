@@ -1,0 +1,118 @@
+//! Mapping-throughput benchmark: legacy dense mappers vs the bitset
+//! `MatchEngine` on the table2-style Monte Carlo workload, emitted as
+//! `BENCH_mapping.json` so the speedup is tracked across PRs.
+//!
+//! Usage: `cargo run --release -p xbar-bench --bin mapping_throughput --
+//! [--samples N] [--seed N] [--defect-rate F] [--circuits a,b,c]
+//! [--out PATH] [--quick]`
+
+use std::path::PathBuf;
+use xbar_bench::throughput::{measure_circuit, render_json};
+use xbar_bench::TABLE2_BENCH_CIRCUITS;
+
+struct Args {
+    samples: usize,
+    seed: u64,
+    defect_rate: f64,
+    circuits: Vec<String>,
+    out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            samples: 200,
+            seed: 2018,
+            defect_rate: 0.10,
+            circuits: TABLE2_BENCH_CIRCUITS
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+            out: PathBuf::from("BENCH_mapping.json"),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--samples needs a number"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs a number"));
+            }
+            "--defect-rate" => {
+                args.defect_rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--defect-rate needs a float"));
+            }
+            "--circuits" => {
+                let list = it.next().unwrap_or_else(|| panic!("--circuits needs a,b"));
+                args.circuits = list.split(',').map(str::to_owned).collect();
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().unwrap_or_else(|| panic!("--out needs a path")));
+            }
+            "--quick" => args.samples = (args.samples / 10).max(5),
+            "--help" | "-h" => {
+                println!(
+                    "mapping throughput: legacy dense mappers vs the bitset MatchEngine\n\n\
+                     flags:\n  --samples N       trials per circuit per path (default 200)\n  \
+                     --seed N          experiment seed (default 2018)\n  \
+                     --defect-rate F   stuck-open probability (default 0.10)\n  \
+                     --circuits a,b    registry circuits (default: the Table II bench set)\n  \
+                     --out PATH        JSON output path (default BENCH_mapping.json)\n  \
+                     --quick           1/10th of the samples (smoke run)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?}; try --help"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "mapping throughput: {} samples/circuit at {:.0}% defects (seed {})",
+        args.samples,
+        args.defect_rate * 100.0,
+        args.seed
+    );
+    let mut results = Vec::new();
+    for name in &args.circuits {
+        let r = measure_circuit(name, args.samples, args.defect_rate, args.seed);
+        println!(
+            "  {:<8} {:>4}x{:<3} legacy {:>9.1}/s  engine {:>10.1}/s  speedup {:>6.2}x",
+            r.name,
+            r.rows,
+            r.cols,
+            r.legacy_sps(),
+            r.engine_sps(),
+            r.speedup()
+        );
+        results.push(r);
+    }
+    let legacy: f64 = results.iter().map(|r| r.legacy_secs).sum();
+    let engine: f64 = results.iter().map(|r| r.engine_secs).sum();
+    println!(
+        "total speedup: {:.2}x ({:.2}s -> {:.2}s)",
+        legacy / engine.max(f64::MIN_POSITIVE),
+        legacy,
+        engine
+    );
+    let json = render_json(&results, args.defect_rate, args.seed);
+    std::fs::write(&args.out, &json).expect("write BENCH_mapping.json");
+    println!("wrote {}", args.out.display());
+}

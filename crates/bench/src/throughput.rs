@@ -1,0 +1,201 @@
+//! Mapping-throughput measurement: the table2-style Monte Carlo workload
+//! (per trial: sample a 10%-defective optimum-size crossbar, run HBA, run
+//! EA) timed on the legacy dense mappers vs the bitset [`MatchEngine`].
+//!
+//! The `mapping_throughput` binary drives this module and emits
+//! `BENCH_mapping.json`, which CI prints on every PR so mapping-speed
+//! regressions are visible in the logs. Both paths replay the same
+//! per-sample seeds and the measurement asserts their HBA/EA success
+//! counts agree, so the speedup is apples-to-apples by construction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use xbar_core::{reference, CrossbarMatrix, FunctionMatrix, MatchEngine};
+use xbar_exp::sample_seed;
+use xbar_logic::bench_reg::find;
+
+/// Measured throughput for one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitThroughput {
+    /// Circuit name.
+    pub name: String,
+    /// Optimum crossbar rows (`P + K`).
+    pub rows: usize,
+    /// Crossbar columns (`2I + 2K`).
+    pub cols: usize,
+    /// Monte Carlo trials per path.
+    pub samples: usize,
+    /// Wall-clock seconds for the legacy dense path.
+    pub legacy_secs: f64,
+    /// Wall-clock seconds for the engine path.
+    pub engine_secs: f64,
+    /// HBA successes (identical on both paths by assertion).
+    pub hba_successes: usize,
+    /// EA successes (identical on both paths by assertion).
+    pub ea_successes: usize,
+}
+
+impl CircuitThroughput {
+    /// Legacy samples per second.
+    #[must_use]
+    pub fn legacy_sps(&self) -> f64 {
+        self.samples as f64 / self.legacy_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Engine samples per second.
+    #[must_use]
+    pub fn engine_sps(&self) -> f64 {
+        self.samples as f64 / self.engine_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Throughput ratio engine/legacy.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.legacy_secs / self.engine_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures one circuit: `samples` trials per path at `defect_rate`,
+/// seeded like the Table II experiment (`sample_seed(seed ^ 0xBEEF, i)`),
+/// single-threaded so the number is per-core mapping throughput.
+///
+/// # Panics
+///
+/// Panics when `name` is not registered or when the two paths disagree on
+/// any per-sample HBA/EA success (they must be decision-identical).
+#[must_use]
+pub fn measure_circuit(
+    name: &str,
+    samples: usize,
+    defect_rate: f64,
+    seed: u64,
+) -> CircuitThroughput {
+    let info = find(name).expect("registered benchmark");
+    let cover = info.mapping_cover(seed);
+    let fm = FunctionMatrix::from_cover(&cover);
+    let rows = fm.num_rows();
+    let cols = fm.num_cols();
+
+    // Legacy path: fresh allocations per trial, dense mappers.
+    let t0 = Instant::now();
+    let mut legacy_hba = 0usize;
+    let mut legacy_ea = 0usize;
+    for i in 0..samples {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
+        let cm = CrossbarMatrix::sample_stuck_open(rows, cols, defect_rate, &mut rng);
+        legacy_hba += usize::from(reference::map_hybrid(&fm, &cm).is_success());
+        legacy_ea += usize::from(reference::map_exact(&fm, &cm).is_success());
+    }
+    let legacy_secs = t0.elapsed().as_secs_f64();
+
+    // Engine path: same seeds, reused matrix + engine scratch.
+    let mut engine = MatchEngine::new();
+    let mut cm = CrossbarMatrix::perfect(rows, cols);
+    let t1 = Instant::now();
+    let mut engine_hba = 0usize;
+    let mut engine_ea = 0usize;
+    for i in 0..samples {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
+        cm.resample_stuck_open(defect_rate, &mut rng);
+        let ((hba_ok, _), (ea_ok, _)) = engine.hybrid_and_exact_success(&fm, &cm);
+        engine_hba += usize::from(hba_ok);
+        engine_ea += usize::from(ea_ok);
+    }
+    let engine_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        (legacy_hba, legacy_ea),
+        (engine_hba, engine_ea),
+        "{name}: engine and legacy paths must agree on every success"
+    );
+
+    CircuitThroughput {
+        name: name.to_owned(),
+        rows,
+        cols,
+        samples,
+        legacy_secs,
+        engine_secs,
+        hba_successes: engine_hba,
+        ea_successes: engine_ea,
+    }
+}
+
+/// Renders the results as the `BENCH_mapping.json` document (no serde in
+/// this workspace; the format is flat enough to emit by hand).
+#[must_use]
+pub fn render_json(results: &[CircuitThroughput], defect_rate: f64, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"mapping_throughput\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": \"table2-style Monte Carlo: per trial sample a stuck-open defect map, run HBA, run EA\","
+    );
+    let _ = writeln!(out, "  \"defect_rate\": {defect_rate},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"circuits\": [");
+    for (idx, r) in results.iter().enumerate() {
+        let comma = if idx + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"rows\": {}, \"cols\": {}, \"samples\": {}, \
+             \"legacy_samples_per_sec\": {:.1}, \"engine_samples_per_sec\": {:.1}, \
+             \"speedup\": {:.2}, \"hba_successes\": {}, \"ea_successes\": {}}}{comma}",
+            r.name,
+            r.rows,
+            r.cols,
+            r.samples,
+            r.legacy_sps(),
+            r.engine_sps(),
+            r.speedup(),
+            r.hba_successes,
+            r.ea_successes,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let legacy_secs: f64 = results.iter().map(|r| r.legacy_secs).sum();
+    let engine_secs: f64 = results.iter().map(|r| r.engine_secs).sum();
+    let samples: usize = results.iter().map(|r| r.samples).sum();
+    let _ = writeln!(
+        out,
+        "  \"total\": {{\"samples\": {}, \"legacy_samples_per_sec\": {:.1}, \
+         \"engine_samples_per_sec\": {:.1}, \"speedup\": {:.2}}}",
+        samples,
+        samples as f64 / legacy_secs.max(f64::MIN_POSITIVE),
+        samples as f64 / engine_secs.max(f64::MIN_POSITIVE),
+        legacy_secs / engine_secs.max(f64::MIN_POSITIVE),
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_asserts_identical_decisions_and_counts_sensibly() {
+        let r = measure_circuit("rd53", 8, 0.10, 2018);
+        assert_eq!(r.samples, 8);
+        assert!(r.rows > 0 && r.cols > 0);
+        assert!(r.ea_successes >= r.hba_successes);
+        assert!(r.legacy_secs > 0.0 && r.engine_secs > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = measure_circuit("rd53", 4, 0.10, 7);
+        let json = render_json(&[r], 0.10, 7);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"total\""));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+}

@@ -1,0 +1,623 @@
+//! The bitset matching engine: the allocation-free hot path behind every
+//! defect-mapping query.
+//!
+//! Monte Carlo defect studies (Table II, the yield/redundancy sweeps) run
+//! `sample defects → map` millions of times. The original mappers rebuilt a
+//! dense `i64` cost matrix per sample and re-evaluated `row_compatible`
+//! O(n·r) times across the greedy scan, the backtracking scan and the
+//! output assignment. [`MatchEngine`] precomputes, per
+//! `(FunctionMatrix, CrossbarMatrix)` pair, a *packed compatibility
+//! adjacency* — one `u64`-word bitset of candidate CM rows per FM row,
+//! derived word-parallel from the matrices' [`BitRow`]s — and runs every
+//! algorithm on top of it:
+//!
+//! * **HBA** — the greedy and backtracking scans become `trailing_zeros`
+//!   walks over `free & candidates` words; the exact output stage feeds the
+//!   same matching matrix to Munkres through reusable scratch. Decisions
+//!   *and* [`MappingStats`] are bit-identical to the reference algorithm
+//!   ([`crate::reference::map_hybrid_with`]); the counters report what the
+//!   dense scan would have checked, so instrumentation stays comparable.
+//! * **EA / feasibility** — a pure 0/1 matching problem, routed to the
+//!   bitset Hopcroft–Karp of `xbar-assign` instead of dense Munkres
+//!   (Munkres remains the solver for genuinely weighted problems).
+//!
+//! All buffers (adjacency, free-row bitset, occupancy, Munkres workspace)
+//! live in the engine and are reused across calls, so a sampling loop that
+//! also reuses its [`CrossbarMatrix`] (see
+//! [`CrossbarMatrix::resample_stuck_open`]) performs zero heap allocations
+//! per sample.
+//!
+//! [`BitRow`]: crate::matrices::BitRow
+
+use crate::mapping::{HybridOptions, MappingOutcome, MappingStats, RowAssignment};
+use crate::matrices::{CrossbarMatrix, FunctionMatrix};
+use xbar_assign::{
+    adjacency_words, munkres_with_scratch, BitsetMatching, CostMatrix, MunkresScratch,
+};
+
+/// Sentinel for "no row".
+const NONE: usize = usize::MAX;
+
+/// Reusable mapping engine: packed compatibility adjacency plus every
+/// scratch buffer the mappers need.
+///
+/// # Examples
+///
+/// ```
+/// use xbar_core::{CrossbarMatrix, FunctionMatrix, MatchEngine};
+/// use xbar_logic::{cube, Cover};
+///
+/// let cover = Cover::from_cubes(3, 1, [cube("11- 1"), cube("--0 1")])?;
+/// let fm = FunctionMatrix::from_cover(&cover);
+/// let cm = CrossbarMatrix::perfect(fm.num_rows(), fm.num_cols());
+/// let mut engine = MatchEngine::new();
+/// assert!(engine.map_hybrid(&fm, &cm).is_success());
+/// assert!(engine.map_exact(&fm, &cm).is_success());
+/// assert!(engine.feasible(&fm, &cm));
+/// # Ok::<(), xbar_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MatchEngine {
+    /// FM rows of the current adjacency (`p + k`).
+    n: usize,
+    /// CM rows of the current adjacency.
+    r: usize,
+    /// Words per packed CM-row bitset.
+    words: usize,
+    /// Packed adjacency: `n` rows of `words` words; bit `c` of row `f` is
+    /// set when FM row `f` fits CM row `c`.
+    cand: Vec<u64>,
+    /// Unmatched CM rows during HBA (bits `0..r`).
+    free: Vec<u64>,
+    /// `occupant[cm_row]` = minterm hosted there, or [`NONE`].
+    occupant: Vec<usize>,
+    /// Assignment under construction (`fm_to_cm`).
+    fm_to_cm: Vec<usize>,
+    /// Unmatched-row list for the output stage.
+    unmatched: Vec<usize>,
+    /// Greedy-output ablation bookkeeping.
+    taken: Vec<bool>,
+    /// Backing storage for the output-stage matching matrix.
+    cost_data: Vec<i64>,
+    /// Bitset Hopcroft–Karp scratch (EA / feasibility).
+    matcher: BitsetMatching,
+    /// Munkres scratch (HBA output stage).
+    munkres: MunkresScratch,
+}
+
+impl MatchEngine {
+    /// An empty engine; buffers grow to fit the first query and are reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// HBA with default options (see [`crate::map_hybrid`]). Byte-identical
+    /// outcome to the reference algorithm.
+    pub fn map_hybrid(&mut self, fm: &FunctionMatrix, cm: &CrossbarMatrix) -> MappingOutcome {
+        self.map_hybrid_with(fm, cm, HybridOptions::default())
+    }
+
+    /// HBA with explicit [`HybridOptions`]. Byte-identical outcome
+    /// (assignment and stats) to [`crate::reference::map_hybrid_with`].
+    pub fn map_hybrid_with(
+        &mut self,
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+        options: HybridOptions,
+    ) -> MappingOutcome {
+        let (ok, stats) = self.run_hybrid(fm, cm, options);
+        let assignment = ok.then(|| {
+            let assignment = RowAssignment {
+                fm_to_cm: self.fm_to_cm.clone(),
+            };
+            debug_assert!(assignment.is_valid(fm, cm));
+            assignment
+        });
+        MappingOutcome { assignment, stats }
+    }
+
+    /// HBA success/stats without materialising the assignment — the
+    /// zero-allocation variant for Monte Carlo success-rate loops.
+    pub fn hybrid_success(
+        &mut self,
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+    ) -> (bool, MappingStats) {
+        self.run_hybrid(fm, cm, HybridOptions::default())
+    }
+
+    /// [`MatchEngine::hybrid_success`] with explicit options.
+    pub fn hybrid_success_with(
+        &mut self,
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+        options: HybridOptions,
+    ) -> (bool, MappingStats) {
+        self.run_hybrid(fm, cm, options)
+    }
+
+    /// EA: succeeds iff *any* valid mapping exists, solved as a bitset
+    /// maximum matching (see [`crate::map_exact`]).
+    pub fn map_exact(&mut self, fm: &FunctionMatrix, cm: &CrossbarMatrix) -> MappingOutcome {
+        let (ok, stats) = self.run_exact(fm, cm);
+        let assignment = ok.then(|| {
+            let assignment = RowAssignment {
+                fm_to_cm: self.fm_to_cm.clone(),
+            };
+            debug_assert!(assignment.is_valid(fm, cm));
+            assignment
+        });
+        MappingOutcome { assignment, stats }
+    }
+
+    /// EA success/stats without materialising the assignment (zero
+    /// allocation).
+    pub fn exact_success(
+        &mut self,
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+    ) -> (bool, MappingStats) {
+        self.run_exact(fm, cm)
+    }
+
+    /// Runs HBA *and* EA on the same pair over a single adjacency build —
+    /// the paired query Table-II-style loops issue per sample, where
+    /// building the packed adjacency twice would double the dominant cost.
+    /// Returns `((hba_ok, hba_stats), (ea_ok, ea_stats))`, each identical
+    /// to the corresponding standalone call.
+    pub fn hybrid_and_exact_success(
+        &mut self,
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+    ) -> ((bool, MappingStats), (bool, MappingStats)) {
+        if fm.num_rows() > cm.num_rows() {
+            let fail = (false, MappingStats::default());
+            return (fail, fail);
+        }
+        self.prepare(fm, cm);
+        let hybrid = self.run_hybrid_prepared(fm, HybridOptions::default());
+        let exact = self.run_exact_prepared();
+        (hybrid, exact)
+    }
+
+    /// Feasibility oracle: does any valid mapping exist? Equivalent to
+    /// [`MatchEngine::map_exact`]`.is_success()` but skips stats and
+    /// assignment extraction.
+    pub fn feasible(&mut self, fm: &FunctionMatrix, cm: &CrossbarMatrix) -> bool {
+        let n = fm.num_rows();
+        if n > cm.num_rows() {
+            return false;
+        }
+        self.prepare(fm, cm);
+        self.matcher.run(self.n, self.r, &self.cand) == n
+    }
+
+    /// Builds the packed compatibility adjacency for `(fm, cm)`:
+    /// `cand[f]` gets bit `c` when every 1 of FM row `f` lands on a 1 of
+    /// CM row `c`, computed word-parallel over the column words.
+    fn prepare(&mut self, fm: &FunctionMatrix, cm: &CrossbarMatrix) {
+        debug_assert_eq!(fm.num_cols(), cm.num_cols(), "column counts must match");
+        self.n = fm.num_rows();
+        self.r = cm.num_rows();
+        self.words = adjacency_words(self.r);
+        self.cand.clear();
+        self.cand.resize(self.n * self.words, 0);
+        for f in 0..self.n {
+            let frow = fm.row(f).words();
+            let base = f * self.words;
+            for c in 0..self.r {
+                let crow = cm.row(c).words();
+                let fits = frow.iter().zip(crow).all(|(a, b)| a & !b == 0);
+                if fits {
+                    self.cand[base + c / 64] |= 1u64 << (c % 64);
+                }
+            }
+        }
+    }
+
+    /// Algorithm 1 over the packed adjacency, reproducing the reference
+    /// implementation's decisions and [`MappingStats`] exactly: the
+    /// counters report how many `row_compatible` calls the dense scans
+    /// would have made, reconstructed from popcounts over the free-row
+    /// bitset. On success the assignment is left in `self.fm_to_cm`.
+    fn run_hybrid(
+        &mut self,
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+        options: HybridOptions,
+    ) -> (bool, MappingStats) {
+        if fm.num_rows() > cm.num_rows() {
+            return (false, MappingStats::default());
+        }
+        self.prepare(fm, cm);
+        self.run_hybrid_prepared(fm, options)
+    }
+
+    /// [`MatchEngine::run_hybrid`] minus the adjacency build — the caller
+    /// guarantees [`MatchEngine::prepare`] ran for this exact pair.
+    fn run_hybrid_prepared(
+        &mut self,
+        fm: &FunctionMatrix,
+        options: HybridOptions,
+    ) -> (bool, MappingStats) {
+        let mut stats = MappingStats::default();
+        let p = fm.num_minterms();
+        let k = fm.num_outputs();
+        let r = self.r;
+        let words = self.words;
+        self.free.clear();
+        self.free.resize(words, 0);
+        set_range(&mut self.free, r);
+        self.occupant.clear();
+        self.occupant.resize(r, NONE);
+        self.fm_to_cm.clear();
+        self.fm_to_cm.resize(p + k, NONE);
+
+        for i in 0..p {
+            let cand_i = &self.cand[i * words..(i + 1) * words];
+            // First pass: unmatched CM rows, top to bottom. The dense scan
+            // checks every free row up to and including the first fit.
+            if let Some(t) = first_and(&self.free, cand_i) {
+                stats.compatibility_checks += count_through(&self.free, t);
+                clear_bit(&mut self.free, t);
+                self.occupant[t] = i;
+                self.fm_to_cm[i] = t;
+                continue;
+            }
+            stats.compatibility_checks += count_all(&self.free);
+            if !options.backtracking {
+                return (false, stats);
+            }
+            // BACKTRACKING: steal a matched CM row whose occupant can be
+            // re-homed to a free row (a length-2 alternating path). The
+            // dense scan checks every *matched* row in order; candidates
+            // additionally trigger an inner scan over the free rows.
+            stats.backtracks += 1;
+            let mut placed = false;
+            let mut scanned_to = 0usize; // matched rows below this were counted
+            'steal: for (w, &cand_word) in cand_i.iter().enumerate() {
+                let mut x = !self.free[w] & cand_word;
+                while x != 0 {
+                    let t = w * 64 + x.trailing_zeros() as usize;
+                    x &= x - 1;
+                    stats.compatibility_checks += matched_in(&self.free, scanned_to, t + 1);
+                    scanned_to = t + 1;
+                    let j = self.occupant[t];
+                    let cand_j = &self.cand[j * words..(j + 1) * words];
+                    if let Some(u) = first_and(&self.free, cand_j) {
+                        stats.compatibility_checks += count_through(&self.free, u);
+                        clear_bit(&mut self.free, u);
+                        self.occupant[u] = j;
+                        self.fm_to_cm[j] = u;
+                        self.occupant[t] = i;
+                        self.fm_to_cm[i] = t;
+                        placed = true;
+                        break 'steal;
+                    }
+                    stats.compatibility_checks += count_all(&self.free);
+                }
+            }
+            if !placed {
+                stats.compatibility_checks += matched_in(&self.free, scanned_to, r);
+                return (false, stats);
+            }
+        }
+
+        // Output assignment over the unmatched CM rows.
+        self.unmatched.clear();
+        for w in 0..words {
+            let mut x = self.free[w];
+            while x != 0 {
+                self.unmatched.push(w * 64 + x.trailing_zeros() as usize);
+                x &= x - 1;
+            }
+        }
+        if k > 0 {
+            if self.unmatched.len() < k {
+                return (false, stats);
+            }
+            if options.exact_outputs {
+                // The paper's choice: matching matrix FMo × CMu solved with
+                // Munkres; zero cost certifies a valid mapping.
+                stats.assignment_rows = k;
+                stats.compatibility_checks += k * self.unmatched.len();
+                let mut data = std::mem::take(&mut self.cost_data);
+                data.clear();
+                for o in 0..k {
+                    let cand_o = &self.cand[(p + o) * words..(p + o + 1) * words];
+                    for &u in &self.unmatched {
+                        data.push(i64::from(!get_bit(cand_o, u)));
+                    }
+                }
+                let matrix = CostMatrix::from_rows_unchecked(k, self.unmatched.len(), data);
+                let cost =
+                    munkres_with_scratch(&matrix, &mut self.munkres).expect("k <= unmatched rows");
+                if cost == 0 {
+                    for (o, &u) in self.munkres.assignment().iter().enumerate() {
+                        self.fm_to_cm[p + o] = self.unmatched[u];
+                    }
+                }
+                self.cost_data = matrix.into_data();
+                if cost != 0 {
+                    return (false, stats);
+                }
+            } else {
+                // Ablation: greedy first-fit output placement.
+                self.taken.clear();
+                self.taken.resize(self.unmatched.len(), false);
+                for o in 0..k {
+                    let cand_o = &self.cand[(p + o) * words..(p + o + 1) * words];
+                    let mut placed = false;
+                    for (ui, &u) in self.unmatched.iter().enumerate() {
+                        if self.taken[ui] {
+                            continue;
+                        }
+                        stats.compatibility_checks += 1;
+                        if get_bit(cand_o, u) {
+                            self.taken[ui] = true;
+                            self.fm_to_cm[p + o] = u;
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        return (false, stats);
+                    }
+                }
+            }
+        }
+        (true, stats)
+    }
+
+    /// EA over the packed adjacency: maximum bipartite matching via the
+    /// bitset Hopcroft–Karp. Stats keep the reference semantics
+    /// (`assignment_rows = n`, one compatibility check per FM×CM pair).
+    fn run_exact(&mut self, fm: &FunctionMatrix, cm: &CrossbarMatrix) -> (bool, MappingStats) {
+        if fm.num_rows() > cm.num_rows() {
+            return (false, MappingStats::default());
+        }
+        self.prepare(fm, cm);
+        self.run_exact_prepared()
+    }
+
+    /// [`MatchEngine::run_exact`] minus the adjacency build — the caller
+    /// guarantees [`MatchEngine::prepare`] ran for this exact pair.
+    fn run_exact_prepared(&mut self) -> (bool, MappingStats) {
+        let (n, r) = (self.n, self.r);
+        let stats = MappingStats {
+            compatibility_checks: n * r,
+            backtracks: 0,
+            assignment_rows: n,
+        };
+        if self.matcher.run(n, r, &self.cand) < n {
+            return (false, stats);
+        }
+        self.fm_to_cm.clear();
+        self.fm_to_cm
+            .extend_from_slice(self.matcher.left_to_right());
+        (true, stats)
+    }
+}
+
+/// Sets bits `0..len`.
+fn set_range(bits: &mut [u64], len: usize) {
+    let full = len / 64;
+    let rem = len % 64;
+    bits[..full].fill(!0u64);
+    if rem != 0 {
+        bits[full] = (1u64 << rem) - 1;
+    }
+}
+
+#[inline]
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 == 1
+}
+
+#[inline]
+fn clear_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// First index set in `a & b`, word-parallel.
+#[inline]
+fn first_and(a: &[u64], b: &[u64]) -> Option<usize> {
+    for (w, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let v = x & y;
+        if v != 0 {
+            return Some(w * 64 + v.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Number of set bits with index `<= end`.
+#[inline]
+fn count_through(bits: &[u64], end: usize) -> usize {
+    let w = end / 64;
+    let mut total = 0usize;
+    for &word in &bits[..w] {
+        total += word.count_ones() as usize;
+    }
+    let rem = end % 64;
+    let mask = if rem == 63 {
+        !0u64
+    } else {
+        (1u64 << (rem + 1)) - 1
+    };
+    total + (bits[w] & mask).count_ones() as usize
+}
+
+/// Total set bits.
+#[inline]
+fn count_all(bits: &[u64]) -> usize {
+    bits.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Number of *clear* bits in the half-open index range `start..end` — the
+/// matched-row count when `bits` is the free-row set.
+#[inline]
+fn matched_in(bits: &[u64], start: usize, end: usize) -> usize {
+    if start >= end {
+        return 0;
+    }
+    let set = count_through(bits, end - 1)
+        - if start == 0 {
+            0
+        } else {
+            count_through(bits, start - 1)
+        };
+    (end - start) - set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xbar_logic::{cube, Cover};
+
+    fn fig8_fm() -> FunctionMatrix {
+        let cover = Cover::from_cubes(
+            3,
+            2,
+            [
+                cube("11- 10"),
+                cube("-01 10"),
+                cube("0-0 01"),
+                cube("-11 01"),
+            ],
+        )
+        .expect("dims");
+        FunctionMatrix::from_cover(&cover)
+    }
+
+    #[test]
+    fn bit_helpers() {
+        let bits = [0b1011_0100u64, 0b1u64];
+        assert!(get_bit(&bits, 2) && get_bit(&bits, 64));
+        assert!(!get_bit(&bits, 0));
+        assert_eq!(first_and(&bits, &[0b1000_0000, 0]), Some(7));
+        assert_eq!(first_and(&bits, &[0, 1]), Some(64));
+        assert_eq!(first_and(&bits, &[0, 0]), None);
+        assert_eq!(count_through(&bits, 2), 1);
+        assert_eq!(count_through(&bits, 64), 5);
+        assert_eq!(count_all(&bits), 5);
+        // Indices 0..=3 hold one set bit (2) → 3 clear.
+        assert_eq!(matched_in(&bits, 0, 4), 3);
+        assert_eq!(matched_in(&bits, 4, 4), 0);
+        let mut free = [0u64; 2];
+        set_range(&mut free, 65);
+        assert_eq!(count_all(&free), 65);
+    }
+
+    #[test]
+    fn engine_reproduces_reference_on_fig8_sweep() {
+        let fm = fig8_fm();
+        let mut engine = MatchEngine::new();
+        let mut rng = StdRng::seed_from_u64(2018);
+        for trial in 0..400 {
+            let cm = CrossbarMatrix::sample_stuck_open(7, 10, 0.15, &mut rng);
+            let expected = reference::map_hybrid(&fm, &cm);
+            let got = engine.map_hybrid(&fm, &cm);
+            assert_eq!(got, expected, "trial {trial}");
+            let ea = engine.map_exact(&fm, &cm);
+            assert_eq!(ea.is_success(), reference::mapping_feasible(&fm, &cm));
+            assert_eq!(engine.feasible(&fm, &cm), ea.is_success());
+            if let Some(a) = ea.assignment {
+                assert!(a.is_valid(&fm, &cm));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reproduces_reference_ablations() {
+        let fm = fig8_fm();
+        let mut engine = MatchEngine::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let variants = [
+            HybridOptions {
+                backtracking: false,
+                exact_outputs: true,
+            },
+            HybridOptions {
+                backtracking: true,
+                exact_outputs: false,
+            },
+            HybridOptions {
+                backtracking: false,
+                exact_outputs: false,
+            },
+        ];
+        for trial in 0..200 {
+            let cm = CrossbarMatrix::sample_stuck_open(6, 10, 0.15, &mut rng);
+            for options in variants {
+                let expected = reference::map_hybrid_with(&fm, &cm, options);
+                let got = engine.map_hybrid_with(&fm, &cm, options);
+                assert_eq!(got, expected, "trial {trial}, {options:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_survives_reuse_across_sizes() {
+        let fm = fig8_fm();
+        let mut engine = MatchEngine::new();
+        // Large crossbar (crosses a word boundary), then small again.
+        for rows in [6usize, 90, 6, 130, 7] {
+            let cm = CrossbarMatrix::perfect(rows, 10);
+            let outcome = engine.map_hybrid(&fm, &cm);
+            assert!(outcome.is_success(), "rows = {rows}");
+            assert_eq!(outcome, reference::map_hybrid(&fm, &cm), "rows = {rows}");
+            assert!(engine.map_exact(&fm, &cm).is_success());
+        }
+    }
+
+    #[test]
+    fn too_small_crossbar_fails_without_preparing() {
+        let fm = fig8_fm();
+        let cm = CrossbarMatrix::perfect(4, 10);
+        let mut engine = MatchEngine::new();
+        assert!(!engine.map_hybrid(&fm, &cm).is_success());
+        assert!(!engine.map_exact(&fm, &cm).is_success());
+        assert!(!engine.feasible(&fm, &cm));
+    }
+
+    #[test]
+    fn success_variants_agree_with_outcome_variants() {
+        let fm = fig8_fm();
+        let mut engine = MatchEngine::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let cm = CrossbarMatrix::sample_stuck_open(6, 10, 0.12, &mut rng);
+            let (hba_ok, hba_stats) = engine.hybrid_success(&fm, &cm);
+            let outcome = engine.map_hybrid(&fm, &cm);
+            assert_eq!(hba_ok, outcome.is_success());
+            assert_eq!(hba_stats, outcome.stats);
+            let (ea_ok, ea_stats) = engine.exact_success(&fm, &cm);
+            let exact = engine.map_exact(&fm, &cm);
+            assert_eq!(ea_ok, exact.is_success());
+            assert_eq!(ea_stats, exact.stats);
+        }
+    }
+
+    #[test]
+    fn paired_query_matches_standalone_calls() {
+        let fm = fig8_fm();
+        let mut engine = MatchEngine::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..200 {
+            let cm = CrossbarMatrix::sample_stuck_open(7, 10, 0.15, &mut rng);
+            let (hybrid, exact) = engine.hybrid_and_exact_success(&fm, &cm);
+            assert_eq!(hybrid, engine.hybrid_success(&fm, &cm));
+            assert_eq!(exact, engine.exact_success(&fm, &cm));
+        }
+        // Undersized crossbar short-circuits both.
+        let small = CrossbarMatrix::perfect(3, 10);
+        let (hybrid, exact) = engine.hybrid_and_exact_success(&fm, &small);
+        assert!(!hybrid.0 && !exact.0);
+    }
+}

@@ -14,7 +14,12 @@
 //!   Fig. 8, with stuck-open and stuck-closed defect semantics (§IV-A);
 //! * [`map_hybrid`] — **HBA**, Algorithm 1: greedy minterm placement with
 //!   single-level backtracking plus exact Munkres output assignment;
-//! * [`map_exact`] — **EA**: full matching matrix solved with Munkres;
+//! * [`map_exact`] — **EA**: the full matching problem, solved as a bitset
+//!   maximum matching;
+//! * [`MatchEngine`] / [`map_hybrid_with_scratch`] — the reusable bitset
+//!   matching engine behind both mappers: packed compatibility adjacency
+//!   plus scratch buffers, zero per-sample heap allocation in Monte Carlo
+//!   loops ([`reference`] keeps the dense originals as baselines);
 //! * [`map_naive`] — the defect-unaware baseline of Fig. 7(a);
 //! * [`program_two_level`] / [`verify_against_cover`] — execute a mapping
 //!   on the simulated fabric and check functional correctness;
@@ -57,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 mod column_redundancy;
+mod engine;
 mod layout;
 mod mapping;
 mod matrices;
@@ -68,10 +74,13 @@ mod verify;
 pub use column_redundancy::{
     column_redundancy_yield, map_with_column_redundancy, RedundantMapping,
 };
+pub use engine::MatchEngine;
 pub use layout::TwoLevelLayout;
+pub use mapping::reference;
 pub use mapping::{
-    map_exact, map_hybrid, map_hybrid_with, map_naive, mapping_feasible, HybridOptions,
-    MappingOutcome, MappingStats, RowAssignment,
+    map_exact, map_exact_with_scratch, map_hybrid, map_hybrid_with, map_hybrid_with_scratch,
+    map_naive, mapping_feasible, mapping_feasible_with_scratch, HybridOptions, MappingOutcome,
+    MappingStats, RowAssignment,
 };
 pub use matrices::{row_compatible, BitRow, CrossbarMatrix, FunctionMatrix};
 pub use multilevel::{map_multilevel, MultiLevelDesign, MultiLevelMapping};

@@ -1,9 +1,14 @@
 //! Defect-tolerant logic mapping: row-assignment types, the naive mapper,
 //! the paper's hybrid algorithm (HBA, Algorithm 1) and the exact algorithm
 //! (EA).
+//!
+//! The algorithms run on the bitset [`MatchEngine`] (see [`crate::engine`]);
+//! the pre-engine dense implementations live on in [`reference`] as the
+//! equivalence baseline for tests and the "before" side of the mapping
+//! throughput benchmark.
 
+use crate::engine::MatchEngine;
 use crate::matrices::{row_compatible, CrossbarMatrix, FunctionMatrix};
-use xbar_assign::{hopcroft_karp, munkres, BipartiteGraph, CostMatrix};
 
 /// A complete row assignment: `fm_to_cm[fm_row] = cm_row` for every FM row
 /// (minterms first, then output rows).
@@ -108,9 +113,12 @@ impl Default for HybridOptions {
 /// The paper's **hybrid algorithm** (HBA, Algorithm 1): greedy top-to-bottom
 /// matching of minterm rows with single-level backtracking, then an exact
 /// Munkres assignment of the output rows onto the remaining crossbar rows.
+///
+/// Runs on a one-shot [`MatchEngine`]; use [`map_hybrid_with_scratch`] in
+/// loops to reuse the engine's buffers.
 #[must_use]
 pub fn map_hybrid(fm: &FunctionMatrix, cm: &CrossbarMatrix) -> MappingOutcome {
-    map_hybrid_with(fm, cm, HybridOptions::default())
+    MatchEngine::new().map_hybrid(fm, cm)
 }
 
 /// [`map_hybrid`] with explicit [`HybridOptions`] (ablation studies).
@@ -120,189 +128,266 @@ pub fn map_hybrid_with(
     cm: &CrossbarMatrix,
     options: HybridOptions,
 ) -> MappingOutcome {
-    let mut stats = MappingStats::default();
-    let p = fm.num_minterms();
-    let k = fm.num_outputs();
-    let r = cm.num_rows();
-    if p + k > r {
-        return MappingOutcome {
-            assignment: None,
-            stats,
-        };
-    }
-
-    // occupant[cm_row] = Some(fm_minterm) while matched.
-    let mut occupant: Vec<Option<usize>> = vec![None; r];
-    let mut minterm_to_cm: Vec<usize> = vec![usize::MAX; p];
-
-    let compat = |fm_row: usize, cm_row: usize, stats: &mut MappingStats| {
-        stats.compatibility_checks += 1;
-        row_compatible(fm.row(fm_row), cm.row(cm_row))
-    };
-
-    for i in 0..p {
-        // First pass: unmatched CM rows, top to bottom.
-        let mut placed = false;
-        for (t, slot) in occupant.iter_mut().enumerate() {
-            if slot.is_none() && compat(i, t, &mut stats) {
-                *slot = Some(i);
-                minterm_to_cm[i] = t;
-                placed = true;
-                break;
-            }
-        }
-        if placed {
-            continue;
-        }
-        if !options.backtracking {
-            return MappingOutcome {
-                assignment: None,
-                stats,
-            };
-        }
-        // BACKTRACKING: steal a matched CM row whose occupant can be
-        // re-homed to an unmatched row (a length-2 alternating path).
-        stats.backtracks += 1;
-        'steal: for t in 0..r {
-            let Some(j) = occupant[t] else { continue };
-            if !compat(i, t, &mut stats) {
-                continue;
-            }
-            for u in 0..r {
-                if occupant[u].is_none() && compat(j, u, &mut stats) {
-                    occupant[u] = Some(j);
-                    minterm_to_cm[j] = u;
-                    occupant[t] = Some(i);
-                    minterm_to_cm[i] = t;
-                    placed = true;
-                    break 'steal;
-                }
-            }
-        }
-        if !placed {
-            return MappingOutcome {
-                assignment: None,
-                stats,
-            };
-        }
-    }
-
-    // Output assignment over the unmatched CM rows.
-    let unmatched: Vec<usize> = (0..r).filter(|&t| occupant[t].is_none()).collect();
-    if k > 0 {
-        if unmatched.len() < k {
-            return MappingOutcome {
-                assignment: None,
-                stats,
-            };
-        }
-        let mut fm_to_cm = minterm_to_cm;
-        if options.exact_outputs {
-            // The paper's choice: matching matrix FMo × CMu solved with
-            // Munkres; zero cost certifies a valid mapping.
-            stats.assignment_rows = k;
-            let matrix = CostMatrix::from_fn(k, unmatched.len(), |o, u| {
-                stats.compatibility_checks += 1;
-                i64::from(!row_compatible(&fm.output_rows()[o], cm.row(unmatched[u])))
-            });
-            let solution = munkres(&matrix).expect("k <= unmatched rows");
-            if solution.cost != 0 {
-                return MappingOutcome {
-                    assignment: None,
-                    stats,
-                };
-            }
-            for &u in &solution.assignment {
-                fm_to_cm.push(unmatched[u]);
-            }
-        } else {
-            // Ablation: greedy first-fit output placement.
-            let mut taken = vec![false; unmatched.len()];
-            for o in 0..k {
-                let mut placed = false;
-                for (ui, &u) in unmatched.iter().enumerate() {
-                    if taken[ui] {
-                        continue;
-                    }
-                    stats.compatibility_checks += 1;
-                    if row_compatible(&fm.output_rows()[o], cm.row(u)) {
-                        taken[ui] = true;
-                        fm_to_cm.push(u);
-                        placed = true;
-                        break;
-                    }
-                }
-                if !placed {
-                    return MappingOutcome {
-                        assignment: None,
-                        stats,
-                    };
-                }
-            }
-        }
-        let assignment = RowAssignment { fm_to_cm };
-        debug_assert!(assignment.is_valid(fm, cm));
-        return MappingOutcome {
-            assignment: Some(assignment),
-            stats,
-        };
-    }
-    let assignment = RowAssignment {
-        fm_to_cm: minterm_to_cm,
-    };
-    debug_assert!(assignment.is_valid(fm, cm));
-    MappingOutcome {
-        assignment: Some(assignment),
-        stats,
-    }
+    MatchEngine::new().map_hybrid_with(fm, cm, options)
 }
 
-/// The paper's **exact algorithm** (EA): the full matching matrix over all
-/// FM rows solved with Munkres; a zero-cost assignment is a valid mapping.
+/// [`map_hybrid`] reusing a caller-owned [`MatchEngine`] — the hot-loop
+/// variant whose only per-call allocation is the returned assignment.
+#[must_use]
+pub fn map_hybrid_with_scratch(
+    fm: &FunctionMatrix,
+    cm: &CrossbarMatrix,
+    engine: &mut MatchEngine,
+) -> MappingOutcome {
+    engine.map_hybrid(fm, cm)
+}
+
+/// The paper's **exact algorithm** (EA): succeeds iff any valid mapping
+/// exists. The all-0/1 matching matrix makes this a pure feasibility
+/// problem, solved as a bitset Hopcroft–Karp maximum matching (Munkres
+/// remains in use where costs are genuinely weighted, e.g. the HBA output
+/// stage).
 #[must_use]
 pub fn map_exact(fm: &FunctionMatrix, cm: &CrossbarMatrix) -> MappingOutcome {
-    let mut stats = MappingStats::default();
-    let n = fm.num_rows();
-    let r = cm.num_rows();
-    if n > r {
-        return MappingOutcome {
-            assignment: None,
-            stats,
-        };
-    }
-    stats.assignment_rows = n;
-    let matrix = CostMatrix::from_fn(n, r, |fm_row, cm_row| {
-        stats.compatibility_checks += 1;
-        i64::from(!row_compatible(fm.row(fm_row), cm.row(cm_row)))
-    });
-    let solution = munkres(&matrix).expect("n <= r");
-    if solution.cost != 0 {
-        return MappingOutcome {
-            assignment: None,
-            stats,
-        };
-    }
-    let assignment = RowAssignment {
-        fm_to_cm: solution.assignment,
-    };
-    debug_assert!(assignment.is_valid(fm, cm));
-    MappingOutcome {
-        assignment: Some(assignment),
-        stats,
-    }
+    MatchEngine::new().map_exact(fm, cm)
+}
+
+/// [`map_exact`] reusing a caller-owned [`MatchEngine`].
+#[must_use]
+pub fn map_exact_with_scratch(
+    fm: &FunctionMatrix,
+    cm: &CrossbarMatrix,
+    engine: &mut MatchEngine,
+) -> MappingOutcome {
+    engine.map_exact(fm, cm)
 }
 
 /// Feasibility oracle: does *any* valid mapping exist? (Maximum bipartite
 /// matching; used to cross-check EA and in ablations.)
 #[must_use]
 pub fn mapping_feasible(fm: &FunctionMatrix, cm: &CrossbarMatrix) -> bool {
-    if fm.num_rows() > cm.num_rows() {
-        return false;
+    MatchEngine::new().feasible(fm, cm)
+}
+
+/// [`mapping_feasible`] reusing a caller-owned [`MatchEngine`].
+#[must_use]
+pub fn mapping_feasible_with_scratch(
+    fm: &FunctionMatrix,
+    cm: &CrossbarMatrix,
+    engine: &mut MatchEngine,
+) -> bool {
+    engine.feasible(fm, cm)
+}
+
+pub mod reference {
+    //! The pre-engine dense mapping implementations, kept verbatim as the
+    //! equivalence baseline: property tests pin the
+    //! [`MatchEngine`](crate::engine::MatchEngine) to byte-identical HBA
+    //! outcomes and EA ≡ feasibility agreement against these, and the
+    //! mapping throughput benchmark measures its speedup relative to them.
+
+    use super::{HybridOptions, MappingOutcome, MappingStats, RowAssignment};
+    use crate::matrices::{row_compatible, CrossbarMatrix, FunctionMatrix};
+    use xbar_assign::{hopcroft_karp, munkres, BipartiteGraph, CostMatrix};
+
+    /// Dense [`super::map_hybrid`]: the original Algorithm 1 scan.
+    #[must_use]
+    pub fn map_hybrid(fm: &FunctionMatrix, cm: &CrossbarMatrix) -> MappingOutcome {
+        map_hybrid_with(fm, cm, HybridOptions::default())
     }
-    let graph = BipartiteGraph::from_fn(fm.num_rows(), cm.num_rows(), |f, c| {
-        row_compatible(fm.row(f), cm.row(c))
-    });
-    hopcroft_karp(&graph).is_perfect_on_left()
+
+    /// Dense [`super::map_hybrid_with`]: re-evaluates `row_compatible` for
+    /// every probe and builds the output-stage cost matrix from scratch.
+    #[must_use]
+    pub fn map_hybrid_with(
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+        options: HybridOptions,
+    ) -> MappingOutcome {
+        let mut stats = MappingStats::default();
+        let p = fm.num_minterms();
+        let k = fm.num_outputs();
+        let r = cm.num_rows();
+        if p + k > r {
+            return MappingOutcome {
+                assignment: None,
+                stats,
+            };
+        }
+
+        // occupant[cm_row] = Some(fm_minterm) while matched.
+        let mut occupant: Vec<Option<usize>> = vec![None; r];
+        let mut minterm_to_cm: Vec<usize> = vec![usize::MAX; p];
+
+        let compat = |fm_row: usize, cm_row: usize, stats: &mut MappingStats| {
+            stats.compatibility_checks += 1;
+            row_compatible(fm.row(fm_row), cm.row(cm_row))
+        };
+
+        for i in 0..p {
+            // First pass: unmatched CM rows, top to bottom.
+            let mut placed = false;
+            for (t, slot) in occupant.iter_mut().enumerate() {
+                if slot.is_none() && compat(i, t, &mut stats) {
+                    *slot = Some(i);
+                    minterm_to_cm[i] = t;
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                continue;
+            }
+            if !options.backtracking {
+                return MappingOutcome {
+                    assignment: None,
+                    stats,
+                };
+            }
+            // BACKTRACKING: steal a matched CM row whose occupant can be
+            // re-homed to an unmatched row (a length-2 alternating path).
+            stats.backtracks += 1;
+            'steal: for t in 0..r {
+                let Some(j) = occupant[t] else { continue };
+                if !compat(i, t, &mut stats) {
+                    continue;
+                }
+                for u in 0..r {
+                    if occupant[u].is_none() && compat(j, u, &mut stats) {
+                        occupant[u] = Some(j);
+                        minterm_to_cm[j] = u;
+                        occupant[t] = Some(i);
+                        minterm_to_cm[i] = t;
+                        placed = true;
+                        break 'steal;
+                    }
+                }
+            }
+            if !placed {
+                return MappingOutcome {
+                    assignment: None,
+                    stats,
+                };
+            }
+        }
+
+        // Output assignment over the unmatched CM rows.
+        let unmatched: Vec<usize> = (0..r).filter(|&t| occupant[t].is_none()).collect();
+        if k > 0 {
+            if unmatched.len() < k {
+                return MappingOutcome {
+                    assignment: None,
+                    stats,
+                };
+            }
+            let mut fm_to_cm = minterm_to_cm;
+            if options.exact_outputs {
+                // The paper's choice: matching matrix FMo × CMu solved with
+                // Munkres; zero cost certifies a valid mapping.
+                stats.assignment_rows = k;
+                let matrix = CostMatrix::from_fn(k, unmatched.len(), |o, u| {
+                    stats.compatibility_checks += 1;
+                    i64::from(!row_compatible(&fm.output_rows()[o], cm.row(unmatched[u])))
+                });
+                let solution = munkres(&matrix).expect("k <= unmatched rows");
+                if solution.cost != 0 {
+                    return MappingOutcome {
+                        assignment: None,
+                        stats,
+                    };
+                }
+                for &u in &solution.assignment {
+                    fm_to_cm.push(unmatched[u]);
+                }
+            } else {
+                // Ablation: greedy first-fit output placement.
+                let mut taken = vec![false; unmatched.len()];
+                for o in 0..k {
+                    let mut placed = false;
+                    for (ui, &u) in unmatched.iter().enumerate() {
+                        if taken[ui] {
+                            continue;
+                        }
+                        stats.compatibility_checks += 1;
+                        if row_compatible(&fm.output_rows()[o], cm.row(u)) {
+                            taken[ui] = true;
+                            fm_to_cm.push(u);
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        return MappingOutcome {
+                            assignment: None,
+                            stats,
+                        };
+                    }
+                }
+            }
+            let assignment = RowAssignment { fm_to_cm };
+            debug_assert!(assignment.is_valid(fm, cm));
+            return MappingOutcome {
+                assignment: Some(assignment),
+                stats,
+            };
+        }
+        let assignment = RowAssignment {
+            fm_to_cm: minterm_to_cm,
+        };
+        debug_assert!(assignment.is_valid(fm, cm));
+        MappingOutcome {
+            assignment: Some(assignment),
+            stats,
+        }
+    }
+
+    /// Dense [`super::map_exact`]: the full matching matrix over all FM
+    /// rows solved with Munkres; a zero-cost assignment is a valid mapping.
+    #[must_use]
+    pub fn map_exact(fm: &FunctionMatrix, cm: &CrossbarMatrix) -> MappingOutcome {
+        let mut stats = MappingStats::default();
+        let n = fm.num_rows();
+        let r = cm.num_rows();
+        if n > r {
+            return MappingOutcome {
+                assignment: None,
+                stats,
+            };
+        }
+        stats.assignment_rows = n;
+        let matrix = CostMatrix::from_fn(n, r, |fm_row, cm_row| {
+            stats.compatibility_checks += 1;
+            i64::from(!row_compatible(fm.row(fm_row), cm.row(cm_row)))
+        });
+        let solution = munkres(&matrix).expect("n <= r");
+        if solution.cost != 0 {
+            return MappingOutcome {
+                assignment: None,
+                stats,
+            };
+        }
+        let assignment = RowAssignment {
+            fm_to_cm: solution.assignment,
+        };
+        debug_assert!(assignment.is_valid(fm, cm));
+        MappingOutcome {
+            assignment: Some(assignment),
+            stats,
+        }
+    }
+
+    /// Dense [`super::mapping_feasible`]: adjacency-list Hopcroft–Karp over
+    /// a `BipartiteGraph` built with per-pair `row_compatible` calls.
+    #[must_use]
+    pub fn mapping_feasible(fm: &FunctionMatrix, cm: &CrossbarMatrix) -> bool {
+        if fm.num_rows() > cm.num_rows() {
+            return false;
+        }
+        let graph = BipartiteGraph::from_fn(fm.num_rows(), cm.num_rows(), |f, c| {
+            row_compatible(fm.row(f), cm.row(c))
+        });
+        hopcroft_karp(&graph).is_perfect_on_left()
+    }
 }
 
 #[cfg(test)]

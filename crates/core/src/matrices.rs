@@ -39,10 +39,27 @@ impl BitRow {
     #[must_use]
     pub fn ones(cols: usize) -> Self {
         let mut row = Self::zeros(cols);
-        for c in 0..cols {
-            row.set(c, true);
-        }
+        row.fill_ones();
         row
+    }
+
+    /// Resets the row to all-ones without reallocating: whole words are
+    /// written as `!0` and the partial top word is masked to `cols` bits.
+    pub fn fill_ones(&mut self) {
+        let full = self.cols / 64;
+        let rem = self.cols % 64;
+        self.words[..full].fill(!0u64);
+        if rem != 0 {
+            self.words[full] = (1u64 << rem) - 1;
+        }
+        self.words[full + usize::from(rem != 0)..].fill(0);
+    }
+
+    /// The packed `u64` words backing the row (LSB-first; bit `c` of the
+    /// row is bit `c % 64` of word `c / 64`). Unused top-word bits are 0.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of columns.
@@ -253,14 +270,28 @@ impl CrossbarMatrix {
     #[must_use]
     pub fn sample_stuck_open(rows: usize, cols: usize, rate: f64, rng: &mut StdRng) -> Self {
         let mut cm = Self::perfect(rows, cols);
-        for r in 0..rows {
+        cm.resample_stuck_open(rate, rng);
+        cm
+    }
+
+    /// Re-samples this matrix in place as a fresh stuck-open defect map,
+    /// reusing the existing row buffers. Consumes the RNG exactly like
+    /// [`CrossbarMatrix::sample_stuck_open`], so with the same generator
+    /// state both produce bit-identical matrices — Monte Carlo loops can
+    /// keep one matrix per worker and resample it every trial with zero
+    /// heap allocation.
+    pub fn resample_stuck_open(&mut self, rate: f64, rng: &mut StdRng) {
+        let cols = self.cols;
+        for row in &mut self.rows {
+            row.fill_ones();
+        }
+        for row in &mut self.rows {
             for c in 0..cols {
                 if rng.random_bool(rate.clamp(0.0, 1.0)) {
-                    cm.rows[r].set(c, false);
+                    row.set(c, false);
                 }
             }
         }
-        cm
     }
 
     /// Derives the CM from a device-level crossbar: stuck-open crosspoints
@@ -394,6 +425,47 @@ mod tests {
         assert!(!row_compatible(fm.row(0), &cm_row));
         // ...but not for rows that don't use that column.
         assert!(row_compatible(fm.row(2), &cm_row));
+    }
+
+    #[test]
+    fn ones_fills_whole_words_and_masks_the_top() {
+        for cols in [0usize, 1, 10, 63, 64, 65, 128, 130] {
+            let row = BitRow::ones(cols);
+            assert_eq!(row.count_ones(), cols, "cols = {cols}");
+            for (w, &word) in row.words().iter().enumerate() {
+                let expect = {
+                    let mut v = 0u64;
+                    for b in 0..64 {
+                        if w * 64 + b < cols {
+                            v |= 1 << b;
+                        }
+                    }
+                    v
+                };
+                assert_eq!(word, expect, "cols = {cols}, word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn words_accessor_matches_get() {
+        let mut row = BitRow::zeros(70);
+        row.set(3, true);
+        row.set(69, true);
+        assert_eq!(row.words(), &[1 << 3, 1 << 5]);
+    }
+
+    #[test]
+    fn resample_matches_fresh_sampling_bit_for_bit() {
+        let mut rng_a = StdRng::seed_from_u64(33);
+        let mut rng_b = StdRng::seed_from_u64(33);
+        let mut reused = CrossbarMatrix::sample_stuck_open(9, 17, 0.4, &mut rng_a);
+        let _ = CrossbarMatrix::sample_stuck_open(9, 17, 0.4, &mut rng_b);
+        for _ in 0..5 {
+            reused.resample_stuck_open(0.2, &mut rng_a);
+            let fresh = CrossbarMatrix::sample_stuck_open(9, 17, 0.2, &mut rng_b);
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

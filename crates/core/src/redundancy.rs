@@ -10,6 +10,7 @@
 //! fixed roles — the paper's optimum-size assumption keeps column roles
 //! pinned to the CMOS driver).
 
+use crate::engine::MatchEngine;
 use crate::mapping::{map_exact, map_hybrid, MappingOutcome};
 use crate::matrices::{CrossbarMatrix, FunctionMatrix};
 use rand::rngs::StdRng;
@@ -32,6 +33,21 @@ impl MapperKind {
         match self {
             MapperKind::Hybrid => map_hybrid(fm, cm),
             MapperKind::Exact => map_exact(fm, cm),
+        }
+    }
+
+    /// Success of the selected mapper through a reusable [`MatchEngine`] —
+    /// the allocation-free query Monte Carlo loops should use.
+    #[must_use]
+    pub fn succeeds_with(
+        self,
+        engine: &mut MatchEngine,
+        fm: &FunctionMatrix,
+        cm: &CrossbarMatrix,
+    ) -> bool {
+        match self {
+            MapperKind::Hybrid => engine.hybrid_success(fm, cm).0,
+            MapperKind::Exact => engine.exact_success(fm, cm).0,
         }
     }
 }
@@ -82,8 +98,10 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
     let cols = fm.num_cols();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut successes = 0usize;
+    let mut engine = MatchEngine::new();
+    let mut cm_buf = CrossbarMatrix::perfect(rows, cols);
     for _ in 0..config.samples {
-        let cm = if config.stuck_closed_fraction > 0.0 {
+        let success = if config.stuck_closed_fraction > 0.0 {
             // Stuck-closed defects need full device semantics (row/column
             // poisoning), which `from_crossbar` encodes.
             let profile = DefectProfile {
@@ -91,11 +109,15 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
                 stuck_closed_fraction: config.stuck_closed_fraction,
             };
             let xbar = Crossbar::with_random_defects(rows, cols, profile, &mut rng);
-            CrossbarMatrix::from_crossbar(&xbar)
+            let cm = CrossbarMatrix::from_crossbar(&xbar);
+            config.mapper.succeeds_with(&mut engine, fm, &cm)
         } else {
-            CrossbarMatrix::sample_stuck_open(rows, cols, config.defect_rate, &mut rng)
+            // Stuck-open-only sampling reuses one matrix and the engine's
+            // scratch: zero allocations per sample.
+            cm_buf.resample_stuck_open(config.defect_rate, &mut rng);
+            config.mapper.succeeds_with(&mut engine, fm, &cm_buf)
         };
-        if config.mapper.run(fm, &cm).is_success() {
+        if success {
             successes += 1;
         }
     }

@@ -2,9 +2,9 @@
 //! crossbars with stuck-open defects.
 
 use crate::cli::ExpArgs;
-use crate::mc::{mean, monte_carlo};
+use crate::mc::{mean, monte_carlo_with};
 use std::time::Instant;
-use xbar_core::{map_exact, map_hybrid, CrossbarMatrix, FunctionMatrix, TwoLevelLayout};
+use xbar_core::{CrossbarMatrix, FunctionMatrix, MatchEngine, TwoLevelLayout};
 use xbar_logic::bench_reg::{registry, BenchmarkInfo};
 
 /// Measured results for one circuit, paired with the paper's numbers.
@@ -58,26 +58,35 @@ pub fn run_circuit(info: &BenchmarkInfo, args: &ExpArgs) -> Table2Row {
     let rows = fm.num_rows();
     let cols = fm.num_cols();
 
-    let samples = monte_carlo(args.samples, args.seed ^ 0xBEEF, |_, seed| {
-        let mut rng = rand::SeedableRng::seed_from_u64(seed);
-        let cm = CrossbarMatrix::sample_stuck_open(rows, cols, args.defect_rate, &mut rng);
-        let t0 = Instant::now();
-        let hba = map_hybrid(&fm, &cm);
-        let hba_secs = t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        let ea = map_exact(&fm, &cm);
-        let ea_secs = t1.elapsed().as_secs_f64();
-        debug_assert!(
-            !hba.is_success() || ea.is_success(),
-            "HBA success must imply EA success"
-        );
-        Sample {
-            hba_ok: hba.is_success(),
-            hba_secs,
-            ea_ok: ea.is_success(),
-            ea_secs,
-        }
-    });
+    // Each worker owns one engine plus one crossbar matrix and resamples it
+    // per trial: the hot loop performs zero heap allocations. Sampling
+    // consumes the per-sample RNG exactly like `sample_stuck_open`, so the
+    // statistics are bit-identical to the pre-engine implementation. HBA
+    // and EA stay separate calls (each paying its own adjacency build)
+    // because this table reports per-algorithm runtime; success-only loops
+    // should prefer `hybrid_and_exact_success`.
+    let samples = monte_carlo_with(
+        args.samples,
+        args.seed ^ 0xBEEF,
+        || (MatchEngine::new(), CrossbarMatrix::perfect(rows, cols)),
+        |(engine, cm), _, seed| {
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+            cm.resample_stuck_open(args.defect_rate, &mut rng);
+            let t0 = Instant::now();
+            let (hba_ok, _) = engine.hybrid_success(&fm, cm);
+            let hba_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let (ea_ok, _) = engine.exact_success(&fm, cm);
+            let ea_secs = t1.elapsed().as_secs_f64();
+            debug_assert!(!hba_ok || ea_ok, "HBA success must imply EA success");
+            Sample {
+                hba_ok,
+                hba_secs,
+                ea_ok,
+                ea_secs,
+            }
+        },
+    );
 
     let frac = |ok: &dyn Fn(&Sample) -> bool| {
         samples.iter().filter(|s| ok(s)).count() as f64 / samples.len().max(1) as f64

@@ -30,5 +30,5 @@ mod mc;
 mod table;
 
 pub use cli::ExpArgs;
-pub use mc::{mean, monte_carlo, sample_seed};
+pub use mc::{mean, monte_carlo, monte_carlo_with, sample_seed};
 pub use table::{pct, secs, Table};

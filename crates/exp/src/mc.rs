@@ -4,9 +4,16 @@
 //! Each sample receives a deterministic per-sample seed derived from the
 //! experiment seed, so results are reproducible regardless of thread count
 //! or scheduling.
+//!
+//! Workers own **disjoint contiguous chunks** of the sample range and
+//! collect results locally; chunks are concatenated in worker order at the
+//! end. There is no lock (and no shared mutable state at all) on the hot
+//! path — the previous implementation funnelled every result through a
+//! `Mutex<Vec<Option<T>>>`, serializing workers exactly when samples are
+//! cheap. [`monte_carlo_with`] additionally gives each worker a private
+//! state value (a mapping engine, a reusable crossbar matrix, …) so
+//! per-sample heap allocation can be eliminated entirely.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::thread;
 
 /// Derives a per-sample seed from the experiment seed (SplitMix64 step).
@@ -30,34 +37,67 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let workers = std::thread::available_parallelism()
+    monte_carlo_with(
+        samples,
+        experiment_seed,
+        || (),
+        move |(), i, seed| f(i, seed),
+    )
+}
+
+/// [`monte_carlo`] with per-worker state: every worker calls `init` once,
+/// then threads the resulting value through each of its samples. This is
+/// the hook for reusable scratch (e.g. a `MatchEngine` plus a resampled
+/// `CrossbarMatrix`) that makes the sampling loop allocation-free.
+///
+/// Results are identical to [`monte_carlo`] with a stateless closure:
+/// per-sample seeds depend only on `(experiment_seed, sample_index)`, and
+/// the per-worker chunks are contiguous, so concatenating them in worker
+/// order restores sample order exactly.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn monte_carlo_with<S, T, I, F>(samples: usize, experiment_seed: u64, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, u64) -> T + Sync,
+{
+    let workers = thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(samples.max(1));
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..samples).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
+    // Disjoint contiguous chunks: worker w owns [start, end). The first
+    // `samples % workers` chunks carry one extra sample.
+    let base = samples / workers;
+    let extra = samples % workers;
+    let bounds = |w: usize| {
+        let start = w * base + w.min(extra);
+        let end = start + base + usize::from(w < extra);
+        (start, end)
+    };
 
     thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= samples {
-                    break;
-                }
-                let value = f(i, sample_seed(experiment_seed, i));
-                if let Some(slot) = results.lock().expect("no poisoned worker").get_mut(i) {
-                    *slot = Some(value);
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (start, end) = bounds(w);
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = init();
+                    (start..end)
+                        .map(|i| f(&mut state, i, sample_seed(experiment_seed, i)))
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(samples);
+        for handle in handles {
+            results.extend(handle.join().expect("no poisoned worker"));
         }
-    });
-
-    results
-        .into_inner()
-        .expect("no poisoned worker")
-        .into_iter()
-        .map(|slot| slot.expect("every sample filled"))
-        .collect()
+        results
+    })
 }
 
 /// Mean of an f64 slice (0.0 when empty).
@@ -72,6 +112,7 @@ pub fn mean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn results_are_in_sample_order() {
@@ -80,6 +121,13 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * 2);
         }
+    }
+
+    #[test]
+    fn results_are_in_sample_order_when_samples_do_not_divide_evenly() {
+        // 101 samples over N workers exercises the uneven-chunk bounds.
+        let out = monte_carlo(101, 9, |i, _| i);
+        assert_eq!(out, (0..101).collect::<Vec<_>>());
     }
 
     #[test]
@@ -99,6 +147,39 @@ mod tests {
     fn zero_samples_is_fine() {
         let out: Vec<u64> = monte_carlo(0, 1, |_, s| s);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = monte_carlo_with(
+            64,
+            3,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |count, i, _| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(out.len(), 64);
+        let workers = inits.load(Ordering::Relaxed);
+        assert!(workers >= 1);
+        // Each worker's counter restarts at 1 and increases within the
+        // chunk; the number of 1s equals the number of workers.
+        assert_eq!(out.iter().filter(|(_, c)| *c == 1).count(), workers);
+        for (i, _) in &out {
+            assert_eq!(*i, out[*i].0, "sample order preserved");
+        }
+    }
+
+    #[test]
+    fn stateful_and_stateless_agree() {
+        let stateless = monte_carlo(33, 11, |i, seed| (i, seed));
+        let stateful = monte_carlo_with(33, 11, || (), |(), i, seed| (i, seed));
+        assert_eq!(stateless, stateful);
     }
 
     #[test]

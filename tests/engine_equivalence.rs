@@ -1,0 +1,150 @@
+//! Property tests pinning the bitset `MatchEngine` to the pre-refactor
+//! dense mappers (kept under `core::reference`):
+//!
+//! * `map_hybrid` through the engine returns a **byte-identical**
+//!   `MappingOutcome` (assignment *and* stats) on randomized FM/CM pairs,
+//!   for every `HybridOptions` combination;
+//! * EA through the engine succeeds exactly when the dense feasibility
+//!   oracle says a mapping exists (EA ≡ feasibility), and any assignment it
+//!   returns is valid;
+//! * the scratch-reusing entry points agree with the one-shot facades.
+
+use memristive_xbar_repro::core::{
+    map_exact_with_scratch, map_hybrid, map_hybrid_with_scratch, mapping_feasible,
+    mapping_feasible_with_scratch, reference, CrossbarMatrix, FunctionMatrix, HybridOptions,
+    MatchEngine,
+};
+use memristive_xbar_repro::logic::{Cover, Cube, Phase};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a randomized multi-output cover from packed generator state: each
+/// cube gets random literals over `inputs` variables and a non-empty random
+/// output membership over `outputs`.
+fn random_cover(inputs: usize, outputs: usize, cubes: usize, seed: u64) -> Cover {
+    let mut state = seed ^ 0xC0FE_BABE;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let cube_list: Vec<Cube> = (0..cubes)
+        .map(|_| {
+            let mut cube = Cube::universe(inputs, outputs);
+            let mut any_literal = false;
+            for var in 0..inputs {
+                match next() % 3 {
+                    0 => {
+                        cube.set_literal(var, Phase::Positive);
+                        any_literal = true;
+                    }
+                    1 => {
+                        cube.set_literal(var, Phase::Negative);
+                        any_literal = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !any_literal {
+                cube.set_literal((next() % inputs as u64) as usize, Phase::Positive);
+            }
+            let mut any_output = false;
+            for o in 0..outputs {
+                let member = next() % 2 == 0;
+                cube.set_output(o, member);
+                any_output |= member;
+            }
+            if !any_output {
+                cube.set_output((next() % outputs as u64) as usize, true);
+            }
+            cube
+        })
+        .collect();
+    Cover::from_cubes(inputs, outputs, cube_list).expect("matching dims")
+}
+
+/// Samples a crossbar matrix for `fm` with `spare` extra rows.
+fn random_cm(fm: &FunctionMatrix, spare: usize, rate: f64, seed: u64) -> CrossbarMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CrossbarMatrix::sample_stuck_open(fm.num_rows() + spare, fm.num_cols(), rate, &mut rng)
+}
+
+const ALL_OPTIONS: [HybridOptions; 4] = [
+    HybridOptions {
+        backtracking: true,
+        exact_outputs: true,
+    },
+    HybridOptions {
+        backtracking: true,
+        exact_outputs: false,
+    },
+    HybridOptions {
+        backtracking: false,
+        exact_outputs: true,
+    },
+    HybridOptions {
+        backtracking: false,
+        exact_outputs: false,
+    },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// The engine's HBA is byte-identical (assignment + stats) to the
+    /// pre-refactor dense algorithm, across all option combinations, with
+    /// one engine reused for the whole case.
+    #[test]
+    fn hybrid_outcomes_are_byte_identical(
+        inputs in 2usize..6,
+        outputs in 1usize..4,
+        cubes in 1usize..8,
+        spare in 0usize..3,
+        rate in 0.0f64..0.35,
+        seed in 0u64..1_000_000,
+    ) {
+        let cover = random_cover(inputs, outputs, cubes, seed);
+        let fm = FunctionMatrix::from_cover(&cover);
+        let cm = random_cm(&fm, spare, rate, seed);
+        let mut engine = MatchEngine::new();
+        for options in ALL_OPTIONS {
+            let expected = reference::map_hybrid_with(&fm, &cm, options);
+            let via_engine = engine.map_hybrid_with(&fm, &cm, options);
+            prop_assert_eq!(&via_engine, &expected, "options {:?}", options);
+        }
+        // The facade and the scratch variant agree with the default-options
+        // reference as well.
+        let expected = reference::map_hybrid(&fm, &cm);
+        prop_assert_eq!(&map_hybrid(&fm, &cm), &expected);
+        prop_assert_eq!(&map_hybrid_with_scratch(&fm, &cm, &mut engine), &expected);
+    }
+
+    /// EA ≡ feasibility: the engine's exact mapper succeeds exactly when
+    /// the dense feasibility oracle finds a perfect matching, its
+    /// assignments are valid, and every feasibility entry point agrees.
+    #[test]
+    fn exact_algorithm_equals_feasibility(
+        inputs in 2usize..6,
+        outputs in 1usize..4,
+        cubes in 1usize..8,
+        spare in 0usize..3,
+        rate in 0.0f64..0.4,
+        seed in 0u64..1_000_000,
+    ) {
+        let cover = random_cover(inputs, outputs, cubes, seed.wrapping_add(0xEA));
+        let fm = FunctionMatrix::from_cover(&cover);
+        let cm = random_cm(&fm, spare, rate, seed.wrapping_add(0xEA));
+        let mut engine = MatchEngine::new();
+        let feasible = reference::mapping_feasible(&fm, &cm);
+        let ea = map_exact_with_scratch(&fm, &cm, &mut engine);
+        prop_assert_eq!(ea.is_success(), feasible, "EA must equal feasibility");
+        prop_assert_eq!(reference::map_exact(&fm, &cm).is_success(), feasible);
+        prop_assert_eq!(mapping_feasible(&fm, &cm), feasible);
+        prop_assert_eq!(mapping_feasible_with_scratch(&fm, &cm, &mut engine), feasible);
+        if let Some(assignment) = ea.assignment {
+            prop_assert!(assignment.is_valid(&fm, &cm));
+        }
+    }
+}
