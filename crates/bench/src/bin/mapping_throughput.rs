@@ -7,8 +7,9 @@
 //! [--out PATH] [--quick]`
 
 use std::path::PathBuf;
-use xbar_bench::throughput::{measure_circuit, render_json};
+use xbar_bench::throughput::{measure_circuit, measure_sharded, render_json_with_sharded};
 use xbar_bench::TABLE2_BENCH_CIRCUITS;
+use xbar_exp::shard::coordinator::default_worker_binary;
 
 struct Args {
     samples: usize,
@@ -16,6 +17,7 @@ struct Args {
     defect_rate: f64,
     circuits: Vec<String>,
     out: PathBuf,
+    shard_workers: usize,
 }
 
 impl Default for Args {
@@ -29,6 +31,7 @@ impl Default for Args {
                 .map(|s| (*s).to_owned())
                 .collect(),
             out: PathBuf::from("BENCH_mapping.json"),
+            shard_workers: 3,
         }
     }
 }
@@ -63,6 +66,12 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out = PathBuf::from(it.next().unwrap_or_else(|| panic!("--out needs a path")));
             }
+            "--shard-workers" => {
+                args.shard_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--shard-workers needs a number"));
+            }
             "--quick" => args.samples = (args.samples / 10).max(5),
             "--help" | "-h" => {
                 println!(
@@ -72,6 +81,9 @@ fn parse_args() -> Args {
                      --defect-rate F   stuck-open probability (default 0.10)\n  \
                      --circuits a,b    registry circuits (default: the Table II bench set)\n  \
                      --out PATH        JSON output path (default BENCH_mapping.json)\n  \
+                     --shard-workers N sharded-coordinator entry with N worker\n                    \
+processes (default 3; 0 disables; skipped when\n                    \
+the mc_shard binary is not built)\n  \
                      --quick           1/10th of the samples (smoke run)"
                 );
                 std::process::exit(0);
@@ -112,7 +124,39 @@ fn main() {
         legacy,
         engine
     );
-    let json = render_json(&results, args.defect_rate, args.seed);
+    // Process-sharded coordinator throughput: same campaign through the
+    // mc_shard worker binary, merged stats asserted byte-identical to the
+    // monolithic run. Tracks the fan-out overhead of the multi-host path.
+    let sharded = if args.shard_workers == 0 {
+        None
+    } else {
+        match default_worker_binary() {
+            Ok(worker) => {
+                let s = measure_sharded(
+                    &args.circuits,
+                    args.samples,
+                    args.defect_rate,
+                    args.seed,
+                    args.shard_workers,
+                    worker,
+                );
+                println!(
+                    "sharded coordinator ({} workers): {:.1}/s vs single-process {:.1}/s \
+                     ({:.2}x, stats byte-identical)",
+                    s.shards,
+                    s.sharded_sps(),
+                    s.single_sps(),
+                    s.relative()
+                );
+                Some(s)
+            }
+            Err(e) => {
+                println!("skipping sharded entry: {e}");
+                None
+            }
+        }
+    };
+    let json = render_json_with_sharded(&results, args.defect_rate, args.seed, sharded.as_ref());
     std::fs::write(&args.out, &json).expect("write BENCH_mapping.json");
     println!("wrote {}", args.out.display());
 }

@@ -14,6 +14,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use xbar_core::{reference, CrossbarMatrix, FunctionMatrix, MatchEngine};
 use xbar_exp::sample_seed;
+use xbar_exp::shard::coordinator::{
+    render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig,
+};
+use xbar_exp::shard::McConfig;
 use xbar_logic::bench_reg::find;
 
 /// Measured throughput for one circuit.
@@ -123,10 +127,121 @@ pub fn measure_circuit(
     }
 }
 
+/// Measured throughput of the process-sharded coordinator path vs one
+/// monolithic in-process run of the same campaign (same seeds, same
+/// merged statistics — the coordinator asserts byte-identical stats).
+///
+/// On a single machine both sides use every core, so this entry tracks
+/// the *fan-out overhead* of the multi-host scaling path (process spawn,
+/// partial-file round-trip, merge), not a speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedThroughput {
+    /// Worker processes / sample-range shards.
+    pub shards: usize,
+    /// Total Monte Carlo samples per circuit.
+    pub samples: usize,
+    /// Circuits in the campaign.
+    pub circuits: Vec<String>,
+    /// Wall-clock seconds for the sharded coordinator run.
+    pub sharded_secs: f64,
+    /// Wall-clock seconds for the monolithic in-process run.
+    pub single_secs: f64,
+}
+
+impl ShardedThroughput {
+    /// Total samples simulated (per side).
+    #[must_use]
+    pub fn total_samples(&self) -> usize {
+        self.samples * self.circuits.len()
+    }
+
+    /// Sharded samples per second.
+    #[must_use]
+    pub fn sharded_sps(&self) -> f64 {
+        self.total_samples() as f64 / self.sharded_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Single-process samples per second.
+    #[must_use]
+    pub fn single_sps(&self) -> f64 {
+        self.total_samples() as f64 / self.single_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Throughput ratio sharded/single (< 1 means fan-out overhead).
+    #[must_use]
+    pub fn relative(&self) -> f64 {
+        self.single_secs / self.sharded_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures the sharded coordinator against the monolithic path on the
+/// same campaign and asserts their merged stats artifacts are
+/// byte-identical before reporting any timing.
+///
+/// # Panics
+///
+/// Panics when the coordinator fails (e.g. the `mc_shard` worker binary
+/// is missing — build it with `cargo build --release -p xbar-exp --bins`)
+/// or when the two stats artifacts differ.
+#[must_use]
+pub fn measure_sharded(
+    circuits: &[String],
+    samples: usize,
+    defect_rate: f64,
+    seed: u64,
+    shards: usize,
+    worker: std::path::PathBuf,
+) -> ShardedThroughput {
+    let config = McConfig {
+        samples,
+        seed,
+        defect_rate,
+        circuits: circuits.to_vec(),
+    };
+    let coordinator = CoordinatorConfig {
+        config: config.clone(),
+        shards,
+        max_attempts: 3,
+        worker,
+        work_dir: std::env::temp_dir().join(format!("mc-bench-{}", std::process::id())),
+        extra_worker_args: Vec::new(),
+        keep_partials: false,
+    };
+    let t0 = Instant::now();
+    let sharded = run_coordinator(&coordinator).expect("sharded coordinator run");
+    let sharded_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let single = run_monolithic(&config);
+    let single_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        render_stats_json(&sharded),
+        render_stats_json(&single),
+        "sharded and monolithic stats artifacts must be byte-identical"
+    );
+    ShardedThroughput {
+        shards,
+        samples,
+        circuits: circuits.to_vec(),
+        sharded_secs,
+        single_secs,
+    }
+}
+
 /// Renders the results as the `BENCH_mapping.json` document (no serde in
 /// this workspace; the format is flat enough to emit by hand).
 #[must_use]
 pub fn render_json(results: &[CircuitThroughput], defect_rate: f64, seed: u64) -> String {
+    render_json_with_sharded(results, defect_rate, seed, None)
+}
+
+/// [`render_json`] plus the optional process-sharded throughput entry.
+#[must_use]
+pub fn render_json_with_sharded(
+    results: &[CircuitThroughput],
+    defect_rate: f64,
+    seed: u64,
+    sharded: Option<&ShardedThroughput>,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"mapping_throughput\",");
     let _ = writeln!(
@@ -158,15 +273,30 @@ pub fn render_json(results: &[CircuitThroughput], defect_rate: f64, seed: u64) -
     let legacy_secs: f64 = results.iter().map(|r| r.legacy_secs).sum();
     let engine_secs: f64 = results.iter().map(|r| r.engine_secs).sum();
     let samples: usize = results.iter().map(|r| r.samples).sum();
+    let comma = if sharded.is_some() { "," } else { "" };
     let _ = writeln!(
         out,
         "  \"total\": {{\"samples\": {}, \"legacy_samples_per_sec\": {:.1}, \
-         \"engine_samples_per_sec\": {:.1}, \"speedup\": {:.2}}}",
+         \"engine_samples_per_sec\": {:.1}, \"speedup\": {:.2}}}{comma}",
         samples,
         samples as f64 / legacy_secs.max(f64::MIN_POSITIVE),
         samples as f64 / engine_secs.max(f64::MIN_POSITIVE),
         legacy_secs / engine_secs.max(f64::MIN_POSITIVE),
     );
+    if let Some(s) = sharded {
+        let _ = writeln!(
+            out,
+            "  \"sharded\": {{\"shards\": {}, \"samples\": {}, \"circuits\": {}, \
+             \"sharded_samples_per_sec\": {:.1}, \"single_process_samples_per_sec\": {:.1}, \
+             \"relative_throughput\": {:.2}, \"stats_byte_identical\": true}}",
+            s.shards,
+            s.total_samples(),
+            s.circuits.len(),
+            s.sharded_sps(),
+            s.single_sps(),
+            s.relative(),
+        );
+    }
     out.push_str("}\n");
     out
 }
@@ -192,6 +322,29 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"total\""));
         assert!(json.contains("\"speedup\""));
+        assert!(!json.contains("\"sharded\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn sharded_entry_renders_into_the_document() {
+        let r = measure_circuit("rd53", 4, 0.10, 7);
+        let sharded = ShardedThroughput {
+            shards: 3,
+            samples: 20,
+            circuits: vec!["rd53".to_owned(), "misex1".to_owned()],
+            sharded_secs: 0.5,
+            single_secs: 0.4,
+        };
+        assert_eq!(sharded.total_samples(), 40);
+        assert!((sharded.relative() - 0.8).abs() < 1e-12);
+        let json = render_json_with_sharded(&[r], 0.10, 7, Some(&sharded));
+        assert!(json.contains("\"sharded\""));
+        assert!(json.contains("\"stats_byte_identical\": true"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

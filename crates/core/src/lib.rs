@@ -68,6 +68,7 @@ mod mapping;
 mod matrices;
 mod multilevel;
 mod redundancy;
+pub mod stats;
 mod synthesis;
 mod verify;
 
@@ -85,5 +86,6 @@ pub use mapping::{
 pub use matrices::{row_compatible, BitRow, CrossbarMatrix, FunctionMatrix};
 pub use multilevel::{map_multilevel, MultiLevelDesign, MultiLevelMapping};
 pub use redundancy::{estimate_yield, redundancy_sweep, MapperKind, YieldConfig, YieldResult};
+pub use stats::{Moments, SuccessCount};
 pub use synthesis::{synthesize_two_level, SynthesisOptions, TwoLevelDesign};
 pub use verify::{program_two_level, verify_against_cover, VerifyMode};

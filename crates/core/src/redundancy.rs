@@ -13,6 +13,7 @@
 use crate::engine::MatchEngine;
 use crate::mapping::{map_exact, map_hybrid, MappingOutcome};
 use crate::matrices::{CrossbarMatrix, FunctionMatrix};
+use crate::stats::SuccessCount;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xbar_device::{Crossbar, DefectProfile};
@@ -97,7 +98,10 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
     let rows = optimum_rows + config.spare_rows;
     let cols = fm.num_cols();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut successes = 0usize;
+    // The same mergeable accumulator the sharded Monte Carlo coordinator
+    // merges: integer counts, so single-process and sharded aggregation
+    // share one code path and stay bit-identical.
+    let mut counts = SuccessCount::new();
     let mut engine = MatchEngine::new();
     let mut cm_buf = CrossbarMatrix::perfect(rows, cols);
     for _ in 0..config.samples {
@@ -117,14 +121,12 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
             cm_buf.resample_stuck_open(config.defect_rate, &mut rng);
             config.mapper.succeeds_with(&mut engine, fm, &cm_buf)
         };
-        if success {
-            successes += 1;
-        }
+        counts.push(success);
     }
     let area = rows * cols;
     YieldResult {
-        success_rate: successes as f64 / config.samples as f64,
-        successes,
+        success_rate: counts.rate(),
+        successes: counts.successes as usize,
         samples: config.samples,
         area,
         area_overhead: area as f64 / (optimum_rows * cols) as f64,

@@ -1,0 +1,244 @@
+//! Mergeable streaming accumulators for Monte Carlo statistics.
+//!
+//! Every aggregate the experiments report (Table II success rates, the
+//! yield sweeps, per-attempt runtimes) is expressible as a fold over
+//! per-sample observations, and the fold state here is *mergeable*: two
+//! accumulators built over disjoint sample ranges combine into the
+//! accumulator of the union. That is the contract process-sharded Monte
+//! Carlo rests on — each shard folds its own slice, the coordinator merges
+//! the partials, and the single-process path runs the very same fold.
+//!
+//! Reproducibility contract:
+//!
+//! * [`SuccessCount`] is integer arithmetic throughout, so merging shard
+//!   partials in any grouping is **bit-identical** to a monolithic fold;
+//!   so is any statistic derived from it after the merge (success rates,
+//!   yields).
+//! * [`Moments`] uses Welford's update for [`Moments::push`] and Chan's
+//!   parallel update for [`Moments::merge`]. Merging is deterministic for
+//!   a fixed shard layout and agrees with the sequential fold to floating
+//!   point rounding (not bitwise) — which is why the experiments only put
+//!   integer-derived statistics into byte-compared artifacts and keep
+//!   moment statistics (runtimes) in informational output.
+//!
+//! Both accumulators are NaN-free by construction for finite inputs: the
+//! empty state reports zeros, never `0.0 / 0.0`.
+
+/// Success counter: total trials and successful trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuccessCount {
+    /// Trials observed.
+    pub samples: u64,
+    /// Trials that succeeded.
+    pub successes: u64,
+}
+
+impl SuccessCount {
+    /// Empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial.
+    pub fn push(&mut self, success: bool) {
+        self.samples += 1;
+        self.successes += u64::from(success);
+    }
+
+    /// Merges another counter (disjoint trials) into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.samples += other.samples;
+        self.successes += other.successes;
+    }
+
+    /// Success fraction in `[0, 1]`; `0.0` when no trials were observed.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford), mergeable via Chan's
+/// parallel combination.
+///
+/// Fields are public so shard partial files can round-trip the exact
+/// internal state; treat them as an opaque triple unless serializing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    /// Observations folded in.
+    pub count: u64,
+    /// Running mean (0.0 when `count == 0`).
+    pub mean: f64,
+    /// Sum of squared deviations from the running mean.
+    pub m2: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in (Welford's update).
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Merges an accumulator built over a disjoint set of observations
+    /// (Chan et al.'s parallel variance combination).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.count += other.count;
+    }
+
+    /// Mean of the observations; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`m2 / count`); `0.0` when empty.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation; `0.0` when empty.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_count_folds_and_merges_exactly() {
+        let mut a = SuccessCount::new();
+        let mut b = SuccessCount::new();
+        let mut whole = SuccessCount::new();
+        let outcomes = [true, false, true, true, false, false, true, true];
+        for (i, &ok) in outcomes.iter().enumerate() {
+            whole.push(ok);
+            if i < 3 {
+                a.push(ok);
+            } else {
+                b.push(ok);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(whole.samples, 8);
+        assert_eq!(whole.successes, 5);
+        assert_eq!(whole.rate(), 5.0 / 8.0);
+    }
+
+    #[test]
+    fn empty_counter_has_zero_rate_not_nan() {
+        assert_eq!(SuccessCount::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn moments_match_direct_formulas() {
+        let values = [1.0, 2.0, 4.0, 8.0, 16.5, -3.25];
+        let mut m = Moments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert_eq!(m.count, values.len() as u64);
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_agrees_with_sequential_fold() {
+        let values: Vec<f64> = (0..100)
+            .map(|i| ((i * 37) % 17) as f64 * 0.25 - 1.0)
+            .collect();
+        let mut whole = Moments::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        for split in [0usize, 1, 13, 50, 99, 100] {
+            let mut left = Moments::new();
+            let mut right = Moments::new();
+            for &v in &values[..split] {
+                left.push(v);
+            }
+            for &v in &values[split..] {
+                right.push(v);
+            }
+            left.merge(&right);
+            assert_eq!(left.count, whole.count);
+            assert!((left.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert!(
+                (left.variance() - whole.variance()).abs() < 1e-12,
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_empty_is_identity_in_both_directions() {
+        let mut m = Moments::new();
+        m.push(3.0);
+        m.push(5.0);
+        let snapshot = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, snapshot);
+        let mut empty = Moments::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn empty_moments_are_nan_free() {
+        let m = Moments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut m = Moments::new();
+        m.push(42.0);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+}

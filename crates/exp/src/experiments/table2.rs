@@ -1,11 +1,21 @@
 //! Table II: success rate and runtime of HBA vs EA on optimum-size
 //! crossbars with stuck-open defects.
+//!
+//! Aggregation runs through the mergeable accumulators in
+//! [`xbar_core::stats`]: the single-process path folds the whole sample
+//! range into one [`CircuitAccum`]; the process-sharded path (see
+//! [`crate::shard`]) folds disjoint sub-ranges in worker processes and
+//! merges the partials — by construction the integer statistics agree
+//! bit-for-bit.
 
 use crate::cli::ExpArgs;
-use crate::mc::{mean, monte_carlo_with};
+use crate::mc::monte_carlo_range_fold;
+use std::ops::Range;
 use std::time::Instant;
+use xbar_core::stats::{Moments, SuccessCount};
 use xbar_core::{CrossbarMatrix, FunctionMatrix, MatchEngine, TwoLevelLayout};
 use xbar_logic::bench_reg::{registry, BenchmarkInfo};
+use xbar_logic::Cover;
 
 /// Measured results for one circuit, paired with the paper's numbers.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,20 +51,79 @@ pub struct Table2Row {
     pub ea_published: Option<(f64, f64)>,
 }
 
-/// Per-sample result.
-struct Sample {
-    hba_ok: bool,
-    hba_secs: f64,
-    ea_ok: bool,
-    ea_secs: f64,
+/// Mergeable per-circuit fold state for the Table II statistics: success
+/// counters (integer, merge-exact) plus runtime moments (Welford, merged
+/// with Chan's combination).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CircuitAccum {
+    /// HBA success counter.
+    pub hba: SuccessCount,
+    /// EA success counter.
+    pub ea: SuccessCount,
+    /// HBA per-attempt runtime moments (seconds).
+    pub hba_time: Moments,
+    /// EA per-attempt runtime moments (seconds).
+    pub ea_time: Moments,
 }
 
-/// Runs the Table II experiment for one circuit.
+impl CircuitAccum {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one Monte Carlo trial in.
+    pub fn push(&mut self, hba_ok: bool, hba_secs: f64, ea_ok: bool, ea_secs: f64) {
+        self.hba.push(hba_ok);
+        self.ea.push(ea_ok);
+        self.hba_time.push(hba_secs);
+        self.ea_time.push(ea_secs);
+    }
+
+    /// Merges an accumulator folded over a disjoint sample range.
+    pub fn merge(&mut self, other: &Self) {
+        self.hba.merge(&other.hba);
+        self.ea.merge(&other.ea);
+        self.hba_time.merge(&other.hba_time);
+        self.ea_time.merge(&other.ea_time);
+    }
+
+    /// Trials folded in.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.hba.samples
+    }
+}
+
+/// The Monte Carlo seed Table II derives from the experiment seed (kept
+/// stable since the first implementation so published statistics never
+/// drift; shard workers must use the same derivation).
 #[must_use]
-pub fn run_circuit(info: &BenchmarkInfo, args: &ExpArgs) -> Table2Row {
-    let cover = info.mapping_cover(args.seed);
-    let fm = FunctionMatrix::from_cover(&cover);
-    let layout = TwoLevelLayout::of_cover(&cover);
+pub fn mc_seed(experiment_seed: u64) -> u64 {
+    experiment_seed ^ 0xBEEF
+}
+
+/// Folds the Table II Monte Carlo trials with **global** sample indices
+/// `range` for one circuit — the shard-capable core of [`run_circuit`].
+/// The full sample count never appears here: per-sample seeds depend only
+/// on `(mc_seed(args.seed), index)`, so any contiguous partition of
+/// `0..samples` merges back to the monolithic accumulator.
+#[must_use]
+pub fn run_circuit_range(
+    info: &BenchmarkInfo,
+    args: &ExpArgs,
+    range: Range<usize>,
+) -> CircuitAccum {
+    run_circuit_range_on(&info.mapping_cover(args.seed), args, range)
+}
+
+/// [`run_circuit_range`] with the cover already minimized — lets callers
+/// that need both the accumulator and the layout pay for
+/// [`BenchmarkInfo::mapping_cover`] (a potentially full minimization) once.
+#[must_use]
+pub fn run_circuit_range_on(cover: &Cover, args: &ExpArgs, range: Range<usize>) -> CircuitAccum {
+    let fm = FunctionMatrix::from_cover(cover);
     let rows = fm.num_rows();
     let cols = fm.num_cols();
 
@@ -64,12 +133,16 @@ pub fn run_circuit(info: &BenchmarkInfo, args: &ExpArgs) -> Table2Row {
     // statistics are bit-identical to the pre-engine implementation. HBA
     // and EA stay separate calls (each paying its own adjacency build)
     // because this table reports per-algorithm runtime; success-only loops
-    // should prefer `hybrid_and_exact_success`.
-    let samples = monte_carlo_with(
-        args.samples,
-        args.seed ^ 0xBEEF,
+    // should prefer `hybrid_and_exact_success`. Trials fold straight into
+    // per-worker accumulators (nothing per-sample is materialized, so
+    // memory stays flat at any sample count); success counters are
+    // merge-exact, so the worker count never shows in the statistics.
+    monte_carlo_range_fold(
+        range,
+        mc_seed(args.seed),
         || (MatchEngine::new(), CrossbarMatrix::perfect(rows, cols)),
-        |(engine, cm), _, seed| {
+        CircuitAccum::new,
+        |accum, (engine, cm), _, seed| {
             let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
             cm.resample_stuck_open(args.defect_rate, &mut rng);
             let t0 = Instant::now();
@@ -79,18 +152,18 @@ pub fn run_circuit(info: &BenchmarkInfo, args: &ExpArgs) -> Table2Row {
             let (ea_ok, _) = engine.exact_success(&fm, cm);
             let ea_secs = t1.elapsed().as_secs_f64();
             debug_assert!(!hba_ok || ea_ok, "HBA success must imply EA success");
-            Sample {
-                hba_ok,
-                hba_secs,
-                ea_ok,
-                ea_secs,
-            }
+            accum.push(hba_ok, hba_secs, ea_ok, ea_secs);
         },
-    );
+        |accum, piece| accum.merge(&piece),
+    )
+}
 
-    let frac = |ok: &dyn Fn(&Sample) -> bool| {
-        samples.iter().filter(|s| ok(s)).count() as f64 / samples.len().max(1) as f64
-    };
+/// Builds the report row for one circuit from its (possibly merged)
+/// accumulator — the single aggregation path shared by the monolithic and
+/// sharded runs.
+#[must_use]
+pub fn row_from_accum(info: &BenchmarkInfo, cover: &Cover, accum: &CircuitAccum) -> Table2Row {
+    let layout = TwoLevelLayout::of_cover(cover);
     Table2Row {
         name: info.name.to_owned(),
         inputs: info.inputs,
@@ -98,15 +171,23 @@ pub fn run_circuit(info: &BenchmarkInfo, args: &ExpArgs) -> Table2Row {
         products: cover.len(),
         area: layout.area(),
         area_published: info.area,
-        inclusion_ratio: layout.inclusion_ratio(&cover),
+        inclusion_ratio: layout.inclusion_ratio(cover),
         ir_published: info.ir_percent.map(|p| p / 100.0),
-        hba_success: frac(&|s: &Sample| s.hba_ok),
-        hba_time: mean(&samples.iter().map(|s| s.hba_secs).collect::<Vec<_>>()),
-        ea_success: frac(&|s: &Sample| s.ea_ok),
-        ea_time: mean(&samples.iter().map(|s| s.ea_secs).collect::<Vec<_>>()),
+        hba_success: accum.hba.rate(),
+        hba_time: accum.hba_time.mean(),
+        ea_success: accum.ea.rate(),
+        ea_time: accum.ea_time.mean(),
         hba_published: info.hba.map(|(p, t)| (p / 100.0, t)),
         ea_published: info.ea.map(|(p, t)| (p / 100.0, t)),
     }
+}
+
+/// Runs the Table II experiment for one circuit.
+#[must_use]
+pub fn run_circuit(info: &BenchmarkInfo, args: &ExpArgs) -> Table2Row {
+    let cover = info.mapping_cover(args.seed);
+    let accum = run_circuit_range_on(&cover, args, 0..args.samples);
+    row_from_accum(info, &cover, &accum)
 }
 
 /// Runs the full Table II (all 16 circuits, or a named subset).
@@ -117,6 +198,17 @@ pub fn run_table2(args: &ExpArgs, subset: Option<&[&str]>) -> Vec<Table2Row> {
         .filter(|info| info.hba.is_some())
         .filter(|info| subset.is_none_or(|names| names.contains(&info.name)))
         .map(|info| run_circuit(info, args))
+        .collect()
+}
+
+/// The circuits eligible for Table II (those with published HBA numbers),
+/// in registry order — the default circuit set of the sharded runner.
+#[must_use]
+pub fn table2_circuit_names() -> Vec<String> {
+    registry()
+        .iter()
+        .filter(|info| info.hba.is_some())
+        .map(|info| info.name.to_owned())
         .collect()
 }
 
@@ -178,5 +270,35 @@ mod tests {
         );
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, ["rd53", "bw"]);
+    }
+
+    #[test]
+    fn sharded_ranges_merge_to_the_monolithic_accumulator_counts() {
+        let info = find("rd53").expect("registered");
+        let args = ExpArgs {
+            samples: 30,
+            ..quick_args()
+        };
+        let whole = run_circuit_range(info, &args, 0..30);
+        let mut merged = CircuitAccum::new();
+        for pair in [0usize, 7, 19, 30].windows(2) {
+            merged.merge(&run_circuit_range(info, &args, pair[0]..pair[1]));
+        }
+        // Success decisions are seed-deterministic: integer-exact match.
+        assert_eq!(merged.hba, whole.hba);
+        assert_eq!(merged.ea, whole.ea);
+        // Runtimes are wall-clock, but their counts must still line up.
+        assert_eq!(merged.hba_time.count, whole.hba_time.count);
+        assert_eq!(merged.ea_time.count, whole.ea_time.count);
+    }
+
+    #[test]
+    fn table2_circuit_names_match_the_registry_filter() {
+        let names = table2_circuit_names();
+        assert!(names.iter().any(|n| n == "rd53"));
+        assert_eq!(
+            names.len(),
+            registry().iter().filter(|i| i.hba.is_some()).count()
+        );
     }
 }

@@ -20,6 +20,8 @@
 //! | Ext-B (multi-level defects) | `ext_multilevel_defects` |
 //! | Ext-C (HBA ablations) | `ext_ablation_hba` |
 //! | Ext-D (analog validation) | `ext_analog_validation` |
+//! | Sharded MC worker (one sample slice) | `mc_shard` |
+//! | Sharded MC coordinator (spawn/retry/merge) | `mc_coordinator` |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,8 +29,12 @@
 mod cli;
 pub mod experiments;
 mod mc;
+pub mod shard;
 mod table;
 
 pub use cli::ExpArgs;
-pub use mc::{mean, monte_carlo, monte_carlo_with, sample_seed};
+pub use mc::{
+    mean, monte_carlo, monte_carlo_range, monte_carlo_range_with, monte_carlo_with, sample_seed,
+};
+pub use shard::{McConfig, ShardSpec};
 pub use table::{pct, secs, Table};

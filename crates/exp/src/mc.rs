@@ -14,6 +14,7 @@
 //! state value (a mapping engine, a reusable crossbar matrix, …) so
 //! per-sample heap allocation can be eliminated entirely.
 
+use std::ops::Range;
 use std::thread;
 
 /// Derives a per-sample seed from the experiment seed (SplitMix64 step).
@@ -64,16 +65,55 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, u64) -> T + Sync,
 {
+    monte_carlo_range_with(0..samples, experiment_seed, init, f)
+}
+
+/// Runs the sub-range `range` of a `monte_carlo` sample space: sample `i`
+/// still receives `sample_seed(experiment_seed, i)` with its **global**
+/// index, so concatenating the outputs of any contiguous partition of
+/// `0..samples` (in partition order) is identical to one
+/// [`monte_carlo`] call over the whole space. This is the primitive the
+/// process-sharded coordinator (see [`crate::shard`]) is built on.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn monte_carlo_range<T, F>(range: Range<usize>, experiment_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    monte_carlo_range_with(range, experiment_seed, || (), move |(), i, seed| f(i, seed))
+}
+
+/// [`monte_carlo_range`] with per-worker state — the range analogue of
+/// [`monte_carlo_with`], sharing its chunking and determinism contract.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn monte_carlo_range_with<S, T, I, F>(
+    range: Range<usize>,
+    experiment_seed: u64,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, u64) -> T + Sync,
+{
+    let samples = range.len();
     let workers = thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(samples.max(1));
-    // Disjoint contiguous chunks: worker w owns [start, end). The first
-    // `samples % workers` chunks carry one extra sample.
+    // Disjoint contiguous chunks: worker w owns [start, end) within the
+    // range. The first `samples % workers` chunks carry one extra sample.
     let base = samples / workers;
     let extra = samples % workers;
     let bounds = |w: usize| {
-        let start = w * base + w.min(extra);
+        let start = range.start + w * base + w.min(extra);
         let end = start + base + usize::from(w < extra);
         (start, end)
     };
@@ -97,6 +137,71 @@ where
             results.extend(handle.join().expect("no poisoned worker"));
         }
         results
+    })
+}
+
+/// Streaming fold over a sample range: each worker folds its contiguous
+/// chunk into an accumulator (`empty` + `fold`), and chunk accumulators
+/// are combined with `merge` in worker order — nothing per-sample is ever
+/// materialized, so memory stays O(workers) at any sample count.
+///
+/// Per-sample seeding and chunking are identical to
+/// [`monte_carlo_range_with`]; with a merge-exact accumulator (integer
+/// counters) the result is independent of the worker count.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn monte_carlo_range_fold<S, A, I, E, F, M>(
+    range: Range<usize>,
+    experiment_seed: u64,
+    init: I,
+    empty: E,
+    fold: F,
+    merge: M,
+) -> A
+where
+    A: Send,
+    I: Fn() -> S + Sync,
+    E: Fn() -> A + Sync,
+    F: Fn(&mut A, &mut S, usize, u64) + Sync,
+    M: Fn(&mut A, A),
+{
+    let samples = range.len();
+    let workers = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(samples.max(1));
+    let base = samples / workers;
+    let extra = samples % workers;
+    let bounds = |w: usize| {
+        let start = range.start + w * base + w.min(extra);
+        let end = start + base + usize::from(w < extra);
+        (start, end)
+    };
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (start, end) = bounds(w);
+                let init = &init;
+                let empty = &empty;
+                let fold = &fold;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut accum = empty();
+                    for i in start..end {
+                        fold(&mut accum, &mut state, i, sample_seed(experiment_seed, i));
+                    }
+                    accum
+                })
+            })
+            .collect();
+        let mut total = empty();
+        for handle in handles {
+            merge(&mut total, handle.join().expect("no poisoned worker"));
+        }
+        total
     })
 }
 
@@ -186,5 +291,61 @@ mod tests {
     fn mean_of_values() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn range_concatenation_matches_monolithic_run() {
+        let whole = monte_carlo(97, 42, |i, seed| (i, seed));
+        for splits in [vec![0, 97], vec![0, 1, 97], vec![0, 13, 50, 96, 97]] {
+            let mut stitched = Vec::new();
+            for pair in splits.windows(2) {
+                stitched.extend(monte_carlo_range(pair[0]..pair[1], 42, |i, seed| (i, seed)));
+            }
+            assert_eq!(stitched, whole, "splits {splits:?}");
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let out: Vec<u64> = monte_carlo_range(5..5, 1, |_, s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_sample_seeds_use_global_indices() {
+        let tail = monte_carlo_range(90..100, 7, |i, seed| (i, seed));
+        let whole = monte_carlo(100, 7, |i, seed| (i, seed));
+        assert_eq!(tail, whole[90..]);
+    }
+
+    #[test]
+    fn fold_matches_collect_then_fold_for_exact_accumulators() {
+        // Wrapping-sum of seeds is associative-exact, so the folded result
+        // must equal the collected one regardless of worker count.
+        let collected: u64 = monte_carlo_range(3..120, 11, |_, seed| seed)
+            .into_iter()
+            .fold(0u64, u64::wrapping_add);
+        let folded = monte_carlo_range_fold(
+            3..120,
+            11,
+            || (),
+            || 0u64,
+            |acc, (), _, seed| *acc = acc.wrapping_add(seed),
+            |acc, piece| *acc = acc.wrapping_add(piece),
+        );
+        assert_eq!(folded, collected);
+    }
+
+    #[test]
+    fn fold_over_an_empty_range_returns_the_empty_accumulator() {
+        let folded = monte_carlo_range_fold(
+            5..5,
+            1,
+            || (),
+            || 42u64,
+            |_, (), _, _| unreachable!("no samples"),
+            |_, _| {},
+        );
+        assert_eq!(folded, 42);
     }
 }

@@ -1,0 +1,561 @@
+//! The shard coordinator: spawns one `mc_shard` worker process per shard,
+//! detects failed or corrupt shards, re-runs them, and merges the partial
+//! results into the campaign's merged statistics.
+//!
+//! The merged **stats artifact** ([`render_stats_json`]) contains only
+//! integer-derived statistics, so it is byte-identical across shard
+//! layouts — `--shards 7` and a monolithic in-process run produce the
+//! same file. Wall-clock runtime moments are merged too (deterministically
+//! for a fixed layout) but reported separately ([`render_timing_table`]).
+
+use super::partial::ShardPartial;
+use super::{run_shard, McConfig, ShardSpec};
+use crate::experiments::table2::CircuitAccum;
+use crate::table::{pct, secs, Table};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Schema tag of the merged stats artifact.
+pub const MERGED_SCHEMA: &str = "xbar-mc-merged/1";
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// The campaign every shard must agree on.
+    pub config: McConfig,
+    /// Number of worker processes / sample-range shards.
+    pub shards: usize,
+    /// Attempts per shard (first run + retries) before giving up.
+    pub max_attempts: usize,
+    /// Path of the `mc_shard` worker binary.
+    pub worker: PathBuf,
+    /// Directory for partial-result files (created if missing).
+    pub work_dir: PathBuf,
+    /// Extra arguments appended to every worker invocation (used by the
+    /// failure-injection tests; empty in production).
+    pub extra_worker_args: Vec<String>,
+    /// Keep partial files after a successful merge.
+    pub keep_partials: bool,
+}
+
+impl CoordinatorConfig {
+    /// A coordinator with defaults: worker binary next to the current
+    /// executable, partials under a process-unique temp directory, three
+    /// attempts per shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the `mc_shard` binary cannot be located.
+    pub fn new(config: McConfig, shards: usize) -> Result<Self, String> {
+        Ok(Self {
+            config,
+            shards,
+            max_attempts: 3,
+            worker: default_worker_binary()?,
+            work_dir: default_work_dir(),
+            extra_worker_args: Vec::new(),
+            keep_partials: false,
+        })
+    }
+}
+
+/// The default partial-file directory: process-unique under the system
+/// temp dir.
+#[must_use]
+pub fn default_work_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("mc-shard-{}", std::process::id()))
+}
+
+/// The merged campaign result: the configuration plus one merged
+/// accumulator per circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedResult {
+    /// Campaign configuration.
+    pub config: McConfig,
+    /// `(circuit, merged accumulator)` in configuration order.
+    pub circuits: Vec<(String, CircuitAccum)>,
+}
+
+/// Locates the `mc_shard` binary next to the currently running executable
+/// (both live in the same Cargo target directory).
+///
+/// # Errors
+///
+/// Reports the path it looked at when the binary is missing.
+pub fn default_worker_binary() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate current exe: {e}"))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| "current exe has no parent directory".to_owned())?;
+    let candidate = dir.join(format!("mc_shard{}", std::env::consts::EXE_SUFFIX));
+    if candidate.is_file() {
+        Ok(candidate)
+    } else {
+        Err(format!(
+            "mc_shard worker binary not found at {} (build it with \
+             `cargo build --release -p xbar-exp --bin mc_shard`)",
+            candidate.display()
+        ))
+    }
+}
+
+/// Runs the whole campaign in-process (no worker processes) through the
+/// same fold-and-merge code path the sharded run uses.
+#[must_use]
+pub fn run_monolithic(config: &McConfig) -> MergedResult {
+    let whole = ShardSpec {
+        index: 0,
+        num_shards: 1,
+        start: 0,
+        end: config.samples,
+    };
+    let partial = run_shard(config, &whole);
+    MergedResult {
+        config: config.clone(),
+        circuits: partial.circuits,
+    }
+}
+
+/// Merges shard partials after validating that they belong to `config`
+/// and tile its sample range exactly.
+///
+/// Partials are merged in ascending `start` order, so the merge is
+/// deterministic for a given shard layout.
+///
+/// # Errors
+///
+/// Rejects configuration mismatches, overlapping or missing sample
+/// ranges, and circuit-list disagreements.
+pub fn merge_partials(
+    config: &McConfig,
+    partials: &[ShardPartial],
+) -> Result<MergedResult, String> {
+    let mut ordered: Vec<&ShardPartial> = partials.iter().collect();
+    ordered.sort_by_key(|p| p.spec.start);
+
+    for partial in &ordered {
+        let id = format!("shard {}", partial.spec.index);
+        if partial.config.samples != config.samples {
+            return Err(format!(
+                "{id}: samples {} != campaign {}",
+                partial.config.samples, config.samples
+            ));
+        }
+        if partial.config.seed != config.seed {
+            return Err(format!(
+                "{id}: seed {} != campaign {}",
+                partial.config.seed, config.seed
+            ));
+        }
+        if partial.config.defect_rate.to_bits() != config.defect_rate.to_bits() {
+            return Err(format!(
+                "{id}: defect_rate {} != campaign {}",
+                partial.config.defect_rate, config.defect_rate
+            ));
+        }
+        if partial.config.circuits != config.circuits {
+            return Err(format!(
+                "{id}: circuit list {:?} != campaign {:?}",
+                partial.config.circuits, config.circuits
+            ));
+        }
+        if partial.circuits.len() != config.circuits.len() {
+            return Err(format!(
+                "{id}: {} circuit entries, campaign has {}",
+                partial.circuits.len(),
+                config.circuits.len()
+            ));
+        }
+        let expected: u64 = partial.spec.len() as u64;
+        for ((name, accum), campaign_name) in partial.circuits.iter().zip(&config.circuits) {
+            if name != campaign_name {
+                return Err(format!(
+                    "{id}: circuit entry {name:?} out of order (expected {campaign_name:?})"
+                ));
+            }
+            if accum.samples() != expected {
+                return Err(format!(
+                    "{id}: circuit {name:?} folded {} samples, range holds {expected}",
+                    accum.samples()
+                ));
+            }
+        }
+    }
+
+    let mut cursor = 0usize;
+    for partial in &ordered {
+        if partial.spec.start != cursor {
+            return Err(format!(
+                "sample range not tiled: expected a shard starting at {cursor}, \
+                 found shard {} starting at {}",
+                partial.spec.index, partial.spec.start
+            ));
+        }
+        cursor = partial.spec.end;
+    }
+    if cursor != config.samples {
+        return Err(format!(
+            "sample range not covered: shards end at {cursor}, campaign has {} samples",
+            config.samples
+        ));
+    }
+
+    let mut circuits: Vec<(String, CircuitAccum)> = config
+        .circuits
+        .iter()
+        .map(|name| (name.clone(), CircuitAccum::new()))
+        .collect();
+    for partial in &ordered {
+        for ((_, merged), (_, piece)) in circuits.iter_mut().zip(&partial.circuits) {
+            merged.merge(piece);
+        }
+    }
+    Ok(MergedResult {
+        config: config.clone(),
+        circuits,
+    })
+}
+
+fn partial_path(work_dir: &Path, index: usize) -> PathBuf {
+    work_dir.join(format!("partial-{index}.json"))
+}
+
+fn spawn_worker(
+    cfg: &CoordinatorConfig,
+    spec: &ShardSpec,
+    out: &Path,
+) -> std::io::Result<std::process::Child> {
+    Command::new(&cfg.worker)
+        .arg("--samples")
+        .arg(cfg.config.samples.to_string())
+        .arg("--seed")
+        .arg(cfg.config.seed.to_string())
+        .arg("--defect-rate")
+        // Shortest-round-trip text: the worker parses back the exact bits.
+        .arg(format!("{:?}", cfg.config.defect_rate))
+        .arg("--circuits")
+        .arg(cfg.config.circuits.join(","))
+        .arg("--shard-index")
+        .arg(spec.index.to_string())
+        .arg("--num-shards")
+        .arg(spec.num_shards.to_string())
+        .arg("--out")
+        .arg(out)
+        .args(&cfg.extra_worker_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+}
+
+fn collect_worker(
+    cfg: &CoordinatorConfig,
+    spec: &ShardSpec,
+    child: std::io::Result<std::process::Child>,
+) -> Result<ShardPartial, String> {
+    let child = child.map_err(|e| format!("spawn failed: {e}"))?;
+    let output = child
+        .wait_with_output()
+        .map_err(|e| format!("wait failed: {e}"))?;
+    if !output.status.success() {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        let lines: Vec<&str> = stderr.lines().collect();
+        let tail = lines[lines.len().saturating_sub(3)..].join(" | ");
+        return Err(format!("worker exited with {}: {tail}", output.status));
+    }
+    let path = partial_path(&cfg.work_dir, spec.index);
+    let text = fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read partial {}: {e}", path.display()))?;
+    let partial = ShardPartial::from_json(&text)?;
+    if partial.spec != *spec {
+        return Err(format!(
+            "partial describes shard {:?}, expected {:?}",
+            partial.spec, spec
+        ));
+    }
+    Ok(partial)
+}
+
+/// Runs the sharded campaign: spawns all shards as concurrent worker
+/// processes, retries any shard whose process failed or whose partial
+/// file is missing/corrupt, and merges the partials.
+///
+/// A shard that keeps failing surfaces as an error after
+/// `max_attempts` attempts — the coordinator never hangs on it.
+///
+/// # Errors
+///
+/// Reports configuration problems, unwritable work directories, and
+/// permanently failing shards (with the last per-shard error).
+pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<MergedResult, String> {
+    if cfg.shards == 0 {
+        return Err("need at least one shard".to_owned());
+    }
+    if cfg.max_attempts == 0 {
+        return Err("need at least one attempt per shard".to_owned());
+    }
+    cfg.config.validate()?;
+    fs::create_dir_all(&cfg.work_dir)
+        .map_err(|e| format!("cannot create work dir {}: {e}", cfg.work_dir.display()))?;
+
+    let specs = ShardSpec::partition(cfg.config.samples, cfg.shards);
+    let mut partials: Vec<Option<ShardPartial>> = vec![None; specs.len()];
+    // Empty shards (more shards than samples) need no process: their
+    // partial is the empty accumulator, synthesized here instead of paying
+    // a worker spawn plus per-circuit cover minimization for zero samples.
+    let mut pending: Vec<ShardSpec> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        if spec.is_empty() {
+            partials[spec.index] = Some(ShardPartial {
+                config: cfg.config.clone(),
+                spec,
+                circuits: cfg
+                    .config
+                    .circuits
+                    .iter()
+                    .map(|name| (name.clone(), CircuitAccum::new()))
+                    .collect(),
+            });
+        } else {
+            pending.push(spec);
+        }
+    }
+    let mut last_error = String::new();
+
+    for attempt in 1..=cfg.max_attempts {
+        if pending.is_empty() {
+            break;
+        }
+        let children: Vec<(ShardSpec, std::io::Result<std::process::Child>)> = pending
+            .iter()
+            .map(|spec| {
+                let out = partial_path(&cfg.work_dir, spec.index);
+                (*spec, spawn_worker(cfg, spec, &out))
+            })
+            .collect();
+        let mut failed = Vec::new();
+        for (spec, child) in children {
+            match collect_worker(cfg, &spec, child) {
+                Ok(partial) => partials[spec.index] = Some(partial),
+                Err(e) => {
+                    last_error = format!("shard {} (attempt {attempt}): {e}", spec.index);
+                    eprintln!("mc_coordinator: {last_error}");
+                    failed.push(spec);
+                }
+            }
+        }
+        pending = failed;
+    }
+
+    if !pending.is_empty() {
+        let indices: Vec<String> = pending.iter().map(|s| s.index.to_string()).collect();
+        return Err(format!(
+            "shard(s) {} failed permanently after {} attempt(s); last error: {}",
+            indices.join(", "),
+            cfg.max_attempts,
+            last_error
+        ));
+    }
+
+    let collected: Vec<ShardPartial> = partials.into_iter().map(Option::unwrap).collect();
+    let merged = merge_partials(&cfg.config, &collected)?;
+    if !cfg.keep_partials {
+        for index in 0..cfg.shards {
+            let _ = fs::remove_file(partial_path(&cfg.work_dir, index));
+        }
+        let _ = fs::remove_dir(&cfg.work_dir);
+    }
+    Ok(merged)
+}
+
+/// Renders the deterministic merged-stats artifact: **only**
+/// integer-derived statistics, so the document is byte-identical for any
+/// shard layout of the same campaign (the CI smoke job and the
+/// equivalence proptest compare these bytes directly).
+#[must_use]
+pub fn render_stats_json(merged: &MergedResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{MERGED_SCHEMA}\",");
+    let _ = writeln!(out, "  \"experiment\": \"table2\",");
+    let _ = writeln!(out, "  \"seed\": {},", merged.config.seed);
+    let _ = writeln!(out, "  \"defect_rate\": {:?},", merged.config.defect_rate);
+    let _ = writeln!(out, "  \"samples\": {},", merged.config.samples);
+    let _ = writeln!(out, "  \"circuits\": [");
+    for (idx, (name, accum)) in merged.circuits.iter().enumerate() {
+        let comma = if idx + 1 < merged.circuits.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"samples\": {}, \"hba_successes\": {}, \
+             \"hba_success_rate\": {:?}, \"ea_successes\": {}, \"ea_success_rate\": {:?}}}{comma}",
+            super::json::escape(name),
+            accum.samples(),
+            accum.hba.successes,
+            accum.hba.rate(),
+            accum.ea.successes,
+            accum.ea.rate(),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the informational runtime summary (means/standard deviations
+/// from the merged Welford moments) — wall-clock data, deliberately not
+/// part of the byte-compared stats artifact.
+#[must_use]
+pub fn render_timing_table(merged: &MergedResult) -> String {
+    let mut table = Table::new(
+        "Merged Monte Carlo statistics (timing is wall-clock, informational)",
+        &[
+            "name",
+            "samples",
+            "HBA succ%",
+            "EA succ%",
+            "HBA mean s",
+            "HBA std s",
+            "EA mean s",
+            "EA std s",
+        ],
+    );
+    for (name, accum) in &merged.circuits {
+        table.row([
+            name.clone(),
+            accum.samples().to_string(),
+            pct(accum.hba.rate()),
+            pct(accum.ea.rate()),
+            secs(accum.hba_time.mean()),
+            secs(accum.hba_time.std_dev()),
+            secs(accum.ea_time.mean()),
+            secs(accum.ea_time.std_dev()),
+        ]);
+    }
+    table.to_ascii()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> McConfig {
+        McConfig {
+            samples: 20,
+            seed: 5,
+            defect_rate: 0.1,
+            circuits: vec!["rd53".to_owned()],
+        }
+    }
+
+    fn partials_for(config: &McConfig, shards: usize) -> Vec<ShardPartial> {
+        ShardSpec::partition(config.samples, shards)
+            .iter()
+            .map(|spec| run_shard(config, spec))
+            .collect()
+    }
+
+    #[test]
+    fn merged_shards_match_the_monolithic_stats_artifact() {
+        let config = config();
+        let mono = render_stats_json(&run_monolithic(&config));
+        for shards in [1usize, 2, 3, 7] {
+            let merged = merge_partials(&config, &partials_for(&config, shards)).expect("merges");
+            assert_eq!(
+                render_stats_json(&merged),
+                mono,
+                "{shards} shards must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_a_missing_shard() {
+        let config = config();
+        let mut partials = partials_for(&config, 3);
+        partials.remove(1);
+        let err = merge_partials(&config, &partials).expect_err("gap must fail");
+        assert!(err.contains("not tiled"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_a_duplicated_shard() {
+        let config = config();
+        let mut partials = partials_for(&config, 3);
+        let dup = partials[0].clone();
+        partials.push(dup);
+        assert!(merge_partials(&config, &partials).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_seed_mismatch() {
+        let config = config();
+        let mut partials = partials_for(&config, 2);
+        partials[1].config.seed ^= 1;
+        let err = merge_partials(&config, &partials).expect_err("must fail");
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_out_of_order_circuit_entries() {
+        let config = McConfig {
+            circuits: vec!["rd53".to_owned(), "misex1".to_owned()],
+            ..self::config()
+        };
+        let mut partials = partials_for(&config, 2);
+        partials[0].circuits.swap(0, 1);
+        let err = merge_partials(&config, &partials).expect_err("must fail");
+        assert!(err.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_a_missing_circuit_entry() {
+        let config = McConfig {
+            circuits: vec!["rd53".to_owned(), "misex1".to_owned()],
+            ..self::config()
+        };
+        let mut partials = partials_for(&config, 2);
+        partials[1].circuits.pop();
+        let err = merge_partials(&config, &partials).expect_err("must fail");
+        assert!(err.contains("circuit entries"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_sample_count_lies() {
+        let config = config();
+        let mut partials = partials_for(&config, 2);
+        partials[0].circuits[0].1.hba.samples += 1;
+        partials[0].circuits[0].1.ea.samples += 1;
+        let err = merge_partials(&config, &partials).expect_err("must fail");
+        assert!(err.contains("folded"), "{err}");
+    }
+
+    #[test]
+    fn empty_shards_merge_cleanly() {
+        // More shards than samples: trailing shards are empty.
+        let config = McConfig {
+            samples: 2,
+            ..self::config()
+        };
+        let merged = merge_partials(&config, &partials_for(&config, 5)).expect("merges");
+        assert_eq!(merged.circuits[0].1.samples(), 2);
+    }
+
+    #[test]
+    fn stats_json_is_parseable_and_has_rates() {
+        let merged = run_monolithic(&config());
+        let json = render_stats_json(&merged);
+        let doc = super::super::json::Json::parse(&json).expect("valid json");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(MERGED_SCHEMA)
+        );
+        let circuits = doc.get("circuits").and_then(|c| c.as_arr()).expect("arr");
+        assert_eq!(circuits.len(), 1);
+        assert!(circuits[0].get("hba_success_rate").is_some());
+        let timing = render_timing_table(&merged);
+        assert!(timing.contains("rd53"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Process-level tests of the sharded Monte Carlo subsystem: the
+//! coordinator spawning real `mc_shard` worker processes
+//! (`CARGO_BIN_EXE_mc_shard`), retrying injected failures, and always
+//! producing a merged stats artifact byte-identical to the monolithic
+//! in-process run.
+
+use std::path::PathBuf;
+use xbar_exp::shard::coordinator::{
+    render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig,
+};
+use xbar_exp::shard::McConfig;
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_mc_shard"))
+}
+
+fn campaign() -> McConfig {
+    McConfig {
+        samples: 30,
+        seed: 2018,
+        defect_rate: 0.10,
+        circuits: vec!["rd53".to_owned()],
+    }
+}
+
+/// A unique scratch directory per test (no tempfile crate in the
+/// workspace); cleaned up by the coordinator on success.
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xbar-shard-test-{}-{tag}", std::process::id()))
+}
+
+fn coordinator(tag: &str, shards: usize) -> CoordinatorConfig {
+    CoordinatorConfig {
+        config: campaign(),
+        shards,
+        max_attempts: 3,
+        worker: worker_binary(),
+        work_dir: scratch(tag),
+        extra_worker_args: Vec::new(),
+        keep_partials: false,
+    }
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_to_monolithic_across_shard_counts() {
+    let mono = render_stats_json(&run_monolithic(&campaign()));
+    for shards in [1usize, 2, 3, 7] {
+        let cfg = coordinator(&format!("counts-{shards}"), shards);
+        let merged = run_coordinator(&cfg).expect("coordinator run");
+        assert_eq!(
+            render_stats_json(&merged),
+            mono,
+            "{shards} worker processes must reproduce the monolithic artifact"
+        );
+    }
+}
+
+#[test]
+fn empty_shards_need_no_workers_and_merge_cleanly() {
+    // 7 shards over 4 samples: 3 shards are empty and must be synthesized
+    // without spawning processes, with the artifact still byte-identical.
+    let config = McConfig {
+        samples: 4,
+        ..campaign()
+    };
+    let mono = render_stats_json(&run_monolithic(&config));
+    let mut cfg = coordinator("empty-shards", 7);
+    cfg.config = config;
+    let merged = run_coordinator(&cfg).expect("coordinator run");
+    assert_eq!(render_stats_json(&merged), mono);
+}
+
+#[test]
+fn coordinator_retries_a_crashing_shard_and_still_matches() {
+    let mono = render_stats_json(&run_monolithic(&campaign()));
+    let mut cfg = coordinator("fail-once", 3);
+    let marker = cfg.work_dir.join("fail-once-marker");
+    std::fs::create_dir_all(&cfg.work_dir).expect("scratch dir");
+    cfg.extra_worker_args = vec![
+        "--inject-fail-once".to_owned(),
+        marker.to_string_lossy().into_owned(),
+    ];
+    let merged = run_coordinator(&cfg).expect("retry must recover");
+    assert_eq!(render_stats_json(&merged), mono);
+    let _ = std::fs::remove_file(&marker);
+    let _ = std::fs::remove_dir(&cfg.work_dir);
+}
+
+#[test]
+fn coordinator_retries_a_torn_partial_and_still_matches() {
+    let mono = render_stats_json(&run_monolithic(&campaign()));
+    let mut cfg = coordinator("torn", 2);
+    let marker = cfg.work_dir.join("torn-marker");
+    std::fs::create_dir_all(&cfg.work_dir).expect("scratch dir");
+    cfg.extra_worker_args = vec![
+        "--inject-truncate-once".to_owned(),
+        marker.to_string_lossy().into_owned(),
+    ];
+    let merged = run_coordinator(&cfg).expect("retry must recover");
+    assert_eq!(render_stats_json(&merged), mono);
+    let _ = std::fs::remove_file(&marker);
+    let _ = std::fs::remove_dir(&cfg.work_dir);
+}
+
+#[test]
+fn permanently_failing_shard_surfaces_an_error_not_a_hang() {
+    let mut cfg = coordinator("fail-always", 2);
+    cfg.extra_worker_args = vec!["--inject-fail-always".to_owned()];
+    let err = run_coordinator(&cfg).expect_err("must give up");
+    assert!(err.contains("failed permanently"), "{err}");
+    assert!(err.contains("attempt"), "{err}");
+    let _ = std::fs::remove_dir_all(&cfg.work_dir);
+}
+
+#[test]
+fn missing_worker_binary_is_a_clear_error() {
+    let mut cfg = coordinator("no-worker", 2);
+    cfg.worker = PathBuf::from("/nonexistent/mc_shard");
+    let err = run_coordinator(&cfg).expect_err("must fail");
+    assert!(err.contains("failed permanently"), "{err}");
+    let _ = std::fs::remove_dir_all(&cfg.work_dir);
+}
+
+#[test]
+fn unknown_circuit_fails_before_spawning_anything() {
+    let mut cfg = coordinator("bad-circuit", 2);
+    cfg.config.circuits = vec!["not-a-circuit".to_owned()];
+    let err = run_coordinator(&cfg).expect_err("must fail");
+    assert!(err.contains("not-a-circuit"), "{err}");
+}
