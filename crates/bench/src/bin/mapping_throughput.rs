@@ -7,9 +7,11 @@
 //! [--out PATH] [--quick]`
 
 use std::path::PathBuf;
-use xbar_bench::throughput::{measure_circuit, measure_sharded, render_json_with_sharded};
+use xbar_bench::throughput::{
+    measure_circuit, measure_sharded, registry_crosscheck, render_json_with_sharded,
+};
 use xbar_bench::TABLE2_BENCH_CIRCUITS;
-use xbar_exp::shard::coordinator::default_worker_binary;
+use xbar_exp::shard::coordinator::default_worker;
 
 struct Args {
     samples: usize,
@@ -124,13 +126,17 @@ fn main() {
         legacy,
         engine
     );
+    // Tie the bench to the public API: the registry's table2 experiment
+    // must report the exact success counts measured above.
+    registry_crosscheck(&results, args.defect_rate, args.seed);
+    println!("registry crosscheck: table2 experiment reproduces every success count");
     // Process-sharded coordinator throughput: same campaign through the
     // mc_shard worker binary, merged stats asserted byte-identical to the
     // monolithic run. Tracks the fan-out overhead of the multi-host path.
     let sharded = if args.shard_workers == 0 {
         None
     } else {
-        match default_worker_binary() {
+        match default_worker() {
             Ok(worker) => {
                 let s = measure_sharded(
                     &args.circuits,

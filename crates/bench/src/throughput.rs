@@ -15,7 +15,7 @@ use std::time::Instant;
 use xbar_core::{reference, CrossbarMatrix, FunctionMatrix, MatchEngine};
 use xbar_exp::sample_seed;
 use xbar_exp::shard::coordinator::{
-    render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig,
+    render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig, Worker,
 };
 use xbar_exp::shard::McConfig;
 use xbar_logic::bench_reg::find;
@@ -190,7 +190,7 @@ pub fn measure_sharded(
     defect_rate: f64,
     seed: u64,
     shards: usize,
-    worker: std::path::PathBuf,
+    worker: Worker,
 ) -> ShardedThroughput {
     let config = McConfig {
         samples,
@@ -224,6 +224,61 @@ pub fn measure_sharded(
         circuits: circuits.to_vec(),
         sharded_secs,
         single_secs,
+    }
+}
+
+/// Cross-checks the measured success counts against the experiment
+/// registry: runs `table2` through the typed [`xbar_exp::Experiment`] API
+/// on the same campaign (quiet reporter, same seeds) and compares each
+/// circuit's artifact `hba_successes` / `ea_successes` with the bench's
+/// own counts. Ties the throughput harness to the public API surface —
+/// if the registry's statistics ever drift from the measured workload,
+/// the benchmark fails loudly instead of reporting a speedup on a
+/// different computation.
+///
+/// # Panics
+///
+/// Panics when the registry run fails, the artifact is missing a
+/// measured circuit, or any success count disagrees.
+pub fn registry_crosscheck(results: &[CircuitThroughput], defect_rate: f64, seed: u64) {
+    use xbar_exp::shard::json::Json;
+    use xbar_exp::{find_experiment, Params, Reporter};
+
+    let exp = find_experiment("table2").expect("table2 is registered");
+    let samples = results.first().map_or(0, |r| r.samples);
+    let circuits: Vec<String> = results.iter().map(|r| r.name.clone()).collect();
+    let flags = [
+        "--samples".to_owned(),
+        samples.to_string(),
+        "--seed".to_owned(),
+        seed.to_string(),
+        "--defect-rate".to_owned(),
+        format!("{defect_rate:?}"),
+        "--circuits".to_owned(),
+        circuits.join(","),
+    ];
+    let params = Params::parse(exp.extra_params(), flags).expect("bench flags parse");
+    let artifact = exp
+        .run(&params, &mut Reporter::quiet())
+        .expect("registry table2 run succeeds");
+    let doc = Json::parse(&artifact.render(exp, &params)).expect("artifact parses");
+    let entries = doc
+        .get("data")
+        .and_then(|d| d.get("circuits"))
+        .and_then(Json::as_arr)
+        .expect("artifact carries circuits");
+    for r in results {
+        let entry = entries
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(r.name.as_str()))
+            .unwrap_or_else(|| panic!("{}: missing from the registry artifact", r.name));
+        let count = |key: &str| entry.get(key).and_then(Json::as_u64).expect("u64 count");
+        assert_eq!(
+            (count("hba_successes"), count("ea_successes")),
+            (r.hba_successes as u64, r.ea_successes as u64),
+            "{}: registry experiment and bench workload disagree",
+            r.name
+        );
     }
 }
 

@@ -1,100 +1,5 @@
-//! Ext-C — ablation of the hybrid algorithm's design choices on the
-//! Table II workload:
-//!
-//! * full HBA (greedy + backtracking + exact Munkres outputs);
-//! * no backtracking (pure greedy minterms);
-//! * greedy outputs (no Munkres);
-//! * EA (all-rows Munkres) and the Hopcroft–Karp feasibility bound.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use xbar_core::{
-    map_exact, map_hybrid_with, mapping_feasible, CrossbarMatrix, FunctionMatrix, HybridOptions,
-};
-use xbar_exp::{monte_carlo, pct, ExpArgs, Table};
-use xbar_logic::bench_reg::find;
+//! Deprecated shim: delegates to `xbar run ext_ablation_hba` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Ext-C: HBA ablation study");
-    let circuits = ["rd53", "sao2", "rd73", "clip", "rd84", "exp5"];
-    let mut table = Table::new(
-        "Ext-C — success rate % by algorithm variant (10% stuck-open)",
-        &[
-            "name",
-            "HBA full",
-            "no backtrack",
-            "greedy outputs",
-            "EA",
-            "feasible (HK bound)",
-        ],
-    );
-
-    for name in circuits {
-        let info = find(name).expect("registered circuit");
-        let cover = info.cover(args.seed);
-        let fm = FunctionMatrix::from_cover(&cover);
-        let rows = fm.num_rows();
-        let cols = fm.num_cols();
-
-        #[derive(Clone, Copy, Default)]
-        struct Counts {
-            full: usize,
-            no_backtrack: usize,
-            greedy_outputs: usize,
-            exact: usize,
-            feasible: usize,
-        }
-        let samples = monte_carlo(args.samples, args.seed ^ 0xAB1A, |_, seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let cm = CrossbarMatrix::sample_stuck_open(rows, cols, args.defect_rate, &mut rng);
-            Counts {
-                full: map_hybrid_with(&fm, &cm, HybridOptions::default()).is_success() as usize,
-                no_backtrack: map_hybrid_with(
-                    &fm,
-                    &cm,
-                    HybridOptions {
-                        backtracking: false,
-                        ..HybridOptions::default()
-                    },
-                )
-                .is_success() as usize,
-                greedy_outputs: map_hybrid_with(
-                    &fm,
-                    &cm,
-                    HybridOptions {
-                        exact_outputs: false,
-                        ..HybridOptions::default()
-                    },
-                )
-                .is_success() as usize,
-                exact: map_exact(&fm, &cm).is_success() as usize,
-                feasible: mapping_feasible(&fm, &cm) as usize,
-            }
-        });
-        let total = samples.len() as f64;
-        let sum = samples.iter().fold(Counts::default(), |a, b| Counts {
-            full: a.full + b.full,
-            no_backtrack: a.no_backtrack + b.no_backtrack,
-            greedy_outputs: a.greedy_outputs + b.greedy_outputs,
-            exact: a.exact + b.exact,
-            feasible: a.feasible + b.feasible,
-        });
-        table.row([
-            name.to_owned(),
-            pct(sum.full as f64 / total),
-            pct(sum.no_backtrack as f64 / total),
-            pct(sum.greedy_outputs as f64 / total),
-            pct(sum.exact as f64 / total),
-            pct(sum.feasible as f64 / total),
-        ]);
-    }
-    table.print();
-    println!("reading: EA equals the feasibility bound by construction; the gap between");
-    println!("\"no backtrack\" and \"HBA full\" is what Algorithm 1's backtracking step buys;");
-    println!("the gap between \"greedy outputs\" and \"HBA full\" is what Munkres buys —");
-    println!("the paper's §IV-B rationale (\"a single defect might discard a whole output\").");
-    if let Some(path) = &args.csv {
-        table.write_csv(path).expect("write csv");
-        println!("wrote CSV to {}", path.display());
-    }
+    xbar_exp::legacy_shim("ext_ablation_hba", "ext_ablation_hba");
 }

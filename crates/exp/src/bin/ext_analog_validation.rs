@@ -1,94 +1,5 @@
-//! Ext-D — analog validation of the digital NAND abstraction: nodal
-//! analysis of the resistive read path (sneak paths included) versus the
-//! logic-level simulator, plus the read-margin degradation curve that
-//! bounds practical row widths.
-
-use xbar_device::analog::{row_nand_read, ReadConfig};
-use xbar_device::{Crossbar, ProgramState};
-use xbar_exp::{ExpArgs, Table};
-
-fn programmed_row(
-    values: &[bool],
-    rows: usize,
-    cols: usize,
-    target_row: usize,
-) -> (Crossbar, Vec<usize>) {
-    let mut xbar = Crossbar::new(rows, cols);
-    let mut sense = Vec::new();
-    for (c, &v) in values.iter().enumerate() {
-        xbar.set_program(target_row, c, ProgramState::Active);
-        xbar.store_value(target_row, c, v);
-        sense.push(c);
-    }
-    (xbar, sense)
-}
+//! Deprecated shim: delegates to `xbar run ext_analog_validation` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Ext-D: analog validation of the NAND read");
-    let config = ReadConfig::default();
-    println!(
-        "read scheme: v_read = {} V through R_load = {:.0} Ω, threshold at {}·v_read",
-        config.v_read, config.r_load, config.threshold_fraction
-    );
-
-    // 1. Digital-vs-analog agreement over all 4-input patterns on an
-    //    8x12 array (sneak paths live).
-    let mut agree = 0usize;
-    let mut total = 0usize;
-    for pattern in 0..16u32 {
-        let values: Vec<bool> = (0..4).map(|b| pattern >> b & 1 == 1).collect();
-        let (xbar, sense) = programmed_row(&values, 8, 12, 3);
-        let read = row_nand_read(&xbar, 3, &sense, &config).expect("solvable");
-        let digital = !values.iter().all(|&v| v);
-        total += 1;
-        if read.nand_value == digital {
-            agree += 1;
-        }
-    }
-    println!("digital vs analog NAND decisions on 8x12 array: {agree}/{total} agree");
-    assert_eq!(agree, total);
-
-    // 2. Read margin vs number of participating (all-R_OFF) inputs.
-    let mut margin_table = Table::new(
-        "Ext-D — worst-case read margin vs NAND fan-in (all inputs logic 1)",
-        &["fan-in", "row voltage V", "margin V", "decision"],
-    );
-    for fanin in [2usize, 4, 8, 16, 32, 64] {
-        let values = vec![true; fanin];
-        let (xbar, sense) = programmed_row(&values, 4, fanin + 4, 1);
-        let read = row_nand_read(&xbar, 1, &sense, &config).expect("solvable");
-        margin_table.row([
-            fanin.to_string(),
-            format!("{:.4}", read.row_voltage),
-            format!("{:.4}", read.margin),
-            if read.nand_value {
-                "NAND=1 (WRONG)"
-            } else {
-                "NAND=0 (correct)"
-            }
-            .to_string(),
-        ]);
-    }
-    margin_table.print();
-
-    // 3. Margin vs array size with a fixed 3-input NAND (sneak paths grow).
-    let mut sneak_table = Table::new(
-        "Ext-D — read margin vs array size (3-input NAND, everything else R_OFF)",
-        &["array", "row voltage V", "margin V"],
-    );
-    for size in [4usize, 8, 16, 32] {
-        let values = vec![true; 3];
-        let (xbar, sense) = programmed_row(&values, size, size, size / 2);
-        let read = row_nand_read(&xbar, size / 2, &sense, &config).expect("solvable");
-        sneak_table.row([
-            format!("{size}x{size}"),
-            format!("{:.4}", read.row_voltage),
-            format!("{:.4}", read.margin),
-        ]);
-    }
-    sneak_table.print();
-    println!("reading: margins shrink with fan-in (parallel R_OFF divider) and array size");
-    println!("(sneak paths), but the decisions stay correct at the sizes the paper maps —");
-    println!("the digital abstraction used by the mapping experiments is sound.");
-    let _ = args;
+    xbar_exp::legacy_shim("ext_analog_validation", "ext_analog_validation");
 }

@@ -1,57 +1,5 @@
-//! Ext-E — column redundancy vs stuck-at-closed defects: the complement of
-//! Ext-A. Row spares cannot recover column kills (each extra row *adds*
-//! column cross-section); spare columns with configurable routing can.
-
-use xbar_core::{column_redundancy_yield, FunctionMatrix, MapperKind};
-use xbar_exp::{pct, ExpArgs, Table};
-use xbar_logic::bench_reg::find;
+//! Deprecated shim: delegates to `xbar run ext_column_redundancy` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Ext-E: column redundancy under stuck-closed defects");
-    let info = find("rd53").expect("registered");
-    let cover = info.mapping_cover(args.seed);
-    let fm = FunctionMatrix::from_cover(&cover);
-    println!(
-        "circuit: rd53 ({} rows x {} cols optimum), mixed defects: 40% of defects stuck-closed",
-        fm.num_rows(),
-        fm.num_cols()
-    );
-
-    let mut table = Table::new(
-        "Ext-E — success rate % vs (spare rows, spare cols), EA + column routing",
-        &[
-            "defect rate",
-            "(0r,0c)",
-            "(4r,0c)",
-            "(0r,4c)",
-            "(4r,4c)",
-            "(8r,8c)",
-        ],
-    );
-    for &rate in &[0.005, 0.01, 0.02, 0.03] {
-        let mut row = vec![format!("{:.1}%", rate * 100.0)];
-        for &(sr, sc) in &[(0usize, 0usize), (4, 0), (0, 4), (4, 4), (8, 8)] {
-            let y = column_redundancy_yield(
-                &fm,
-                rate,
-                0.4,
-                sr,
-                sc,
-                args.samples,
-                MapperKind::Exact,
-                args.seed,
-            );
-            row.push(pct(y));
-        }
-        table.row(row);
-    }
-    table.print();
-    println!("reading: under stuck-closed defects, spares of EITHER kind alone do not");
-    println!("help (extra rows add column-kill cross-section and vice versa); only joint");
-    println!("row+column redundancy recovers yield (e.g. 15% → 87% at 1.0% defects with");
-    println!("4+4 spares) — quantifying the open problem the paper's §VI identifies.");
-    if let Some(path) = &args.csv {
-        table.write_csv(path).expect("write csv");
-        println!("wrote CSV to {}", path.display());
-    }
+    xbar_exp::legacy_shim("ext_column_redundancy", "ext_column_redundancy");
 }

@@ -1,105 +1,5 @@
-//! Ext-F — defect-map extraction: march-style testing recovers the
-//! crossbar matrix that the paper's mapping algorithms assume as given
-//! (the testing problem of the paper's references \[11\] and \[12\]).
-//!
-//! The full loop: manufacture a defective fabric → march-scan it → build
-//! the CM from the *measured* map → run HBA → execute the mapping on the
-//! fabric and verify functionally.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use xbar_core::{
-    map_hybrid, program_two_level, verify_against_cover, CrossbarMatrix, FunctionMatrix, VerifyMode,
-};
-use xbar_device::{scan_cell_by_cell, scan_march, Crossbar, DefectProfile};
-use xbar_exp::{ExpArgs, Table};
-use xbar_logic::bench_reg::find;
+//! Deprecated shim: delegates to `xbar run ext_defect_scan` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Ext-F: defect-map extraction and closed-loop mapping");
-    let info = find("rd53").expect("registered");
-    let cover = info.mapping_cover(args.seed);
-    let fm = FunctionMatrix::from_cover(&cover);
-    let rows = fm.num_rows();
-    let cols = fm.num_cols();
-
-    // 1. Test-cost comparison of the two scan procedures.
-    let mut cost = Table::new(
-        "Ext-F — test cost per procedure (rd53-sized array)",
-        &["procedure", "write ops", "read ops", "map recovered"],
-    );
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let profile = DefectProfile {
-        rate: args.defect_rate,
-        stuck_closed_fraction: 0.2,
-    };
-    let mut xbar = Crossbar::with_random_defects(rows, cols, profile, &mut rng);
-    let cell = scan_cell_by_cell(&mut xbar);
-    cost.row([
-        "cell-by-cell".to_owned(),
-        cell.write_ops.to_string(),
-        cell.read_ops.to_string(),
-        if cell.matches_ground_truth(&xbar) {
-            "exact"
-        } else {
-            "WRONG"
-        }
-        .to_owned(),
-    ]);
-    let march = scan_march(&mut xbar);
-    cost.row([
-        "march (row-parallel writes)".to_owned(),
-        march.write_ops.to_string(),
-        march.read_ops.to_string(),
-        if march.matches_ground_truth(&xbar) {
-            "exact"
-        } else {
-            "WRONG"
-        }
-        .to_owned(),
-    ]);
-    cost.print();
-    let (functional, open, closed) = march.counts();
-    println!("measured map: {functional} functional, {open} stuck-open, {closed} stuck-closed");
-
-    // 2. Closed loop over many fabrics: scan → map from the measured CM →
-    //    execute → verify.
-    let mut attempted = 0;
-    let mut mapped = 0;
-    let mut verified = 0;
-    for _ in 0..args.samples {
-        let mut xbar = Crossbar::with_random_defects(
-            rows,
-            cols,
-            DefectProfile::stuck_open_only(args.defect_rate),
-            &mut rng,
-        );
-        let report = scan_march(&mut xbar);
-        assert!(report.matches_ground_truth(&xbar), "scan must be exact");
-        // Build the CM from the *measured* report, not the ground truth.
-        let mut cm = CrossbarMatrix::perfect(rows, cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                if report.diagnosis(r, c).as_defect() != xbar_device::Defect::None {
-                    cm.set_defective(r, c);
-                }
-            }
-        }
-        attempted += 1;
-        if let Some(assignment) = map_hybrid(&fm, &cm).assignment {
-            mapped += 1;
-            let mut machine = program_two_level(&cover, &assignment, xbar).expect("fits");
-            if verify_against_cover(&mut machine, &cover, VerifyMode::Exhaustive, 0).is_none() {
-                verified += 1;
-            }
-        }
-    }
-    println!(
-        "closed loop over {attempted} fabrics at {:.0}% stuck-open: {mapped} mapped, {verified} functionally verified",
-        args.defect_rate * 100.0
-    );
-    assert_eq!(
-        mapped, verified,
-        "every mapping from a measured map must verify"
-    );
+    xbar_exp::legacy_shim("ext_defect_scan", "ext_defect_scan");
 }

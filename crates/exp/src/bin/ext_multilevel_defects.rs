@@ -1,108 +1,5 @@
-//! Ext-B — defect-tolerant *multi-level* mapping (the paper's second
-//! future-work item, §VI: "we plan to integrate multi-level logic design
-//! with our defect tolerant logic mapping methods").
-//!
-//! Gate rows are placed with the HBA-style greedy+backtracking loop;
-//! connection-net → column permutations add a second degree of freedom the
-//! two-level mapper does not have.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use xbar_core::{map_multilevel, CrossbarMatrix, MultiLevelDesign};
-use xbar_exp::{monte_carlo, pct, ExpArgs, Table};
-use xbar_logic::{cube, Cover, RandomSopSpec};
-use xbar_netlist::MapOptions;
-
-fn fig5_cover() -> Cover {
-    Cover::from_cubes(
-        8,
-        1,
-        [
-            cube("1------- 1"),
-            cube("-1------ 1"),
-            cube("--1----- 1"),
-            cube("---1---- 1"),
-            cube("----1111 1"),
-        ],
-    )
-    .expect("valid cubes")
-}
-
-fn success_rate(
-    design: &MultiLevelDesign,
-    spare_rows: usize,
-    defect_rate: f64,
-    samples: usize,
-    seed: u64,
-    permutations: usize,
-) -> f64 {
-    let rows = design.cost.rows + spare_rows;
-    let cols = design.cost.cols;
-    let results = monte_carlo(samples, seed, |_, s| {
-        let mut rng = StdRng::seed_from_u64(s);
-        let cm = CrossbarMatrix::sample_stuck_open(rows, cols, defect_rate, &mut rng);
-        map_multilevel(design, &cm, permutations, s ^ 0xFACE).is_some()
-    });
-    results.iter().filter(|&&ok| ok).count() as f64 / samples as f64
-}
+//! Deprecated shim: delegates to `xbar run ext_multilevel_defects` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Ext-B: defect-tolerant multi-level mapping");
-    let mut table = Table::new(
-        "Ext-B — multi-level mapping success rate % vs defect rate",
-        &[
-            "design",
-            "rows x cols",
-            "defects",
-            "spare 0",
-            "spare 1",
-            "spare 2",
-            "spare 4",
-        ],
-    );
-
-    let designs: Vec<(String, MultiLevelDesign)> = vec![
-        (
-            "fig5 (2 gates)".into(),
-            MultiLevelDesign::synthesize(&fig5_cover(), &MapOptions::default()),
-        ),
-        (
-            "random n=10 P=8".into(),
-            MultiLevelDesign::synthesize(
-                &RandomSopSpec::figure6(10, 8).generate_seeded(args.seed),
-                &MapOptions {
-                    factoring: true,
-                    max_fanin: Some(10),
-                },
-            ),
-        ),
-        (
-            "t481 analog (26 gates)".into(),
-            MultiLevelDesign::from_network(xbar_netlist::t481_analog()),
-        ),
-    ];
-
-    for (name, design) in &designs {
-        for &rate in &[0.05, 0.10, 0.15] {
-            let mut row = vec![
-                name.clone(),
-                format!("{}x{}", design.cost.rows, design.cost.cols),
-                format!("{:.0}%", rate * 100.0),
-            ];
-            for &spare in &[0usize, 1, 2, 4] {
-                let rate_val = success_rate(design, spare, rate, args.samples, args.seed, 8);
-                row.push(pct(rate_val));
-            }
-            table.row(row);
-        }
-    }
-    table.print();
-    println!("observations:");
-    println!("  - multi-level rows carry more active switches (fan-in + destination),");
-    println!("    so at equal defect rates mapping is harder than two-level;");
-    println!("  - connection-column permutations + a spare row or two recover most of it.");
-    if let Some(path) = &args.csv {
-        table.write_csv(path).expect("write csv");
-        println!("wrote CSV to {}", path.display());
-    }
+    xbar_exp::legacy_shim("ext_multilevel_defects", "ext_multilevel_defects");
 }

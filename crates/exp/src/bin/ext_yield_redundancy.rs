@@ -1,103 +1,5 @@
-//! Ext-A — yield analysis with redundant rows and stuck-at-closed defects
-//! (the paper's first future-work item, §VI).
-//!
-//! Two sweeps on the rd53 function matrix:
-//! 1. stuck-open only: success rate vs defect rate × spare rows — spares
-//!    recover yield at the cost of area overhead;
-//! 2. mixed defects: spare rows do NOT recover stuck-closed losses (each
-//!    extra row adds column-kill probability), quantifying why the paper
-//!    calls for dedicated redundancy for stuck-at-closed defects.
-
-use xbar_core::{estimate_yield, FunctionMatrix, MapperKind, YieldConfig};
-use xbar_exp::{pct, ExpArgs, Table};
-use xbar_logic::bench_reg::find;
+//! Deprecated shim: delegates to `xbar run ext_yield_redundancy` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Ext-A: yield vs redundancy and defect rate");
-    let info = find("rd53").expect("registered");
-    let cover = info.cover(args.seed);
-    let fm = FunctionMatrix::from_cover(&cover);
-    println!(
-        "circuit: rd53 (P = {}, optimum rows = {}, cols = {})",
-        cover.len(),
-        fm.num_rows(),
-        fm.num_cols()
-    );
-
-    let spares = [0usize, 2, 4, 8, 17];
-    let rates = [0.05, 0.10, 0.15, 0.20];
-
-    let mut open_table = Table::new(
-        "Ext-A.1 — success rate % (stuck-open only), HBA",
-        &[
-            "defect rate",
-            "spare 0",
-            "spare 2",
-            "spare 4",
-            "spare 8",
-            "spare 17 (1.5x rows)",
-        ],
-    );
-    for &rate in &rates {
-        let mut row = vec![format!("{:.0}%", rate * 100.0)];
-        for &spare in &spares {
-            let result = estimate_yield(
-                &fm,
-                &YieldConfig {
-                    defect_rate: rate,
-                    stuck_closed_fraction: 0.0,
-                    spare_rows: spare,
-                    samples: args.samples,
-                    mapper: MapperKind::Hybrid,
-                    seed: args.seed,
-                },
-            );
-            row.push(pct(result.success_rate));
-        }
-        open_table.row(row);
-    }
-    open_table.print();
-
-    let mut closed_table = Table::new(
-        "Ext-A.2 — success rate % (30% of defects stuck-closed), EA",
-        &[
-            "defect rate",
-            "spare 0",
-            "spare 2",
-            "spare 4",
-            "spare 8",
-            "spare 17",
-        ],
-    );
-    // Stuck-closed kills whole lines, so meaningful rates sit far below the
-    // stuck-open regime (see Ext-E for the column-redundancy remedy).
-    for &rate in &[0.005, 0.01, 0.02, 0.03] {
-        let mut row = vec![format!("{:.1}%", rate * 100.0)];
-        for &spare in &spares {
-            let result = estimate_yield(
-                &fm,
-                &YieldConfig {
-                    defect_rate: rate,
-                    stuck_closed_fraction: 0.3,
-                    spare_rows: spare,
-                    samples: args.samples,
-                    mapper: MapperKind::Exact,
-                    seed: args.seed ^ 0xC105ED,
-                },
-            );
-            row.push(pct(result.success_rate));
-        }
-        closed_table.row(row);
-    }
-    closed_table.print();
-
-    let overhead_17 = (fm.num_rows() + 17) as f64 / fm.num_rows() as f64;
-    println!("area overhead at 17 spares: {overhead_17:.2}x (the 1.5x sizing of refs [13,14])");
-    println!("finding: spare rows recover stuck-open yield but NOT stuck-closed yield —");
-    println!("         each added row increases the chance a needed column is killed,");
-    println!("         confirming the paper's call for dedicated stuck-closed redundancy.");
-    if let Some(path) = &args.csv {
-        open_table.write_csv(path).expect("write csv");
-        println!("wrote stuck-open sweep CSV to {}", path.display());
-    }
+    xbar_exp::legacy_shim("ext_yield_redundancy", "ext_yield_redundancy");
 }

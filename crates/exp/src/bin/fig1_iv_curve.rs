@@ -1,84 +1,5 @@
-//! Fig. 1 — memristor I-V characteristics and switching behaviour.
-//!
-//! Sweeps a triangular voltage across a fresh device with both the abrupt
-//! (ideal Snider) and linear-drift models and prints the hysteresis loop as
-//! CSV-ready series, plus the SET/RESET summary the figure annotates.
-
-use xbar_device::{iv_sweep, MemristorParams};
-use xbar_exp::{ExpArgs, Table};
+//! Deprecated shim: delegates to `xbar run fig1` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Fig. 1: memristor I-V hysteresis sweep");
-    let params = MemristorParams::default();
-    println!(
-        "device: R_ON = {:.0} Ω (logic 0), R_OFF = {:.0} Ω (logic 1), v_write = ±{} V, v_hold = ±{} V",
-        params.r_on, params.r_off, params.v_write, params.v_hold
-    );
-
-    let mut table = Table::new(
-        "Fig. 1 — I-V sweep (0 → +3V → 0 → −3V → 0)",
-        &[
-            "leg_point",
-            "voltage_V",
-            "abrupt_current_A",
-            "drift_current_A",
-            "drift_state_w",
-        ],
-    );
-    let abrupt = iv_sweep(params, 3.0, 40, true);
-    let drift = iv_sweep(params, 3.0, 40, false);
-    for (i, (a, d)) in abrupt.iter().zip(&drift).enumerate() {
-        table.row([
-            i.to_string(),
-            format!("{:.3}", a.voltage),
-            format!("{:.3e}", a.current),
-            format!("{:.3e}", d.current),
-            format!("{:.3}", d.state),
-        ]);
-    }
-    if let Some(path) = &args.csv {
-        table.write_csv(path).expect("write csv");
-        println!("wrote {} points to {}", table.len(), path.display());
-    } else {
-        // Print a condensed view (every 8th point) and the key events.
-        let mut condensed = Table::new(
-            "Fig. 1 — I-V sweep (condensed; use --csv for all points)",
-            &["voltage_V", "abrupt_current_A", "drift_state_w"],
-        );
-        for (i, (a, d)) in abrupt.iter().zip(&drift).enumerate() {
-            if i % 8 == 0 {
-                condensed.row([
-                    format!("{:.3}", a.voltage),
-                    format!("{:.3e}", a.current),
-                    format!("{:.3}", d.state),
-                ]);
-            }
-        }
-        condensed.print();
-    }
-
-    let set_at = abrupt.iter().find(|p| p.state > 0.5).map(|p| p.voltage);
-    let reset_at = abrupt
-        .iter()
-        .skip_while(|p| p.state < 0.5)
-        .find(|p| p.state < 0.5)
-        .map(|p| p.voltage);
-    println!("SET observed at {set_at:?} V (paper: +Vw), RESET at {reset_at:?} V (paper: −Vw)");
-    println!(
-        "hysteresis confirmed: current ratio at +1 V between down/up legs = {:.1}x",
-        current_at(&abrupt[40..], 1.0) / current_at(&abrupt[..40], 1.0)
-    );
-}
-
-fn current_at(points: &[xbar_device::IvPoint], voltage: f64) -> f64 {
-    points
-        .iter()
-        .min_by(|a, b| {
-            (a.voltage - voltage)
-                .abs()
-                .partial_cmp(&(b.voltage - voltage).abs())
-                .expect("no NaN")
-        })
-        .map(|p| p.current.abs().max(1e-12))
-        .unwrap_or(1e-12)
+    xbar_exp::legacy_shim("fig1_iv_curve", "fig1");
 }

@@ -1,74 +1,5 @@
-//! Figs. 2(b) and 4(b) — the two-level and multi-level computation state
-//! machines, demonstrated as executable phase traces on the worked example
-//! function f = x0+x1+x2+x3 + x4·x5·x6·x7.
-
-use xbar_core::{
-    map_naive, program_two_level, CrossbarMatrix, FunctionMatrix, MultiLevelDesign,
-    MultiLevelMapping,
-};
-use xbar_device::Crossbar;
-use xbar_exp::ExpArgs;
-use xbar_logic::{cube, Cover};
-use xbar_netlist::MapOptions;
-
-fn example_cover() -> Cover {
-    Cover::from_cubes(
-        8,
-        1,
-        [
-            cube("1------- 1"),
-            cube("-1------ 1"),
-            cube("--1----- 1"),
-            cube("---1---- 1"),
-            cube("----1111 1"),
-        ],
-    )
-    .expect("valid cubes")
-}
+//! Deprecated shim: delegates to `xbar run fig2_fig4` (same flags).
 
 fn main() {
-    let _args = ExpArgs::parse("Figs. 2(b)/4(b): state machine traces");
-    let cover = example_cover();
-    let input = 0b1111_0000u64; // x4..x7 = 1: only the AND minterm fires.
-
-    println!("== Fig. 2(b): two-level state machine ==");
-    let fm = FunctionMatrix::from_cover(&cover);
-    let cm = CrossbarMatrix::perfect(fm.num_rows(), fm.num_cols());
-    let assignment = map_naive(&fm, &cm).assignment.expect("clean crossbar");
-    let mut machine =
-        program_two_level(&cover, &assignment, Crossbar::new(6, 18)).expect("layout fits");
-    let trace = machine.trace(input);
-    for (phase, text) in &trace.phases {
-        println!("  {phase:>4}: {text}");
-    }
-    println!(
-        "  outputs f = {:?}, f̄ = {:?}",
-        trace.outputs, trace.outputs_bar
-    );
-    assert_eq!(trace.outputs, cover.evaluate(input));
-
-    println!();
-    println!("== Fig. 4(b): multi-level state machine (CFM→EVM→CR per gate, nL < n loop) ==");
-    let design = MultiLevelDesign::synthesize(&cover, &MapOptions::default());
-    let mapping = MultiLevelMapping::identity(&design);
-    let xbar = Crossbar::new(design.cost.rows, design.cost.cols);
-    let mut ml = design.build_machine(xbar, &mapping).expect("layout fits");
-    let trace = ml.trace(input);
-    for (phase, gate, text) in &trace.phases {
-        match gate {
-            Some(g) => println!("  {phase:>4} (gate {g}): {text}"),
-            None => println!("  {phase:>4}: {text}"),
-        }
-    }
-    println!("  gate values = {:?}", trace.gate_values);
-    println!(
-        "  outputs f = {:?}, f̄ = {:?}",
-        trace.outputs, trace.outputs_bar
-    );
-    assert_eq!(trace.outputs, cover.evaluate(input));
-    println!();
-    println!(
-        "two-level: 7 phases once; multi-level: CFM/EVM/CR × {} gates + INR/SO",
-        design.network.gate_count()
-    );
+    xbar_exp::legacy_shim("fig2_fig4_state_traces", "fig2_fig4");
 }

@@ -1,69 +1,5 @@
-//! Fig. 3 — two-level mapping of f = x1+x2+x3+x4+x5·x6·x7·x8 (paper
-//! indexing; x0..x7 here): area cost 126 with the figure's extra inversion
-//! row, inclusion ratio 31/126 ≈ 25%.
-
-use xbar_core::{map_naive, program_two_level, CrossbarMatrix, FunctionMatrix, TwoLevelLayout};
-use xbar_device::Crossbar;
-use xbar_exp::{ExpArgs, Table};
-use xbar_logic::{cube, Cover};
+//! Deprecated shim: delegates to `xbar run fig3` (same flags).
 
 fn main() {
-    let _args = ExpArgs::parse("Fig. 3: two-level worked example");
-    let cover = Cover::from_cubes(
-        8,
-        1,
-        [
-            cube("1------- 1"),
-            cube("-1------ 1"),
-            cube("--1----- 1"),
-            cube("---1---- 1"),
-            cube("----1111 1"),
-        ],
-    )
-    .expect("valid cubes");
-
-    let paper_layout = TwoLevelLayout::of_cover(&cover).with_inversion_row();
-    let table_layout = TwoLevelLayout::of_cover(&cover);
-    let mut table = Table::new(
-        "Fig. 3 — two-level design of f = x1+x2+x3+x4+x5x6x7x8",
-        &["quantity", "paper", "ours"],
-    );
-    table.row(["horizontal lines", "7", &paper_layout.rows().to_string()]);
-    table.row(["vertical lines", "18", &paper_layout.cols().to_string()]);
-    table.row(["area cost", "126", &paper_layout.area().to_string()]);
-    table.row([
-        "area cost (Table I/II convention, P+K rows)".to_string(),
-        "-".to_string(),
-        table_layout.area().to_string(),
-    ]);
-    let switches = table_layout.active_switches(&cover) + 2 * cover.num_inputs();
-    table.row([
-        "memristors used (incl. input-latch diagonal)".to_string(),
-        "31".to_string(),
-        switches.to_string(),
-    ]);
-    table.row([
-        "inclusion ratio".to_string(),
-        "25%".to_string(),
-        format!(
-            "{:.1}%",
-            switches as f64 / paper_layout.area() as f64 * 100.0
-        ),
-    ]);
-    table.print();
-
-    // Execute the mapping on the simulated crossbar and verify exhaustively.
-    let fm = FunctionMatrix::from_cover(&cover);
-    let cm = CrossbarMatrix::perfect(fm.num_rows(), fm.num_cols());
-    let assignment = map_naive(&fm, &cm).assignment.expect("clean crossbar");
-    let mut machine =
-        program_two_level(&cover, &assignment, Crossbar::new(6, 18)).expect("layout fits");
-    let mut mismatches = 0;
-    for a in 0..256u64 {
-        if machine.evaluate(a) != cover.evaluate(a) {
-            mismatches += 1;
-        }
-    }
-    println!("functional check on the simulated crossbar: {mismatches} mismatches over 256 inputs");
-    assert_eq!(mismatches, 0);
+    xbar_exp::legacy_shim("fig3_twolevel_example", "fig3");
 }

@@ -1,63 +1,5 @@
-//! Fig. 5 — multi-level mapping of the same function: a 3×19 crossbar
-//! (the paper's text says "area cost is 59"; 3 × 19 = 57 — see DESIGN.md).
-
-use xbar_core::{MultiLevelDesign, MultiLevelMapping};
-use xbar_device::Crossbar;
-use xbar_exp::{ExpArgs, Table};
-use xbar_logic::{cube, Cover};
-use xbar_netlist::MapOptions;
+//! Deprecated shim: delegates to `xbar run fig5` (same flags).
 
 fn main() {
-    let _args = ExpArgs::parse("Fig. 5: multi-level worked example");
-    let cover = Cover::from_cubes(
-        8,
-        1,
-        [
-            cube("1------- 1"),
-            cube("-1------ 1"),
-            cube("--1----- 1"),
-            cube("---1---- 1"),
-            cube("----1111 1"),
-        ],
-    )
-    .expect("valid cubes");
-
-    let design = MultiLevelDesign::synthesize(&cover, &MapOptions::default());
-    let mut table = Table::new(
-        "Fig. 5 — multi-level design of f = x1+x2+x3+x4+x5x6x7x8",
-        &["quantity", "paper", "ours"],
-    );
-    table.row(["horizontal lines", "3", &design.cost.rows.to_string()]);
-    table.row(["vertical lines", "19", &design.cost.cols.to_string()]);
-    table.row([
-        "area cost".to_string(),
-        "59 (text; 3×19 = 57)".to_string(),
-        design.area().to_string(),
-    ]);
-    table.row(["NAND gates", "2", &design.network.gate_count().to_string()]);
-    table.row([
-        "multi-level connections".to_string(),
-        "1".to_string(),
-        design.cost.connections.to_string(),
-    ]);
-    table.row([
-        "vs two-level area".to_string(),
-        "126".to_string(),
-        "126 (with inversion row)".to_string(),
-    ]);
-    table.print();
-    println!("network:\n{:?}", design.network);
-
-    // Execute on the simulated crossbar, exhaustively.
-    let mapping = MultiLevelMapping::identity(&design);
-    let xbar = Crossbar::new(design.cost.rows, design.cost.cols);
-    let mut machine = design.build_machine(xbar, &mapping).expect("layout fits");
-    let mut mismatches = 0;
-    for a in 0..256u64 {
-        if machine.evaluate(a) != cover.evaluate(a) {
-            mismatches += 1;
-        }
-    }
-    println!("functional check on the simulated crossbar: {mismatches} mismatches over 256 inputs");
-    assert_eq!(mismatches, 0);
+    xbar_exp::legacy_shim("fig5_multilevel_example", "fig5");
 }

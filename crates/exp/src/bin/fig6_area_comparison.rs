@@ -1,59 +1,5 @@
-//! Fig. 6 — Monte Carlo area-cost comparison of two-level vs multi-level
-//! designs on random Boolean functions (input sizes 8, 9, 10, 15; 200
-//! samples each; sorted by product count).
-
-use xbar_exp::{experiments::fig6::run_fig6, pct, ExpArgs, Table};
+//! Deprecated shim: delegates to `xbar run fig6` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Fig. 6: two-level vs multi-level Monte Carlo");
-    let series = run_fig6(&args, &[8, 9, 10, 15]);
-
-    let mut summary = Table::new(
-        "Fig. 6 — success rate (% of samples with multi-level < two-level)",
-        &[
-            "input size",
-            "samples",
-            "success % (paper)",
-            "success % (ours)",
-        ],
-    );
-    for s in &series {
-        summary.row([
-            s.input_size.to_string(),
-            s.points.len().to_string(),
-            s.published_success_rate.map_or("-".to_owned(), pct),
-            pct(s.success_rate),
-        ]);
-    }
-    summary.print();
-
-    let mut points = Table::new(
-        "Fig. 6 — per-sample series (sorted by product count)",
-        &[
-            "input_size",
-            "sample",
-            "products",
-            "two_level_area",
-            "multi_level_area",
-            "ml_wins",
-        ],
-    );
-    for s in &series {
-        for (i, p) in s.points.iter().enumerate() {
-            points.row([
-                s.input_size.to_string(),
-                i.to_string(),
-                p.products.to_string(),
-                p.two_level.to_string(),
-                p.multi_level.to_string(),
-                u8::from(p.multi_level_wins()).to_string(),
-            ]);
-        }
-    }
-    if let Some(path) = &args.csv {
-        points.write_csv(path).expect("write csv");
-        println!("wrote {} sample points to {}", points.len(), path.display());
-    } else {
-        println!("(run with --csv PATH to dump the full per-sample series)");
-    }
+    xbar_exp::legacy_shim("fig6_area_comparison", "fig6");
 }

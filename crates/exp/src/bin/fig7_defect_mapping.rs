@@ -1,97 +1,5 @@
-//! Fig. 7 — naive vs defect-aware mapping of a 2-output function on a
-//! defective 6×10 crossbar. The naive mapping is invalid (and computes the
-//! wrong outputs when executed); the defect-aware mapping is valid and
-//! functionally correct.
-
-use xbar_core::{
-    map_hybrid, map_naive, program_two_level, CrossbarMatrix, FunctionMatrix, RowAssignment,
-};
-use xbar_device::{Crossbar, Defect};
-use xbar_exp::ExpArgs;
-use xbar_logic::{cube, Cover};
+//! Deprecated shim: delegates to `xbar run fig7` (same flags).
 
 fn main() {
-    let _args = ExpArgs::parse("Fig. 7: naive vs defect-aware mapping");
-    // O1 = x1x2 + x̄2x3, O2 = x̄1x̄3 + x2x3 (the Fig. 7/8 example family).
-    let cover = Cover::from_cubes(
-        3,
-        2,
-        [
-            cube("11- 10"),
-            cube("-01 10"),
-            cube("0-0 01"),
-            cube("-11 01"),
-        ],
-    )
-    .expect("valid cubes");
-    let fm = FunctionMatrix::from_cover(&cover);
-
-    // Defects placed where the identity mapping needs active switches
-    // (the red diagonals of Fig. 7a).
-    let mut xbar = Crossbar::new(6, 10);
-    xbar.set_defect(0, 0, Defect::StuckOpen); // m1 needs x1 here
-    xbar.set_defect(3, 7, Defect::StuckOpen); // m4 needs its O2 membership
-    let cm = CrossbarMatrix::from_crossbar(&xbar);
-
-    println!("function matrix rows (x1 x2 x3 | x̄1 x̄2 x̄3 | O1 O2 | Ō1 Ō2):");
-    for r in 0..fm.num_rows() {
-        let label = if r < fm.num_minterms() {
-            format!("m{}", r + 1)
-        } else {
-            format!("O{}", r - fm.num_minterms() + 1)
-        };
-        println!("  {label:<3} {}", fm.row(r));
-    }
-    println!("crossbar matrix (1 = functional):");
-    for r in 0..cm.num_rows() {
-        println!("  H{}  {}", r + 1, cm.row(r));
-    }
-    println!();
-
-    let naive = map_naive(&fm, &cm);
-    println!(
-        "(a) naive mapping (identity, defects disregarded): {}",
-        if naive.is_success() {
-            "VALID"
-        } else {
-            "INVALID"
-        }
-    );
-    // Execute the naive placement anyway to show the functional corruption.
-    let identity = RowAssignment {
-        fm_to_cm: (0..fm.num_rows()).collect(),
-    };
-    let mut broken = program_two_level(&cover, &identity, xbar.clone()).expect("fits");
-    let mut wrong = 0;
-    for a in 0..8u64 {
-        if broken.evaluate(a) != cover.evaluate(a) {
-            wrong += 1;
-        }
-    }
-    println!("    executed anyway: {wrong}/8 input vectors produce wrong outputs");
-
-    let hybrid = map_hybrid(&fm, &cm);
-    match hybrid.assignment {
-        Some(assignment) => {
-            println!("(b) defect-aware mapping (HBA): VALID");
-            for (i, &row) in assignment.fm_to_cm.iter().enumerate() {
-                let label = if i < fm.num_minterms() {
-                    format!("m{}", i + 1)
-                } else {
-                    format!("O{}", i - fm.num_minterms() + 1)
-                };
-                println!("    {label} -> H{}", row + 1);
-            }
-            let mut machine = program_two_level(&cover, &assignment, xbar).expect("fits");
-            let mut wrong = 0;
-            for a in 0..8u64 {
-                if machine.evaluate(a) != cover.evaluate(a) {
-                    wrong += 1;
-                }
-            }
-            println!("    executed: {wrong}/8 input vectors wrong (must be 0)");
-            assert_eq!(wrong, 0);
-        }
-        None => println!("(b) defect-aware mapping: FAILED (unexpected for this defect map)"),
-    }
+    xbar_exp::legacy_shim("fig7_defect_mapping", "fig7");
 }

@@ -1,80 +1,5 @@
-//! Fig. 8 — function matrix, crossbar matrix, matching matrix and a
-//! zero-cost Munkres assignment, printed end to end.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use xbar_assign::{munkres, CostMatrix};
-use xbar_core::{row_compatible, CrossbarMatrix, FunctionMatrix};
-use xbar_exp::ExpArgs;
-use xbar_logic::{cube, Cover};
+//! Deprecated shim: delegates to `xbar run fig8` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Fig. 8: matching matrix and assignment demo");
-    let cover = Cover::from_cubes(
-        3,
-        2,
-        [
-            cube("11- 10"),
-            cube("-01 10"),
-            cube("0-0 01"),
-            cube("-11 01"),
-        ],
-    )
-    .expect("valid cubes");
-    let fm = FunctionMatrix::from_cover(&cover);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let cm =
-        CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), args.defect_rate, &mut rng);
-
-    println!("(a) function matrix FM (rows m1..m4, O1, O2):");
-    for r in 0..fm.num_rows() {
-        println!("    {}", fm.row(r));
-    }
-    println!("(b) crossbar matrix CM (defect map, 1 = functional):");
-    for r in 0..cm.num_rows() {
-        println!("    {}", cm.row(r));
-    }
-
-    println!("(c) matching matrix (0 = row matching possible):");
-    let n = fm.num_rows();
-    let matrix = CostMatrix::from_fn(n, cm.num_rows(), |f, c| {
-        i64::from(!row_compatible(fm.row(f), cm.row(c)))
-    });
-    print!("        ");
-    for c in 0..cm.num_rows() {
-        print!("H{} ", c + 1);
-    }
-    println!();
-    for f in 0..n {
-        let label = if f < fm.num_minterms() {
-            format!("m{}", f + 1)
-        } else {
-            format!("O{}", f - fm.num_minterms() + 1)
-        };
-        print!("    {label:<4}");
-        for c in 0..cm.num_rows() {
-            print!(" {} ", matrix.get(f, c));
-        }
-        println!();
-    }
-
-    println!("(d) Munkres assignment:");
-    let solution = munkres(&matrix).expect("square matrix");
-    for (f, &c) in solution.assignment.iter().enumerate() {
-        let label = if f < fm.num_minterms() {
-            format!("m{}", f + 1)
-        } else {
-            format!("O{}", f - fm.num_minterms() + 1)
-        };
-        println!("    {label} -> H{} (cost {})", c + 1, matrix.get(f, c));
-    }
-    println!(
-        "    total cost = {} → {}",
-        solution.cost,
-        if solution.cost == 0 {
-            "Cost = 0 : Valid Mapping"
-        } else {
-            "no zero-cost assignment: mapping impossible on this defect map"
-        }
-    );
+    xbar_exp::legacy_shim("fig8_matching_demo", "fig8");
 }

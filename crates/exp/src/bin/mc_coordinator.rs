@@ -1,143 +1,5 @@
-//! Sharded Monte Carlo coordinator: partitions a Table II campaign across
-//! `mc_shard` worker processes, retries failed shards, merges the partial
-//! results, and writes the deterministic merged-stats artifact.
-//!
-//! The artifact contains only integer-derived statistics, so for the same
-//! `(seed, samples)` it is **byte-identical** across shard counts and to
-//! `--in-process` (the monolithic path through the same accumulators) —
-//! CI compares the files directly.
-
-use std::path::PathBuf;
-use std::process::exit;
-use xbar_exp::shard::coordinator::{
-    default_work_dir, default_worker_binary, render_stats_json, render_timing_table,
-    run_coordinator, run_monolithic, CoordinatorConfig,
-};
-use xbar_exp::shard::CampaignFlags;
-
-struct Args {
-    campaign: CampaignFlags,
-    shards: usize,
-    max_attempts: usize,
-    out: PathBuf,
-    work_dir: Option<PathBuf>,
-    worker: Option<PathBuf>,
-    keep_partials: bool,
-    in_process: bool,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Self {
-            campaign: CampaignFlags::default(),
-            shards: 3,
-            max_attempts: 3,
-            out: PathBuf::from("MC_merged.json"),
-            work_dir: None,
-            worker: None,
-            keep_partials: false,
-            in_process: false,
-        }
-    }
-}
-
-fn usage() -> String {
-    format!(
-        "mc_coordinator: sharded Monte Carlo over worker processes\n\nflags:\n\
-         {}\n  \
-         --shards N         worker processes / sample-range shards (default 3)\n  \
-         --max-attempts N   attempts per shard before giving up (default 3)\n  \
-         --out PATH         merged stats artifact (default MC_merged.json)\n  \
-         --work-dir PATH    partial-file directory (default: temp dir)\n  \
-         --worker PATH      mc_shard binary (default: next to this binary)\n  \
-         --keep-partials    keep partial files after the merge\n  \
-         --in-process       run monolithically (no processes) through the same\n                     \
-         accumulators; output is byte-identical to a sharded run",
-        xbar_exp::shard::CAMPAIGN_FLAGS_USAGE
-    )
-}
-
-fn parse_args() -> Args {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
-        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
-    };
-    while let Some(flag) = it.next() {
-        if args.campaign.consume(&flag, &mut it) {
-            continue;
-        }
-        match flag.as_str() {
-            "--shards" => args.shards = value("--shards", &mut it).parse().expect("number"),
-            "--max-attempts" => {
-                args.max_attempts = value("--max-attempts", &mut it).parse().expect("number");
-            }
-            "--out" => args.out = PathBuf::from(value("--out", &mut it)),
-            "--work-dir" => args.work_dir = Some(PathBuf::from(value("--work-dir", &mut it))),
-            "--worker" => args.worker = Some(PathBuf::from(value("--worker", &mut it))),
-            "--keep-partials" => args.keep_partials = true,
-            "--in-process" => args.in_process = true,
-            "--help" | "-h" => {
-                println!("{}", usage());
-                exit(0);
-            }
-            other => {
-                eprintln!("unknown flag {other:?}; try --help");
-                exit(2);
-            }
-        }
-    }
-    args
-}
+//! Deprecated shim: delegates to `xbar mc coordinate` (same flags).
 
 fn main() {
-    let args = parse_args();
-    let config = args.campaign.clone().into_config();
-    if let Err(e) = config.validate() {
-        eprintln!("mc_coordinator: {e}");
-        exit(2);
-    }
-
-    let merged = if args.in_process {
-        println!(
-            "running {} samples monolithically (same accumulators as sharded mode)",
-            config.samples
-        );
-        run_monolithic(&config)
-    } else {
-        let worker = match args.worker.clone().map_or_else(default_worker_binary, Ok) {
-            Ok(worker) => worker,
-            Err(e) => {
-                eprintln!("mc_coordinator: {e}");
-                exit(2);
-            }
-        };
-        let coordinator = CoordinatorConfig {
-            config: config.clone(),
-            shards: args.shards,
-            max_attempts: args.max_attempts,
-            worker,
-            work_dir: args.work_dir.clone().unwrap_or_else(default_work_dir),
-            extra_worker_args: Vec::new(),
-            keep_partials: args.keep_partials,
-        };
-        println!(
-            "running {} samples across {} worker process(es) (seed {}, {:.0}% defects)",
-            config.samples,
-            coordinator.shards,
-            config.seed,
-            config.defect_rate * 100.0
-        );
-        match run_coordinator(&coordinator) {
-            Ok(merged) => merged,
-            Err(e) => {
-                eprintln!("mc_coordinator: {e}");
-                exit(1);
-            }
-        }
-    };
-
-    print!("{}", render_timing_table(&merged));
-    std::fs::write(&args.out, render_stats_json(&merged)).expect("write merged stats");
-    println!("wrote {}", args.out.display());
+    xbar_exp::legacy_mc_shim("mc_coordinator", "coordinate");
 }

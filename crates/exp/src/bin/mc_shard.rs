@@ -1,153 +1,5 @@
-//! Sharded Monte Carlo worker: runs one contiguous slice of a Table II
-//! defect-tolerance campaign and writes a self-describing partial-result
-//! file for the coordinator (`mc_coordinator`) to merge.
-//!
-//! Per-sample seeds depend only on `(experiment seed, global sample
-//! index)`, so this worker reproduces its slice bit-identically no matter
-//! which process or host runs it.
-//!
-//! The `--inject-*` flags exist for the coordinator's failure-injection
-//! tests: they make the worker crash or write a torn partial exactly once
-//! (marker file) or always, so retry and permanent-failure handling can be
-//! exercised against real processes.
-
-use std::path::PathBuf;
-use std::process::exit;
-use xbar_exp::shard::{partial::ShardPartial, run_shard, CampaignFlags, ShardSpec};
-
-struct Args {
-    campaign: CampaignFlags,
-    shard_index: usize,
-    num_shards: usize,
-    out: PathBuf,
-    inject_fail_once: Option<PathBuf>,
-    inject_fail_always: bool,
-    inject_truncate_once: Option<PathBuf>,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Self {
-            campaign: CampaignFlags::default(),
-            shard_index: 0,
-            num_shards: 1,
-            out: PathBuf::from("partial-0.json"),
-            inject_fail_once: None,
-            inject_fail_always: false,
-            inject_truncate_once: None,
-        }
-    }
-}
-
-fn usage() -> String {
-    format!(
-        "mc_shard: run one shard of a sharded Monte Carlo campaign\n\nflags:\n\
-         {}\n  \
-         --shard-index I    this shard's index (default 0)\n  \
-         --num-shards N     shards in the campaign (default 1)\n  \
-         --out PATH         partial-result output path (default partial-0.json)\n\n\
-         test-only failure injection:\n  \
-         --inject-fail-once MARKER      exit 3 unless MARKER exists (created on the way out)\n  \
-         --inject-fail-always           always exit 4\n  \
-         --inject-truncate-once MARKER  write a torn partial once, then behave",
-        xbar_exp::shard::CAMPAIGN_FLAGS_USAGE
-    )
-}
-
-fn parse_args() -> Args {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
-        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
-    };
-    while let Some(flag) = it.next() {
-        if args.campaign.consume(&flag, &mut it) {
-            continue;
-        }
-        match flag.as_str() {
-            "--shard-index" => {
-                args.shard_index = value("--shard-index", &mut it).parse().expect("number");
-            }
-            "--num-shards" => {
-                args.num_shards = value("--num-shards", &mut it).parse().expect("number");
-            }
-            "--out" => args.out = PathBuf::from(value("--out", &mut it)),
-            "--inject-fail-once" => {
-                args.inject_fail_once = Some(PathBuf::from(value("--inject-fail-once", &mut it)));
-            }
-            "--inject-fail-always" => args.inject_fail_always = true,
-            "--inject-truncate-once" => {
-                args.inject_truncate_once =
-                    Some(PathBuf::from(value("--inject-truncate-once", &mut it)));
-            }
-            "--help" | "-h" => {
-                println!("{}", usage());
-                exit(0);
-            }
-            other => {
-                eprintln!("unknown flag {other:?}; try --help");
-                exit(2);
-            }
-        }
-    }
-    args
-}
-
-/// Returns true exactly once per marker path (creates the marker).
-fn first_time(marker: &PathBuf) -> bool {
-    if marker.exists() {
-        false
-    } else {
-        std::fs::write(marker, b"injected\n").expect("write marker");
-        true
-    }
-}
+//! Deprecated shim: delegates to `xbar mc shard` (same flags).
 
 fn main() {
-    let args = parse_args();
-    if args.inject_fail_always {
-        eprintln!("mc_shard: injected permanent failure");
-        exit(4);
-    }
-    if let Some(marker) = &args.inject_fail_once {
-        if first_time(marker) {
-            eprintln!("mc_shard: injected one-shot failure");
-            exit(3);
-        }
-    }
-
-    let config = args.campaign.clone().into_config();
-    if let Err(e) = config.validate() {
-        eprintln!("mc_shard: {e}");
-        exit(2);
-    }
-    if args.shard_index >= args.num_shards {
-        eprintln!(
-            "mc_shard: --shard-index {} out of range for --num-shards {}",
-            args.shard_index, args.num_shards
-        );
-        exit(2);
-    }
-    let spec = ShardSpec::partition(config.samples, args.num_shards)[args.shard_index];
-
-    if let Some(marker) = &args.inject_truncate_once {
-        if first_time(marker) {
-            // A torn write: valid JSON prefix, no `complete` marker.
-            std::fs::write(&args.out, "{\n  \"schema\": \"xbar-mc-partial/1\", \"trunc")
-                .expect("write torn partial");
-            eprintln!("mc_shard: injected torn partial");
-            return;
-        }
-    }
-
-    let partial: ShardPartial = run_shard(&config, &spec);
-    std::fs::write(&args.out, partial.to_json()).expect("write partial");
-    println!(
-        "mc_shard: shard {}/{} samples [{}, {}) -> {}",
-        spec.index,
-        spec.num_shards,
-        spec.start,
-        spec.end,
-        args.out.display()
-    );
+    xbar_exp::legacy_mc_shim("mc_shard", "shard");
 }

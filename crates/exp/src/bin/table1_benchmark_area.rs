@@ -1,62 +1,5 @@
-//! Table I — two-level vs multi-level area cost of benchmark circuits,
-//! original and negated.
-//!
-//! Absolute multi-level numbers use our factoring/NAND flow instead of
-//! ABC's, so they differ from the paper's; the comparison's *shape* (who
-//! wins per circuit) is the reproduced quantity. See EXPERIMENTS.md.
-
-use xbar_exp::{experiments::table1::run_table1, ExpArgs, Table};
+//! Deprecated shim: delegates to `xbar run table1` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Table I: benchmark area comparison");
-    let rows = run_table1(args.seed);
-
-    let mut table = Table::new(
-        "Table I — two-level vs multi-level area (original | negation)",
-        &[
-            "bench",
-            "TL paper",
-            "TL ours",
-            "ML paper",
-            "ML ours",
-            "TLneg paper",
-            "TLneg ours",
-            "MLneg paper",
-            "MLneg ours",
-            "winner matches paper",
-        ],
-    );
-    let mut agree = 0usize;
-    for r in &rows {
-        if r.winner_matches_paper() {
-            agree += 1;
-        }
-        table.row([
-            r.name.clone(),
-            r.published.0.to_string(),
-            r.two_level.to_string(),
-            r.published.1.to_string(),
-            r.multi_level.to_string(),
-            r.published_neg.0.to_string(),
-            r.two_level_neg.map_or("-".into(), |v| v.to_string()),
-            r.published_neg.1.to_string(),
-            r.multi_level_neg.map_or("-".into(), |v| v.to_string()),
-            if r.winner_matches_paper() {
-                "yes"
-            } else {
-                "NO"
-            }
-            .to_string(),
-        ]);
-    }
-    table.print();
-    println!(
-        "winner (two-level vs multi-level) agrees with the paper on {agree}/{} circuits",
-        rows.len()
-    );
-    println!("paper's crossover circuits (multi-level wins): t481, cordic");
-    if let Some(path) = &args.csv {
-        table.write_csv(path).expect("write csv");
-        println!("wrote CSV to {}", path.display());
-    }
+    xbar_exp::legacy_shim("table1_benchmark_area", "table1");
 }

@@ -1,82 +1,5 @@
-//! Table II — success rate and runtime of the hybrid algorithm (HBA) vs
-//! the exact algorithm (EA) on optimum-size crossbars with 10% stuck-open
-//! defects, 200 Monte Carlo samples per circuit.
-
-use xbar_exp::{experiments::table2::run_table2, pct, secs, ExpArgs, Table};
+//! Deprecated shim: delegates to `xbar run table2` (same flags).
 
 fn main() {
-    let args = ExpArgs::parse("Table II: HBA vs EA success rate and runtime");
-    println!(
-        "running {} samples/circuit at defect rate {:.0}% (seed {})...",
-        args.samples,
-        args.defect_rate * 100.0,
-        args.seed
-    );
-    let rows = run_table2(&args, None);
-
-    let mut table = Table::new(
-        "Table II — HBA vs EA on optimum-size crossbars",
-        &[
-            "name",
-            "I",
-            "O",
-            "P",
-            "area",
-            "area paper",
-            "IR%",
-            "IR% paper",
-            "HBA Psucc%",
-            "paper",
-            "HBA time s",
-            "paper",
-            "EA Psucc%",
-            "paper",
-            "EA time s",
-            "paper",
-        ],
-    );
-    for r in &rows {
-        table.row([
-            r.name.clone(),
-            r.inputs.to_string(),
-            r.outputs.to_string(),
-            r.products.to_string(),
-            r.area.to_string(),
-            r.area_published.to_string(),
-            pct(r.inclusion_ratio),
-            r.ir_published.map_or("-".into(), pct),
-            pct(r.hba_success),
-            r.hba_published.map_or("-".into(), |(p, _)| pct(p)),
-            secs(r.hba_time),
-            r.hba_published.map_or("-".into(), |(_, t)| secs(t)),
-            pct(r.ea_success),
-            r.ea_published.map_or("-".into(), |(p, _)| pct(p)),
-            secs(r.ea_time),
-            r.ea_published.map_or("-".into(), |(_, t)| secs(t)),
-        ]);
-    }
-    table.print();
-
-    // Headline checks the paper reports.
-    let speedups: Vec<f64> = rows
-        .iter()
-        .filter(|r| r.hba_time > 0.0)
-        .map(|r| r.ea_time / r.hba_time)
-        .collect();
-    let max_speedup = speedups.iter().cloned().fold(0.0, f64::max);
-    let worst_gap = rows
-        .iter()
-        .map(|r| r.ea_success - r.hba_success)
-        .fold(0.0, f64::max);
-    println!(
-        "HBA vs EA runtime: up to {max_speedup:.0}x faster (paper: 1–2 orders of magnitude on large circuits)"
-    );
-    println!(
-        "largest EA−HBA success gap: {:.0} percentage points (paper: up to ~15)",
-        worst_gap * 100.0
-    );
-    if let Some(path) = &args.csv {
-        table.write_csv(path).expect("write csv");
-        println!("wrote CSV to {}", path.display());
-    }
+    xbar_exp::legacy_shim("table2_defect_tolerance", "table2");
 }

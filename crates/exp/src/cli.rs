@@ -1,13 +1,24 @@
-//! Minimal flag parsing shared by all experiment binaries (no external
-//! dependency).
+//! The `xbar` command-line driver: one binary, every experiment.
 //!
-//! Supported flags: `--samples N`, `--seed N`, `--defect-rate F`,
-//! `--csv PATH`, `--quick` (divides samples by 10 for smoke runs), and
-//! `--help`.
+//! * `xbar list` — all registered experiments;
+//! * `xbar describe <exp>` — description plus auto-generated flag help;
+//! * `xbar run <exp> [flags]` — run through the typed [`Experiment`] API,
+//!   with `--json` printing the canonical artifact and `--out DIR`
+//!   writing it to disk;
+//! * `xbar mc shard|coordinate` — the sharded Monte Carlo entry points.
+//!
+//! All parsing is `Result`-based: usage problems print the relevant help
+//! to stderr and exit with code **2**, runtime failures exit with **1** —
+//! never a panic/backtrace. The 17 pre-redesign binaries survive as
+//! shims over [`legacy_shim`] / [`legacy_mc_shim`].
 
+use crate::experiment::{find_experiment, registry, ExpError, Params, Reporter};
+use crate::shard;
 use std::path::PathBuf;
 
-/// Common experiment parameters.
+/// Common experiment parameters (the pre-registry surface, kept as the
+/// bridge type experiment library code receives via
+/// [`Params::exp_args`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExpArgs {
     /// Monte Carlo sample count (paper default: 200).
@@ -32,83 +43,214 @@ impl Default for ExpArgs {
 }
 
 impl ExpArgs {
-    /// Parses `std::env::args`, exiting with usage text on `--help` or a
-    /// malformed flag.
-    #[must_use]
-    pub fn parse(description: &str) -> Self {
-        Self::parse_from(description, std::env::args().skip(1))
+    /// Parses the common flag set from an explicit iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::experiment::UsageError`] on unknown flags or
+    /// malformed values — the panicking `parse_from` of the pre-registry
+    /// CLI is gone.
+    pub fn try_parse_from(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, crate::experiment::UsageError> {
+        Params::parse(&[], args).map(|p| p.exp_args())
     }
+}
 
-    /// Parses an explicit iterator (testable).
-    ///
-    /// # Panics
-    ///
-    /// Panics on malformed flags (binaries surface this as a process
-    /// abort with a readable message, which is acceptable for an
-    /// experiment driver).
-    #[must_use]
-    pub fn parse_from(description: &str, args: impl Iterator<Item = String>) -> Self {
-        let mut out = Self::default();
-        let mut it = args.peekable();
-        while let Some(flag) = it.next() {
-            match flag.as_str() {
-                "--samples" => {
-                    out.samples = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| panic!("--samples needs a number"));
-                }
-                "--seed" => {
-                    out.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| panic!("--seed needs a number"));
-                }
-                "--defect-rate" => {
-                    out.defect_rate = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| panic!("--defect-rate needs a float"));
-                }
-                "--csv" => {
-                    out.csv = Some(PathBuf::from(
-                        it.next().unwrap_or_else(|| panic!("--csv needs a path")),
-                    ));
-                }
-                "--quick" => {
-                    out.samples = (out.samples / 10).max(10);
-                }
-                "--help" | "-h" => {
-                    println!(
-                        "{description}\n\nflags:\n  --samples N       Monte Carlo samples (default 200)\n  --seed N          experiment seed (default 2018)\n  --defect-rate F   defect probability (default 0.10)\n  --csv PATH        also write CSV output\n  --quick           1/10th of the samples (smoke run)"
-                    );
-                    std::process::exit(0);
-                }
-                other => panic!("unknown flag {other:?}; try --help"),
-            }
+const TOP_USAGE: &str = "xbar — unified driver for every experiment in the \
+Tunali & Altun (DATE 2018) reproduction
+
+usage:
+  xbar list                      list registered experiments
+  xbar describe <experiment>     one experiment's description and flags
+  xbar run <experiment> [flags]  run an experiment
+  xbar mc shard [flags]          run one shard of a sharded MC campaign
+  xbar mc coordinate [flags]     coordinate worker processes and merge
+
+common run flags (see `xbar describe <experiment>` for per-experiment ones):
+  --samples N --seed N --defect-rate F --quick --json --out DIR --csv PATH
+
+exit codes: 0 success, 1 runtime failure, 2 usage error";
+
+/// Runs the `xbar` CLI on an argument stream (program name already
+/// stripped); returns the process exit code.
+pub fn run_cli(args: impl IntoIterator<Item = String>) -> i32 {
+    let mut args = args.into_iter();
+    let Some(command) = args.next() else {
+        eprintln!("{TOP_USAGE}");
+        return 2;
+    };
+    match command.as_str() {
+        "list" => {
+            list_experiments();
+            0
         }
-        out
+        "describe" => match args.next() {
+            Some(name) => describe_experiment(&name),
+            None => {
+                eprintln!("xbar describe: which experiment? (see `xbar list`)");
+                2
+            }
+        },
+        "run" => match args.next() {
+            Some(name) => run_experiment(&name, args.collect()),
+            None => {
+                eprintln!("xbar run: which experiment? (see `xbar list`)");
+                2
+            }
+        },
+        "mc" => match args.next().as_deref() {
+            Some("shard") => shard::cli::shard_main(args.collect()),
+            Some("coordinate") => shard::cli::coordinate_main(args.collect()),
+            Some(other) => {
+                eprintln!("xbar mc: unknown subcommand {other:?} (shard | coordinate)");
+                2
+            }
+            None => {
+                eprintln!("xbar mc: which subcommand? (shard | coordinate)");
+                2
+            }
+        },
+        "--help" | "-h" | "help" => {
+            println!("{TOP_USAGE}");
+            0
+        }
+        other => {
+            eprintln!("xbar: unknown command {other:?}\n\n{TOP_USAGE}");
+            2
+        }
     }
+}
+
+fn list_experiments() {
+    let width = registry().iter().map(|e| e.name().len()).max().unwrap_or(0);
+    for exp in registry() {
+        println!("{:<width$}  {}", exp.name(), exp.description());
+    }
+}
+
+fn describe_experiment(name: &str) -> i32 {
+    match find_experiment(name) {
+        Some(exp) => {
+            println!(
+                "{}",
+                Params::usage(exp.name(), exp.description(), exp.extra_params())
+            );
+            0
+        }
+        None => {
+            eprintln!("xbar: unknown experiment {name:?} (see `xbar list`)");
+            2
+        }
+    }
+}
+
+fn run_experiment(name: &str, rest: Vec<String>) -> i32 {
+    let Some(exp) = find_experiment(name) else {
+        eprintln!("xbar: unknown experiment {name:?} (see `xbar list`)");
+        return 2;
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "{}",
+            Params::usage(exp.name(), exp.description(), exp.extra_params())
+        );
+        return 0;
+    }
+    let params = match Params::parse(exp.extra_params(), rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!(
+                "xbar run {name}: {e}\n\n{}",
+                Params::usage(exp.name(), exp.description(), exp.extra_params())
+            );
+            return 2;
+        }
+    };
+    let mut reporter = if params.json {
+        Reporter::quiet()
+    } else {
+        Reporter::stdout()
+    };
+    match exp.run(&params, &mut reporter) {
+        Ok(artifact) => {
+            let document = artifact.render(exp, &params);
+            if params.json {
+                print!("{document}");
+            }
+            if let Some(dir) = &params.out {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("xbar: cannot create {}: {e}", dir.display());
+                    return 1;
+                }
+                let path = dir.join(format!("{name}.json"));
+                if let Err(e) = std::fs::write(&path, &document) {
+                    eprintln!("xbar: cannot write {}: {e}", path.display());
+                    return 1;
+                }
+                if !params.json {
+                    println!("wrote artifact to {}", path.display());
+                }
+            }
+            0
+        }
+        Err(ExpError::Usage(msg)) => {
+            eprintln!(
+                "xbar run {name}: {msg}\n\n{}",
+                Params::usage(exp.name(), exp.description(), exp.extra_params())
+            );
+            2
+        }
+        Err(ExpError::Failed(msg)) => {
+            eprintln!("xbar run {name}: {msg}");
+            1
+        }
+    }
+}
+
+/// Entry point for the pre-redesign experiment binaries: prints a
+/// deprecation note to stderr, then delegates to `xbar run <experiment>`
+/// with the process's own flags (they are a subset of the experiment's
+/// flags, so old invocations keep working unchanged).
+pub fn legacy_shim(old_name: &str, experiment: &str) -> ! {
+    eprintln!(
+        "note: `{old_name}` is deprecated; use `xbar run {experiment}` \
+         (same flags, plus --json/--out)."
+    );
+    let mut args = vec!["run".to_owned(), experiment.to_owned()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(run_cli(args));
+}
+
+/// Entry point for the pre-redesign `mc_shard` / `mc_coordinator`
+/// binaries: deprecation note, then `xbar mc <subcommand>` with the same
+/// flags.
+pub fn legacy_mc_shim(old_name: &str, subcommand: &str) -> ! {
+    eprintln!("note: `{old_name}` is deprecated; use `xbar mc {subcommand}` (same flags).");
+    let mut args = vec!["mc".to_owned(), subcommand.to_owned()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(run_cli(args));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(words: &[&str]) -> ExpArgs {
-        ExpArgs::parse_from("test", words.iter().map(|s| (*s).to_owned()))
+    fn parse(words: &[&str]) -> Result<ExpArgs, crate::experiment::UsageError> {
+        ExpArgs::try_parse_from(words.iter().map(|s| (*s).to_owned()))
     }
 
     #[test]
     fn defaults_match_the_paper() {
-        let args = parse(&[]);
+        let args = parse(&[]).expect("defaults parse");
         assert_eq!(args.samples, 200);
         assert!((args.defect_rate - 0.10).abs() < 1e-12);
     }
 
     #[test]
     fn flags_override() {
-        let args = parse(&["--samples", "50", "--seed", "9", "--defect-rate", "0.2"]);
+        let args =
+            parse(&["--samples", "50", "--seed", "9", "--defect-rate", "0.2"]).expect("parses");
         assert_eq!(args.samples, 50);
         assert_eq!(args.seed, 9);
         assert!((args.defect_rate - 0.2).abs() < 1e-12);
@@ -116,13 +258,16 @@ mod tests {
 
     #[test]
     fn quick_divides_samples() {
-        let args = parse(&["--quick"]);
-        assert_eq!(args.samples, 20);
+        assert_eq!(parse(&["--quick"]).expect("parses").samples, 20);
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        let _ = parse(&["--frobnicate"]);
+    fn unknown_flag_is_an_error_not_a_panic() {
+        let err = parse(&["--frobnicate"]).expect_err("must fail");
+        assert!(err.0.contains("unknown flag"), "{err}");
+        let err = parse(&["--samples"]).expect_err("must fail");
+        assert!(err.0.contains("needs a value"), "{err}");
+        let err = parse(&["--samples", "many"]).expect_err("must fail");
+        assert!(err.0.contains("expected a number"), "{err}");
     }
 }

@@ -1,0 +1,560 @@
+//! The typed parameter layer of the [`Experiment`](super::Experiment)
+//! API: every experiment declares its extra flags **once** as
+//! [`ParamSpec`]s and the CLI derives parsing, `--help` text, and the
+//! artifact's `params` echo from the same declaration — no per-binary
+//! flag loops.
+//!
+//! Parsing is `Result`-returning throughout: a malformed flag produces a
+//! [`UsageError`] the driver turns into usage text and exit code 2, never
+//! a panic/backtrace.
+
+use crate::shard::json::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A flag-parsing/usage error. The CLI driver prints it with the
+/// experiment's usage text and exits with code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Convenience constructor used by parsing code.
+pub(crate) fn usage_err(message: impl Into<String>) -> UsageError {
+    UsageError(message.into())
+}
+
+/// The value type of one experiment parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// An unsigned count (`usize`).
+    USize,
+    /// A 64-bit seed-like integer.
+    U64,
+    /// A floating-point value.
+    F64,
+    /// A boolean switch (present = true, takes no value).
+    Flag,
+    /// A free-form string.
+    Str,
+    /// A comma-separated list of strings.
+    StrList,
+}
+
+impl ParamKind {
+    fn value_hint(self) -> &'static str {
+        match self {
+            ParamKind::USize | ParamKind::U64 => "N",
+            ParamKind::F64 => "F",
+            ParamKind::Flag => "",
+            ParamKind::Str => "S",
+            ParamKind::StrList => "a,b",
+        }
+    }
+}
+
+/// A resolved parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// An unsigned count.
+    USize(usize),
+    /// A 64-bit integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A switch.
+    Flag(bool),
+    /// A string.
+    Str(String),
+    /// A string list.
+    StrList(Vec<String>),
+}
+
+impl ParamValue {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            ParamValue::USize(v) => JsonValue::usize(*v),
+            ParamValue::U64(v) => JsonValue::u64(*v),
+            ParamValue::F64(v) => JsonValue::f64(*v),
+            ParamValue::Flag(v) => JsonValue::Bool(*v),
+            ParamValue::Str(v) => JsonValue::str(v.clone()),
+            ParamValue::StrList(v) => JsonValue::arr(v.iter().map(|s| JsonValue::str(s.clone()))),
+        }
+    }
+}
+
+/// The declaration of one extra experiment parameter: flag name (without
+/// the leading `--`), type, textual default, and help line. This single
+/// declaration drives parsing, `--help`, and the artifact echo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Flag name without the leading `--` (e.g. `"spare-rows"`).
+    pub name: &'static str,
+    /// Value type.
+    pub kind: ParamKind,
+    /// Textual default, parsed by [`Params::defaults`] (e.g. `"0"`,
+    /// `"rd53"`, `"false"` for flags).
+    pub default: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// Const constructor for registry tables.
+#[must_use]
+pub const fn spec(
+    name: &'static str,
+    kind: ParamKind,
+    default: &'static str,
+    help: &'static str,
+) -> ParamSpec {
+    ParamSpec {
+        name,
+        kind,
+        default,
+        help,
+    }
+}
+
+impl ParamSpec {
+    fn parse_value(&self, text: &str) -> Result<ParamValue, UsageError> {
+        let bad = |kind: &str| usage_err(format!("--{}: expected {kind}, got {text:?}", self.name));
+        Ok(match self.kind {
+            ParamKind::USize => {
+                ParamValue::USize(text.parse().map_err(|_| bad("an unsigned integer"))?)
+            }
+            ParamKind::U64 => ParamValue::U64(text.parse().map_err(|_| bad("a u64"))?),
+            ParamKind::F64 => {
+                let v: f64 = text.parse().map_err(|_| bad("a number"))?;
+                if !v.is_finite() {
+                    return Err(bad("a finite number"));
+                }
+                ParamValue::F64(v)
+            }
+            ParamKind::Flag => ParamValue::Flag(text.parse().map_err(|_| bad("true or false"))?),
+            ParamKind::Str => ParamValue::Str(text.to_owned()),
+            ParamKind::StrList => {
+                if text.is_empty() {
+                    return Err(bad("a non-empty comma-separated list"));
+                }
+                ParamValue::StrList(text.split(',').map(str::to_owned).collect())
+            }
+        })
+    }
+}
+
+/// The parameters every experiment shares (the old `ExpArgs` surface plus
+/// output routing), rendered in usage text for all experiments.
+pub const COMMON_PARAMS: &[ParamSpec] = &[
+    spec(
+        "samples",
+        ParamKind::USize,
+        "200",
+        "Monte Carlo samples (ignored by deterministic experiments)",
+    ),
+    spec("seed", ParamKind::U64, "2018", "experiment seed"),
+    spec(
+        "defect-rate",
+        ParamKind::F64,
+        "0.10",
+        "per-crosspoint defect probability",
+    ),
+    spec(
+        "quick",
+        ParamKind::Flag,
+        "false",
+        "smoke run: samples/10 (at least 10), applied after --samples",
+    ),
+    spec(
+        "json",
+        ParamKind::Flag,
+        "false",
+        "suppress human output; print the canonical artifact JSON to stdout",
+    ),
+    spec(
+        "out",
+        ParamKind::Str,
+        "",
+        "directory to write the artifact to as <experiment>.json",
+    ),
+    spec(
+        "csv",
+        ParamKind::Str,
+        "",
+        "also write the primary table as CSV",
+    ),
+];
+
+/// Fully-resolved experiment parameters: the common set as typed fields,
+/// per-experiment extras behind the [`Params::usize`]-family accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Monte Carlo sample count (already divided when `quick` is set).
+    pub samples: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-crosspoint defect probability.
+    pub defect_rate: f64,
+    /// Smoke-run mode (`--quick`).
+    pub quick: bool,
+    /// Artifact-to-stdout mode (`--json`).
+    pub json: bool,
+    /// Artifact output directory (`--out DIR`).
+    pub out: Option<PathBuf>,
+    /// CSV output path for the primary table (`--csv PATH`).
+    pub csv: Option<PathBuf>,
+    extras: BTreeMap<&'static str, ParamValue>,
+}
+
+impl Params {
+    /// Defaults for the common set plus the given extra specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a spec's textual default does not parse as its own
+    /// kind — a registry bug, pinned by the completeness test.
+    #[must_use]
+    pub fn defaults(extra: &[ParamSpec]) -> Self {
+        let extras = extra
+            .iter()
+            .map(|s| {
+                let value = s
+                    .parse_value(s.default)
+                    .unwrap_or_else(|e| panic!("bad default for --{}: {e}", s.name));
+                (s.name, value)
+            })
+            .collect();
+        Self {
+            samples: 200,
+            seed: 2018,
+            defect_rate: 0.10,
+            quick: false,
+            json: false,
+            out: None,
+            csv: None,
+            extras,
+        }
+    }
+
+    /// Parses a flag stream against the common set plus `extra`.
+    ///
+    /// `--quick` is applied **after** all flags (order-independent):
+    /// `samples = (samples / 10).max(10)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UsageError`] on an unknown flag, a missing value, or a
+    /// malformed value — never panics.
+    pub fn parse(
+        extra: &[ParamSpec],
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, UsageError> {
+        let mut out = Self::defaults(extra);
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| usage_err(format!("expected a --flag, got {flag:?}")))?;
+            let mut value_of = |flag_name: &str| {
+                it.next()
+                    .ok_or_else(|| usage_err(format!("--{flag_name} needs a value")))
+            };
+            match name {
+                "samples" => out.samples = parse_num(name, &value_of(name)?)?,
+                "seed" => out.seed = parse_num(name, &value_of(name)?)?,
+                "defect-rate" => {
+                    let v: f64 = parse_num(name, &value_of(name)?)?;
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(usage_err("--defect-rate must be a probability in [0, 1]"));
+                    }
+                    out.defect_rate = v;
+                }
+                "quick" => out.quick = true,
+                "json" => out.json = true,
+                "out" => out.out = Some(PathBuf::from(value_of(name)?)),
+                "csv" => out.csv = Some(PathBuf::from(value_of(name)?)),
+                other => {
+                    let spec = extra
+                        .iter()
+                        .find(|s| s.name == other)
+                        .ok_or_else(|| usage_err(format!("unknown flag --{other}")))?;
+                    let value = if spec.kind == ParamKind::Flag {
+                        ParamValue::Flag(true)
+                    } else {
+                        spec.parse_value(&value_of(other)?)?
+                    };
+                    out.extras.insert(spec.name, value);
+                }
+            }
+        }
+        if out.quick {
+            out.samples = (out.samples / 10).max(10);
+        }
+        // Central floor: every Monte Carlo experiment divides by the
+        // sample count or asserts it non-zero; deterministic experiments
+        // ignore it, so rejecting 0 here costs nothing and keeps the
+        // no-panic exit-code contract for all of them.
+        if out.samples == 0 {
+            return Err(usage_err("--samples must be at least 1"));
+        }
+        Ok(out)
+    }
+
+    /// An extra `usize` parameter declared by the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the experiment did not declare `name` with that kind —
+    /// a programmer error, not a user error.
+    #[must_use]
+    pub fn usize(&self, name: &str) -> usize {
+        match self.extras.get(name) {
+            Some(ParamValue::USize(v)) => *v,
+            other => panic!("param --{name} is not a declared usize (got {other:?})"),
+        }
+    }
+
+    /// An extra `u64` parameter. See [`Params::usize`] for panics.
+    #[must_use]
+    pub fn u64(&self, name: &str) -> u64 {
+        match self.extras.get(name) {
+            Some(ParamValue::U64(v)) => *v,
+            other => panic!("param --{name} is not a declared u64 (got {other:?})"),
+        }
+    }
+
+    /// An extra `f64` parameter. See [`Params::usize`] for panics.
+    #[must_use]
+    pub fn f64(&self, name: &str) -> f64 {
+        match self.extras.get(name) {
+            Some(ParamValue::F64(v)) => *v,
+            other => panic!("param --{name} is not a declared f64 (got {other:?})"),
+        }
+    }
+
+    /// An extra flag parameter. See [`Params::usize`] for panics.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        match self.extras.get(name) {
+            Some(ParamValue::Flag(v)) => *v,
+            other => panic!("param --{name} is not a declared flag (got {other:?})"),
+        }
+    }
+
+    /// An extra string parameter. See [`Params::usize`] for panics.
+    #[must_use]
+    pub fn str(&self, name: &str) -> &str {
+        match self.extras.get(name) {
+            Some(ParamValue::Str(v)) => v,
+            other => panic!("param --{name} is not a declared string (got {other:?})"),
+        }
+    }
+
+    /// An extra string-list parameter. See [`Params::usize`] for panics.
+    #[must_use]
+    pub fn list(&self, name: &str) -> &[String] {
+        match self.extras.get(name) {
+            Some(ParamValue::StrList(v)) => v,
+            other => panic!("param --{name} is not a declared list (got {other:?})"),
+        }
+    }
+
+    /// The equivalent legacy [`ExpArgs`](crate::ExpArgs) for experiment
+    /// code that predates the typed layer.
+    #[must_use]
+    pub fn exp_args(&self) -> crate::ExpArgs {
+        crate::ExpArgs {
+            samples: self.samples,
+            seed: self.seed,
+            defect_rate: self.defect_rate,
+            csv: self.csv.clone(),
+        }
+    }
+
+    /// The canonical `params` echo of the artifact document: the
+    /// experiment-semantic parameters (common + extras in declaration
+    /// order). Output routing (`--json`, `--out`, `--csv`) is deliberately
+    /// excluded so artifacts stay byte-identical across hosts and
+    /// invocation styles.
+    #[must_use]
+    pub fn to_json(&self, extra: &[ParamSpec]) -> JsonValue {
+        let mut fields = vec![
+            ("samples".to_owned(), JsonValue::usize(self.samples)),
+            ("seed".to_owned(), JsonValue::u64(self.seed)),
+            ("defect_rate".to_owned(), JsonValue::f64(self.defect_rate)),
+        ];
+        for s in extra {
+            let value = self
+                .extras
+                .get(s.name)
+                .expect("defaults seeded every declared extra");
+            fields.push((s.name.replace('-', "_"), value.to_json()));
+        }
+        JsonValue::Obj(fields)
+    }
+
+    /// Renders the auto-generated usage text for an experiment: common
+    /// flags followed by the experiment's extras, one line each.
+    #[must_use]
+    pub fn usage(exp_name: &str, description: &str, extra: &[ParamSpec]) -> String {
+        let mut out = format!("{description}\n\nusage: xbar run {exp_name} [flags]\n\nflags:\n");
+        for s in COMMON_PARAMS {
+            push_flag_line(&mut out, s);
+        }
+        if !extra.is_empty() {
+            out.push_str("\nexperiment flags:\n");
+            for s in extra {
+                push_flag_line(&mut out, s);
+            }
+        }
+        out
+    }
+}
+
+fn push_flag_line(out: &mut String, s: &ParamSpec) {
+    let hint = s.kind.value_hint();
+    let flag = if hint.is_empty() {
+        format!("--{}", s.name)
+    } else {
+        format!("--{} {hint}", s.name)
+    };
+    let default = if s.default.is_empty() || s.kind == ParamKind::Flag {
+        String::new()
+    } else {
+        format!(" (default {})", s.default)
+    };
+    out.push_str(&format!("  {flag:<22} {}{default}\n", s.help));
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, UsageError> {
+    text.parse()
+        .map_err(|_| usage_err(format!("--{flag}: expected a number, got {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXTRA: &[ParamSpec] = &[
+        spec("circuit", ParamKind::Str, "rd53", "registry circuit"),
+        spec(
+            "spare-rows",
+            ParamKind::USize,
+            "0",
+            "spare horizontal lines",
+        ),
+        spec("verbose", ParamKind::Flag, "false", "print more"),
+        spec("sizes", ParamKind::StrList, "8,9", "input sizes"),
+    ];
+
+    fn parse(words: &[&str]) -> Result<Params, UsageError> {
+        Params::parse(EXTRA, words.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_match_the_paper_and_specs() {
+        let p = parse(&[]).expect("defaults parse");
+        assert_eq!(p.samples, 200);
+        assert_eq!(p.seed, 2018);
+        assert!((p.defect_rate - 0.10).abs() < 1e-12);
+        assert_eq!(p.str("circuit"), "rd53");
+        assert_eq!(p.usize("spare-rows"), 0);
+        assert!(!p.flag("verbose"));
+        assert_eq!(p.list("sizes"), ["8", "9"]);
+    }
+
+    #[test]
+    fn common_and_extra_flags_roundtrip() {
+        let p = parse(&[
+            "--samples",
+            "50",
+            "--seed",
+            "9",
+            "--defect-rate",
+            "0.2",
+            "--circuit",
+            "bw",
+            "--spare-rows",
+            "4",
+            "--verbose",
+            "--sizes",
+            "10,15",
+            "--csv",
+            "/tmp/x.csv",
+        ])
+        .expect("parses");
+        assert_eq!(p.samples, 50);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.str("circuit"), "bw");
+        assert_eq!(p.usize("spare-rows"), 4);
+        assert!(p.flag("verbose"));
+        assert_eq!(p.list("sizes"), ["10", "15"]);
+        assert_eq!(p.csv.as_deref(), Some(std::path::Path::new("/tmp/x.csv")));
+    }
+
+    #[test]
+    fn quick_is_order_independent() {
+        for words in [
+            &["--quick", "--samples", "500"][..],
+            &["--samples", "500", "--quick"][..],
+        ] {
+            assert_eq!(parse(words).expect("parses").samples, 50);
+        }
+        assert_eq!(parse(&["--quick"]).expect("parses").samples, 20);
+        // Floor of 10 samples even for tiny campaigns.
+        assert_eq!(
+            parse(&["--samples", "3", "--quick"])
+                .expect("parses")
+                .samples,
+            10
+        );
+    }
+
+    #[test]
+    fn malformed_flags_are_errors_not_panics() {
+        for (words, needle) in [
+            (&["--frobnicate"][..], "unknown flag"),
+            (&["--samples"][..], "needs a value"),
+            (&["--samples", "many"][..], "expected a number"),
+            (&["--spare-rows", "-1"][..], "unsigned"),
+            (&["--defect-rate", "NaN"][..], "[0, 1]"),
+            (&["--defect-rate", "1.5"][..], "[0, 1]"),
+            (&["--defect-rate", "-0.1"][..], "[0, 1]"),
+            (&["--samples", "0"][..], "at least 1"),
+            (&["positional"][..], "expected a --flag"),
+            (&["--sizes", ""][..], "non-empty"),
+        ] {
+            let err = parse(words).expect_err("must fail");
+            assert!(err.0.contains(needle), "{words:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn params_echo_is_ordered_and_excludes_output_routing() {
+        let p = parse(&["--json", "--out", "/tmp/a", "--csv", "/tmp/b.csv"]).expect("parses");
+        let text = p.to_json(EXTRA).render();
+        assert!(text.starts_with("{\n  \"samples\": 200,\n  \"seed\": 2018,"));
+        assert!(text.contains("\"spare_rows\": 0"));
+        assert!(!text.contains("csv"), "{text}");
+        assert!(!text.contains("/tmp"), "{text}");
+    }
+
+    #[test]
+    fn usage_lists_common_and_extra_flags() {
+        let text = Params::usage("demo", "a demo experiment", EXTRA);
+        for needle in [
+            "--samples N",
+            "--spare-rows N",
+            "--sizes a,b",
+            "xbar run demo",
+        ] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The static experiment registry: every reproduction and extension study
+//! in the repository, addressable by name through one table. `xbar list`,
+//! `xbar run`, the CI smoke loop, and the bench harness all resolve
+//! experiments here — adding a workload is adding one line.
+
+use super::Experiment;
+use crate::experiments::estimate_yield::EstimateYieldExperiment;
+use crate::experiments::ext_ablation_hba::ExtAblationHbaExperiment;
+use crate::experiments::ext_analog_validation::ExtAnalogValidationExperiment;
+use crate::experiments::ext_column_redundancy::ExtColumnRedundancyExperiment;
+use crate::experiments::ext_defect_scan::ExtDefectScanExperiment;
+use crate::experiments::ext_multilevel_defects::ExtMultilevelDefectsExperiment;
+use crate::experiments::ext_yield_redundancy::ExtYieldRedundancyExperiment;
+use crate::experiments::fig1::Fig1Experiment;
+use crate::experiments::fig2_fig4::Fig2Fig4Experiment;
+use crate::experiments::fig3::Fig3Experiment;
+use crate::experiments::fig5::Fig5Experiment;
+use crate::experiments::fig6::Fig6Experiment;
+use crate::experiments::fig7::Fig7Experiment;
+use crate::experiments::fig8::Fig8Experiment;
+use crate::experiments::table1::Table1Experiment;
+use crate::experiments::table2::Table2Experiment;
+
+/// Every registered experiment, in presentation order (paper tables, then
+/// figures, then extension studies, then building blocks).
+static REGISTRY: [&dyn Experiment; 16] = [
+    &Table1Experiment,
+    &Table2Experiment,
+    &Fig1Experiment,
+    &Fig2Fig4Experiment,
+    &Fig3Experiment,
+    &Fig5Experiment,
+    &Fig6Experiment,
+    &Fig7Experiment,
+    &Fig8Experiment,
+    &ExtYieldRedundancyExperiment,
+    &ExtMultilevelDefectsExperiment,
+    &ExtAblationHbaExperiment,
+    &ExtAnalogValidationExperiment,
+    &ExtColumnRedundancyExperiment,
+    &ExtDefectScanExperiment,
+    &EstimateYieldExperiment,
+];
+
+/// The full experiment registry.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &REGISTRY
+}
+
+/// Looks an experiment up by its registry name.
+#[must_use]
+pub fn find_experiment(name: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().find(|e| e.name() == name).copied()
+}

@@ -8,7 +8,13 @@
 //! roughly 2..n−1, which is the workload generated here.
 
 use crate::cli::ExpArgs;
+use crate::experiment::{
+    spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
+    Reporter,
+};
 use crate::mc::monte_carlo;
+use crate::shard::json::JsonValue;
+use crate::table::{pct, Table};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use xbar_core::TwoLevelLayout;
@@ -101,6 +107,114 @@ pub fn run_series(input_size: usize, args: &ExpArgs) -> Fig6Series {
 #[must_use]
 pub fn run_fig6(args: &ExpArgs, input_sizes: &[usize]) -> Vec<Fig6Series> {
     input_sizes.iter().map(|&n| run_series(n, args)).collect()
+}
+
+/// Fig. 6 as a registry [`Experiment`]: two-level vs multi-level Monte
+/// Carlo on random Boolean functions.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Experiment;
+
+const FIG6_PARAMS: &[ParamSpec] = &[spec(
+    "input-sizes",
+    ParamKind::StrList,
+    "8,9,10,15",
+    "input sizes to sweep (the figure's four by default)",
+)];
+
+impl Experiment for Fig6Experiment {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "Fig. 6: Monte Carlo area comparison of two-level vs multi-level designs \
+         on random Boolean functions"
+    }
+
+    fn extra_params(&self) -> &'static [ParamSpec] {
+        FIG6_PARAMS
+    }
+
+    fn run(&self, params: &Params, reporter: &mut Reporter) -> Result<Artifact, ExpError> {
+        let input_sizes: Vec<usize> = params
+            .list("input-sizes")
+            .iter()
+            .map(|s| {
+                s.parse::<usize>().ok().filter(|&n| n >= 3).ok_or_else(|| {
+                    ExpError::Usage(format!("--input-sizes: {s:?} is not an input size >= 3"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let args = params.exp_args();
+        let series = run_fig6(&args, &input_sizes);
+
+        let mut summary = Table::new(
+            "Fig. 6 — success rate (% of samples with multi-level < two-level)",
+            &[
+                "input size",
+                "samples",
+                "success % (paper)",
+                "success % (ours)",
+            ],
+        );
+        for s in &series {
+            summary.row([
+                s.input_size.to_string(),
+                s.points.len().to_string(),
+                s.published_success_rate.map_or("-".to_owned(), pct),
+                pct(s.success_rate),
+            ]);
+        }
+        reporter.table(&summary);
+
+        let mut points = Table::new(
+            "Fig. 6 — per-sample series (sorted by product count)",
+            &[
+                "input_size",
+                "sample",
+                "products",
+                "two_level_area",
+                "multi_level_area",
+                "ml_wins",
+            ],
+        );
+        for s in &series {
+            for (i, p) in s.points.iter().enumerate() {
+                points.row([
+                    s.input_size.to_string(),
+                    i.to_string(),
+                    p.products.to_string(),
+                    p.two_level.to_string(),
+                    p.multi_level.to_string(),
+                    u8::from(p.multi_level_wins()).to_string(),
+                ]);
+            }
+        }
+        if params.csv.is_some() {
+            write_csv_if_requested(params, reporter, &points)?;
+        } else {
+            reporter.line("(run with --csv PATH to dump the full per-sample series)");
+        }
+
+        let data = JsonValue::obj([(
+            "series",
+            JsonValue::arr(series.iter().map(|s| {
+                let wins = s.points.iter().filter(|p| p.multi_level_wins()).count();
+                JsonValue::obj([
+                    ("input_size", JsonValue::usize(s.input_size)),
+                    ("samples", JsonValue::usize(s.points.len())),
+                    ("multi_level_wins", JsonValue::usize(wins)),
+                    ("success_rate", JsonValue::f64(s.success_rate)),
+                    (
+                        "published_success_rate",
+                        s.published_success_rate
+                            .map_or(JsonValue::Null, JsonValue::f64),
+                    ),
+                ])
+            })),
+        )]);
+        Ok(Artifact::new(data))
+    }
 }
 
 #[cfg(test)]

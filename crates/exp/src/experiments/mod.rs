@@ -1,5 +1,21 @@
-//! Experiment implementations, one module per paper table/figure family.
+//! Experiment implementations, one module per paper table/figure family
+//! or extension study. Each module exposes its library functions plus a
+//! unit struct implementing [`crate::experiment::Experiment`]; the
+//! registry in [`crate::experiment::registry`] lists them all.
 
+pub mod estimate_yield;
+pub mod ext_ablation_hba;
+pub mod ext_analog_validation;
+pub mod ext_column_redundancy;
+pub mod ext_defect_scan;
+pub mod ext_multilevel_defects;
+pub mod ext_yield_redundancy;
+pub mod fig1;
+pub mod fig2_fig4;
+pub mod fig3;
+pub mod fig5;
 pub mod fig6;
+pub mod fig7;
+pub mod fig8;
 pub mod table1;
 pub mod table2;

@@ -1,6 +1,9 @@
 //! Table I: two-level vs multi-level area of the benchmark circuits, for
 //! both the original function and its negation.
 
+use crate::experiment::{write_csv_if_requested, Artifact, ExpError, Experiment, Params, Reporter};
+use crate::shard::json::JsonValue;
+use crate::table::Table;
 use xbar_core::TwoLevelLayout;
 use xbar_logic::bench_reg::{exact_truth_table, registry, BenchmarkInfo, BenchmarkSource};
 use xbar_logic::{minimize, Cover, MinimizeOptions};
@@ -150,6 +153,96 @@ pub fn run_table1(seed: u64) -> Vec<Table1Row> {
         .filter(|info| info.twolevel_area.is_some() && info.multilevel_area.is_some())
         .map(|info| run_circuit(info, seed))
         .collect()
+}
+
+/// Table I as a registry [`Experiment`]: two-level vs multi-level area of
+/// the benchmark circuits, original and negated.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table I: two-level vs multi-level crossbar area of benchmark circuits, \
+         original and negated"
+    }
+
+    fn run(&self, params: &Params, reporter: &mut Reporter) -> Result<Artifact, ExpError> {
+        let rows = run_table1(params.seed);
+
+        let mut table = Table::new(
+            "Table I — two-level vs multi-level area (original | negation)",
+            &[
+                "bench",
+                "TL paper",
+                "TL ours",
+                "ML paper",
+                "ML ours",
+                "TLneg paper",
+                "TLneg ours",
+                "MLneg paper",
+                "MLneg ours",
+                "winner matches paper",
+            ],
+        );
+        let mut agree = 0usize;
+        for r in &rows {
+            if r.winner_matches_paper() {
+                agree += 1;
+            }
+            table.row([
+                r.name.clone(),
+                r.published.0.to_string(),
+                r.two_level.to_string(),
+                r.published.1.to_string(),
+                r.multi_level.to_string(),
+                r.published_neg.0.to_string(),
+                r.two_level_neg.map_or("-".into(), |v| v.to_string()),
+                r.published_neg.1.to_string(),
+                r.multi_level_neg.map_or("-".into(), |v| v.to_string()),
+                if r.winner_matches_paper() {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]);
+        }
+        reporter.table(&table);
+        reporter.line(format!(
+            "winner (two-level vs multi-level) agrees with the paper on {agree}/{} circuits",
+            rows.len()
+        ));
+        reporter.line("paper's crossover circuits (multi-level wins): t481, cordic");
+        write_csv_if_requested(params, reporter, &table)?;
+
+        let opt_usize = |v: Option<usize>| v.map_or(JsonValue::Null, JsonValue::usize);
+        let data = JsonValue::obj([
+            (
+                "circuits",
+                JsonValue::arr(rows.iter().map(|r| {
+                    JsonValue::obj([
+                        ("name", JsonValue::str(r.name.clone())),
+                        ("two_level", JsonValue::usize(r.two_level)),
+                        ("multi_level", JsonValue::usize(r.multi_level)),
+                        ("two_level_neg", opt_usize(r.two_level_neg)),
+                        ("multi_level_neg", opt_usize(r.multi_level_neg)),
+                        ("two_level_published", JsonValue::usize(r.published.0)),
+                        ("multi_level_published", JsonValue::usize(r.published.1)),
+                        (
+                            "winner_matches_paper",
+                            JsonValue::Bool(r.winner_matches_paper()),
+                        ),
+                    ])
+                })),
+            ),
+            ("winners_agreeing", JsonValue::usize(agree)),
+        ]);
+        Ok(Artifact::new(data))
+    }
 }
 
 #[cfg(test)]

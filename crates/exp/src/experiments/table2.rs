@@ -9,12 +9,18 @@
 //! bit-for-bit.
 
 use crate::cli::ExpArgs;
+use crate::experiment::{
+    spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
+    Reporter,
+};
 use crate::mc::monte_carlo_range_fold;
+use crate::shard::json::JsonValue;
+use crate::table::{pct, secs, Table};
 use std::ops::Range;
 use std::time::Instant;
 use xbar_core::stats::{Moments, SuccessCount};
 use xbar_core::{CrossbarMatrix, FunctionMatrix, MatchEngine, TwoLevelLayout};
-use xbar_logic::bench_reg::{registry, BenchmarkInfo};
+use xbar_logic::bench_reg::{find, registry, BenchmarkInfo};
 use xbar_logic::Cover;
 
 /// Measured results for one circuit, paired with the paper's numbers.
@@ -210,6 +216,170 @@ pub fn table2_circuit_names() -> Vec<String> {
         .filter(|info| info.hba.is_some())
         .map(|info| info.name.to_owned())
         .collect()
+}
+
+/// Table II as a registry [`Experiment`]: HBA vs EA success rate and
+/// runtime on optimum-size crossbars with stuck-open defects.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Experiment;
+
+const TABLE2_PARAMS: &[ParamSpec] = &[spec(
+    "circuits",
+    ParamKind::StrList,
+    "all",
+    "comma-separated registry subset in run order, or `all` for the full Table II set",
+)];
+
+/// Resolves a `--circuits` list (`all` or a subset) against the Table II
+/// circuit set. A subset keeps the **user's order** — the same contract
+/// as `xbar mc coordinate --circuits` — so the artifact's circuit array
+/// lines up with the request.
+///
+/// # Errors
+///
+/// Names the first circuit that is not Table II-eligible or is repeated.
+pub fn resolve_circuit_subset(selector: &[String]) -> Result<Vec<String>, ExpError> {
+    let eligible = table2_circuit_names();
+    if selector == ["all"] {
+        return Ok(eligible);
+    }
+    for (i, name) in selector.iter().enumerate() {
+        if !eligible.iter().any(|e| e == name) {
+            return Err(ExpError::Usage(format!(
+                "--circuits: {name:?} is not a Table II circuit (see `xbar describe table2`)"
+            )));
+        }
+        if selector[..i].contains(name) {
+            return Err(ExpError::Usage(format!(
+                "--circuits: {name:?} listed twice"
+            )));
+        }
+    }
+    Ok(selector.to_vec())
+}
+
+impl Experiment for Table2Experiment {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table II: HBA vs EA success rate and runtime on optimum-size crossbars \
+         with stuck-open defects"
+    }
+
+    fn extra_params(&self) -> &'static [ParamSpec] {
+        TABLE2_PARAMS
+    }
+
+    fn run(&self, params: &Params, reporter: &mut Reporter) -> Result<Artifact, ExpError> {
+        let circuits = resolve_circuit_subset(params.list("circuits"))?;
+        let args = params.exp_args();
+        reporter.line(format!(
+            "running {} samples/circuit at defect rate {:.0}% (seed {})...",
+            args.samples,
+            args.defect_rate * 100.0,
+            args.seed
+        ));
+        // Fold per circuit keeping the integer accumulators: the artifact
+        // carries exact success counts, not rates reconstructed from f64s.
+        let mut rows = Vec::with_capacity(circuits.len());
+        let mut accums = Vec::with_capacity(circuits.len());
+        for name in &circuits {
+            let info = find(name).expect("subset resolved against the registry");
+            let cover = info.mapping_cover(args.seed);
+            let accum = run_circuit_range_on(&cover, &args, 0..args.samples);
+            rows.push(row_from_accum(info, &cover, &accum));
+            accums.push(accum);
+        }
+
+        let mut table = Table::new(
+            "Table II — HBA vs EA on optimum-size crossbars",
+            &[
+                "name",
+                "I",
+                "O",
+                "P",
+                "area",
+                "area paper",
+                "IR%",
+                "IR% paper",
+                "HBA Psucc%",
+                "paper",
+                "HBA time s",
+                "paper",
+                "EA Psucc%",
+                "paper",
+                "EA time s",
+                "paper",
+            ],
+        );
+        for r in &rows {
+            table.row([
+                r.name.clone(),
+                r.inputs.to_string(),
+                r.outputs.to_string(),
+                r.products.to_string(),
+                r.area.to_string(),
+                r.area_published.to_string(),
+                pct(r.inclusion_ratio),
+                r.ir_published.map_or("-".into(), pct),
+                pct(r.hba_success),
+                r.hba_published.map_or("-".into(), |(p, _)| pct(p)),
+                secs(r.hba_time),
+                r.hba_published.map_or("-".into(), |(_, t)| secs(t)),
+                pct(r.ea_success),
+                r.ea_published.map_or("-".into(), |(p, _)| pct(p)),
+                secs(r.ea_time),
+                r.ea_published.map_or("-".into(), |(_, t)| secs(t)),
+            ]);
+        }
+        reporter.table(&table);
+
+        let max_speedup = rows
+            .iter()
+            .filter(|r| r.hba_time > 0.0)
+            .map(|r| r.ea_time / r.hba_time)
+            .fold(0.0, f64::max);
+        let worst_gap = rows
+            .iter()
+            .map(|r| r.ea_success - r.hba_success)
+            .fold(0.0, f64::max);
+        reporter.line(format!(
+            "HBA vs EA runtime: up to {max_speedup:.0}x faster \
+             (paper: 1–2 orders of magnitude on large circuits)"
+        ));
+        reporter.line(format!(
+            "largest EA−HBA success gap: {:.0} percentage points (paper: up to ~15)",
+            worst_gap * 100.0
+        ));
+        write_csv_if_requested(params, reporter, &table)?;
+
+        // Artifact: seed-deterministic statistics only (success counters
+        // are integers, layout quantities are exact) — wall-clock runtimes
+        // stay in the human table so the document is byte-identical across
+        // hosts, runs, and shard layouts.
+        let data = JsonValue::obj([(
+            "circuits",
+            JsonValue::arr(rows.iter().zip(&accums).map(|(r, accum)| {
+                JsonValue::obj([
+                    ("name", JsonValue::str(r.name.clone())),
+                    ("inputs", JsonValue::usize(r.inputs)),
+                    ("outputs", JsonValue::usize(r.outputs)),
+                    ("products", JsonValue::usize(r.products)),
+                    ("area", JsonValue::usize(r.area)),
+                    ("area_published", JsonValue::usize(r.area_published)),
+                    ("inclusion_ratio", JsonValue::f64(r.inclusion_ratio)),
+                    ("samples", JsonValue::u64(accum.samples())),
+                    ("hba_successes", JsonValue::u64(accum.hba.successes)),
+                    ("hba_success_rate", JsonValue::f64(accum.hba.rate())),
+                    ("ea_successes", JsonValue::u64(accum.ea.successes)),
+                    ("ea_success_rate", JsonValue::f64(accum.ea.rate())),
+                ])
+            })),
+        )]);
+        Ok(Artifact::new(data))
+    }
 }
 
 #[cfg(test)]

@@ -1,38 +1,52 @@
 //! # xbar-exp
 //!
 //! Experiment harness reproducing every table and figure of Tunali &
-//! Altun (DATE 2018). Heavy experiments live here as library functions
-//! (tested); the `src/bin/*` drivers are thin wrappers that print the
-//! paper's rows next to our measurements.
+//! Altun (DATE 2018), unified behind the typed [`experiment::Experiment`]
+//! API and the single `xbar` binary:
 //!
-//! | Experiment | binary |
+//! * `xbar list` / `xbar describe <exp>` — the registry;
+//! * `xbar run <exp> [--samples N --seed N --defect-rate F --quick
+//!   --json --out DIR]` — any experiment, with a canonical
+//!   machine-readable artifact;
+//! * `xbar mc shard|coordinate` — process-sharded Monte Carlo.
+//!
+//! | Experiment | `xbar run …` |
 //! |---|---|
-//! | Fig. 1 (device I-V) | `fig1_iv_curve` |
-//! | Fig. 2/4 (state machines) | `fig2_fig4_state_traces` |
-//! | Fig. 3 (two-level example) | `fig3_twolevel_example` |
-//! | Fig. 5 (multi-level example) | `fig5_multilevel_example` |
-//! | Fig. 6 (area Monte Carlo) | `fig6_area_comparison` |
-//! | Fig. 7 (defect mapping example) | `fig7_defect_mapping` |
-//! | Fig. 8 (matching matrices) | `fig8_matching_demo` |
-//! | Table I (benchmark areas) | `table1_benchmark_area` |
-//! | Table II (HBA vs EA) | `table2_defect_tolerance` |
+//! | Table I (benchmark areas) | `table1` |
+//! | Table II (HBA vs EA) | `table2` |
+//! | Fig. 1 (device I-V) | `fig1` |
+//! | Fig. 2/4 (state machines) | `fig2_fig4` |
+//! | Fig. 3 (two-level example) | `fig3` |
+//! | Fig. 5 (multi-level example) | `fig5` |
+//! | Fig. 6 (area Monte Carlo) | `fig6` |
+//! | Fig. 7 (defect mapping example) | `fig7` |
+//! | Fig. 8 (matching matrices) | `fig8` |
 //! | Ext-A (yield vs redundancy) | `ext_yield_redundancy` |
 //! | Ext-B (multi-level defects) | `ext_multilevel_defects` |
 //! | Ext-C (HBA ablations) | `ext_ablation_hba` |
 //! | Ext-D (analog validation) | `ext_analog_validation` |
-//! | Sharded MC worker (one sample slice) | `mc_shard` |
-//! | Sharded MC coordinator (spawn/retry/merge) | `mc_coordinator` |
+//! | Ext-E (column redundancy) | `ext_column_redundancy` |
+//! | Ext-F (defect-map extraction) | `ext_defect_scan` |
+//! | Yield estimation building block | `estimate_yield` |
+//!
+//! The 17 pre-redesign binaries still build as deprecation shims that
+//! delegate into the registry with their old flags.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cli;
+pub mod experiment;
 pub mod experiments;
 mod mc;
 pub mod shard;
 mod table;
 
-pub use cli::ExpArgs;
+pub use cli::{legacy_mc_shim, legacy_shim, run_cli, ExpArgs};
+pub use experiment::{
+    find_experiment, registry, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
+    Reporter,
+};
 pub use mc::{
     mean, monte_carlo, monte_carlo_range, monte_carlo_range_with, monte_carlo_with, sample_seed,
 };

@@ -1,0 +1,354 @@
+//! CLI entry points for the sharded Monte Carlo subsystem, shared by
+//! `xbar mc shard` / `xbar mc coordinate` and the deprecated standalone
+//! `mc_shard` / `mc_coordinator` shims. Parsing is `Result`-based: usage
+//! problems print help to stderr and return exit code 2.
+
+use super::coordinator::{
+    default_work_dir, default_worker, render_stats_json, render_timing_table, run_coordinator,
+    run_monolithic, CoordinatorConfig, Worker,
+};
+use super::{partial::ShardPartial, run_shard, CampaignFlags, ShardSpec, CAMPAIGN_FLAGS_USAGE};
+use std::path::PathBuf;
+
+struct ShardArgs {
+    campaign: CampaignFlags,
+    shard_index: usize,
+    num_shards: usize,
+    out: PathBuf,
+    inject_fail_once: Option<PathBuf>,
+    inject_fail_always: bool,
+    inject_truncate_once: Option<PathBuf>,
+}
+
+impl Default for ShardArgs {
+    fn default() -> Self {
+        Self {
+            campaign: CampaignFlags::default(),
+            shard_index: 0,
+            num_shards: 1,
+            out: PathBuf::from("partial-0.json"),
+            inject_fail_once: None,
+            inject_fail_always: false,
+            inject_truncate_once: None,
+        }
+    }
+}
+
+fn shard_usage() -> String {
+    format!(
+        "xbar mc shard: run one shard of a sharded Monte Carlo campaign\n\nflags:\n\
+         {CAMPAIGN_FLAGS_USAGE}\n  \
+         --shard-index I    this shard's index (default 0)\n  \
+         --num-shards N     shards in the campaign (default 1)\n  \
+         --out PATH         partial-result output path (default partial-0.json)\n\n\
+         test-only failure injection:\n  \
+         --inject-fail-once MARKER      exit 3 unless MARKER exists (created on the way out)\n  \
+         --inject-fail-always           always exit 4\n  \
+         --inject-truncate-once MARKER  write a torn partial once, then behave"
+    )
+}
+
+fn parse_shard_args(args: Vec<String>) -> Result<Option<ShardArgs>, String> {
+    let mut out = ShardArgs::default();
+    let mut it = args.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let num = |flag: &str, text: String| -> Result<usize, String> {
+        text.parse()
+            .map_err(|_| format!("{flag}: expected a number, got {text:?}"))
+    };
+    while let Some(flag) = it.next() {
+        if out.campaign.consume(&flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--shard-index" => out.shard_index = num(&flag, value(&flag, &mut it)?)?,
+            "--num-shards" => out.num_shards = num(&flag, value(&flag, &mut it)?)?,
+            "--out" => out.out = PathBuf::from(value(&flag, &mut it)?),
+            "--inject-fail-once" => {
+                out.inject_fail_once = Some(PathBuf::from(value(&flag, &mut it)?));
+            }
+            "--inject-fail-always" => out.inject_fail_always = true,
+            "--inject-truncate-once" => {
+                out.inject_truncate_once = Some(PathBuf::from(value(&flag, &mut it)?));
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}; try --help")),
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Returns true exactly once per marker path (creates the marker).
+fn first_time(marker: &PathBuf) -> bool {
+    if marker.exists() {
+        false
+    } else {
+        std::fs::write(marker, b"injected\n").expect("write marker");
+        true
+    }
+}
+
+/// `xbar mc shard` / legacy `mc_shard`: runs one contiguous slice of a
+/// campaign and writes a self-describing partial file. Returns the
+/// process exit code.
+#[must_use]
+pub fn shard_main(argv: Vec<String>) -> i32 {
+    let args = match parse_shard_args(argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", shard_usage());
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("mc shard: {e}\n\n{}", shard_usage());
+            return 2;
+        }
+    };
+    if args.inject_fail_always {
+        eprintln!("mc shard: injected permanent failure");
+        return 4;
+    }
+    if let Some(marker) = &args.inject_fail_once {
+        if first_time(marker) {
+            eprintln!("mc shard: injected one-shot failure");
+            return 3;
+        }
+    }
+
+    let config = args.campaign.clone().into_config();
+    if let Err(e) = config.validate() {
+        eprintln!("mc shard: {e}");
+        return 2;
+    }
+    if args.shard_index >= args.num_shards {
+        eprintln!(
+            "mc shard: --shard-index {} out of range for --num-shards {}",
+            args.shard_index, args.num_shards
+        );
+        return 2;
+    }
+    let spec = ShardSpec::partition(config.samples, args.num_shards)[args.shard_index];
+
+    if let Some(marker) = &args.inject_truncate_once {
+        if first_time(marker) {
+            // A torn write: valid JSON prefix, no `complete` marker.
+            if let Err(e) =
+                std::fs::write(&args.out, "{\n  \"schema\": \"xbar-mc-partial/1\", \"trunc")
+            {
+                eprintln!("mc shard: cannot write torn partial: {e}");
+                return 1;
+            }
+            eprintln!("mc shard: injected torn partial");
+            return 0;
+        }
+    }
+
+    let partial: ShardPartial = run_shard(&config, &spec);
+    if let Err(e) = std::fs::write(&args.out, partial.to_json()) {
+        eprintln!("mc shard: cannot write {}: {e}", args.out.display());
+        return 1;
+    }
+    println!(
+        "mc shard: shard {}/{} samples [{}, {}) -> {}",
+        spec.index,
+        spec.num_shards,
+        spec.start,
+        spec.end,
+        args.out.display()
+    );
+    0
+}
+
+struct CoordinateArgs {
+    campaign: CampaignFlags,
+    shards: usize,
+    max_attempts: usize,
+    out: PathBuf,
+    work_dir: Option<PathBuf>,
+    worker: Option<PathBuf>,
+    keep_partials: bool,
+    in_process: bool,
+}
+
+impl Default for CoordinateArgs {
+    fn default() -> Self {
+        Self {
+            campaign: CampaignFlags::default(),
+            shards: 3,
+            max_attempts: 3,
+            out: PathBuf::from("MC_merged.json"),
+            work_dir: None,
+            worker: None,
+            keep_partials: false,
+            in_process: false,
+        }
+    }
+}
+
+fn coordinate_usage() -> String {
+    format!(
+        "xbar mc coordinate: sharded Monte Carlo over worker processes\n\nflags:\n\
+         {CAMPAIGN_FLAGS_USAGE}\n  \
+         --shards N         worker processes / sample-range shards (default 3)\n  \
+         --max-attempts N   attempts per shard before giving up (default 3)\n  \
+         --out PATH         merged stats artifact (default MC_merged.json)\n  \
+         --work-dir PATH    partial-file directory (default: temp dir)\n  \
+         --worker PATH      worker binary, spawned with the shard flags directly\n                     \
+         (default: the xbar binary next to this one, via `mc shard`)\n  \
+         --keep-partials    keep partial files after the merge\n  \
+         --in-process       run monolithically (no processes) through the same\n                     \
+         accumulators; output is byte-identical to a sharded run"
+    )
+}
+
+fn parse_coordinate_args(args: Vec<String>) -> Result<Option<CoordinateArgs>, String> {
+    let mut out = CoordinateArgs::default();
+    let mut it = args.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let num = |flag: &str, text: String| -> Result<usize, String> {
+        text.parse()
+            .map_err(|_| format!("{flag}: expected a number, got {text:?}"))
+    };
+    while let Some(flag) = it.next() {
+        if out.campaign.consume(&flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--shards" => out.shards = num(&flag, value(&flag, &mut it)?)?,
+            "--max-attempts" => out.max_attempts = num(&flag, value(&flag, &mut it)?)?,
+            "--out" => out.out = PathBuf::from(value(&flag, &mut it)?),
+            "--work-dir" => out.work_dir = Some(PathBuf::from(value(&flag, &mut it)?)),
+            "--worker" => out.worker = Some(PathBuf::from(value(&flag, &mut it)?)),
+            "--keep-partials" => out.keep_partials = true,
+            "--in-process" => out.in_process = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}; try --help")),
+        }
+    }
+    Ok(Some(out))
+}
+
+/// `xbar mc coordinate` / legacy `mc_coordinator`: partitions a campaign
+/// across worker processes (or runs it monolithically with
+/// `--in-process`), merges partials, and writes the deterministic merged
+/// stats artifact. Returns the process exit code.
+#[must_use]
+pub fn coordinate_main(argv: Vec<String>) -> i32 {
+    let args = match parse_coordinate_args(argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", coordinate_usage());
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("mc coordinate: {e}\n\n{}", coordinate_usage());
+            return 2;
+        }
+    };
+    let config = args.campaign.clone().into_config();
+    if let Err(e) = config.validate() {
+        eprintln!("mc coordinate: {e}");
+        return 2;
+    }
+
+    let merged = if args.in_process {
+        println!(
+            "running {} samples monolithically (same accumulators as sharded mode)",
+            config.samples
+        );
+        run_monolithic(&config)
+    } else {
+        let worker = match args
+            .worker
+            .clone()
+            .map_or_else(default_worker, |path| Ok(Worker::standalone(path)))
+        {
+            Ok(worker) => worker,
+            Err(e) => {
+                eprintln!("mc coordinate: {e}");
+                return 2;
+            }
+        };
+        let coordinator = CoordinatorConfig {
+            config: config.clone(),
+            shards: args.shards,
+            max_attempts: args.max_attempts,
+            worker,
+            work_dir: args.work_dir.clone().unwrap_or_else(default_work_dir),
+            extra_worker_args: Vec::new(),
+            keep_partials: args.keep_partials,
+        };
+        println!(
+            "running {} samples across {} worker process(es) (seed {}, {:.0}% defects)",
+            config.samples,
+            coordinator.shards,
+            config.seed,
+            config.defect_rate * 100.0
+        );
+        match run_coordinator(&coordinator) {
+            Ok(merged) => merged,
+            Err(e) => {
+                eprintln!("mc coordinate: {e}");
+                return 1;
+            }
+        }
+    };
+
+    print!("{}", render_timing_table(&merged));
+    if let Err(e) = std::fs::write(&args.out, render_stats_json(&merged)) {
+        eprintln!("mc coordinate: cannot write {}: {e}", args.out.display());
+        return 1;
+    }
+    println!("wrote {}", args.out.display());
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_args_reject_malformed_flags_without_panicking() {
+        for words in [
+            &["--shard-index"][..],
+            &["--shard-index", "x"][..],
+            &["--samples", "nope"][..],
+            &["--what"][..],
+        ] {
+            let argv = words.iter().map(|s| (*s).to_owned()).collect();
+            assert!(parse_shard_args(argv).is_err(), "{words:?} must fail");
+        }
+    }
+
+    #[test]
+    fn coordinate_args_parse_and_help_short_circuits() {
+        let argv = ["--shards", "5", "--in-process", "--seed", "7"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let args = parse_coordinate_args(argv)
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(args.shards, 5);
+        assert!(args.in_process);
+        assert_eq!(args.campaign.seed, 7);
+
+        let help = parse_coordinate_args(vec!["--help".to_owned()]).expect("ok");
+        assert!(help.is_none(), "--help short-circuits");
+    }
+
+    #[test]
+    fn out_of_range_shard_index_is_exit_2() {
+        let code = shard_main(
+            ["--shard-index", "4", "--num-shards", "2"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+        );
+        assert_eq!(code, 2);
+    }
+}

@@ -20,6 +20,38 @@ use std::process::{Command, Stdio};
 /// Schema tag of the merged stats artifact.
 pub const MERGED_SCHEMA: &str = "xbar-mc-merged/1";
 
+/// The worker process a coordinator spawns per shard: a binary path plus
+/// the argument prefix selecting its shard entry point — empty for the
+/// legacy standalone `mc_shard` binary, `["mc", "shard"]` for the unified
+/// `xbar` binary (which is its own worker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Worker {
+    /// Worker binary path.
+    pub binary: PathBuf,
+    /// Arguments prepended before the shard flags.
+    pub prefix_args: Vec<String>,
+}
+
+impl Worker {
+    /// A standalone shard binary (no prefix arguments).
+    #[must_use]
+    pub fn standalone(binary: PathBuf) -> Self {
+        Self {
+            binary,
+            prefix_args: Vec::new(),
+        }
+    }
+
+    /// An `xbar` multiplexer binary driven through `mc shard`.
+    #[must_use]
+    pub fn xbar(binary: PathBuf) -> Self {
+        Self {
+            binary,
+            prefix_args: vec!["mc".to_owned(), "shard".to_owned()],
+        }
+    }
+}
+
 /// Coordinator configuration.
 #[derive(Debug, Clone)]
 pub struct CoordinatorConfig {
@@ -29,8 +61,8 @@ pub struct CoordinatorConfig {
     pub shards: usize,
     /// Attempts per shard (first run + retries) before giving up.
     pub max_attempts: usize,
-    /// Path of the `mc_shard` worker binary.
-    pub worker: PathBuf,
+    /// The worker process spawned per shard.
+    pub worker: Worker,
     /// Directory for partial-result files (created if missing).
     pub work_dir: PathBuf,
     /// Extra arguments appended to every worker invocation (used by the
@@ -47,13 +79,13 @@ impl CoordinatorConfig {
     ///
     /// # Errors
     ///
-    /// Fails when the `mc_shard` binary cannot be located.
+    /// Fails when no worker binary can be located.
     pub fn new(config: McConfig, shards: usize) -> Result<Self, String> {
         Ok(Self {
             config,
             shards,
             max_attempts: 3,
-            worker: default_worker_binary()?,
+            worker: default_worker()?,
             work_dir: default_work_dir(),
             extra_worker_args: Vec::new(),
             keep_partials: false,
@@ -78,27 +110,34 @@ pub struct MergedResult {
     pub circuits: Vec<(String, CircuitAccum)>,
 }
 
-/// Locates the `mc_shard` binary next to the currently running executable
-/// (both live in the same Cargo target directory).
+/// Locates the default worker next to the currently running executable
+/// (all experiment binaries live in the same Cargo target directory):
+/// prefers the unified `xbar` binary (spawned as `xbar mc shard`, so when
+/// the current executable *is* `xbar` the coordinator is self-contained),
+/// falling back to the legacy standalone `mc_shard` binary.
 ///
 /// # Errors
 ///
-/// Reports the path it looked at when the binary is missing.
-pub fn default_worker_binary() -> Result<PathBuf, String> {
+/// Reports both paths it looked at when neither binary exists.
+pub fn default_worker() -> Result<Worker, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate current exe: {e}"))?;
     let dir = exe
         .parent()
         .ok_or_else(|| "current exe has no parent directory".to_owned())?;
-    let candidate = dir.join(format!("mc_shard{}", std::env::consts::EXE_SUFFIX));
-    if candidate.is_file() {
-        Ok(candidate)
-    } else {
-        Err(format!(
-            "mc_shard worker binary not found at {} (build it with \
-             `cargo build --release -p xbar-exp --bin mc_shard`)",
-            candidate.display()
-        ))
+    let xbar = dir.join(format!("xbar{}", std::env::consts::EXE_SUFFIX));
+    if xbar.is_file() {
+        return Ok(Worker::xbar(xbar));
     }
+    let standalone = dir.join(format!("mc_shard{}", std::env::consts::EXE_SUFFIX));
+    if standalone.is_file() {
+        return Ok(Worker::standalone(standalone));
+    }
+    Err(format!(
+        "no worker binary found: neither {} nor {} exists (build them with \
+         `cargo build --release -p xbar-exp --bins`)",
+        xbar.display(),
+        standalone.display()
+    ))
 }
 
 /// Runs the whole campaign in-process (no worker processes) through the
@@ -227,7 +266,8 @@ fn spawn_worker(
     spec: &ShardSpec,
     out: &Path,
 ) -> std::io::Result<std::process::Child> {
-    Command::new(&cfg.worker)
+    Command::new(&cfg.worker.binary)
+        .args(&cfg.worker.prefix_args)
         .arg("--samples")
         .arg(cfg.config.samples.to_string())
         .arg("--seed")

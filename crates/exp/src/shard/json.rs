@@ -128,6 +128,144 @@ impl Json {
     }
 }
 
+/// An insertion-ordered JSON document under construction — the writing
+/// counterpart of [`Json`]. Numbers are stored as **raw text** (the same
+/// discipline the parser keeps): integers in decimal, floats in Rust's
+/// shortest-round-trip representation, so a rendered document re-parses to
+/// bit-identical values on any host. Object fields render in insertion
+/// order, which keeps rendered artifacts byte-stable and human-readable
+/// (`schema` first, payload last).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number as raw text (use [`JsonValue::u64`] / [`JsonValue::f64`]).
+    Num(String),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A `u64` number (decimal raw text; lossless above 2^53).
+    #[must_use]
+    pub fn u64(value: u64) -> Self {
+        JsonValue::Num(value.to_string())
+    }
+
+    /// A `usize` number.
+    #[must_use]
+    pub fn usize(value: usize) -> Self {
+        JsonValue::Num(value.to_string())
+    }
+
+    /// An `f64` number in shortest-round-trip form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN/Infinity — JSON has no literal for them, and every
+    /// value that reaches an artifact must stay finite.
+    #[must_use]
+    pub fn f64(value: f64) -> Self {
+        assert!(value.is_finite(), "artifact numbers must stay NaN/Inf-free");
+        JsonValue::Num(format!("{value:?}"))
+    }
+
+    /// A string value.
+    #[must_use]
+    pub fn str(value: impl Into<String>) -> Self {
+        JsonValue::Str(value.into())
+    }
+
+    /// An object from `(key, value)` pairs, preserving their order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate keys — a duplicate silently shadowing a field
+    /// is exactly the kind of schema bug the canonical artifact must not
+    /// carry (the parser rejects duplicates too).
+    #[must_use]
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        let fields: Vec<(String, JsonValue)> =
+            fields.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        for (i, (key, _)) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|(k, _)| k == key),
+                "duplicate object key {key:?}"
+            );
+        }
+        JsonValue::Obj(fields)
+    }
+
+    /// An array from values.
+    #[must_use]
+    pub fn arr(items: impl IntoIterator<Item = JsonValue>) -> Self {
+        JsonValue::Arr(items.into_iter().collect())
+    }
+
+    /// Renders the document as fully-expanded pretty JSON (2-space
+    /// indentation, one field/element per line, no trailing newline).
+    /// The output is deterministic: the same value tree always renders to
+    /// the same bytes.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(raw) => out.push_str(raw),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\": ");
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
 /// Escapes a string for embedding in a JSON document (used by the
 /// hand-rolled writers; covers the control characters JSON requires).
 #[must_use]
@@ -394,6 +532,59 @@ mod tests {
     #[test]
     fn duplicate_keys_are_rejected() {
         assert!(Json::parse(r#"{"a": 1, "a": 2}"#).is_err());
+    }
+
+    #[test]
+    fn writer_renders_deterministic_insertion_ordered_documents() {
+        let doc = JsonValue::obj([
+            ("schema", JsonValue::str("demo/1")),
+            ("seed", JsonValue::u64(u64::MAX - 7)),
+            ("rate", JsonValue::f64(0.1)),
+            (
+                "items",
+                JsonValue::arr([JsonValue::usize(3), JsonValue::Bool(true), JsonValue::Null]),
+            ),
+            ("empty_obj", JsonValue::obj::<String>([])),
+            ("empty_arr", JsonValue::arr([])),
+        ]);
+        let text = doc.render();
+        // Insertion order preserved: schema renders first.
+        assert!(text.starts_with("{\n  \"schema\": \"demo/1\",\n"));
+        assert!(text.contains("\"empty_obj\": {}"));
+        assert!(text.contains("\"empty_arr\": []"));
+        // Round-trips through the raw-text-preserving parser.
+        let back = Json::parse(&text).expect("rendered document parses");
+        assert_eq!(back.get("seed").unwrap().as_u64(), Some(u64::MAX - 7));
+        assert_eq!(
+            back.get("rate").unwrap().as_f64().unwrap().to_bits(),
+            0.1f64.to_bits()
+        );
+        // Deterministic: rendering twice yields identical bytes.
+        assert_eq!(doc.render(), text);
+    }
+
+    #[test]
+    fn writer_numbers_roundtrip_bitwise() {
+        for x in [0.1_f64, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 2.2e-308] {
+            let text = JsonValue::obj([("x", JsonValue::f64(x))]).render();
+            let back = Json::parse(&text).expect("parses");
+            assert_eq!(
+                back.get("x").unwrap().as_f64().unwrap().to_bits(),
+                x.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate object key")]
+    fn writer_rejects_duplicate_keys() {
+        let _ = JsonValue::obj([("a", JsonValue::Null), ("a", JsonValue::Null)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN/Inf-free")]
+    fn writer_rejects_nan() {
+        let _ = JsonValue::f64(f64::NAN);
     }
 
     #[test]

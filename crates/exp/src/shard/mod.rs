@@ -22,6 +22,7 @@
 //!   but are wall-clock measurements, so they stay out of byte-compared
 //!   artifacts.
 
+pub mod cli;
 pub mod coordinator;
 pub mod json;
 pub mod partial;
@@ -178,27 +179,46 @@ pub const CAMPAIGN_FLAGS_USAGE: &str =
 
 impl CampaignFlags {
     /// Tries to consume one campaign flag (plus its value from `it`);
-    /// returns `false` when `flag` is not a campaign flag.
+    /// `Ok(false)` when `flag` is not a campaign flag.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a missing or malformed value (experiment binaries
-    /// surface this as a process abort with a readable message, like
-    /// [`ExpArgs`]).
-    pub fn consume(&mut self, flag: &str, it: &mut dyn Iterator<Item = String>) -> bool {
+    /// Reports a missing or malformed value (the CLI prints it with usage
+    /// text and exits with code 2 — never a panic/backtrace).
+    pub fn consume(
+        &mut self,
+        flag: &str,
+        it: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
         let value = |it: &mut dyn Iterator<Item = String>| {
-            it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let num = |flag: &str, text: String| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("{flag}: expected a number, got {text:?}"))
         };
         match flag {
-            "--samples" => self.samples = value(it).parse().expect("number"),
-            "--seed" => self.seed = value(it).parse().expect("number"),
-            "--defect-rate" => self.defect_rate = value(it).parse().expect("float"),
-            "--circuits" => {
-                self.circuits = Some(value(it).split(',').map(str::to_owned).collect());
+            "--samples" => {
+                self.samples = usize::try_from(num(flag, value(it)?)?)
+                    .map_err(|_| format!("{flag}: value exceeds usize"))?;
             }
-            _ => return false,
+            "--seed" => self.seed = num(flag, value(it)?)?,
+            "--defect-rate" => {
+                let text = value(it)?;
+                let rate: f64 = text
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected a float, got {text:?}"))?;
+                if !rate.is_finite() {
+                    return Err(format!("{flag} must be finite"));
+                }
+                self.defect_rate = rate;
+            }
+            "--circuits" => {
+                self.circuits = Some(value(it)?.split(',').map(str::to_owned).collect());
+            }
+            _ => return Ok(false),
         }
-        true
+        Ok(true)
     }
 
     /// Resolves into a campaign configuration (defaulting the circuit
@@ -298,13 +318,26 @@ mod tests {
         ];
         let mut it = words.iter().map(|s| (*s).to_owned());
         while let Some(flag) = it.next() {
-            assert!(flags.consume(&flag, &mut it), "{flag} must be consumed");
+            assert_eq!(
+                flags.consume(&flag, &mut it),
+                Ok(true),
+                "{flag} must be consumed"
+            );
         }
         let mut other = ["--shards".to_owned()].into_iter();
-        assert!(
-            !flags.consume("--shards", &mut other),
+        assert_eq!(
+            flags.consume("--shards", &mut other),
+            Ok(false),
             "non-campaign flags are left for the caller"
         );
+        let mut empty = std::iter::empty();
+        let err = flags
+            .consume("--samples", &mut empty)
+            .expect_err("missing value is an error, not a panic");
+        assert!(err.contains("needs a value"), "{err}");
+        let mut bad = ["many".to_owned()].into_iter();
+        let err = flags.consume("--samples", &mut bad).expect_err("must fail");
+        assert!(err.contains("expected a number"), "{err}");
         let config = flags.into_config();
         assert_eq!(config.samples, 50);
         assert_eq!(config.seed, 9);

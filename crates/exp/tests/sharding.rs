@@ -6,12 +6,14 @@
 
 use std::path::PathBuf;
 use xbar_exp::shard::coordinator::{
-    render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig,
+    render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig, Worker,
 };
 use xbar_exp::shard::McConfig;
 
-fn worker_binary() -> PathBuf {
-    PathBuf::from(env!("CARGO_BIN_EXE_mc_shard"))
+fn worker_binary() -> Worker {
+    // The legacy standalone worker shim; the `xbar mc shard` path is
+    // exercised by crates/exp/tests/cli.rs.
+    Worker::standalone(PathBuf::from(env!("CARGO_BIN_EXE_mc_shard")))
 }
 
 fn campaign() -> McConfig {
@@ -115,7 +117,7 @@ fn permanently_failing_shard_surfaces_an_error_not_a_hang() {
 #[test]
 fn missing_worker_binary_is_a_clear_error() {
     let mut cfg = coordinator("no-worker", 2);
-    cfg.worker = PathBuf::from("/nonexistent/mc_shard");
+    cfg.worker = Worker::standalone(PathBuf::from("/nonexistent/mc_shard"));
     let err = run_coordinator(&cfg).expect_err("must fail");
     assert!(err.contains("failed permanently"), "{err}");
     let _ = std::fs::remove_dir_all(&cfg.work_dir);
