@@ -1,0 +1,207 @@
+//! Packed-`u64` bitset primitives shared by every bit-parallel hot path.
+//!
+//! One audited implementation of the word-level helpers that used to be
+//! duplicated between `xbar_core::engine`'s free functions and the bitset
+//! containers: LSB-first layout, bit `i` of a set lives at bit `i % 64` of
+//! word `i / 64`, and a set over `len` bits occupies [`words_for`]`(len)`
+//! words (always at least one, so empty sets still have a word to probe).
+//!
+//! All helpers keep the invariant that bits at index `>= len` are zero —
+//! [`set_range`] masks the partial top word — so popcount-style queries
+//! ([`count_all`], [`count_through`], [`matched_in`]) never see garbage.
+//!
+//! `xbar_core` re-exports this module as `xbar_core::bits` (the crate
+//! dependency direction runs core → assign, so the canonical copy lives
+//! here, underneath both users).
+
+/// Number of `u64` words a packed bitset over `len` bits occupies (at
+/// least one, matching `BitRow`'s layout).
+#[must_use]
+pub fn words_for(len: usize) -> usize {
+    len.div_ceil(64).max(1)
+}
+
+/// Sets bits `0..len` and leaves bits `len..` of the touched words zero.
+/// Words beyond the `len`-bit prefix are not written.
+///
+/// # Panics
+///
+/// Panics when `bits` is shorter than [`words_for`]`(len)` words (for
+/// `len > 0`).
+pub fn set_range(bits: &mut [u64], len: usize) {
+    let full = len / 64;
+    let rem = len % 64;
+    bits[..full].fill(!0u64);
+    if rem != 0 {
+        bits[full] = (1u64 << rem) - 1;
+    }
+}
+
+/// Bit at index `i`.
+#[inline]
+#[must_use]
+pub fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Sets bit `i`.
+#[inline]
+pub fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Clears bit `i`.
+#[inline]
+pub fn clear_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// First index set in `a & b`, word-parallel.
+#[inline]
+#[must_use]
+pub fn first_and(a: &[u64], b: &[u64]) -> Option<usize> {
+    for (w, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let v = x & y;
+        if v != 0 {
+            return Some(w * 64 + v.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Number of set bits with index `<= end`.
+#[inline]
+#[must_use]
+pub fn count_through(bits: &[u64], end: usize) -> usize {
+    let w = end / 64;
+    let mut total = 0usize;
+    for &word in &bits[..w] {
+        total += word.count_ones() as usize;
+    }
+    let rem = end % 64;
+    let mask = if rem == 63 {
+        !0u64
+    } else {
+        (1u64 << (rem + 1)) - 1
+    };
+    total + (bits[w] & mask).count_ones() as usize
+}
+
+/// Total set bits.
+#[inline]
+#[must_use]
+pub fn count_all(bits: &[u64]) -> usize {
+    bits.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Number of *clear* bits in the half-open index range `start..end` — the
+/// matched-row count when `bits` is a free-row set.
+#[inline]
+#[must_use]
+pub fn matched_in(bits: &[u64], start: usize, end: usize) -> usize {
+    if start >= end {
+        return 0;
+    }
+    let set = count_through(bits, end - 1)
+        - if start == 0 {
+            0
+        } else {
+            count_through(bits, start - 1)
+        };
+    (end - start) - set
+}
+
+/// Whether every set bit of `a` is also set in `b` (`a & !b == 0`
+/// word-parallel) — the paper's row-matching rule when `a` is an FM row
+/// and `b` a CM row. Trailing words of the longer operand are ignored.
+#[inline]
+#[must_use]
+pub fn is_subset(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+}
+
+/// Whether no bit is set.
+#[inline]
+#[must_use]
+pub fn is_empty(bits: &[u64]) -> bool {
+    bits.iter().all(|&w| w == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_matches_layout() {
+        assert_eq!(words_for(0), 1);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+
+    #[test]
+    fn bit_helpers() {
+        let bits = [0b1011_0100u64, 0b1u64];
+        assert!(get_bit(&bits, 2) && get_bit(&bits, 64));
+        assert!(!get_bit(&bits, 0));
+        assert_eq!(first_and(&bits, &[0b1000_0000, 0]), Some(7));
+        assert_eq!(first_and(&bits, &[0, 1]), Some(64));
+        assert_eq!(first_and(&bits, &[0, 0]), None);
+        assert_eq!(count_through(&bits, 2), 1);
+        assert_eq!(count_through(&bits, 64), 5);
+        assert_eq!(count_all(&bits), 5);
+        // Indices 0..=3 hold one set bit (2) → 3 clear.
+        assert_eq!(matched_in(&bits, 0, 4), 3);
+        assert_eq!(matched_in(&bits, 4, 4), 0);
+        let mut free = [0u64; 2];
+        set_range(&mut free, 65);
+        assert_eq!(count_all(&free), 65);
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut bits = [0u64; 2];
+        set_bit(&mut bits, 3);
+        set_bit(&mut bits, 64);
+        assert!(get_bit(&bits, 3) && get_bit(&bits, 64));
+        clear_bit(&mut bits, 3);
+        assert!(!get_bit(&bits, 3) && get_bit(&bits, 64));
+        assert_eq!(count_all(&bits), 1);
+    }
+
+    #[test]
+    fn set_range_masks_the_top_word() {
+        for len in [0usize, 1, 10, 63, 64, 65, 127, 128, 130] {
+            let mut bits = vec![0u64; words_for(len)];
+            set_range(&mut bits, len);
+            assert_eq!(count_all(&bits), len, "len = {len}");
+            for i in 0..bits.len() * 64 {
+                assert_eq!(get_bit(&bits, i), i < len, "len = {len}, bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_and_empty() {
+        assert!(is_subset(&[0b0110, 0], &[0b1110, 1]));
+        assert!(!is_subset(&[0b0110, 1], &[0b1110, 0]));
+        assert!(is_subset(&[0, 0], &[0, 0]));
+        assert!(is_empty(&[0u64, 0]));
+        assert!(!is_empty(&[0u64, 4]));
+    }
+
+    #[test]
+    fn count_through_and_matched_in_agree_with_naive() {
+        let bits = [0xDEAD_BEEF_0123_4567u64, 0x0F0F, 0x8000_0000_0000_0001];
+        let naive_through = |end: usize| (0..=end).filter(|&i| get_bit(&bits, i)).count();
+        for end in [0usize, 1, 31, 63, 64, 65, 127, 128, 191] {
+            assert_eq!(count_through(&bits, end), naive_through(end), "end {end}");
+        }
+        for (start, end) in [(0usize, 192usize), (5, 70), (64, 64), (63, 129), (100, 101)] {
+            let naive = (start..end).filter(|&i| !get_bit(&bits, i)).count();
+            assert_eq!(matched_in(&bits, start, end), naive, "{start}..{end}");
+        }
+    }
+}

@@ -199,10 +199,11 @@ pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
 }
 
 /// Number of `u64` words a packed adjacency row over `right` vertices
-/// occupies (at least one, matching `BitRow`'s layout).
+/// occupies (at least one, matching `BitRow`'s layout). Alias of
+/// [`crate::bits::words_for`], kept under the matching-flavoured name.
 #[must_use]
 pub fn adjacency_words(right: usize) -> usize {
-    right.div_ceil(64).max(1)
+    crate::bits::words_for(right)
 }
 
 /// Reusable scratch + result buffers for [`hopcroft_karp_bitset`]-style
@@ -218,6 +219,18 @@ pub struct BitsetMatching {
     match_right: Vec<usize>,
     dist: Vec<u32>,
     queue: Vec<usize>,
+    /// BFS word mask: rights that can still contribute to the current
+    /// layering (free rights, plus matched rights whose left is
+    /// unlabeled). A matched right is cleared the moment its left gets a
+    /// layer, so each is expanded at most once per phase — BFS costs
+    /// O(V · words) per phase instead of O(E) — without changing the
+    /// labeling order (the first encounter labels, exactly as before).
+    bfs_live: Vec<u64>,
+    /// DFS word mask: rights whose matched left has not been proven dead
+    /// (`dist = UNREACHED` after a failed augment) this phase. Skipping a
+    /// dead left's right elides probes the plain scan would fail anyway,
+    /// so the augmenting paths found are identical.
+    dfs_live: Vec<u64>,
     size: usize,
 }
 
@@ -251,8 +264,13 @@ impl BitsetMatching {
         self.dist.resize(left, 0);
 
         loop {
-            // BFS layering from free left vertices.
+            // BFS layering from free left vertices. `bfs_live` starts as
+            // every right and drops a matched right once its left is
+            // labeled, so dense rows are not re-scanned bit by bit.
             self.queue.clear();
+            self.bfs_live.clear();
+            self.bfs_live.resize(words, 0);
+            crate::bits::set_range(&mut self.bfs_live, right);
             let mut found_augmenting_layer = false;
             for l in 0..left {
                 if self.match_left[l] == NIL {
@@ -268,16 +286,20 @@ impl BitsetMatching {
                 head += 1;
                 let row = &adjacency[l * words..(l + 1) * words];
                 for (w, &bits) in row.iter().enumerate() {
-                    let mut x = bits;
+                    let mut x = bits & self.bfs_live[w];
                     while x != 0 {
                         let r = w * 64 + x.trailing_zeros() as usize;
                         x &= x - 1;
                         let next = self.match_right[r];
                         if next == NIL {
                             found_augmenting_layer = true;
-                        } else if self.dist[next] == UNREACHED {
+                        } else {
+                            // First encounter of an unlabeled left — its
+                            // only in-edge is this right, so clearing the
+                            // bit is exact, not heuristic.
                             self.dist[next] = self.dist[l] + 1;
                             self.queue.push(next);
+                            self.bfs_live[w] &= !(1u64 << (r % 64));
                         }
                     }
                 }
@@ -285,7 +307,11 @@ impl BitsetMatching {
             if !found_augmenting_layer {
                 break;
             }
-            // DFS augmentation along layered paths.
+            // DFS augmentation along layered paths. `dfs_live` drops the
+            // matched right of every left proven dead this phase.
+            self.dfs_live.clear();
+            self.dfs_live.resize(words, 0);
+            crate::bits::set_range(&mut self.dfs_live, right);
             for l in 0..left {
                 if self.match_left[l] == NIL {
                     augment_bitset(
@@ -295,6 +321,7 @@ impl BitsetMatching {
                         &mut self.match_left,
                         &mut self.match_right,
                         &mut self.dist,
+                        &mut self.dfs_live,
                     );
                 }
             }
@@ -332,9 +359,13 @@ fn augment_bitset(
     match_left: &mut [usize],
     match_right: &mut [usize],
     dist: &mut [u32],
+    dfs_live: &mut [u64],
 ) -> bool {
     for w in 0..words {
-        let mut x = adjacency[l * words + w];
+        // `dfs_live` may lose bits during recursion; the stale snapshot in
+        // `x` only costs a probe that fails the `dist` check, exactly as
+        // the unmasked scan would.
+        let mut x = adjacency[l * words + w] & dfs_live[w];
         while x != 0 {
             let r = w * 64 + x.trailing_zeros() as usize;
             x &= x - 1;
@@ -342,7 +373,15 @@ fn augment_bitset(
             let ok = if next == NIL {
                 true
             } else if dist[next] == dist[l] + 1 {
-                augment_bitset(next, words, adjacency, match_left, match_right, dist)
+                augment_bitset(
+                    next,
+                    words,
+                    adjacency,
+                    match_left,
+                    match_right,
+                    dist,
+                    dfs_live,
+                )
             } else {
                 false
             };
@@ -354,6 +393,12 @@ fn augment_bitset(
         }
     }
     dist[l] = UNREACHED;
+    // A dead left can only be entered through its matched right; skip it
+    // for the rest of the phase.
+    if match_left[l] != NIL {
+        let r = match_left[l];
+        dfs_live[r / 64] &= !(1u64 << (r % 64));
+    }
     false
 }
 

@@ -16,7 +16,10 @@
 //! * [`hopcroft_karp_bitset`] / [`BitsetMatching`] — the same algorithm
 //!   over *packed* `u64` adjacency rows, the engine behind the zero-cost
 //!   (pure feasibility) mapping queries of `xbar-core`;
-//! * [`brute_force_assignment`] — factorial oracle for tests.
+//! * [`brute_force_assignment`] — factorial oracle for tests;
+//! * [`bits`] — the shared packed-`u64` bitset primitives every
+//!   bit-parallel hot path (including `xbar_core`'s matching engine and
+//!   column bitplanes) builds on.
 //!
 //! ## Example
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bits;
 mod hopcroft_karp;
 mod matrix;
 mod munkres;

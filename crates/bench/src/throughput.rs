@@ -35,6 +35,20 @@ pub struct CircuitThroughput {
     pub legacy_secs: f64,
     /// Wall-clock seconds for the engine path.
     pub engine_secs: f64,
+    /// Seconds spent drawing defect maps alone (`resample_stuck_open`),
+    /// measured over a separate pass with the same seeds.
+    pub resample_secs: f64,
+    /// Seconds attributable to adjacency construction: a resample+build
+    /// pass minus [`CircuitThroughput::resample_secs`] (clamped at 0).
+    /// The replay uses the full (non-truncating) builder, so in regimes
+    /// where the Hall fast-fail fires often — high defect rates — this is
+    /// an upper bound on the engine pass's actual build time; the JSON
+    /// therefore reports phase *fractions* normalized over the three
+    /// phase measurements rather than over raw engine wall-clock.
+    pub build_secs: f64,
+    /// Seconds attributable to the HBA+EA solves: the engine pass minus
+    /// the resample+build pass (clamped at 0).
+    pub solve_secs: f64,
     /// HBA successes (identical on both paths by assertion).
     pub hba_successes: usize,
     /// EA successes (identical on both paths by assertion).
@@ -94,8 +108,10 @@ pub fn measure_circuit(
     }
     let legacy_secs = t0.elapsed().as_secs_f64();
 
-    // Engine path: same seeds, reused matrix + engine scratch.
+    // Engine path: same seeds, reused matrix + engine scratch, FM cached
+    // once for the whole campaign.
     let mut engine = MatchEngine::new();
+    engine.prepare_fm(&fm);
     let mut cm = CrossbarMatrix::perfect(rows, cols);
     let t1 = Instant::now();
     let mut engine_hba = 0usize;
@@ -108,6 +124,26 @@ pub fn measure_circuit(
         engine_ea += usize::from(ea_ok);
     }
     let engine_secs = t1.elapsed().as_secs_f64();
+
+    // Phase split: replay the same seeds measuring (a) defect sampling
+    // alone and (b) sampling + full adjacency construction, so the engine
+    // time decomposes into resample / build / solve. `std::hint::black_box`
+    // keeps the optimizer from deleting the work.
+    let t2 = Instant::now();
+    for i in 0..samples {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
+        cm.resample_stuck_open(defect_rate, &mut rng);
+        std::hint::black_box(&cm);
+    }
+    let resample_secs = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    for i in 0..samples {
+        let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
+        cm.resample_stuck_open(defect_rate, &mut rng);
+        let (_, cand) = engine.build_adjacency(&fm, &cm);
+        std::hint::black_box(cand);
+    }
+    let sample_build_secs = t3.elapsed().as_secs_f64();
 
     assert_eq!(
         (legacy_hba, legacy_ea),
@@ -122,6 +158,9 @@ pub fn measure_circuit(
         samples,
         legacy_secs,
         engine_secs,
+        resample_secs,
+        build_secs: (sample_build_secs - resample_secs).max(0.0),
+        solve_secs: (engine_secs - sample_build_secs).max(0.0),
         hba_successes: engine_hba,
         ea_successes: engine_ea,
     }
@@ -133,7 +172,11 @@ pub fn measure_circuit(
 ///
 /// On a single machine both sides use every core, so this entry tracks
 /// the *fan-out overhead* of the multi-host scaling path (process spawn,
-/// partial-file round-trip, merge), not a speedup.
+/// partial-file round-trip, merge), not a speedup. The fixed part of that
+/// overhead is measured separately ([`ShardedThroughput::spawn_overhead_secs`],
+/// a near-empty coordinator run) so the relative-throughput number can be
+/// taken at a per-shard sample count large enough to reflect steady-state
+/// sharding rather than process startup.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedThroughput {
     /// Worker processes / sample-range shards.
@@ -146,6 +189,10 @@ pub struct ShardedThroughput {
     pub sharded_secs: f64,
     /// Wall-clock seconds for the monolithic in-process run.
     pub single_secs: f64,
+    /// Wall-clock seconds for a minimal coordinator run (one sample per
+    /// shard, same circuits): process spawn + partial-file round-trip +
+    /// merge, with essentially no simulation amortized on top.
+    pub spawn_overhead_secs: f64,
 }
 
 impl ShardedThroughput {
@@ -176,7 +223,11 @@ impl ShardedThroughput {
 
 /// Measures the sharded coordinator against the monolithic path on the
 /// same campaign and asserts their merged stats artifacts are
-/// byte-identical before reporting any timing.
+/// byte-identical before reporting any timing. A second, near-empty
+/// coordinator run (one sample per shard) isolates the fixed fan-out cost
+/// as [`ShardedThroughput::spawn_overhead_secs`]; pass a `samples` count
+/// well above `shards` so the main measurement amortizes that overhead
+/// and reports steady-state sharding.
 ///
 /// # Panics
 ///
@@ -192,27 +243,36 @@ pub fn measure_sharded(
     shards: usize,
     worker: Worker,
 ) -> ShardedThroughput {
-    let config = McConfig {
-        samples,
-        seed,
-        defect_rate,
-        circuits: circuits.to_vec(),
-    };
-    let coordinator = CoordinatorConfig {
-        config: config.clone(),
+    let coordinator_for = |samples: usize, tag: &str| CoordinatorConfig {
+        config: McConfig {
+            samples,
+            seed,
+            defect_rate,
+            circuits: circuits.to_vec(),
+        },
         shards,
         max_attempts: 3,
-        worker,
-        work_dir: std::env::temp_dir().join(format!("mc-bench-{}", std::process::id())),
+        worker: worker.clone(),
+        work_dir: std::env::temp_dir().join(format!("mc-bench-{tag}-{}", std::process::id())),
         extra_worker_args: Vec::new(),
         keep_partials: false,
     };
+
+    // Fixed fan-out cost: one sample per shard, so the run is all spawn,
+    // partial round-trip, and merge.
+    let overhead = coordinator_for(shards, "overhead");
     let t0 = Instant::now();
-    let sharded = run_coordinator(&coordinator).expect("sharded coordinator run");
-    let sharded_secs = t0.elapsed().as_secs_f64();
+    let _ = run_coordinator(&overhead).expect("overhead coordinator run");
+    let spawn_overhead_secs = t0.elapsed().as_secs_f64();
+
+    // Steady-state measurement at the full sample count.
+    let coordinator = coordinator_for(samples, "steady");
     let t1 = Instant::now();
-    let single = run_monolithic(&config);
-    let single_secs = t1.elapsed().as_secs_f64();
+    let sharded = run_coordinator(&coordinator).expect("sharded coordinator run");
+    let sharded_secs = t1.elapsed().as_secs_f64();
+    let t2 = Instant::now();
+    let single = run_monolithic(&coordinator.config);
+    let single_secs = t2.elapsed().as_secs_f64();
     assert_eq!(
         render_stats_json(&sharded),
         render_stats_json(&single),
@@ -224,6 +284,7 @@ pub fn measure_sharded(
         circuits: circuits.to_vec(),
         sharded_secs,
         single_secs,
+        spawn_overhead_secs,
     }
 }
 
@@ -308,11 +369,18 @@ pub fn render_json_with_sharded(
     let _ = writeln!(out, "  \"circuits\": [");
     for (idx, r) in results.iter().enumerate() {
         let comma = if idx + 1 < results.len() { "," } else { "" };
+        // Normalize over the phase measurements themselves: the build
+        // replay pays full construction even where the engine pass
+        // fast-failed, so dividing by raw engine wall-clock could push
+        // the fractions past 1 in high-defect regimes.
+        let phases = (r.resample_secs + r.build_secs + r.solve_secs).max(f64::MIN_POSITIVE);
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"rows\": {}, \"cols\": {}, \"samples\": {}, \
              \"legacy_samples_per_sec\": {:.1}, \"engine_samples_per_sec\": {:.1}, \
-             \"speedup\": {:.2}, \"hba_successes\": {}, \"ea_successes\": {}}}{comma}",
+             \"speedup\": {:.2}, \
+             \"engine_phase_fractions\": {{\"resample\": {:.2}, \"build\": {:.2}, \"solve\": {:.2}}}, \
+             \"hba_successes\": {}, \"ea_successes\": {}}}{comma}",
             r.name,
             r.rows,
             r.cols,
@@ -320,6 +388,9 @@ pub fn render_json_with_sharded(
             r.legacy_sps(),
             r.engine_sps(),
             r.speedup(),
+            r.resample_secs / phases,
+            r.build_secs / phases,
+            r.solve_secs / phases,
             r.hba_successes,
             r.ea_successes,
         );
@@ -343,13 +414,15 @@ pub fn render_json_with_sharded(
             out,
             "  \"sharded\": {{\"shards\": {}, \"samples\": {}, \"circuits\": {}, \
              \"sharded_samples_per_sec\": {:.1}, \"single_process_samples_per_sec\": {:.1}, \
-             \"relative_throughput\": {:.2}, \"stats_byte_identical\": true}}",
+             \"relative_throughput\": {:.2}, \"spawn_overhead_secs\": {:.3}, \
+             \"stats_byte_identical\": true}}",
             s.shards,
             s.total_samples(),
             s.circuits.len(),
             s.sharded_sps(),
             s.single_sps(),
             s.relative(),
+            s.spawn_overhead_secs,
         );
     }
     out.push_str("}\n");
@@ -377,6 +450,7 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"total\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"engine_phase_fractions\""));
         assert!(!json.contains("\"sharded\""));
         assert_eq!(
             json.matches('{').count(),
@@ -394,11 +468,13 @@ mod tests {
             circuits: vec!["rd53".to_owned(), "misex1".to_owned()],
             sharded_secs: 0.5,
             single_secs: 0.4,
+            spawn_overhead_secs: 0.05,
         };
         assert_eq!(sharded.total_samples(), 40);
         assert!((sharded.relative() - 0.8).abs() < 1e-12);
         let json = render_json_with_sharded(&[r], 0.10, 7, Some(&sharded));
         assert!(json.contains("\"sharded\""));
+        assert!(json.contains("\"spawn_overhead_secs\": 0.050"));
         assert!(json.contains("\"stats_byte_identical\": true"));
         assert_eq!(
             json.matches('{').count(),

@@ -4,42 +4,83 @@
 //! Monte Carlo defect studies (Table II, the yield/redundancy sweeps) run
 //! `sample defects → map` millions of times. The original mappers rebuilt a
 //! dense `i64` cost matrix per sample and re-evaluated `row_compatible`
-//! O(n·r) times across the greedy scan, the backtracking scan and the
-//! output assignment. [`MatchEngine`] precomputes, per
-//! `(FunctionMatrix, CrossbarMatrix)` pair, a *packed compatibility
-//! adjacency* — one `u64`-word bitset of candidate CM rows per FM row,
-//! derived word-parallel from the matrices' [`BitRow`]s — and runs every
-//! algorithm on top of it:
+//! O(n·r) times; PR 2's engine replaced the *solves* with `trailing_zeros`
+//! walks over a packed adjacency but still built that adjacency with a
+//! dense O(n·r) probe sweep per sample. This revision makes the *build*
+//! word-parallel too:
 //!
-//! * **HBA** — the greedy and backtracking scans become `trailing_zeros`
-//!   walks over `free & candidates` words; the exact output stage feeds the
-//!   same matching matrix to Munkres through reusable scratch. Decisions
-//!   *and* [`MappingStats`] are bit-identical to the reference algorithm
+//! * **Bitplane construction** — [`CrossbarMatrix`] maintains one packed
+//!   defect bitplane per column (bit `r` of plane `c` set when CM row `r`
+//!   is defective at column `c`), kept in sync by
+//!   [`CrossbarMatrix::resample_stuck_open`] during the sampling sweep
+//!   itself. A whole adjacency row for FM row `f` is then
+//!   `AND(!plane[j])` over `f`'s one-columns — O(|ones(f)| · r/64) word
+//!   ops instead of `r` per-row probes.
+//! * **FM campaign cache** — the FM side of a Monte Carlo campaign never
+//!   changes, so [`MatchEngine::prepare_fm`] extracts the per-row
+//!   one-column lists (plus counts and the minterm/output split) once and
+//!   keys them by an exact copy of the matrix's words; every query
+//!   revalidates by word comparison (O(FM words), negligible next to
+//!   construction, collision-free by construction) and rebuilds only when
+//!   handed a genuinely different matrix. Campaign loops should call
+//!   `prepare_fm` once up front; correctness never depends on it.
+//! * **Hall/degree fast-fail** — construction stops at the first FM row
+//!   whose candidate set is empty (a degree-0 Hall violation: no mapping
+//!   can exist). EA then reports failure without running Hopcroft–Karp,
+//!   and HBA runs only over the rows already built — it provably fails at
+//!   or before the empty row, so outcome *and* stats stay byte-identical
+//!   to the un-truncated engine (see `MatchEngine::set_fast_fail` for the
+//!   equivalence-testing knob).
+//!
+//! The solver layers are unchanged from PR 2:
+//!
+//! * **HBA** — greedy and backtracking scans as `trailing_zeros` walks
+//!   over `free & candidates` words; the exact output stage feeds the
+//!   matching matrix to Munkres through reusable scratch. Decisions *and*
+//!   [`MappingStats`] are bit-identical to the reference algorithm
 //!   ([`crate::reference::map_hybrid_with`]); the counters report what the
-//!   dense scan would have checked, so instrumentation stays comparable.
+//!   dense scan would have checked, reconstructed from popcounts.
 //! * **EA / feasibility** — a pure 0/1 matching problem, routed to the
-//!   bitset Hopcroft–Karp of `xbar-assign` instead of dense Munkres
-//!   (Munkres remains the solver for genuinely weighted problems).
+//!   bitset Hopcroft–Karp of `xbar-assign` (Munkres remains the solver for
+//!   genuinely weighted problems).
 //!
-//! All buffers (adjacency, free-row bitset, occupancy, Munkres workspace)
-//! live in the engine and are reused across calls, so a sampling loop that
-//! also reuses its [`CrossbarMatrix`] (see
-//! [`CrossbarMatrix::resample_stuck_open`]) performs zero heap allocations
-//! per sample.
+//! All buffers (FM cache, adjacency, free-row bitset, occupancy, Munkres
+//! workspace) live in the engine and are reused across calls, so a
+//! sampling loop that also reuses its [`CrossbarMatrix`] performs zero
+//! heap allocations per sample.
 //!
-//! [`BitRow`]: crate::matrices::BitRow
+//! The word-level helpers come from the shared [`crate::bits`] module.
 
+use crate::bits::{
+    clear_bit, count_all, count_through, first_and, get_bit, is_empty, matched_in, set_range,
+    words_for,
+};
 use crate::mapping::{HybridOptions, MappingOutcome, MappingStats, RowAssignment};
 use crate::matrices::{CrossbarMatrix, FunctionMatrix};
-use xbar_assign::{
-    adjacency_words, munkres_with_scratch, BitsetMatching, CostMatrix, MunkresScratch,
-};
+use xbar_assign::{munkres_with_scratch, BitsetMatching, CostMatrix, MunkresScratch};
 
 /// Sentinel for "no row".
 const NONE: usize = usize::MAX;
 
-/// Reusable mapping engine: packed compatibility adjacency plus every
-/// scratch buffer the mappers need.
+/// Exact cache-validity check: does the cached flattened word copy match
+/// `fm`'s current content? Word-sequence comparison over the same words a
+/// hash would have to read anyway, so revalidation costs O(FM words) with
+/// zero collision risk (a hash-keyed cache could silently reuse the wrong
+/// FM structure on a collision).
+fn fm_words_match(cached: &[u64], fm: &FunctionMatrix) -> bool {
+    let mut offset = 0usize;
+    for i in 0..fm.num_rows() {
+        let words = fm.row(i).words();
+        match cached.get(offset..offset + words.len()) {
+            Some(slice) if slice == words => offset += words.len(),
+            _ => return false,
+        }
+    }
+    offset == cached.len()
+}
+
+/// Reusable mapping engine: cached FM structure, packed compatibility
+/// adjacency, plus every scratch buffer the mappers need.
 ///
 /// # Examples
 ///
@@ -51,6 +92,7 @@ const NONE: usize = usize::MAX;
 /// let fm = FunctionMatrix::from_cover(&cover);
 /// let cm = CrossbarMatrix::perfect(fm.num_rows(), fm.num_cols());
 /// let mut engine = MatchEngine::new();
+/// engine.prepare_fm(&fm); // optional: warm the campaign cache up front
 /// assert!(engine.map_hybrid(&fm, &cm).is_success());
 /// assert!(engine.map_exact(&fm, &cm).is_success());
 /// assert!(engine.feasible(&fm, &cm));
@@ -58,6 +100,22 @@ const NONE: usize = usize::MAX;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MatchEngine {
+    /// Whether an FM is cached at all.
+    fm_cached: bool,
+    /// Flattened copy of every cached FM row's words — the exact validity
+    /// key for the campaign cache (compared, not hashed: see
+    /// [`fm_words_match`]).
+    fm_words: Vec<u64>,
+    /// Cached FM minterm count `p`.
+    fm_minterms: usize,
+    /// Cached FM output count `k`.
+    fm_outputs: usize,
+    /// Cached FM total rows (`p + k`).
+    fm_rows: usize,
+    /// Flattened one-column indices of every cached FM row.
+    one_cols: Vec<u32>,
+    /// Row offsets into `one_cols` (`fm_rows + 1` entries).
+    one_starts: Vec<u32>,
     /// FM rows of the current adjacency (`p + k`).
     n: usize,
     /// CM rows of the current adjacency.
@@ -65,8 +123,17 @@ pub struct MatchEngine {
     /// Words per packed CM-row bitset.
     words: usize,
     /// Packed adjacency: `n` rows of `words` words; bit `c` of row `f` is
-    /// set when FM row `f` fits CM row `c`.
+    /// set when FM row `f` fits CM row `c`. Rows past
+    /// [`MatchEngine::empty_row`] are unbuilt (zero) when the Hall
+    /// fast-fail truncated construction.
     cand: Vec<u64>,
+    /// First FM row whose candidate set came out empty, when the Hall
+    /// fast-fail stopped construction there; `None` means `cand` is fully
+    /// built.
+    empty_row: Option<usize>,
+    /// Disables the Hall fast-fail (equivalence testing / ablation); the
+    /// default (`false`) keeps it on.
+    fast_fail_disabled: bool,
     /// Unmatched CM rows during HBA (bits `0..r`).
     free: Vec<u64>,
     /// `occupant[cm_row]` = minterm hosted there, or [`NONE`].
@@ -91,6 +158,54 @@ impl MatchEngine {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables the Hall fast-fail (on by default). Disabling
+    /// it forces full adjacency construction on every query — outcomes and
+    /// stats are identical either way (pinned by the equivalence
+    /// proptests); the knob exists for exactly that comparison.
+    pub fn set_fast_fail(&mut self, enabled: bool) {
+        self.fast_fail_disabled = !enabled;
+    }
+
+    /// Builds (or revalidates) the campaign cache for `fm`: per-row
+    /// one-column lists, ones counts, and the minterm/output split, keyed
+    /// by an exact copy of the matrix's words (compared word-for-word on
+    /// every call — O(FM words), negligible next to construction, and
+    /// immune to the collisions a hash key would admit). Queries call
+    /// this implicitly, so it is never required for correctness — but a
+    /// Monte Carlo loop should invoke it once before sampling so the
+    /// intent ("this FM is the campaign constant") is visible at the call
+    /// site.
+    pub fn prepare_fm(&mut self, fm: &FunctionMatrix) {
+        if self.fm_cached
+            && self.fm_minterms == fm.num_minterms()
+            && self.fm_outputs == fm.num_outputs()
+            && fm_words_match(&self.fm_words, fm)
+        {
+            return;
+        }
+        self.fm_cached = true;
+        self.fm_minterms = fm.num_minterms();
+        self.fm_outputs = fm.num_outputs();
+        self.fm_rows = fm.num_rows();
+        self.fm_words.clear();
+        self.one_cols.clear();
+        self.one_starts.clear();
+        self.one_starts.push(0);
+        for i in 0..self.fm_rows {
+            let words = fm.row(i).words();
+            self.fm_words.extend_from_slice(words);
+            for (w, &word) in words.iter().enumerate() {
+                let mut x = word;
+                while x != 0 {
+                    self.one_cols
+                        .push((w * 64 + x.trailing_zeros() as usize) as u32);
+                    x &= x - 1;
+                }
+            }
+            self.one_starts.push(self.one_cols.len() as u32);
+        }
     }
 
     /// HBA with default options (see [`crate::map_hybrid`]). Byte-identical
@@ -177,8 +292,24 @@ impl MatchEngine {
             return (fail, fail);
         }
         self.prepare(fm, cm);
-        let hybrid = self.run_hybrid_prepared(fm, HybridOptions::default());
-        let exact = self.run_exact_prepared();
+        let hybrid = self.run_hybrid_prepared(HybridOptions::default());
+        let exact = if hybrid.0 {
+            // HBA produced a valid full assignment, which *is* a perfect
+            // matching — EA succeeds without running Hopcroft–Karp. EA
+            // stats are a function of the dimensions alone, so they are
+            // identical to the solved ones.
+            let (n, r) = (self.n, self.r);
+            (
+                true,
+                MappingStats {
+                    compatibility_checks: n * r,
+                    backtracks: 0,
+                    assignment_rows: n,
+                },
+            )
+        } else {
+            self.run_exact_prepared()
+        };
         (hybrid, exact)
     }
 
@@ -191,37 +322,85 @@ impl MatchEngine {
             return false;
         }
         self.prepare(fm, cm);
+        if self.empty_row.is_some() {
+            return false;
+        }
         self.matcher.run(self.n, self.r, &self.cand) == n
     }
 
-    /// Builds the packed compatibility adjacency for `(fm, cm)`:
-    /// `cand[f]` gets bit `c` when every 1 of FM row `f` lands on a 1 of
-    /// CM row `c`, computed word-parallel over the column words.
+    /// Builds the **full** packed compatibility adjacency for `(fm, cm)` —
+    /// no Hall fast-fail truncation — and returns `(words_per_row, rows)`:
+    /// bit `c` of row `f` (at word `f * words_per_row + c / 64`) is set
+    /// when FM row `f` fits CM row `c`. This is the introspection /
+    /// benchmarking hook; the query methods build the same adjacency
+    /// internally (modulo fast-fail truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column counts of `fm` and `cm` differ.
+    pub fn build_adjacency(&mut self, fm: &FunctionMatrix, cm: &CrossbarMatrix) -> (usize, &[u64]) {
+        let prev = self.fast_fail_disabled;
+        self.fast_fail_disabled = true;
+        self.prepare(fm, cm);
+        self.fast_fail_disabled = prev;
+        (self.words, &self.cand)
+    }
+
+    /// Builds the packed compatibility adjacency for `(fm, cm)` from the
+    /// CM's column defect bitplanes: row `f` of the adjacency starts as
+    /// all CM rows and is `AND`ed with `!plane[j]` for every one-column
+    /// `j` of FM row `f` — word-parallel over CM rows, using the FM
+    /// structure cached by [`MatchEngine::prepare_fm`]. With the Hall
+    /// fast-fail enabled, construction stops at the first FM row whose
+    /// candidate set is empty (recorded in `empty_row`; later rows stay
+    /// unbuilt).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column counts of `fm` and `cm` differ.
     fn prepare(&mut self, fm: &FunctionMatrix, cm: &CrossbarMatrix) {
-        debug_assert_eq!(fm.num_cols(), cm.num_cols(), "column counts must match");
-        self.n = fm.num_rows();
+        assert_eq!(
+            fm.num_cols(),
+            cm.num_cols(),
+            "column counts must match (FM {} vs CM {})",
+            fm.num_cols(),
+            cm.num_cols()
+        );
+        self.prepare_fm(fm);
+        self.n = self.fm_rows;
         self.r = cm.num_rows();
-        self.words = adjacency_words(self.r);
+        self.words = words_for(self.r);
+        debug_assert_eq!(self.words, cm.plane_words());
         self.cand.clear();
         self.cand.resize(self.n * self.words, 0);
+        self.empty_row = None;
+        let words = self.words;
+        let r = self.r;
+        let planes = cm.defect_planes();
+        let fast_fail = !self.fast_fail_disabled;
+        let one_cols = &self.one_cols;
+        let one_starts = &self.one_starts;
         for f in 0..self.n {
-            let frow = fm.row(f).words();
-            let base = f * self.words;
-            for c in 0..self.r {
-                let crow = cm.row(c).words();
-                let fits = frow.iter().zip(crow).all(|(a, b)| a & !b == 0);
-                if fits {
-                    self.cand[base + c / 64] |= 1u64 << (c % 64);
+            let row = &mut self.cand[f * words..(f + 1) * words];
+            set_range(row, r);
+            let ones = &one_cols[one_starts[f] as usize..one_starts[f + 1] as usize];
+            for &j in ones {
+                let j = j as usize;
+                let plane = &planes[j * words..(j + 1) * words];
+                for (d, &p) in row.iter_mut().zip(plane) {
+                    *d &= !p;
                 }
+            }
+            if fast_fail && is_empty(row) {
+                self.empty_row = Some(f);
+                return;
             }
         }
     }
 
     /// Algorithm 1 over the packed adjacency, reproducing the reference
-    /// implementation's decisions and [`MappingStats`] exactly: the
-    /// counters report how many `row_compatible` calls the dense scans
-    /// would have made, reconstructed from popcounts over the free-row
-    /// bitset. On success the assignment is left in `self.fm_to_cm`.
+    /// implementation's decisions and [`MappingStats`] exactly. On success
+    /// the assignment is left in `self.fm_to_cm`.
     fn run_hybrid(
         &mut self,
         fm: &FunctionMatrix,
@@ -232,19 +411,24 @@ impl MatchEngine {
             return (false, MappingStats::default());
         }
         self.prepare(fm, cm);
-        self.run_hybrid_prepared(fm, options)
+        self.run_hybrid_prepared(options)
     }
 
     /// [`MatchEngine::run_hybrid`] minus the adjacency build — the caller
     /// guarantees [`MatchEngine::prepare`] ran for this exact pair.
-    fn run_hybrid_prepared(
-        &mut self,
-        fm: &FunctionMatrix,
-        options: HybridOptions,
-    ) -> (bool, MappingStats) {
+    ///
+    /// Under Hall fast-fail truncation (`empty_row = Some(e)`) this stays
+    /// byte-identical to the full-adjacency run: the minterm scan proceeds
+    /// strictly in row order and row `e`'s (genuinely) empty candidate set
+    /// forces a failure at or before `e`, so rows past `e` — the unbuilt
+    /// ones — are never read; when `e` is an output row, the exact output
+    /// stage is decided without Munkres (an all-1 cost row caps the best
+    /// assignment cost above 0) using the very stats updates the full run
+    /// performs before solving.
+    fn run_hybrid_prepared(&mut self, options: HybridOptions) -> (bool, MappingStats) {
         let mut stats = MappingStats::default();
-        let p = fm.num_minterms();
-        let k = fm.num_outputs();
+        let p = self.fm_minterms;
+        let k = self.fm_outputs;
         let r = self.r;
         let words = self.words;
         self.free.clear();
@@ -323,6 +507,15 @@ impl MatchEngine {
                 // Munkres; zero cost certifies a valid mapping.
                 stats.assignment_rows = k;
                 stats.compatibility_checks += k * self.unmatched.len();
+                if self.empty_row.is_some() {
+                    // Hall fast-fail: some output row has no compatible CM
+                    // row at all, so its matching-matrix row is all 1s and
+                    // every assignment costs >= 1 — the Munkres solve (and
+                    // the unbuilt rows it would read) is unnecessary. The
+                    // stats above are exactly what the full run records
+                    // before solving, and a failing solve writes nothing.
+                    return (false, stats);
+                }
                 let mut data = std::mem::take(&mut self.cost_data);
                 data.clear();
                 for o in 0..k {
@@ -344,7 +537,10 @@ impl MatchEngine {
                     return (false, stats);
                 }
             } else {
-                // Ablation: greedy first-fit output placement.
+                // Ablation: greedy first-fit output placement. Under
+                // fast-fail truncation this loop is still safe: it walks
+                // outputs in row order and cannot get past the (built,
+                // genuinely empty) truncation row.
                 self.taken.clear();
                 self.taken.resize(self.unmatched.len(), false);
                 for o in 0..k {
@@ -383,7 +579,11 @@ impl MatchEngine {
     }
 
     /// [`MatchEngine::run_exact`] minus the adjacency build — the caller
-    /// guarantees [`MatchEngine::prepare`] ran for this exact pair.
+    /// guarantees [`MatchEngine::prepare`] ran for this exact pair. When
+    /// the Hall fast-fail recorded an empty candidate row, no perfect
+    /// matching can exist and the Hopcroft–Karp solve is skipped outright
+    /// (EA stats are a function of the dimensions alone, so they are
+    /// unchanged).
     fn run_exact_prepared(&mut self) -> (bool, MappingStats) {
         let (n, r) = (self.n, self.r);
         let stats = MappingStats {
@@ -391,6 +591,9 @@ impl MatchEngine {
             backtracks: 0,
             assignment_rows: n,
         };
+        if self.empty_row.is_some() {
+            return (false, stats);
+        }
         if self.matcher.run(n, r, &self.cand) < n {
             return (false, stats);
         }
@@ -401,80 +604,10 @@ impl MatchEngine {
     }
 }
 
-/// Sets bits `0..len`.
-fn set_range(bits: &mut [u64], len: usize) {
-    let full = len / 64;
-    let rem = len % 64;
-    bits[..full].fill(!0u64);
-    if rem != 0 {
-        bits[full] = (1u64 << rem) - 1;
-    }
-}
-
-#[inline]
-fn get_bit(bits: &[u64], i: usize) -> bool {
-    bits[i / 64] >> (i % 64) & 1 == 1
-}
-
-#[inline]
-fn clear_bit(bits: &mut [u64], i: usize) {
-    bits[i / 64] &= !(1u64 << (i % 64));
-}
-
-/// First index set in `a & b`, word-parallel.
-#[inline]
-fn first_and(a: &[u64], b: &[u64]) -> Option<usize> {
-    for (w, (&x, &y)) in a.iter().zip(b).enumerate() {
-        let v = x & y;
-        if v != 0 {
-            return Some(w * 64 + v.trailing_zeros() as usize);
-        }
-    }
-    None
-}
-
-/// Number of set bits with index `<= end`.
-#[inline]
-fn count_through(bits: &[u64], end: usize) -> usize {
-    let w = end / 64;
-    let mut total = 0usize;
-    for &word in &bits[..w] {
-        total += word.count_ones() as usize;
-    }
-    let rem = end % 64;
-    let mask = if rem == 63 {
-        !0u64
-    } else {
-        (1u64 << (rem + 1)) - 1
-    };
-    total + (bits[w] & mask).count_ones() as usize
-}
-
-/// Total set bits.
-#[inline]
-fn count_all(bits: &[u64]) -> usize {
-    bits.iter().map(|w| w.count_ones() as usize).sum()
-}
-
-/// Number of *clear* bits in the half-open index range `start..end` — the
-/// matched-row count when `bits` is the free-row set.
-#[inline]
-fn matched_in(bits: &[u64], start: usize, end: usize) -> usize {
-    if start >= end {
-        return 0;
-    }
-    let set = count_through(bits, end - 1)
-        - if start == 0 {
-            0
-        } else {
-            count_through(bits, start - 1)
-        };
-    (end - start) - set
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrices::row_compatible;
     use crate::reference;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -496,28 +629,10 @@ mod tests {
     }
 
     #[test]
-    fn bit_helpers() {
-        let bits = [0b1011_0100u64, 0b1u64];
-        assert!(get_bit(&bits, 2) && get_bit(&bits, 64));
-        assert!(!get_bit(&bits, 0));
-        assert_eq!(first_and(&bits, &[0b1000_0000, 0]), Some(7));
-        assert_eq!(first_and(&bits, &[0, 1]), Some(64));
-        assert_eq!(first_and(&bits, &[0, 0]), None);
-        assert_eq!(count_through(&bits, 2), 1);
-        assert_eq!(count_through(&bits, 64), 5);
-        assert_eq!(count_all(&bits), 5);
-        // Indices 0..=3 hold one set bit (2) → 3 clear.
-        assert_eq!(matched_in(&bits, 0, 4), 3);
-        assert_eq!(matched_in(&bits, 4, 4), 0);
-        let mut free = [0u64; 2];
-        set_range(&mut free, 65);
-        assert_eq!(count_all(&free), 65);
-    }
-
-    #[test]
     fn engine_reproduces_reference_on_fig8_sweep() {
         let fm = fig8_fm();
         let mut engine = MatchEngine::new();
+        engine.prepare_fm(&fm);
         let mut rng = StdRng::seed_from_u64(2018);
         for trial in 0..400 {
             let cm = CrossbarMatrix::sample_stuck_open(7, 10, 0.15, &mut rng);
@@ -619,5 +734,111 @@ mod tests {
         let small = CrossbarMatrix::perfect(3, 10);
         let (hybrid, exact) = engine.hybrid_and_exact_success(&fm, &small);
         assert!(!hybrid.0 && !exact.0);
+    }
+
+    #[test]
+    fn adjacency_matches_dense_row_compatible() {
+        let fm = fig8_fm();
+        let mut engine = MatchEngine::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        for rows in [6usize, 7, 64, 65, 100] {
+            let cm = CrossbarMatrix::sample_stuck_open(rows, 10, 0.2, &mut rng);
+            let (words, cand) = engine.build_adjacency(&fm, &cm);
+            assert_eq!(words, words_for(rows));
+            assert_eq!(cand.len(), fm.num_rows() * words);
+            for f in 0..fm.num_rows() {
+                let row = &cand[f * words..(f + 1) * words];
+                for c in 0..words * 64 {
+                    let expect = c < rows && row_compatible(fm.row(f), cm.row(c));
+                    assert_eq!(get_bit(row, c), expect, "rows {rows}, f {f}, c {c}");
+                }
+            }
+        }
+    }
+
+    /// The FM content-hash cache must never leak structure between two
+    /// different matrices — including ones with identical dimensions.
+    #[test]
+    fn fm_cache_revalidates_on_a_different_same_shape_fm() {
+        let fm_a = fig8_fm();
+        // Same I/O/product counts, different literal structure.
+        let cover_b = Cover::from_cubes(
+            3,
+            2,
+            [
+                cube("0-1 10"),
+                cube("1-0 10"),
+                cube("-11 01"),
+                cube("00- 01"),
+            ],
+        )
+        .expect("dims");
+        let fm_b = FunctionMatrix::from_cover(&cover_b);
+        let mut engine = MatchEngine::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..100 {
+            let cm = CrossbarMatrix::sample_stuck_open(7, 10, 0.2, &mut rng);
+            for fm in [&fm_a, &fm_b] {
+                assert_eq!(
+                    engine.map_hybrid(fm, &cm),
+                    reference::map_hybrid(fm, &cm),
+                    "interleaved FMs must not share cache entries"
+                );
+            }
+        }
+    }
+
+    /// At defect rates high enough to produce empty candidate sets, the
+    /// fast-fail engine and the full-construction engine agree on every
+    /// outcome, stat, and assignment.
+    #[test]
+    fn fast_fail_is_outcome_and_stats_invisible() {
+        let fm = fig8_fm();
+        let mut fast = MatchEngine::new();
+        let mut full = MatchEngine::new();
+        full.set_fast_fail(false);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut failures = 0;
+        for trial in 0..300 {
+            let cm = CrossbarMatrix::sample_stuck_open(8, 10, 0.55, &mut rng);
+            for options in [
+                HybridOptions::default(),
+                HybridOptions {
+                    backtracking: false,
+                    exact_outputs: true,
+                },
+                HybridOptions {
+                    backtracking: true,
+                    exact_outputs: false,
+                },
+            ] {
+                assert_eq!(
+                    fast.map_hybrid_with(&fm, &cm, options),
+                    full.map_hybrid_with(&fm, &cm, options),
+                    "trial {trial}, {options:?}"
+                );
+            }
+            assert_eq!(fast.map_exact(&fm, &cm), full.map_exact(&fm, &cm));
+            assert_eq!(fast.feasible(&fm, &cm), full.feasible(&fm, &cm));
+            assert_eq!(
+                fast.hybrid_and_exact_success(&fm, &cm),
+                full.hybrid_and_exact_success(&fm, &cm)
+            );
+            failures += usize::from(!full.feasible(&fm, &cm));
+        }
+        assert!(failures > 50, "sweep must exercise the fast-fail path");
+    }
+
+    #[test]
+    fn all_defective_crossbar_fast_fails_identically_to_reference() {
+        let fm = fig8_fm();
+        let mut cm = CrossbarMatrix::perfect(8, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        cm.resample_stuck_open(1.0, &mut rng);
+        let mut engine = MatchEngine::new();
+        assert_eq!(engine.map_hybrid(&fm, &cm), reference::map_hybrid(&fm, &cm));
+        assert!(!engine.feasible(&fm, &cm));
+        let (_, ea_stats) = engine.exact_success(&fm, &cm);
+        assert_eq!(ea_stats.compatibility_checks, 6 * 8);
     }
 }

@@ -18,8 +18,11 @@
 //!   maximum matching;
 //! * [`MatchEngine`] / [`map_hybrid_with_scratch`] — the reusable bitset
 //!   matching engine behind both mappers: packed compatibility adjacency
-//!   plus scratch buffers, zero per-sample heap allocation in Monte Carlo
-//!   loops ([`reference`] keeps the dense originals as baselines);
+//!   built word-parallel from the crossbar's column defect bitplanes,
+//!   with the FM structure cached per campaign
+//!   ([`MatchEngine::prepare_fm`]), a Hall fast-fail on empty candidate
+//!   rows, and zero per-sample heap allocation in Monte Carlo loops
+//!   ([`reference`] keeps the dense originals as baselines);
 //! * [`map_naive`] — the defect-unaware baseline of Fig. 7(a);
 //! * [`program_two_level`] / [`verify_against_cover`] — execute a mapping
 //!   on the simulated fabric and check functional correctness;
@@ -60,6 +63,13 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+/// Shared packed-`u64` bitset primitives (canonical implementation in
+/// [`xbar_assign::bits`]; re-exported here so `xbar_core` code and
+/// downstream crates address one audited helper set).
+pub mod bits {
+    pub use xbar_assign::bits::*;
+}
 
 mod column_redundancy;
 mod engine;

@@ -12,13 +12,15 @@
 //!   on a 1 of `c` (0s of the FM may sit on either, since a stuck-open
 //!   device is exactly a disabled device).
 
+use crate::bits;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::fmt;
 use xbar_device::{Crossbar, Defect};
 use xbar_logic::{Cover, Phase};
 
-/// A packed bit-row over the crossbar columns.
+/// A packed bit-row over the crossbar columns, built on the shared
+/// [`bits`] word helpers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitRow {
     words: Vec<u64>,
@@ -30,7 +32,7 @@ impl BitRow {
     #[must_use]
     pub fn zeros(cols: usize) -> Self {
         Self {
-            words: vec![0; cols.div_ceil(64).max(1)],
+            words: vec![0; bits::words_for(cols)],
             cols,
         }
     }
@@ -46,13 +48,8 @@ impl BitRow {
     /// Resets the row to all-ones without reallocating: whole words are
     /// written as `!0` and the partial top word is masked to `cols` bits.
     pub fn fill_ones(&mut self) {
-        let full = self.cols / 64;
-        let rem = self.cols % 64;
-        self.words[..full].fill(!0u64);
-        if rem != 0 {
-            self.words[full] = (1u64 << rem) - 1;
-        }
-        self.words[full + usize::from(rem != 0)..].fill(0);
+        self.words.fill(0);
+        bits::set_range(&mut self.words, self.cols);
     }
 
     /// The packed `u64` words backing the row (LSB-first; bit `c` of the
@@ -76,7 +73,7 @@ impl BitRow {
     #[must_use]
     pub fn get(&self, col: usize) -> bool {
         assert!(col < self.cols, "column out of range");
-        self.words[col / 64] >> (col % 64) & 1 == 1
+        bits::get_bit(&self.words, col)
     }
 
     /// Sets bit `col`.
@@ -86,19 +83,17 @@ impl BitRow {
     /// Panics when `col` is out of range.
     pub fn set(&mut self, col: usize, value: bool) {
         assert!(col < self.cols, "column out of range");
-        let word = col / 64;
-        let bit = 1u64 << (col % 64);
         if value {
-            self.words[word] |= bit;
+            bits::set_bit(&mut self.words, col);
         } else {
-            self.words[word] &= !bit;
+            bits::clear_bit(&mut self.words, col);
         }
     }
 
     /// Number of 1s.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        bits::count_all(&self.words)
     }
 
     /// Whether every 1 of `self` lands on a 1 of `other` — the paper's row
@@ -106,10 +101,7 @@ impl BitRow {
     #[must_use]
     pub fn fits_in(&self, other: &BitRow) -> bool {
         debug_assert_eq!(self.cols, other.cols);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        bits::is_subset(&self.words, &other.words)
     }
 }
 
@@ -249,19 +241,34 @@ impl FunctionMatrix {
 }
 
 /// The crossbar matrix: functional map of the physical array.
+///
+/// Alongside the row bitsets it maintains **column defect bitplanes**: one
+/// packed `u64` bitset per column, bit `r` of plane `c` set exactly when
+/// row `r` is *defective* (0) at column `c`. The planes are the transposed
+/// complement of the rows, kept incrementally in sync by every mutator, so
+/// the matching engine can build a whole compatibility-adjacency row as
+/// `AND` of `!plane[c]` over an FM row's one-columns — word-parallel over
+/// CM *rows* instead of one probe per row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrossbarMatrix {
     rows: Vec<BitRow>,
     cols: usize,
+    /// Column defect bitplanes: `cols` bitsets of `plane_words` words.
+    planes: Vec<u64>,
+    /// Words per column plane: `bits::words_for(rows.len())`.
+    plane_words: usize,
 }
 
 impl CrossbarMatrix {
     /// A defect-free CM.
     #[must_use]
     pub fn perfect(rows: usize, cols: usize) -> Self {
+        let plane_words = bits::words_for(rows);
         Self {
             rows: (0..rows).map(|_| BitRow::ones(cols)).collect(),
             cols,
+            planes: vec![0; cols * plane_words],
+            plane_words,
         }
     }
 
@@ -275,20 +282,26 @@ impl CrossbarMatrix {
     }
 
     /// Re-samples this matrix in place as a fresh stuck-open defect map,
-    /// reusing the existing row buffers. Consumes the RNG exactly like
-    /// [`CrossbarMatrix::sample_stuck_open`], so with the same generator
-    /// state both produce bit-identical matrices — Monte Carlo loops can
-    /// keep one matrix per worker and resample it every trial with zero
-    /// heap allocation.
+    /// reusing the existing row and plane buffers. Consumes the RNG exactly
+    /// like [`CrossbarMatrix::sample_stuck_open`], so with the same
+    /// generator state both produce bit-identical matrices — Monte Carlo
+    /// loops can keep one matrix per worker and resample it every trial
+    /// with zero heap allocation. The column bitplanes are rebuilt during
+    /// the same sweep that draws the defects, so they stay in sync at no
+    /// extra pass over the matrix.
     pub fn resample_stuck_open(&mut self, rate: f64, rng: &mut StdRng) {
         let cols = self.cols;
+        let rate = rate.clamp(0.0, 1.0);
         for row in &mut self.rows {
             row.fill_ones();
         }
-        for row in &mut self.rows {
+        self.planes.fill(0);
+        let pw = self.plane_words;
+        for (r, row) in self.rows.iter_mut().enumerate() {
             for c in 0..cols {
-                if rng.random_bool(rate.clamp(0.0, 1.0)) {
+                if rng.random_bool(rate) {
                     row.set(c, false);
+                    bits::set_bit(&mut self.planes[c * pw..(c + 1) * pw], r);
                 }
             }
         }
@@ -319,7 +332,24 @@ impl CrossbarMatrix {
                 }
             }
         }
+        cm.rebuild_planes();
         cm
+    }
+
+    /// Recomputes the column bitplanes from the row bitsets (the
+    /// transpose); used by the cold constructors, while the hot
+    /// [`CrossbarMatrix::resample_stuck_open`] path maintains them
+    /// incrementally.
+    fn rebuild_planes(&mut self) {
+        self.planes.fill(0);
+        let pw = self.plane_words;
+        for (r, row) in self.rows.iter().enumerate() {
+            for c in 0..self.cols {
+                if !row.get(c) {
+                    bits::set_bit(&mut self.planes[c * pw..(c + 1) * pw], r);
+                }
+            }
+        }
     }
 
     /// Number of physical rows.
@@ -344,6 +374,31 @@ impl CrossbarMatrix {
         &self.rows[row]
     }
 
+    /// Words per column defect plane: `bits::words_for(num_rows())`.
+    #[must_use]
+    pub fn plane_words(&self) -> usize {
+        self.plane_words
+    }
+
+    /// The defect bitplane of `col`: bit `r` set exactly when row `r` is
+    /// defective (0) at that column. Bits at index `>= num_rows()` are 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` is out of range.
+    #[must_use]
+    pub fn defect_plane(&self, col: usize) -> &[u64] {
+        assert!(col < self.cols, "column out of range");
+        &self.planes[col * self.plane_words..(col + 1) * self.plane_words]
+    }
+
+    /// All column defect bitplanes, concatenated (`num_cols()` slices of
+    /// [`CrossbarMatrix::plane_words`] words each, in column order).
+    #[must_use]
+    pub fn defect_planes(&self) -> &[u64] {
+        &self.planes
+    }
+
     /// Marks a crosspoint defective (stuck-open) — test helper.
     ///
     /// # Panics
@@ -351,6 +406,8 @@ impl CrossbarMatrix {
     /// Panics on out-of-range indices.
     pub fn set_defective(&mut self, row: usize, col: usize) {
         self.rows[row].set(col, false);
+        let pw = self.plane_words;
+        bits::set_bit(&mut self.planes[col * pw..(col + 1) * pw], row);
     }
 
     /// Fraction of functional crosspoints.
@@ -487,6 +544,62 @@ mod tests {
         assert_eq!(cm.row(1).count_ones(), 0, "stuck-closed row is all-0");
         assert!(!cm.row(2).get(7), "stuck-closed column cleared everywhere");
         assert!(!cm.row(0).get(7));
+    }
+
+    /// Checks the bitplane invariant from first principles: bit `r` of
+    /// plane `c` set exactly when row `r` has a 0 at column `c`, and all
+    /// bits at row index `>= num_rows()` clear.
+    fn assert_planes_consistent(cm: &CrossbarMatrix) {
+        let pw = cm.plane_words();
+        assert_eq!(pw, crate::bits::words_for(cm.num_rows()));
+        assert_eq!(cm.defect_planes().len(), cm.num_cols() * pw);
+        for c in 0..cm.num_cols() {
+            let plane = cm.defect_plane(c);
+            for bit in 0..pw * 64 {
+                let expect = bit < cm.num_rows() && !cm.row(bit).get(c);
+                assert_eq!(
+                    crate::bits::get_bit(plane, bit),
+                    expect,
+                    "col {c}, row-bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planes_track_every_mutator() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Perfect: all planes zero.
+        assert_planes_consistent(&CrossbarMatrix::perfect(5, 10));
+        // Crossing the 64-row word boundary.
+        for rows in [3usize, 64, 65, 130] {
+            let cm = CrossbarMatrix::sample_stuck_open(rows, 12, 0.3, &mut rng);
+            assert_planes_consistent(&cm);
+        }
+        // In-place resampling keeps planes in sync.
+        let mut cm = CrossbarMatrix::sample_stuck_open(70, 9, 0.4, &mut rng);
+        for _ in 0..3 {
+            cm.resample_stuck_open(0.15, &mut rng);
+            assert_planes_consistent(&cm);
+        }
+        // Manual defects.
+        cm.set_defective(69, 8);
+        cm.set_defective(0, 0);
+        assert_planes_consistent(&cm);
+    }
+
+    #[test]
+    fn planes_track_from_crossbar_semantics() {
+        let mut xbar = Crossbar::new(5, 10);
+        xbar.set_defect(0, 4, Defect::StuckOpen);
+        xbar.set_defect(1, 7, Defect::StuckClosed);
+        let cm = CrossbarMatrix::from_crossbar(&xbar);
+        assert_planes_consistent(&cm);
+        // The stuck-closed column shows in every row of plane 7.
+        let plane7 = cm.defect_plane(7);
+        for r in 0..5 {
+            assert!(crate::bits::get_bit(plane7, r));
+        }
     }
 
     #[test]

@@ -103,6 +103,9 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
     // share one code path and stay bit-identical.
     let mut counts = SuccessCount::new();
     let mut engine = MatchEngine::new();
+    // The FM is the campaign constant: extract its one-column structure
+    // once so every sample's adjacency build starts from the cache.
+    engine.prepare_fm(fm);
     let mut cm_buf = CrossbarMatrix::perfect(rows, cols);
     for _ in 0..config.samples {
         let success = if config.stuck_closed_fraction > 0.0 {

@@ -10,14 +10,12 @@ use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
     Reporter,
 };
-use crate::mc::monte_carlo;
+use crate::mc::monte_carlo_with;
 use crate::shard::json::JsonValue;
 use crate::table::{pct, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xbar_core::{
-    map_exact, map_hybrid_with, mapping_feasible, CrossbarMatrix, FunctionMatrix, HybridOptions,
-};
+use xbar_core::{CrossbarMatrix, FunctionMatrix, HybridOptions, MatchEngine};
 use xbar_logic::bench_reg::find;
 
 /// Ext-C as a registry [`Experiment`].
@@ -76,40 +74,56 @@ impl Experiment for ExtAblationHbaExperiment {
             let rows = fm.num_rows();
             let cols = fm.num_cols();
 
-            let samples = monte_carlo(params.samples, params.seed ^ 0xAB1A, |_, seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let cm =
-                    CrossbarMatrix::sample_stuck_open(rows, cols, params.defect_rate, &mut rng);
-                Counts {
-                    full: usize::from(
-                        map_hybrid_with(&fm, &cm, HybridOptions::default()).is_success(),
-                    ),
-                    no_backtrack: usize::from(
-                        map_hybrid_with(
-                            &fm,
-                            &cm,
-                            HybridOptions {
-                                backtracking: false,
-                                ..HybridOptions::default()
-                            },
-                        )
-                        .is_success(),
-                    ),
-                    greedy_outputs: usize::from(
-                        map_hybrid_with(
-                            &fm,
-                            &cm,
-                            HybridOptions {
-                                exact_outputs: false,
-                                ..HybridOptions::default()
-                            },
-                        )
-                        .is_success(),
-                    ),
-                    exact: usize::from(map_exact(&fm, &cm).is_success()),
-                    feasible: usize::from(mapping_feasible(&fm, &cm)),
-                }
-            });
+            // Per-worker engine (FM structure cached once) plus a reused
+            // crossbar matrix: the five variant queries per sample share
+            // one scratch set and allocate nothing. Decisions are
+            // byte-identical to the old per-sample facade calls.
+            let samples = monte_carlo_with(
+                params.samples,
+                params.seed ^ 0xAB1A,
+                || {
+                    let mut engine = MatchEngine::new();
+                    engine.prepare_fm(&fm);
+                    (engine, CrossbarMatrix::perfect(rows, cols))
+                },
+                |(engine, cm), _, seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    cm.resample_stuck_open(params.defect_rate, &mut rng);
+                    Counts {
+                        full: usize::from(
+                            engine
+                                .hybrid_success_with(&fm, cm, HybridOptions::default())
+                                .0,
+                        ),
+                        no_backtrack: usize::from(
+                            engine
+                                .hybrid_success_with(
+                                    &fm,
+                                    cm,
+                                    HybridOptions {
+                                        backtracking: false,
+                                        ..HybridOptions::default()
+                                    },
+                                )
+                                .0,
+                        ),
+                        greedy_outputs: usize::from(
+                            engine
+                                .hybrid_success_with(
+                                    &fm,
+                                    cm,
+                                    HybridOptions {
+                                        exact_outputs: false,
+                                        ..HybridOptions::default()
+                                    },
+                                )
+                                .0,
+                        ),
+                        exact: usize::from(engine.exact_success(&fm, cm).0),
+                        feasible: usize::from(engine.feasible(&fm, cm)),
+                    }
+                },
+            );
             let total = samples.len();
             let sum = samples.iter().fold(Counts::default(), |a, b| Counts {
                 full: a.full + b.full,

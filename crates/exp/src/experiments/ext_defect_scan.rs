@@ -15,7 +15,8 @@ use crate::table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xbar_core::{
-    map_hybrid, program_two_level, verify_against_cover, CrossbarMatrix, FunctionMatrix, VerifyMode,
+    program_two_level, verify_against_cover, CrossbarMatrix, FunctionMatrix, MatchEngine,
+    VerifyMode,
 };
 use xbar_device::{scan_cell_by_cell, scan_march, Crossbar, DefectProfile};
 use xbar_logic::bench_reg::find;
@@ -111,6 +112,9 @@ impl Experiment for ExtDefectScanExperiment {
         let mut attempted = 0usize;
         let mut mapped = 0usize;
         let mut verified = 0usize;
+        // One engine for the whole closed loop; the FM never changes.
+        let mut engine = MatchEngine::new();
+        engine.prepare_fm(&fm);
         for _ in 0..params.samples {
             let mut xbar = Crossbar::with_random_defects(
                 rows,
@@ -132,7 +136,7 @@ impl Experiment for ExtDefectScanExperiment {
                 }
             }
             attempted += 1;
-            if let Some(assignment) = map_hybrid(&fm, &cm).assignment {
+            if let Some(assignment) = engine.map_hybrid(&fm, &cm).assignment {
                 mapped += 1;
                 let mut machine = program_two_level(&cover, &assignment, xbar)
                     .map_err(|e| ExpError::Failed(format!("layout does not fit: {e:?}")))?;

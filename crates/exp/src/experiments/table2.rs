@@ -133,20 +133,26 @@ pub fn run_circuit_range_on(cover: &Cover, args: &ExpArgs, range: Range<usize>) 
     let rows = fm.num_rows();
     let cols = fm.num_cols();
 
-    // Each worker owns one engine plus one crossbar matrix and resamples it
-    // per trial: the hot loop performs zero heap allocations. Sampling
-    // consumes the per-sample RNG exactly like `sample_stuck_open`, so the
-    // statistics are bit-identical to the pre-engine implementation. HBA
-    // and EA stay separate calls (each paying its own adjacency build)
-    // because this table reports per-algorithm runtime; success-only loops
-    // should prefer `hybrid_and_exact_success`. Trials fold straight into
+    // Each worker owns one engine (FM structure cached up front via
+    // `prepare_fm` — the per-campaign half of the bitplane adjacency
+    // build) plus one crossbar matrix it resamples per trial: the hot
+    // loop performs zero heap allocations. Sampling consumes the
+    // per-sample RNG exactly like `sample_stuck_open`, so the statistics
+    // are bit-identical to the pre-engine implementation. HBA and EA stay
+    // separate calls (each paying its own adjacency build) because this
+    // table reports per-algorithm runtime; success-only loops should
+    // prefer `hybrid_and_exact_success`. Trials fold straight into
     // per-worker accumulators (nothing per-sample is materialized, so
     // memory stays flat at any sample count); success counters are
     // merge-exact, so the worker count never shows in the statistics.
     monte_carlo_range_fold(
         range,
         mc_seed(args.seed),
-        || (MatchEngine::new(), CrossbarMatrix::perfect(rows, cols)),
+        || {
+            let mut engine = MatchEngine::new();
+            engine.prepare_fm(&fm);
+            (engine, CrossbarMatrix::perfect(rows, cols))
+        },
         CircuitAccum::new,
         |accum, (engine, cm), _, seed| {
             let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);

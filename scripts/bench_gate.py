@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bench regression gate for BENCH_mapping.json (CI smoke run).
+
+Run after `mapping_throughput --quick`:
+
+    python3 scripts/bench_gate.py BENCH_mapping.json
+
+Fails (exit 1) when
+
+* any circuit's engine-vs-legacy speedup drops below its pinned floor
+  (floors are set well under measured values to absorb CI-runner noise,
+  but above the pre-bitplane engine's speedups, so losing the
+  word-parallel construction or the solve fast paths trips the gate), or
+* any circuit's HBA/EA success counts drift from the golden values for
+  the quick campaign (20 samples, seed 2018, 10% defects) — the
+  determinism contract of the mapping engine.
+
+The speedup is measured against the legacy dense mappers in the same
+process on the same machine, so the floor is machine-independent.
+"""
+
+import json
+import sys
+
+QUICK_SAMPLES = 20  # mapping_throughput --quick (200 / 10)
+QUICK_SEED = 2018
+QUICK_DEFECT_RATE = 0.1
+
+# name -> (speedup_floor, hba_successes, ea_successes)
+#
+# Floors for the large circuits sit above the pre-bitplane engine's
+# measured speedups (rd73 29x, rd84 54x, ex1010 75x, alu4 153x) and far
+# below current measurements (rd73 ~200x, rd84 ~350x, ex1010 ~900x,
+# alu4 ~3000x). The two small circuits finish in microseconds at quick
+# sample counts, so their floors are only a sanity check.
+GOLDEN = {
+    "rd53": (5.0, 18, 18),
+    "misex1": (2.0, 20, 20),
+    "rd73": (50.0, 15, 16),
+    "rd84": (100.0, 12, 15),
+    "ex1010": (200.0, 20, 20),
+    "alu4": (500.0, 20, 20),
+}
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("seed") != QUICK_SEED or doc.get("defect_rate") != QUICK_DEFECT_RATE:
+        print(
+            f"bench gate: campaign mismatch (seed {doc.get('seed')}, "
+            f"rate {doc.get('defect_rate')}); goldens are pinned for "
+            f"seed {QUICK_SEED} at rate {QUICK_DEFECT_RATE}"
+        )
+        return 1
+    failures = []
+    seen = set()
+    for c in doc["circuits"]:
+        name = c["name"]
+        if name not in GOLDEN:
+            continue
+        seen.add(name)
+        floor, hba, ea = GOLDEN[name]
+        if c["samples"] != QUICK_SAMPLES:
+            failures.append(
+                f"{name}: {c['samples']} samples (goldens pinned at {QUICK_SAMPLES}; "
+                f"run with --quick)"
+            )
+            continue
+        if c["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {c['speedup']:.2f}x below pinned floor {floor}x"
+            )
+        if (c["hba_successes"], c["ea_successes"]) != (hba, ea):
+            failures.append(
+                f"{name}: success counts ({c['hba_successes']}, {c['ea_successes']}) "
+                f"drifted from golden ({hba}, {ea})"
+            )
+    missing = sorted(set(GOLDEN) - seen)
+    if missing:
+        failures.append(f"missing circuits: {', '.join(missing)}")
+    if failures:
+        print("bench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"bench gate passed: {len(seen)} circuits at or above pinned floors, counts golden")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_mapping.json"))

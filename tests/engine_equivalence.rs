@@ -7,12 +7,18 @@
 //! * EA through the engine succeeds exactly when the dense feasibility
 //!   oracle says a mapping exists (EA ≡ feasibility), and any assignment it
 //!   returns is valid;
-//! * the scratch-reusing entry points agree with the one-shot facades.
+//! * the scratch-reusing entry points agree with the one-shot facades;
+//! * the bitplane-built packed adjacency equals the dense
+//!   `row_compatible` adjacency word for word on random
+//!   (FM, CM, defect-rate) triples;
+//! * the Hall fast-fail never changes a `MappingOutcome` (assignment or
+//!   stats) relative to the full-construction engine.
 
+use memristive_xbar_repro::core::bits;
 use memristive_xbar_repro::core::{
     map_exact_with_scratch, map_hybrid, map_hybrid_with_scratch, mapping_feasible,
-    mapping_feasible_with_scratch, reference, CrossbarMatrix, FunctionMatrix, HybridOptions,
-    MatchEngine,
+    mapping_feasible_with_scratch, reference, row_compatible, CrossbarMatrix, FunctionMatrix,
+    HybridOptions, MatchEngine,
 };
 use memristive_xbar_repro::logic::{Cover, Cube, Phase};
 use proptest::prelude::*;
@@ -146,5 +152,77 @@ proptest! {
         if let Some(assignment) = ea.assignment {
             prop_assert!(assignment.is_valid(&fm, &cm));
         }
+    }
+
+    /// The word-parallel bitplane construction produces, word for word,
+    /// the same packed adjacency the dense `row_compatible` probe sweep
+    /// defines — including across the 64-row word boundary (wide spare
+    /// range) and with unused top-word bits zero.
+    #[test]
+    fn bitplane_adjacency_equals_dense_adjacency(
+        inputs in 2usize..6,
+        outputs in 1usize..4,
+        cubes in 1usize..8,
+        spare in 0usize..70,
+        rate in 0.0f64..0.6,
+        seed in 0u64..1_000_000,
+    ) {
+        let cover = random_cover(inputs, outputs, cubes, seed.wrapping_add(0xB17));
+        let fm = FunctionMatrix::from_cover(&cover);
+        let cm = random_cm(&fm, spare, rate, seed.wrapping_add(0xB17));
+        let r = cm.num_rows();
+        let mut engine = MatchEngine::new();
+        let (words, cand) = engine.build_adjacency(&fm, &cm);
+        prop_assert_eq!(words, bits::words_for(r));
+        prop_assert_eq!(cand.len(), fm.num_rows() * words);
+        for f in 0..fm.num_rows() {
+            let row = &cand[f * words..(f + 1) * words];
+            for c in 0..words * 64 {
+                let expect = c < r && row_compatible(fm.row(f), cm.row(c));
+                prop_assert_eq!(
+                    bits::get_bit(row, c), expect,
+                    "fm row {}, cm row {} (r = {})", f, c, r
+                );
+            }
+        }
+    }
+
+    /// The Hall fast-fail is invisible in every observable: outcomes
+    /// (assignment *and* stats) of the fast-fail engine equal those of a
+    /// full-construction engine and the dense reference, for every option
+    /// combination and for EA/feasibility — at defect rates high enough
+    /// that empty candidate sets actually occur.
+    #[test]
+    fn hall_fast_fail_never_changes_outcomes(
+        inputs in 2usize..6,
+        outputs in 1usize..4,
+        cubes in 1usize..8,
+        spare in 0usize..3,
+        rate in 0.2f64..0.9,
+        seed in 0u64..1_000_000,
+    ) {
+        let cover = random_cover(inputs, outputs, cubes, seed.wrapping_add(0xFA57));
+        let fm = FunctionMatrix::from_cover(&cover);
+        let cm = random_cm(&fm, spare, rate, seed.wrapping_add(0xFA57));
+        let mut fast = MatchEngine::new();
+        let mut full = MatchEngine::new();
+        full.set_fast_fail(false);
+        for options in ALL_OPTIONS {
+            let via_fast = fast.map_hybrid_with(&fm, &cm, options);
+            let via_full = full.map_hybrid_with(&fm, &cm, options);
+            prop_assert_eq!(&via_fast, &via_full, "fast vs full, options {:?}", options);
+            prop_assert_eq!(
+                &via_fast,
+                &reference::map_hybrid_with(&fm, &cm, options),
+                "fast vs dense reference, options {:?}",
+                options
+            );
+        }
+        prop_assert_eq!(fast.exact_success(&fm, &cm), full.exact_success(&fm, &cm));
+        prop_assert_eq!(fast.feasible(&fm, &cm), full.feasible(&fm, &cm));
+        prop_assert_eq!(
+            fast.hybrid_and_exact_success(&fm, &cm),
+            full.hybrid_and_exact_success(&fm, &cm)
+        );
     }
 }
