@@ -11,6 +11,7 @@ use xbar_bench::throughput::{
     measure_circuit, measure_sharded, registry_crosscheck, render_json_with_sharded,
 };
 use xbar_bench::TABLE2_BENCH_CIRCUITS;
+use xbar_core::SampleStream;
 use xbar_exp::shard::coordinator::default_worker;
 
 struct Args {
@@ -104,19 +105,28 @@ fn main() {
         args.defect_rate * 100.0,
         args.seed
     );
+    // Every circuit is measured once per sampling stream: the V1 entries
+    // track the frozen dense sweep, the V2 entries the geometric skip —
+    // the bench gate compares the two streams' resample and end-to-end
+    // throughput on the same campaign.
     let mut results = Vec::new();
-    for name in &args.circuits {
-        let r = measure_circuit(name, args.samples, args.defect_rate, args.seed);
-        println!(
-            "  {:<8} {:>4}x{:<3} legacy {:>9.1}/s  engine {:>10.1}/s  speedup {:>6.2}x",
-            r.name,
-            r.rows,
-            r.cols,
-            r.legacy_sps(),
-            r.engine_sps(),
-            r.speedup()
-        );
-        results.push(r);
+    for stream in SampleStream::ALL {
+        for name in &args.circuits {
+            let r = measure_circuit(name, args.samples, args.defect_rate, args.seed, stream);
+            println!(
+                "  {:<8} [{}] {:>4}x{:<3} legacy {:>9.1}/s  engine {:>10.1}/s  speedup {:>6.2}x  \
+                 resample {:>10.1}/s",
+                r.name,
+                r.stream,
+                r.rows,
+                r.cols,
+                r.legacy_sps(),
+                r.engine_sps(),
+                r.speedup(),
+                r.resample_sps()
+            );
+            results.push(r);
+        }
     }
     let legacy: f64 = results.iter().map(|r| r.legacy_secs).sum();
     let engine: f64 = results.iter().map(|r| r.engine_secs).sum();
@@ -129,7 +139,9 @@ fn main() {
     // Tie the bench to the public API: the registry's table2 experiment
     // must report the exact success counts measured above.
     registry_crosscheck(&results, args.defect_rate, args.seed);
-    println!("registry crosscheck: table2 experiment reproduces every success count");
+    println!(
+        "registry crosscheck: table2 experiment reproduces every success count (both streams)"
+    );
     // Process-sharded coordinator throughput: same campaign through the
     // mc_shard worker binary, merged stats asserted byte-identical to the
     // monolithic run. Tracks the fan-out overhead of the multi-host path.

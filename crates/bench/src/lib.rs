@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xbar_core::{CrossbarMatrix, FunctionMatrix};
+use xbar_core::{CrossbarMatrix, DefectSampler, FunctionMatrix};
 use xbar_logic::bench_reg::find;
 use xbar_logic::Cover;
 
@@ -37,7 +37,7 @@ pub fn mapping_workload(name: &str, maps: usize, seed: u64) -> MappingWorkload {
     let fm = FunctionMatrix::from_cover(&cover);
     let mut rng = StdRng::seed_from_u64(seed);
     let defect_maps = (0..maps)
-        .map(|_| CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), 0.10, &mut rng))
+        .map(|_| DefectSampler::v1().sample(fm.num_rows(), fm.num_cols(), 0.10, &mut rng))
         .collect();
     MappingWorkload {
         name: name.to_owned(),

@@ -12,7 +12,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
-use xbar_core::{reference, CrossbarMatrix, FunctionMatrix, MatchEngine};
+use xbar_core::{
+    reference, CrossbarMatrix, DefectSampler, FunctionMatrix, MatchEngine, SampleStream,
+};
 use xbar_exp::sample_seed;
 use xbar_exp::shard::coordinator::{
     render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig, Worker,
@@ -25,6 +27,8 @@ use xbar_logic::bench_reg::find;
 pub struct CircuitThroughput {
     /// Circuit name.
     pub name: String,
+    /// Defect sampling stream both paths drew from.
+    pub stream: SampleStream,
     /// Optimum crossbar rows (`P + K`).
     pub rows: usize,
     /// Crossbar columns (`2I + 2K`).
@@ -35,8 +39,9 @@ pub struct CircuitThroughput {
     pub legacy_secs: f64,
     /// Wall-clock seconds for the engine path.
     pub engine_secs: f64,
-    /// Seconds spent drawing defect maps alone (`resample_stuck_open`),
-    /// measured over a separate pass with the same seeds.
+    /// Seconds spent drawing defect maps alone ([`DefectSampler::resample`]
+    /// on this entry's stream), measured over a separate pass with the
+    /// same seeds.
     pub resample_secs: f64,
     /// Seconds attributable to adjacency construction: a resample+build
     /// pass minus [`CircuitThroughput::resample_secs`] (clamped at 0).
@@ -73,11 +78,22 @@ impl CircuitThroughput {
     pub fn speedup(&self) -> f64 {
         self.legacy_secs / self.engine_secs.max(f64::MIN_POSITIVE)
     }
+
+    /// Defect maps drawn per second in the resample-only replay — the
+    /// number the bench gate compares across streams (V2's geometric skip
+    /// must beat V1's dense sweep by its pinned factor).
+    #[must_use]
+    pub fn resample_sps(&self) -> f64 {
+        self.samples as f64 / self.resample_secs.max(f64::MIN_POSITIVE)
+    }
 }
 
 /// Measures one circuit: `samples` trials per path at `defect_rate`,
 /// seeded like the Table II experiment (`sample_seed(seed ^ 0xBEEF, i)`),
-/// single-threaded so the number is per-core mapping throughput.
+/// single-threaded so the number is per-core mapping throughput. Both
+/// paths draw defect maps from `stream`, so V1 and V2 entries each get
+/// internally consistent success counts (V2's differ from V1's by design
+/// — different defect maps — and are pinned as their own goldens).
 ///
 /// # Panics
 ///
@@ -89,12 +105,14 @@ pub fn measure_circuit(
     samples: usize,
     defect_rate: f64,
     seed: u64,
+    stream: SampleStream,
 ) -> CircuitThroughput {
     let info = find(name).expect("registered benchmark");
     let cover = info.mapping_cover(seed);
     let fm = FunctionMatrix::from_cover(&cover);
     let rows = fm.num_rows();
     let cols = fm.num_cols();
+    let sampler = DefectSampler::new(stream);
 
     // Legacy path: fresh allocations per trial, dense mappers.
     let t0 = Instant::now();
@@ -102,7 +120,7 @@ pub fn measure_circuit(
     let mut legacy_ea = 0usize;
     for i in 0..samples {
         let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
-        let cm = CrossbarMatrix::sample_stuck_open(rows, cols, defect_rate, &mut rng);
+        let cm = sampler.sample(rows, cols, defect_rate, &mut rng);
         legacy_hba += usize::from(reference::map_hybrid(&fm, &cm).is_success());
         legacy_ea += usize::from(reference::map_exact(&fm, &cm).is_success());
     }
@@ -118,7 +136,7 @@ pub fn measure_circuit(
     let mut engine_ea = 0usize;
     for i in 0..samples {
         let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
-        cm.resample_stuck_open(defect_rate, &mut rng);
+        sampler.resample(&mut cm, defect_rate, &mut rng);
         let ((hba_ok, _), (ea_ok, _)) = engine.hybrid_and_exact_success(&fm, &cm);
         engine_hba += usize::from(hba_ok);
         engine_ea += usize::from(ea_ok);
@@ -132,14 +150,14 @@ pub fn measure_circuit(
     let t2 = Instant::now();
     for i in 0..samples {
         let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
-        cm.resample_stuck_open(defect_rate, &mut rng);
+        sampler.resample(&mut cm, defect_rate, &mut rng);
         std::hint::black_box(&cm);
     }
     let resample_secs = t2.elapsed().as_secs_f64();
     let t3 = Instant::now();
     for i in 0..samples {
         let mut rng = StdRng::seed_from_u64(sample_seed(seed ^ 0xBEEF, i));
-        cm.resample_stuck_open(defect_rate, &mut rng);
+        sampler.resample(&mut cm, defect_rate, &mut rng);
         let (_, cand) = engine.build_adjacency(&fm, &cm);
         std::hint::black_box(cand);
     }
@@ -153,6 +171,7 @@ pub fn measure_circuit(
 
     CircuitThroughput {
         name: name.to_owned(),
+        stream,
         rows,
         cols,
         samples,
@@ -248,6 +267,7 @@ pub fn measure_sharded(
             samples,
             seed,
             defect_rate,
+            stream: SampleStream::V1,
             circuits: circuits.to_vec(),
         },
         shards,
@@ -306,40 +326,52 @@ pub fn registry_crosscheck(results: &[CircuitThroughput], defect_rate: f64, seed
     use xbar_exp::{find_experiment, Params, Reporter};
 
     let exp = find_experiment("table2").expect("table2 is registered");
-    let samples = results.first().map_or(0, |r| r.samples);
-    let circuits: Vec<String> = results.iter().map(|r| r.name.clone()).collect();
-    let flags = [
-        "--samples".to_owned(),
-        samples.to_string(),
-        "--seed".to_owned(),
-        seed.to_string(),
-        "--defect-rate".to_owned(),
-        format!("{defect_rate:?}"),
-        "--circuits".to_owned(),
-        circuits.join(","),
-    ];
-    let params = Params::parse(exp.extra_params(), flags).expect("bench flags parse");
-    let artifact = exp
-        .run(&params, &mut Reporter::quiet())
-        .expect("registry table2 run succeeds");
-    let doc = Json::parse(&artifact.render(exp, &params)).expect("artifact parses");
-    let entries = doc
-        .get("data")
-        .and_then(|d| d.get("circuits"))
-        .and_then(Json::as_arr)
-        .expect("artifact carries circuits");
-    for r in results {
-        let entry = entries
-            .iter()
-            .find(|e| e.get("name").and_then(Json::as_str) == Some(r.name.as_str()))
-            .unwrap_or_else(|| panic!("{}: missing from the registry artifact", r.name));
-        let count = |key: &str| entry.get(key).and_then(Json::as_u64).expect("u64 count");
-        assert_eq!(
-            (count("hba_successes"), count("ea_successes")),
-            (r.hba_successes as u64, r.ea_successes as u64),
-            "{}: registry experiment and bench workload disagree",
-            r.name
-        );
+    // One registry run per sampling stream present in the results: the
+    // `--rng-stream` flag must round-trip through the typed params layer
+    // and reproduce each stream's own success counts.
+    for stream in SampleStream::ALL {
+        let group: Vec<&CircuitThroughput> =
+            results.iter().filter(|r| r.stream == stream).collect();
+        let Some(first) = group.first() else {
+            continue;
+        };
+        let samples = first.samples;
+        let circuits: Vec<String> = group.iter().map(|r| r.name.clone()).collect();
+        let flags = [
+            "--samples".to_owned(),
+            samples.to_string(),
+            "--seed".to_owned(),
+            seed.to_string(),
+            "--defect-rate".to_owned(),
+            format!("{defect_rate:?}"),
+            "--circuits".to_owned(),
+            circuits.join(","),
+            "--rng-stream".to_owned(),
+            stream.as_str().to_owned(),
+        ];
+        let params = Params::parse(exp.extra_params(), flags).expect("bench flags parse");
+        let artifact = exp
+            .run(&params, &mut Reporter::quiet())
+            .expect("registry table2 run succeeds");
+        let doc = Json::parse(&artifact.render(exp, &params)).expect("artifact parses");
+        let entries = doc
+            .get("data")
+            .and_then(|d| d.get("circuits"))
+            .and_then(Json::as_arr)
+            .expect("artifact carries circuits");
+        for r in &group {
+            let entry = entries
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(r.name.as_str()))
+                .unwrap_or_else(|| panic!("{}: missing from the registry artifact", r.name));
+            let count = |key: &str| entry.get(key).and_then(Json::as_u64).expect("u64 count");
+            assert_eq!(
+                (count("hba_successes"), count("ea_successes")),
+                (r.hba_successes as u64, r.ea_successes as u64),
+                "{} [{stream}]: registry experiment and bench workload disagree",
+                r.name
+            );
+        }
     }
 }
 
@@ -376,18 +408,20 @@ pub fn render_json_with_sharded(
         let phases = (r.resample_secs + r.build_secs + r.solve_secs).max(f64::MIN_POSITIVE);
         let _ = writeln!(
             out,
-            "    {{\"name\": \"{}\", \"rows\": {}, \"cols\": {}, \"samples\": {}, \
+            "    {{\"name\": \"{}\", \"stream\": \"{}\", \"rows\": {}, \"cols\": {}, \"samples\": {}, \
              \"legacy_samples_per_sec\": {:.1}, \"engine_samples_per_sec\": {:.1}, \
-             \"speedup\": {:.2}, \
+             \"speedup\": {:.2}, \"resample_samples_per_sec\": {:.1}, \
              \"engine_phase_fractions\": {{\"resample\": {:.2}, \"build\": {:.2}, \"solve\": {:.2}}}, \
              \"hba_successes\": {}, \"ea_successes\": {}}}{comma}",
             r.name,
+            r.stream,
             r.rows,
             r.cols,
             r.samples,
             r.legacy_sps(),
             r.engine_sps(),
             r.speedup(),
+            r.resample_sps(),
             r.resample_secs / phases,
             r.build_secs / phases,
             r.solve_secs / phases,
@@ -435,7 +469,7 @@ mod tests {
 
     #[test]
     fn measure_asserts_identical_decisions_and_counts_sensibly() {
-        let r = measure_circuit("rd53", 8, 0.10, 2018);
+        let r = measure_circuit("rd53", 8, 0.10, 2018, SampleStream::V1);
         assert_eq!(r.samples, 8);
         assert!(r.rows > 0 && r.cols > 0);
         assert!(r.ea_successes >= r.hba_successes);
@@ -443,13 +477,25 @@ mod tests {
     }
 
     #[test]
+    fn v2_measures_with_internally_consistent_counts() {
+        // The decision-identity assert inside measure_circuit is the real
+        // check: legacy and engine paths must agree sample-for-sample when
+        // both draw from the V2 stream.
+        let r = measure_circuit("rd53", 8, 0.10, 2018, SampleStream::V2);
+        assert_eq!(r.stream, SampleStream::V2);
+        assert!(r.ea_successes >= r.hba_successes);
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
-        let r = measure_circuit("rd53", 4, 0.10, 7);
+        let r = measure_circuit("rd53", 4, 0.10, 7, SampleStream::V1);
         let json = render_json(&[r], 0.10, 7);
         assert!(json.starts_with("{\n"));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"total\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"stream\": \"v1\""));
+        assert!(json.contains("\"resample_samples_per_sec\""));
         assert!(json.contains("\"engine_phase_fractions\""));
         assert!(!json.contains("\"sharded\""));
         assert_eq!(
@@ -461,7 +507,7 @@ mod tests {
 
     #[test]
     fn sharded_entry_renders_into_the_document() {
-        let r = measure_circuit("rd53", 4, 0.10, 7);
+        let r = measure_circuit("rd53", 4, 0.10, 7, SampleStream::V1);
         let sharded = ShardedThroughput {
             shards: 3,
             samples: 20,

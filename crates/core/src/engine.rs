@@ -607,7 +607,7 @@ impl MatchEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::matrices::row_compatible;
+    use crate::matrices::{row_compatible, DefectSampler};
     use crate::reference;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -635,7 +635,7 @@ mod tests {
         engine.prepare_fm(&fm);
         let mut rng = StdRng::seed_from_u64(2018);
         for trial in 0..400 {
-            let cm = CrossbarMatrix::sample_stuck_open(7, 10, 0.15, &mut rng);
+            let cm = DefectSampler::v1().sample(7, 10, 0.15, &mut rng);
             let expected = reference::map_hybrid(&fm, &cm);
             let got = engine.map_hybrid(&fm, &cm);
             assert_eq!(got, expected, "trial {trial}");
@@ -668,7 +668,7 @@ mod tests {
             },
         ];
         for trial in 0..200 {
-            let cm = CrossbarMatrix::sample_stuck_open(6, 10, 0.15, &mut rng);
+            let cm = DefectSampler::v1().sample(6, 10, 0.15, &mut rng);
             for options in variants {
                 let expected = reference::map_hybrid_with(&fm, &cm, options);
                 let got = engine.map_hybrid_with(&fm, &cm, options);
@@ -707,7 +707,7 @@ mod tests {
         let mut engine = MatchEngine::new();
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..100 {
-            let cm = CrossbarMatrix::sample_stuck_open(6, 10, 0.12, &mut rng);
+            let cm = DefectSampler::v1().sample(6, 10, 0.12, &mut rng);
             let (hba_ok, hba_stats) = engine.hybrid_success(&fm, &cm);
             let outcome = engine.map_hybrid(&fm, &cm);
             assert_eq!(hba_ok, outcome.is_success());
@@ -725,7 +725,7 @@ mod tests {
         let mut engine = MatchEngine::new();
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..200 {
-            let cm = CrossbarMatrix::sample_stuck_open(7, 10, 0.15, &mut rng);
+            let cm = DefectSampler::v1().sample(7, 10, 0.15, &mut rng);
             let (hybrid, exact) = engine.hybrid_and_exact_success(&fm, &cm);
             assert_eq!(hybrid, engine.hybrid_success(&fm, &cm));
             assert_eq!(exact, engine.exact_success(&fm, &cm));
@@ -742,7 +742,7 @@ mod tests {
         let mut engine = MatchEngine::new();
         let mut rng = StdRng::seed_from_u64(31);
         for rows in [6usize, 7, 64, 65, 100] {
-            let cm = CrossbarMatrix::sample_stuck_open(rows, 10, 0.2, &mut rng);
+            let cm = DefectSampler::v1().sample(rows, 10, 0.2, &mut rng);
             let (words, cand) = engine.build_adjacency(&fm, &cm);
             assert_eq!(words, words_for(rows));
             assert_eq!(cand.len(), fm.num_rows() * words);
@@ -777,7 +777,7 @@ mod tests {
         let mut engine = MatchEngine::new();
         let mut rng = StdRng::seed_from_u64(41);
         for _ in 0..100 {
-            let cm = CrossbarMatrix::sample_stuck_open(7, 10, 0.2, &mut rng);
+            let cm = DefectSampler::v1().sample(7, 10, 0.2, &mut rng);
             for fm in [&fm_a, &fm_b] {
                 assert_eq!(
                     engine.map_hybrid(fm, &cm),
@@ -800,7 +800,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let mut failures = 0;
         for trial in 0..300 {
-            let cm = CrossbarMatrix::sample_stuck_open(8, 10, 0.55, &mut rng);
+            let cm = DefectSampler::v1().sample(8, 10, 0.55, &mut rng);
             for options in [
                 HybridOptions::default(),
                 HybridOptions {
@@ -834,7 +834,7 @@ mod tests {
         let fm = fig8_fm();
         let mut cm = CrossbarMatrix::perfect(8, 10);
         let mut rng = StdRng::seed_from_u64(1);
-        cm.resample_stuck_open(1.0, &mut rng);
+        DefectSampler::v1().resample(&mut cm, 1.0, &mut rng);
         let mut engine = MatchEngine::new();
         assert_eq!(engine.map_hybrid(&fm, &cm), reference::map_hybrid(&fm, &cm));
         assert!(!engine.feasible(&fm, &cm));

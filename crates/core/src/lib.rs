@@ -93,7 +93,9 @@ pub use mapping::{
     map_naive, mapping_feasible, mapping_feasible_with_scratch, HybridOptions, MappingOutcome,
     MappingStats, RowAssignment,
 };
-pub use matrices::{row_compatible, BitRow, CrossbarMatrix, FunctionMatrix};
+pub use matrices::{
+    row_compatible, BitRow, CrossbarMatrix, DefectSampler, FunctionMatrix, SampleStream,
+};
 pub use multilevel::{map_multilevel, MultiLevelDesign, MultiLevelMapping};
 pub use redundancy::{estimate_yield, redundancy_sweep, MapperKind, YieldConfig, YieldResult};
 pub use stats::{Moments, SuccessCount};

@@ -393,6 +393,7 @@ pub mod reference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrices::DefectSampler;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use xbar_logic::{cube, Cover};
@@ -449,7 +450,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mut feasible_count = 0;
         for _ in 0..300 {
-            let cm = CrossbarMatrix::sample_stuck_open(6, 10, 0.15, &mut rng);
+            let cm = DefectSampler::v1().sample(6, 10, 0.15, &mut rng);
             let feasible = mapping_feasible(&fm, &cm);
             let exact = map_exact(&fm, &cm);
             assert_eq!(exact.is_success(), feasible, "EA must equal feasibility");
@@ -467,7 +468,7 @@ mod tests {
         let mut hybrid_wins = 0;
         let mut exact_wins = 0;
         for _ in 0..300 {
-            let cm = CrossbarMatrix::sample_stuck_open(6, 10, 0.12, &mut rng);
+            let cm = DefectSampler::v1().sample(6, 10, 0.12, &mut rng);
             let hybrid = map_hybrid(&fm, &cm);
             let exact = map_exact(&fm, &cm);
             if let Some(a) = &hybrid.assignment {
@@ -552,7 +553,7 @@ mod tests {
         let mut no_backtrack = 0usize;
         let mut greedy_outputs = 0usize;
         for _ in 0..300 {
-            let cm = CrossbarMatrix::sample_stuck_open(6, 10, 0.15, &mut rng);
+            let cm = DefectSampler::v1().sample(6, 10, 0.15, &mut rng);
             let variants = [
                 (HybridOptions::default(), &mut full),
                 (
@@ -600,8 +601,8 @@ mod tests {
         let mut optimum = 0;
         let mut redundant = 0;
         for _ in 0..200 {
-            let cm6 = CrossbarMatrix::sample_stuck_open(6, 10, 0.25, &mut rng);
-            let cm9 = CrossbarMatrix::sample_stuck_open(9, 10, 0.25, &mut rng);
+            let cm6 = DefectSampler::v1().sample(6, 10, 0.25, &mut rng);
+            let cm9 = DefectSampler::v1().sample(9, 10, 0.25, &mut rng);
             optimum += usize::from(map_exact(&fm, &cm6).is_success());
             redundant += usize::from(map_exact(&fm, &cm9).is_success());
         }

@@ -12,7 +12,7 @@
 
 use crate::engine::MatchEngine;
 use crate::mapping::{map_exact, map_hybrid, MappingOutcome};
-use crate::matrices::{CrossbarMatrix, FunctionMatrix};
+use crate::matrices::{CrossbarMatrix, DefectSampler, FunctionMatrix, SampleStream};
 use crate::stats::SuccessCount;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,6 +68,10 @@ pub struct YieldConfig {
     pub mapper: MapperKind,
     /// RNG seed.
     pub seed: u64,
+    /// Defect sampling stream for the stuck-open-only regime (mixed
+    /// stuck-open/stuck-closed sampling goes through device-level
+    /// [`Crossbar`] construction, which is stream-independent).
+    pub stream: SampleStream,
 }
 
 /// Result of a yield experiment.
@@ -107,6 +111,7 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
     // once so every sample's adjacency build starts from the cache.
     engine.prepare_fm(fm);
     let mut cm_buf = CrossbarMatrix::perfect(rows, cols);
+    let sampler = DefectSampler::new(config.stream);
     for _ in 0..config.samples {
         let success = if config.stuck_closed_fraction > 0.0 {
             // Stuck-closed defects need full device semantics (row/column
@@ -121,7 +126,7 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
         } else {
             // Stuck-open-only sampling reuses one matrix and the engine's
             // scratch: zero allocations per sample.
-            cm_buf.resample_stuck_open(config.defect_rate, &mut rng);
+            sampler.resample(&mut cm_buf, config.defect_rate, &mut rng);
             config.mapper.succeeds_with(&mut engine, fm, &cm_buf)
         };
         counts.push(success);
@@ -185,6 +190,7 @@ mod tests {
             samples: 150,
             mapper: MapperKind::Exact,
             seed: 17,
+            stream: SampleStream::V1,
         }
     }
 

@@ -27,6 +27,8 @@ pub struct ExpArgs {
     pub seed: u64,
     /// Per-crosspoint defect probability (paper default: 0.10).
     pub defect_rate: f64,
+    /// Defect sampling stream version (`--rng-stream`, default V1).
+    pub stream: xbar_core::SampleStream,
     /// Optional CSV output path.
     pub csv: Option<PathBuf>,
 }
@@ -37,6 +39,7 @@ impl Default for ExpArgs {
             samples: 200,
             seed: 2018,
             defect_rate: 0.10,
+            stream: xbar_core::SampleStream::V1,
             csv: None,
         }
     }

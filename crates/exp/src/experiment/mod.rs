@@ -16,7 +16,9 @@
 mod params;
 mod registry;
 
-pub use params::{spec, ParamKind, ParamSpec, ParamValue, Params, UsageError, COMMON_PARAMS};
+pub use params::{
+    spec, ParamKind, ParamSpec, ParamValue, Params, UsageError, COMMON_PARAMS, RNG_STREAM_PARAM,
+};
 pub use registry::{find_experiment, registry};
 
 use crate::shard::json::JsonValue;

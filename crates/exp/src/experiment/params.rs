@@ -12,6 +12,7 @@ use crate::shard::json::JsonValue;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
+use xbar_core::SampleStream;
 
 /// A flag-parsing/usage error. The CLI driver prints it with the
 /// experiment's usage text and exits with code 2.
@@ -46,16 +47,20 @@ pub enum ParamKind {
     Str,
     /// A comma-separated list of strings.
     StrList,
+    /// A closed choice: the value must be one of the listed literals
+    /// (stored and echoed as a string).
+    Enum(&'static [&'static str]),
 }
 
 impl ParamKind {
-    fn value_hint(self) -> &'static str {
+    fn value_hint(self) -> String {
         match self {
-            ParamKind::USize | ParamKind::U64 => "N",
-            ParamKind::F64 => "F",
-            ParamKind::Flag => "",
-            ParamKind::Str => "S",
-            ParamKind::StrList => "a,b",
+            ParamKind::USize | ParamKind::U64 => "N".to_owned(),
+            ParamKind::F64 => "F".to_owned(),
+            ParamKind::Flag => String::new(),
+            ParamKind::Str => "S".to_owned(),
+            ParamKind::StrList => "a,b".to_owned(),
+            ParamKind::Enum(choices) => choices.join("|"),
         }
     }
 }
@@ -145,9 +150,27 @@ impl ParamSpec {
                 }
                 ParamValue::StrList(text.split(',').map(str::to_owned).collect())
             }
+            ParamKind::Enum(choices) => {
+                if !choices.contains(&text) {
+                    return Err(bad(&format!("one of {}", choices.join(", "))));
+                }
+                ParamValue::Str(text.to_owned())
+            }
         })
     }
 }
+
+/// The shared `--rng-stream` declaration: every experiment that samples
+/// defects adds this spec, so campaigns pick the sampling stream version
+/// with one flag and the artifact `params` block echoes it
+/// deterministically. The default is `v1`, the frozen dense stream —
+/// existing invocations keep their bytes.
+pub const RNG_STREAM_PARAM: ParamSpec = spec(
+    "rng-stream",
+    ParamKind::Enum(&["v1", "v2"]),
+    "v1",
+    "defect sampling stream: v1 = frozen dense sweep, v2 = geometric skip",
+);
 
 /// The parameters every experiment shares (the old `ExpArgs` surface plus
 /// output routing), rendered in usage text for all experiments.
@@ -365,6 +388,18 @@ impl Params {
         }
     }
 
+    /// The defect sampling stream selected by `--rng-stream`, or
+    /// [`SampleStream::V1`] for experiments that never declared
+    /// [`RNG_STREAM_PARAM`] (deterministic experiments sample nothing).
+    #[must_use]
+    pub fn sample_stream(&self) -> SampleStream {
+        match self.extras.get(RNG_STREAM_PARAM.name) {
+            Some(ParamValue::Str(v)) => SampleStream::parse(v)
+                .unwrap_or_else(|_| panic!("--rng-stream validated at parse time, got {v:?}")),
+            _ => SampleStream::V1,
+        }
+    }
+
     /// The equivalent legacy [`ExpArgs`](crate::ExpArgs) for experiment
     /// code that predates the typed layer.
     #[must_use]
@@ -373,6 +408,7 @@ impl Params {
             samples: self.samples,
             seed: self.seed,
             defect_rate: self.defect_rate,
+            stream: self.sample_stream(),
             csv: self.csv.clone(),
         }
     }
@@ -451,6 +487,7 @@ mod tests {
         ),
         spec("verbose", ParamKind::Flag, "false", "print more"),
         spec("sizes", ParamKind::StrList, "8,9", "input sizes"),
+        RNG_STREAM_PARAM,
     ];
 
     fn parse(words: &[&str]) -> Result<Params, UsageError> {
@@ -533,6 +570,35 @@ mod tests {
             let err = parse(words).expect_err("must fail");
             assert!(err.0.contains(needle), "{words:?}: {err}");
         }
+    }
+
+    #[test]
+    fn enum_params_validate_their_choices() {
+        // Default: the declared literal, typed through sample_stream().
+        let p = parse(&[]).expect("defaults parse");
+        assert_eq!(p.str("rng-stream"), "v1");
+        assert_eq!(p.sample_stream(), SampleStream::V1);
+
+        let p = parse(&["--rng-stream", "v2"]).expect("parses");
+        assert_eq!(p.sample_stream(), SampleStream::V2);
+
+        let err = parse(&["--rng-stream", "v3"]).expect_err("must fail");
+        assert!(err.0.contains("one of v1, v2"), "{err}");
+    }
+
+    #[test]
+    fn sample_stream_defaults_to_v1_when_undeclared() {
+        // Experiments that never declared RNG_STREAM_PARAM (deterministic
+        // ones) still answer V1 instead of panicking.
+        let p = Params::parse(&[], std::iter::empty()).expect("parses");
+        assert_eq!(p.sample_stream(), SampleStream::V1);
+    }
+
+    #[test]
+    fn enum_usage_hint_lists_the_choices() {
+        let text = Params::usage("demo", "a demo experiment", EXTRA);
+        assert!(text.contains("--rng-stream v1|v2"), "{text}");
+        assert!(text.contains("(default v1)"), "{text}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
-    Reporter,
+    Reporter, RNG_STREAM_PARAM,
 };
 use crate::shard::json::JsonValue;
 use crate::table::{pct, Table};
@@ -41,6 +41,7 @@ const YIELD_PARAMS: &[ParamSpec] = &[
         "hybrid",
         "mapping algorithm: `hybrid` (HBA) or `exact` (EA)",
     ),
+    RNG_STREAM_PARAM,
 ];
 
 /// Parses a `--mapper` value.
@@ -99,6 +100,7 @@ impl Experiment for EstimateYieldExperiment {
                 samples: params.samples,
                 mapper,
                 seed: params.seed,
+                stream: params.sample_stream(),
             },
         );
 

@@ -8,26 +8,29 @@
 
 use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
-    Reporter,
+    Reporter, RNG_STREAM_PARAM,
 };
 use crate::mc::monte_carlo_with;
 use crate::shard::json::JsonValue;
 use crate::table::{pct, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xbar_core::{CrossbarMatrix, FunctionMatrix, HybridOptions, MatchEngine};
+use xbar_core::{CrossbarMatrix, DefectSampler, FunctionMatrix, HybridOptions, MatchEngine};
 use xbar_logic::bench_reg::find;
 
 /// Ext-C as a registry [`Experiment`].
 #[derive(Debug, Clone, Copy)]
 pub struct ExtAblationHbaExperiment;
 
-const EXT_C_PARAMS: &[ParamSpec] = &[spec(
-    "circuits",
-    ParamKind::StrList,
-    "rd53,sao2,rd73,clip,rd84,exp5",
-    "registry circuits to ablate",
-)];
+const EXT_C_PARAMS: &[ParamSpec] = &[
+    spec(
+        "circuits",
+        ParamKind::StrList,
+        "rd53,sao2,rd73,clip,rd84,exp5",
+        "registry circuits to ablate",
+    ),
+    RNG_STREAM_PARAM,
+];
 
 #[derive(Clone, Copy, Default)]
 struct Counts {
@@ -88,7 +91,11 @@ impl Experiment for ExtAblationHbaExperiment {
                 },
                 |(engine, cm), _, seed| {
                     let mut rng = StdRng::seed_from_u64(seed);
-                    cm.resample_stuck_open(params.defect_rate, &mut rng);
+                    DefectSampler::new(params.sample_stream()).resample(
+                        cm,
+                        params.defect_rate,
+                        &mut rng,
+                    );
                     Counts {
                         full: usize::from(
                             engine

@@ -9,14 +9,14 @@
 use super::fig2_fig4::worked_example_cover;
 use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
-    Reporter,
+    Reporter, RNG_STREAM_PARAM,
 };
 use crate::mc::monte_carlo;
 use crate::shard::json::JsonValue;
 use crate::table::{pct, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xbar_core::{map_multilevel, CrossbarMatrix, MultiLevelDesign};
+use xbar_core::{map_multilevel, DefectSampler, MultiLevelDesign, SampleStream};
 use xbar_logic::RandomSopSpec;
 use xbar_netlist::MapOptions;
 
@@ -24,12 +24,15 @@ use xbar_netlist::MapOptions;
 #[derive(Debug, Clone, Copy)]
 pub struct ExtMultilevelDefectsExperiment;
 
-const EXT_B_PARAMS: &[ParamSpec] = &[spec(
-    "permutations",
-    ParamKind::USize,
-    "8",
-    "connection-column permutations tried per mapping attempt",
-)];
+const EXT_B_PARAMS: &[ParamSpec] = &[
+    spec(
+        "permutations",
+        ParamKind::USize,
+        "8",
+        "connection-column permutations tried per mapping attempt",
+    ),
+    RNG_STREAM_PARAM,
+];
 
 const RATES: [f64; 3] = [0.05, 0.10, 0.15];
 const SPARES: [usize; 4] = [0, 1, 2, 4];
@@ -42,12 +45,13 @@ fn successes(
     samples: usize,
     seed: u64,
     permutations: usize,
+    stream: SampleStream,
 ) -> usize {
     let rows = design.cost.rows + spare_rows;
     let cols = design.cost.cols;
     let results = monte_carlo(samples, seed, |_, s| {
         let mut rng = StdRng::seed_from_u64(s);
-        let cm = CrossbarMatrix::sample_stuck_open(rows, cols, defect_rate, &mut rng);
+        let cm = DefectSampler::new(stream).sample(rows, cols, defect_rate, &mut rng);
         map_multilevel(design, &cm, permutations, s ^ 0xFACE).is_some()
     });
     results.iter().filter(|&&ok| ok).count()
@@ -119,6 +123,7 @@ impl Experiment for ExtMultilevelDefectsExperiment {
                         params.samples,
                         params.seed,
                         permutations,
+                        params.sample_stream(),
                     );
                     row.push(pct(succ as f64 / params.samples.max(1) as f64));
                     cells.push((name.clone(), rate, spare, succ));

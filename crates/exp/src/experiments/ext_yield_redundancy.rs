@@ -10,7 +10,7 @@
 
 use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
-    Reporter,
+    Reporter, RNG_STREAM_PARAM,
 };
 use crate::shard::json::JsonValue;
 use crate::table::{pct, Table};
@@ -21,12 +21,15 @@ use xbar_logic::bench_reg::find;
 #[derive(Debug, Clone, Copy)]
 pub struct ExtYieldRedundancyExperiment;
 
-const EXT_A_PARAMS: &[ParamSpec] = &[spec(
-    "circuit",
-    ParamKind::Str,
-    "rd53",
-    "registry circuit whose function matrix is swept",
-)];
+const EXT_A_PARAMS: &[ParamSpec] = &[
+    spec(
+        "circuit",
+        ParamKind::Str,
+        "rd53",
+        "registry circuit whose function matrix is swept",
+    ),
+    RNG_STREAM_PARAM,
+];
 
 /// One sweep cell: `(spare_rows, successes, samples)`.
 type SpareCell = (usize, u64, u64);
@@ -84,6 +87,7 @@ impl Experiment for ExtYieldRedundancyExperiment {
                                     samples: params.samples,
                                     mapper,
                                     seed,
+                                    stream: params.sample_stream(),
                                 },
                             );
                             (spare, result.successes as u64, result.samples as u64)

@@ -2,16 +2,20 @@
 //! zero-cost Munkres assignment, printed end to end.
 
 use super::fig7::fig7_cover;
-use crate::experiment::{Artifact, ExpError, Experiment, Params, Reporter};
+use crate::experiment::{
+    Artifact, ExpError, Experiment, ParamSpec, Params, Reporter, RNG_STREAM_PARAM,
+};
 use crate::shard::json::JsonValue;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xbar_assign::{munkres, CostMatrix};
-use xbar_core::{row_compatible, CrossbarMatrix, FunctionMatrix};
+use xbar_core::{row_compatible, DefectSampler, FunctionMatrix};
 
 /// Fig. 8 as a registry [`Experiment`].
 #[derive(Debug, Clone, Copy)]
 pub struct Fig8Experiment;
+
+const FIG8_PARAMS: &[ParamSpec] = &[RNG_STREAM_PARAM];
 
 impl Experiment for Fig8Experiment {
     fn name(&self) -> &'static str {
@@ -23,11 +27,15 @@ impl Experiment for Fig8Experiment {
          on a sampled defect map"
     }
 
+    fn extra_params(&self) -> &'static [ParamSpec] {
+        FIG8_PARAMS
+    }
+
     fn run(&self, params: &Params, reporter: &mut Reporter) -> Result<Artifact, ExpError> {
         let cover = fig7_cover();
         let fm = FunctionMatrix::from_cover(&cover);
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let cm = CrossbarMatrix::sample_stuck_open(
+        let cm = DefectSampler::new(params.sample_stream()).sample(
             fm.num_rows(),
             fm.num_cols(),
             params.defect_rate,

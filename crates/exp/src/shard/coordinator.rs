@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use xbar_core::SampleStream;
 
 /// Schema tag of the merged stats artifact.
 pub const MERGED_SCHEMA: &str = "xbar-mc-merged/1";
@@ -194,6 +195,13 @@ pub fn merge_partials(
                 partial.config.defect_rate, config.defect_rate
             ));
         }
+        if partial.config.stream != config.stream {
+            return Err(format!(
+                "{id}: rng stream {} != campaign {} (a shard sampled under a \
+                 different stream cannot merge into this campaign)",
+                partial.config.stream, config.stream
+            ));
+        }
         if partial.config.circuits != config.circuits {
             return Err(format!(
                 "{id}: circuit list {:?} != campaign {:?}",
@@ -275,6 +283,8 @@ fn spawn_worker(
         .arg("--defect-rate")
         // Shortest-round-trip text: the worker parses back the exact bits.
         .arg(format!("{:?}", cfg.config.defect_rate))
+        .arg("--rng-stream")
+        .arg(cfg.config.stream.as_str())
         .arg("--circuits")
         .arg(cfg.config.circuits.join(","))
         .arg("--shard-index")
@@ -421,6 +431,11 @@ pub fn render_stats_json(merged: &MergedResult) -> String {
     let _ = writeln!(out, "  \"seed\": {},", merged.config.seed);
     let _ = writeln!(out, "  \"defect_rate\": {:?},", merged.config.defect_rate);
     let _ = writeln!(out, "  \"samples\": {},", merged.config.samples);
+    // V1 artifacts keep their pre-versioning bytes; V2 campaigns declare
+    // the stream they were sampled under.
+    if merged.config.stream != SampleStream::V1 {
+        let _ = writeln!(out, "  \"rng_stream\": \"{}\",", merged.config.stream);
+    }
     let _ = writeln!(out, "  \"circuits\": [");
     for (idx, (name, accum)) in merged.circuits.iter().enumerate() {
         let comma = if idx + 1 < merged.circuits.len() {
@@ -486,6 +501,7 @@ mod tests {
             samples: 20,
             seed: 5,
             defect_rate: 0.1,
+            stream: SampleStream::V1,
             circuits: vec!["rd53".to_owned()],
         }
     }
@@ -536,6 +552,30 @@ mod tests {
         partials[1].config.seed ^= 1;
         let err = merge_partials(&config, &partials).expect_err("must fail");
         assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_rng_stream_mismatch() {
+        // A shard sampled under V2 holds statistics over different defect
+        // maps; merging it into a V1 campaign would corrupt the artifact
+        // silently, so the coordinator must refuse.
+        let config = config();
+        let mut partials = partials_for(&config, 2);
+        partials[1].config.stream = SampleStream::V2;
+        let err = merge_partials(&config, &partials).expect_err("must fail");
+        assert!(err.contains("rng stream"), "{err}");
+    }
+
+    #[test]
+    fn v2_merge_matches_v2_monolithic_and_declares_its_stream() {
+        let config = McConfig {
+            stream: SampleStream::V2,
+            ..self::config()
+        };
+        let mono = render_stats_json(&run_monolithic(&config));
+        assert!(mono.contains("\"rng_stream\": \"v2\""), "{mono}");
+        let merged = merge_partials(&config, &partials_for(&config, 3)).expect("merges");
+        assert_eq!(render_stats_json(&merged), mono);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod partial;
 use crate::cli::ExpArgs;
 use crate::experiments::table2::{run_circuit_range, table2_circuit_names, CircuitAccum};
 use std::ops::Range;
+use xbar_core::SampleStream;
 use xbar_logic::bench_reg::find;
 
 /// One contiguous slice of a Monte Carlo sample range.
@@ -100,18 +101,24 @@ pub struct McConfig {
     pub seed: u64,
     /// Per-crosspoint stuck-open defect probability.
     pub defect_rate: f64,
+    /// Defect sampling stream version. Every shard of a campaign must
+    /// sample under the same stream or the merged statistics would mix
+    /// two different defect distributions; the coordinator rejects
+    /// partials whose echoed stream disagrees with the campaign spec.
+    pub stream: SampleStream,
     /// Registry circuits to simulate, in output order.
     pub circuits: Vec<String>,
 }
 
 impl McConfig {
-    /// Configuration with the default Table II circuit set.
+    /// Configuration with the default Table II circuit set (V1 stream).
     #[must_use]
     pub fn with_default_circuits(samples: usize, seed: u64, defect_rate: f64) -> Self {
         Self {
             samples,
             seed,
             defect_rate,
+            stream: SampleStream::V1,
             circuits: table2_circuit_names(),
         }
     }
@@ -140,6 +147,7 @@ impl McConfig {
             samples: self.samples,
             seed: self.seed,
             defect_rate: self.defect_rate,
+            stream: self.stream,
             csv: None,
         }
     }
@@ -155,6 +163,8 @@ pub struct CampaignFlags {
     pub seed: u64,
     /// Stuck-open probability (`--defect-rate`, default 0.10).
     pub defect_rate: f64,
+    /// Defect sampling stream (`--rng-stream`, default `v1`).
+    pub stream: SampleStream,
     /// Explicit circuit list (`--circuits`); `None` = the Table II set.
     pub circuits: Option<Vec<String>>,
 }
@@ -165,6 +175,7 @@ impl Default for CampaignFlags {
             samples: 200,
             seed: 2018,
             defect_rate: 0.10,
+            stream: SampleStream::V1,
             circuits: None,
         }
     }
@@ -175,6 +186,7 @@ pub const CAMPAIGN_FLAGS_USAGE: &str =
     "  --samples N        total campaign samples (default 200)\n  \
 --seed N           experiment seed (default 2018)\n  \
 --defect-rate F    stuck-open probability (default 0.10)\n  \
+--rng-stream v1|v2 defect sampling stream (default v1)\n  \
 --circuits a,b     registry circuits (default: the Table II set)";
 
 impl CampaignFlags {
@@ -213,6 +225,9 @@ impl CampaignFlags {
                 }
                 self.defect_rate = rate;
             }
+            "--rng-stream" => {
+                self.stream = SampleStream::parse(&value(it)?)?;
+            }
             "--circuits" => {
                 self.circuits = Some(value(it)?.split(',').map(str::to_owned).collect());
             }
@@ -229,6 +244,7 @@ impl CampaignFlags {
             samples: self.samples,
             seed: self.seed,
             defect_rate: self.defect_rate,
+            stream: self.stream,
             circuits: self.circuits.unwrap_or_else(table2_circuit_names),
         }
     }

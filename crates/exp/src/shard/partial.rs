@@ -14,6 +14,7 @@ use super::{McConfig, ShardSpec};
 use crate::experiments::table2::CircuitAccum;
 use std::fmt::Write as _;
 use xbar_core::stats::{Moments, SuccessCount};
+use xbar_core::SampleStream;
 
 /// Schema tag written into (and required from) every partial file.
 pub const PARTIAL_SCHEMA: &str = "xbar-mc-partial/1";
@@ -80,6 +81,11 @@ impl ShardPartial {
             fmt_f64(self.config.defect_rate)
         );
         let _ = writeln!(out, "  \"samples\": {},", self.config.samples);
+        // Echoed only for non-default streams: V1 partials keep the exact
+        // bytes they had before stream versioning existed.
+        if self.config.stream != SampleStream::V1 {
+            let _ = writeln!(out, "  \"rng_stream\": \"{}\",", self.config.stream);
+        }
         let _ = writeln!(
             out,
             "  \"shard\": {{\"index\": {}, \"num_shards\": {}, \"start\": {}, \"end\": {}}},",
@@ -216,6 +222,13 @@ impl ShardPartial {
                     .get("defect_rate")
                     .and_then(Json::as_f64)
                     .ok_or("partial missing f64 `defect_rate`")?,
+                // Absent in files written before stream versioning (and by
+                // V1 workers today): both mean the frozen V1 stream.
+                stream: match doc.get("rng_stream").map(Json::as_str) {
+                    None => SampleStream::V1,
+                    Some(Some(name)) => SampleStream::parse(name)?,
+                    Some(None) => return Err("`rng_stream` is not a string".to_owned()),
+                },
                 circuits: circuits.iter().map(|(name, _)| name.clone()).collect(),
             },
             spec,
@@ -240,6 +253,7 @@ mod tests {
                 samples: 100,
                 seed: u64::MAX - 41, // above 2^53: must survive the file
                 defect_rate: 0.1,
+                stream: SampleStream::V1,
                 circuits: vec!["rd53".to_owned(), "misex1".to_owned()],
             },
             spec: ShardSpec {
@@ -270,12 +284,40 @@ mod tests {
     }
 
     #[test]
+    fn v1_partials_never_mention_the_stream_and_v2_partials_roundtrip() {
+        // V1 files must keep their pre-versioning bytes (the sharded
+        // byte-identity guarantee reaches into the partial format), while
+        // V2 files must declare their stream and round-trip it.
+        let v1 = sample_partial();
+        assert!(!v1.to_json().contains("rng_stream"));
+
+        let mut v2 = sample_partial();
+        v2.config.stream = SampleStream::V2;
+        let json = v2.to_json();
+        assert!(json.contains("\"rng_stream\": \"v2\""), "{json}");
+        let back = ShardPartial::from_json(&json).expect("parses");
+        assert_eq!(back, v2);
+        assert_eq!(back.config.stream, SampleStream::V2);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn unknown_rng_stream_is_rejected() {
+        let mut v2 = sample_partial();
+        v2.config.stream = SampleStream::V2;
+        let json = v2.to_json().replace("\"v2\"", "\"v9\"");
+        let err = ShardPartial::from_json(&json).expect_err("must fail");
+        assert!(err.contains("v9"), "{err}");
+    }
+
+    #[test]
     fn zero_sample_shard_roundtrips_nan_free() {
         let partial = ShardPartial {
             config: McConfig {
                 samples: 2,
                 seed: 7,
                 defect_rate: 0.1,
+                stream: SampleStream::V1,
                 circuits: vec!["rd53".to_owned()],
             },
             spec: ShardSpec {

@@ -144,7 +144,8 @@ fn golden_table2_artifact_layout_is_pinned() {
     "defect_rate": 0.1,
     "circuits": [
       "rd53"
-    ]
+    ],
+    "rng_stream": "v1"
   },
   "data": {
     "circuits": [
@@ -185,7 +186,8 @@ fn golden_estimate_yield_artifact_layout_is_pinned() {
     "circuit": "rd53",
     "spare_rows": 2,
     "stuck_closed_fraction": 0.0,
-    "mapper": "hybrid"
+    "mapper": "hybrid",
+    "rng_stream": "v1"
   },
   "data": {
     "circuit": "rd53",

@@ -5,6 +5,7 @@
 //! in-process run.
 
 use std::path::PathBuf;
+use xbar_core::SampleStream;
 use xbar_exp::shard::coordinator::{
     render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig, Worker,
 };
@@ -21,6 +22,7 @@ fn campaign() -> McConfig {
         samples: 30,
         seed: 2018,
         defect_rate: 0.10,
+        stream: SampleStream::V1,
         circuits: vec!["rd53".to_owned()],
     }
 }
@@ -55,6 +57,29 @@ fn sharded_runs_are_byte_identical_to_monolithic_across_shard_counts() {
             "{shards} worker processes must reproduce the monolithic artifact"
         );
     }
+}
+
+#[test]
+fn v2_campaigns_shard_byte_identically_too() {
+    // The geometric-skip stream must survive the full process round-trip:
+    // the coordinator forwards `--rng-stream v2` to every worker, partials
+    // echo it, and the merged artifact is byte-identical to the
+    // monolithic V2 run (which differs from the V1 artifact by design).
+    let config = McConfig {
+        stream: SampleStream::V2,
+        ..campaign()
+    };
+    let mono = render_stats_json(&run_monolithic(&config));
+    assert!(
+        mono.contains("\"rng_stream\": \"v2\""),
+        "V2 stats must declare their stream: {mono}"
+    );
+    let v1_mono = render_stats_json(&run_monolithic(&campaign()));
+    assert_ne!(mono, v1_mono, "V2 draws different defect maps than V1");
+    let mut cfg = coordinator("v2-stream", 3);
+    cfg.config = config;
+    let merged = run_coordinator(&cfg).expect("coordinator run");
+    assert_eq!(render_stats_json(&merged), mono);
 }
 
 #[test]

@@ -7,7 +7,7 @@
 
 use memristive_xbar_repro::core::{
     map_exact, map_hybrid, map_naive, program_two_level, verify_against_cover, CrossbarMatrix,
-    FunctionMatrix, VerifyMode,
+    DefectSampler, FunctionMatrix, VerifyMode,
 };
 use memristive_xbar_repro::device::{Crossbar, DefectProfile};
 use memristive_xbar_repro::logic::bench_reg::find;
@@ -34,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(42);
         let (mut naive_ok, mut hba_ok, mut ea_ok) = (0u32, 0u32, 0u32);
         for _ in 0..samples {
-            let cm =
-                CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), rate, &mut rng);
+            let cm = DefectSampler::v1().sample(fm.num_rows(), fm.num_cols(), rate, &mut rng);
             naive_ok += u32::from(map_naive(&fm, &cm).is_success());
             hba_ok += u32::from(map_hybrid(&fm, &cm).is_success());
             ea_ok += u32::from(map_exact(&fm, &cm).is_success());

@@ -5,7 +5,7 @@
 //! Run with `cargo run --example pla_flow`.
 
 use memristive_xbar_repro::core::{
-    map_hybrid, synthesize_two_level, CrossbarMatrix, FunctionMatrix, SynthesisOptions,
+    map_hybrid, synthesize_two_level, DefectSampler, FunctionMatrix, SynthesisOptions,
     TwoLevelLayout,
 };
 use memristive_xbar_repro::logic::{Pla, TruthTable};
@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mapped = 0;
     let trials = 100;
     for _ in 0..trials {
-        let cm = CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), 0.10, &mut rng);
+        let cm = DefectSampler::v1().sample(fm.num_rows(), fm.num_cols(), 0.10, &mut rng);
         if map_hybrid(&fm, &cm).is_success() {
             mapped += 1;
         }

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example yield_analysis`.
 
 use memristive_xbar_repro::core::{
-    estimate_yield, redundancy_sweep, FunctionMatrix, MapperKind, YieldConfig,
+    estimate_yield, redundancy_sweep, FunctionMatrix, MapperKind, SampleStream, YieldConfig,
 };
 use memristive_xbar_repro::logic::bench_reg::find;
 
@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         samples: 300,
         mapper: MapperKind::Hybrid,
         seed: 99,
+        stream: SampleStream::V1,
     };
 
     println!("\nstuck-open only, 15% defect rate (HBA):");

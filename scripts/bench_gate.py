@@ -7,16 +7,20 @@ Run after `mapping_throughput --quick`:
 
 Fails (exit 1) when
 
-* any circuit's engine-vs-legacy speedup drops below its pinned floor
-  (floors are set well under measured values to absorb CI-runner noise,
-  but above the pre-bitplane engine's speedups, so losing the
-  word-parallel construction or the solve fast paths trips the gate), or
-* any circuit's HBA/EA success counts drift from the golden values for
-  the quick campaign (20 samples, seed 2018, 10% defects) — the
-  determinism contract of the mapping engine.
+* any circuit entry's engine-vs-legacy speedup drops below its pinned
+  floor (floors are set well under measured values to absorb CI-runner
+  noise, but above the pre-bitplane engine's speedups, so losing the
+  word-parallel construction or the solve fast paths trips the gate),
+* any entry's HBA/EA success counts drift from the golden values for the
+  quick campaign (20 samples, seed 2018, 10% defects) — the determinism
+  contract of each sampling stream (V1 goldens are frozen forever; V2
+  pins its own counts), or
+* the V2 geometric-skip stream loses its pinned advantage over the V1
+  dense sweep on the large circuits: resample-phase throughput must stay
+  >= 5x and end-to-end engine throughput >= 2x on ex1010 and alu4.
 
-The speedup is measured against the legacy dense mappers in the same
-process on the same machine, so the floor is machine-independent.
+Speedups are measured against the other path/stream in the same process
+on the same machine, so every floor is machine-independent.
 """
 
 import json
@@ -26,20 +30,39 @@ QUICK_SAMPLES = 20  # mapping_throughput --quick (200 / 10)
 QUICK_SEED = 2018
 QUICK_DEFECT_RATE = 0.1
 
-# name -> (speedup_floor, hba_successes, ea_successes)
+# (name, stream) -> (speedup_floor, hba_successes, ea_successes)
 #
-# Floors for the large circuits sit above the pre-bitplane engine's
+# V1 floors for the large circuits sit above the pre-bitplane engine's
 # measured speedups (rd73 29x, rd84 54x, ex1010 75x, alu4 153x) and far
 # below current measurements (rd73 ~200x, rd84 ~350x, ex1010 ~900x,
 # alu4 ~3000x). The two small circuits finish in microseconds at quick
-# sample counts, so their floors are only a sanity check.
+# sample counts, so their floors are only a sanity check. V2 entries
+# draw different defect maps from the same seeds (geometric skip), so
+# their success counts are independent goldens; their speedup floors sit
+# under measured values (rd73 ~70x, rd84 ~700x, ex1010 ~1900x,
+# alu4 ~7500x) with the same noise margin philosophy.
 GOLDEN = {
-    "rd53": (5.0, 18, 18),
-    "misex1": (2.0, 20, 20),
-    "rd73": (50.0, 15, 16),
-    "rd84": (100.0, 12, 15),
-    "ex1010": (200.0, 20, 20),
-    "alu4": (500.0, 20, 20),
+    ("rd53", "v1"): (5.0, 18, 18),
+    ("misex1", "v1"): (2.0, 20, 20),
+    ("rd73", "v1"): (50.0, 15, 16),
+    ("rd84", "v1"): (100.0, 12, 15),
+    ("ex1010", "v1"): (200.0, 20, 20),
+    ("alu4", "v1"): (500.0, 20, 20),
+    ("rd53", "v2"): (5.0, 20, 20),
+    ("misex1", "v2"): (2.0, 20, 20),
+    ("rd73", "v2"): (20.0, 15, 16),
+    ("rd84", "v2"): (100.0, 15, 15),
+    ("ex1010", "v2"): (400.0, 20, 20),
+    ("alu4", "v2"): (1000.0, 20, 20),
+}
+
+# circuit -> (min resample-phase ratio, min end-to-end engine ratio) of
+# V2 over V1 — the acceptance floors of the geometric-skip stream. Only
+# the large circuits are gated: the small ones finish too fast for the
+# ratio to be stable.
+V2_OVER_V1 = {
+    "ex1010": (5.0, 2.0),
+    "alu4": (5.0, 2.0),
 }
 
 
@@ -54,13 +77,14 @@ def main(path: str) -> int:
         )
         return 1
     failures = []
-    seen = set()
+    seen = {}
     for c in doc["circuits"]:
-        name = c["name"]
-        if name not in GOLDEN:
+        key = (c["name"], c.get("stream", "v1"))
+        if key not in GOLDEN:
             continue
-        seen.add(name)
-        floor, hba, ea = GOLDEN[name]
+        seen[key] = c
+        name = f"{key[0]} [{key[1]}]"
+        floor, hba, ea = GOLDEN[key]
         if c["samples"] != QUICK_SAMPLES:
             failures.append(
                 f"{name}: {c['samples']} samples (goldens pinned at {QUICK_SAMPLES}; "
@@ -76,15 +100,39 @@ def main(path: str) -> int:
                 f"{name}: success counts ({c['hba_successes']}, {c['ea_successes']}) "
                 f"drifted from golden ({hba}, {ea})"
             )
-    missing = sorted(set(GOLDEN) - seen)
+    missing = sorted(set(GOLDEN) - set(seen))
     if missing:
-        failures.append(f"missing circuits: {', '.join(missing)}")
+        pretty = ", ".join(f"{n} [{s}]" for n, s in missing)
+        failures.append(f"missing circuit entries: {pretty}")
+    for name, (resample_floor, engine_floor) in V2_OVER_V1.items():
+        v1, v2 = seen.get((name, "v1")), seen.get((name, "v2"))
+        if v1 is None or v2 is None:
+            continue  # already reported as missing
+        resample_ratio = v2["resample_samples_per_sec"] / max(
+            v1["resample_samples_per_sec"], 1e-300
+        )
+        engine_ratio = v2["engine_samples_per_sec"] / max(
+            v1["engine_samples_per_sec"], 1e-300
+        )
+        if resample_ratio < resample_floor:
+            failures.append(
+                f"{name}: V2 resample only {resample_ratio:.2f}x V1 "
+                f"(floor {resample_floor}x)"
+            )
+        if engine_ratio < engine_floor:
+            failures.append(
+                f"{name}: V2 end-to-end only {engine_ratio:.2f}x V1 "
+                f"(floor {engine_floor}x)"
+            )
     if failures:
         print("bench gate FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print(f"bench gate passed: {len(seen)} circuits at or above pinned floors, counts golden")
+    print(
+        f"bench gate passed: {len(seen)} circuit entries at or above pinned "
+        f"floors, counts golden, V2/V1 ratios hold"
+    )
     return 0
 
 

@@ -17,8 +17,8 @@
 use memristive_xbar_repro::core::bits;
 use memristive_xbar_repro::core::{
     map_exact_with_scratch, map_hybrid, map_hybrid_with_scratch, mapping_feasible,
-    mapping_feasible_with_scratch, reference, row_compatible, CrossbarMatrix, FunctionMatrix,
-    HybridOptions, MatchEngine,
+    mapping_feasible_with_scratch, reference, row_compatible, CrossbarMatrix, DefectSampler,
+    FunctionMatrix, HybridOptions, MatchEngine,
 };
 use memristive_xbar_repro::logic::{Cover, Cube, Phase};
 use proptest::prelude::*;
@@ -74,7 +74,7 @@ fn random_cover(inputs: usize, outputs: usize, cubes: usize, seed: u64) -> Cover
 /// Samples a crossbar matrix for `fm` with `spare` extra rows.
 fn random_cm(fm: &FunctionMatrix, spare: usize, rate: f64, seed: u64) -> CrossbarMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    CrossbarMatrix::sample_stuck_open(fm.num_rows() + spare, fm.num_cols(), rate, &mut rng)
+    DefectSampler::v1().sample(fm.num_rows() + spare, fm.num_cols(), rate, &mut rng)
 }
 
 const ALL_OPTIONS: [HybridOptions; 4] = [

@@ -5,6 +5,7 @@
 //! byte-identity guarantee) — if either changes, these tests must be
 //! updated *deliberately*, never silently.
 
+use memristive_xbar_repro::core::SampleStream;
 use memristive_xbar_repro::exp::experiments::table2::{mc_seed, run_circuit, run_circuit_range};
 use memristive_xbar_repro::exp::{sample_seed, ExpArgs};
 use memristive_xbar_repro::logic::bench_reg::find;
@@ -37,6 +38,7 @@ fn seeded_table2_rd53_row_is_pinned() {
         samples: 40,
         seed: 5,
         defect_rate: 0.10,
+        stream: SampleStream::V1,
         csv: None,
     };
     let info = find("rd53").expect("registered");
@@ -52,6 +54,33 @@ fn seeded_table2_rd53_row_is_pinned() {
     assert_eq!(row.area, 544);
 }
 
+/// The V2 geometric-skip stream pins its own goldens: same campaigns as
+/// the V1 pins above, different (frozen-forever) success counts, because
+/// V2 draws different defect maps from the same seeds by design. A drift
+/// here means the V2 RNG consumption contract broke.
+#[test]
+fn seeded_table2_v2_rows_are_pinned() {
+    let args = ExpArgs {
+        samples: 40,
+        seed: 5,
+        defect_rate: 0.10,
+        stream: SampleStream::V2,
+        csv: None,
+    };
+    let accum = run_circuit_range(find("rd53").expect("registered"), &args, 0..40);
+    assert_eq!(accum.hba.successes, 35, "V2 HBA successes drifted");
+    assert_eq!(accum.ea.successes, 36, "V2 EA successes drifted");
+
+    let args = ExpArgs {
+        samples: 60,
+        seed: 2018,
+        ..args
+    };
+    let accum = run_circuit_range(find("misex1").expect("registered"), &args, 0..60);
+    assert_eq!(accum.hba.successes, 59, "V2 HBA successes drifted");
+    assert_eq!(accum.ea.successes, 60, "V2 EA successes drifted");
+}
+
 #[test]
 fn seeded_table2_misex1_summary_is_pinned() {
     // misex1 at the paper's default seed: published 100%/100% at 10%
@@ -60,6 +89,7 @@ fn seeded_table2_misex1_summary_is_pinned() {
         samples: 60,
         seed: 2018,
         defect_rate: 0.10,
+        stream: SampleStream::V1,
         csv: None,
     };
     let accum = run_circuit_range(find("misex1").expect("registered"), &args, 0..60);

@@ -3,8 +3,8 @@
 
 use memristive_xbar_repro::core::{
     map_exact, map_hybrid, program_two_level, synthesize_two_level, verify_against_cover,
-    CrossbarMatrix, FunctionMatrix, MultiLevelDesign, MultiLevelMapping, SynthesisOptions,
-    VerifyMode,
+    CrossbarMatrix, DefectSampler, FunctionMatrix, MultiLevelDesign, MultiLevelMapping,
+    SynthesisOptions, VerifyMode,
 };
 use memristive_xbar_repro::device::{Crossbar, DefectProfile};
 use memristive_xbar_repro::logic::bench_reg::find;
@@ -87,7 +87,7 @@ fn benchmark_registry_to_table2_row_pipeline() {
     let mut hba_successes = 0;
     let mut ea_successes = 0;
     for _ in 0..60 {
-        let cm = CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), 0.10, &mut rng);
+        let cm = DefectSampler::v1().sample(fm.num_rows(), fm.num_cols(), 0.10, &mut rng);
         let hba = map_hybrid(&fm, &cm);
         let ea = map_exact(&fm, &cm);
         if hba.is_success() {

@@ -5,7 +5,7 @@
 use memristive_xbar_repro::assign::{brute_force_assignment, munkres, CostMatrix};
 use memristive_xbar_repro::core::{
     map_exact, map_hybrid, mapping_feasible, program_two_level, verify_against_cover,
-    CrossbarMatrix, FunctionMatrix, VerifyMode,
+    DefectSampler, FunctionMatrix, VerifyMode,
 };
 use memristive_xbar_repro::device::Crossbar;
 use memristive_xbar_repro::logic::{
@@ -116,7 +116,7 @@ proptest! {
     fn mapping_invariants(cover in arb_cover(4, 5), seed in 0u64..500, rate in 0.0f64..0.3) {
         let fm = FunctionMatrix::from_cover(&cover);
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-        let cm = CrossbarMatrix::sample_stuck_open(fm.num_rows(), fm.num_cols(), rate, &mut rng);
+        let cm = DefectSampler::v1().sample(fm.num_rows(), fm.num_cols(), rate, &mut rng);
 
         let ea = map_exact(&fm, &cm);
         prop_assert_eq!(ea.is_success(), mapping_feasible(&fm, &cm));

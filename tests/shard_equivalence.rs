@@ -6,6 +6,7 @@
 //! files must round-trip all accumulator state bit-exactly.
 
 use memristive_xbar_repro::core::stats::Moments;
+use memristive_xbar_repro::core::SampleStream;
 use memristive_xbar_repro::exp::experiments::table2::CircuitAccum;
 use memristive_xbar_repro::exp::shard::coordinator::{
     merge_partials, render_stats_json, MergedResult,
@@ -68,11 +69,16 @@ proptest! {
         shards in 1usize..10,
         seed in 0u64..u64::MAX,
         defect_bits in 1u64..1000,
+        stream_idx in 0usize..SampleStream::ALL.len(),
     ) {
+        // Both streams run through the identical merge/round-trip path;
+        // V2 configs additionally exercise the `rng_stream` echo in the
+        // partial-file format (V1 omits it to stay byte-frozen).
         let config = McConfig {
             samples,
             seed,
             defect_rate: defect_bits as f64 / 1000.0,
+            stream: SampleStream::ALL[stream_idx],
             circuits: vec!["synthetic".to_owned()],
         };
         let mono = fold(seed, 0..samples);
