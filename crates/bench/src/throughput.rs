@@ -18,6 +18,7 @@ use xbar_core::{
 use xbar_exp::sample_seed;
 use xbar_exp::shard::coordinator::{
     render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig, Worker,
+    DEFAULT_RETRY_BASE,
 };
 use xbar_exp::shard::McConfig;
 use xbar_logic::bench_reg::find;
@@ -276,6 +277,10 @@ pub fn measure_sharded(
         work_dir: std::env::temp_dir().join(format!("mc-bench-{tag}-{}", std::process::id())),
         extra_worker_args: Vec::new(),
         keep_partials: false,
+        shard_timeout: None,
+        max_inflight: None,
+        resume: false,
+        retry_base: DEFAULT_RETRY_BASE,
     };
 
     // Fixed fan-out cost: one sample per shard, so the run is all spawn,

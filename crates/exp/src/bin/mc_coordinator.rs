@@ -1,4 +1,5 @@
-//! Deprecated shim: delegates to `xbar mc coordinate` (same flags).
+//! Deprecated shim: delegates to `xbar mc coordinate` (same flags,
+//! including `--shard-timeout`, `--max-inflight`, and `--resume`).
 
 fn main() {
     xbar_exp::legacy_mc_shim("mc_coordinator", "coordinate");

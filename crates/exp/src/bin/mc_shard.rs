@@ -1,4 +1,5 @@
-//! Deprecated shim: delegates to `xbar mc shard` (same flags).
+//! Deprecated shim: delegates to `xbar mc shard` (same flags, including
+//! the failure-injection hooks the coordinator tests drive).
 
 fn main() {
     xbar_exp::legacy_mc_shim("mc_shard", "shard");

@@ -8,7 +8,9 @@
 //! * `xbar run <exp> [--samples N --seed N --defect-rate F --quick
 //!   --json --out DIR]` — any experiment, with a canonical
 //!   machine-readable artifact;
-//! * `xbar mc shard|coordinate` — process-sharded Monte Carlo.
+//! * `xbar mc shard|coordinate` — fault-tolerant process-sharded Monte
+//!   Carlo (watchdog timeouts, bounded concurrency, backoff retry,
+//!   checkpoint/resume — see [`shard::coordinator`]).
 //!
 //! | Experiment | `xbar run …` |
 //! |---|---|

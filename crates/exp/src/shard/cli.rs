@@ -4,11 +4,13 @@
 //! problems print help to stderr and return exit code 2.
 
 use super::coordinator::{
-    default_work_dir, default_worker, render_stats_json, render_timing_table, run_coordinator,
-    run_monolithic, CoordinatorConfig, Worker,
+    default_work_dir, default_worker, render_stats_json, render_timing_table,
+    run_coordinator_with_report, run_monolithic, CoordinatorConfig, RunReport, Worker,
+    DEFAULT_RETRY_BASE,
 };
 use super::{partial::ShardPartial, run_shard, CampaignFlags, ShardSpec, CAMPAIGN_FLAGS_USAGE};
 use std::path::PathBuf;
+use std::time::Duration;
 
 struct ShardArgs {
     campaign: CampaignFlags,
@@ -18,6 +20,9 @@ struct ShardArgs {
     inject_fail_once: Option<PathBuf>,
     inject_fail_always: bool,
     inject_truncate_once: Option<PathBuf>,
+    inject_hang_once: Option<PathBuf>,
+    inject_slow_ms: u64,
+    inject_concurrency_dir: Option<PathBuf>,
 }
 
 impl Default for ShardArgs {
@@ -30,6 +35,9 @@ impl Default for ShardArgs {
             inject_fail_once: None,
             inject_fail_always: false,
             inject_truncate_once: None,
+            inject_hang_once: None,
+            inject_slow_ms: 0,
+            inject_concurrency_dir: None,
         }
     }
 }
@@ -44,7 +52,10 @@ fn shard_usage() -> String {
          test-only failure injection:\n  \
          --inject-fail-once MARKER      exit 3 unless MARKER exists (created on the way out)\n  \
          --inject-fail-always           always exit 4\n  \
-         --inject-truncate-once MARKER  write a torn partial once, then behave"
+         --inject-truncate-once MARKER  write a torn partial once, then behave\n  \
+         --inject-hang-once MARKER      hang forever unless MARKER exists (watchdog bait)\n  \
+         --inject-slow-ms N             sleep N ms before running the shard\n  \
+         --inject-concurrency-dir DIR   record live-worker counts into DIR/observed.txt"
     )
 }
 
@@ -72,6 +83,18 @@ fn parse_shard_args(args: Vec<String>) -> Result<Option<ShardArgs>, String> {
             "--inject-fail-always" => out.inject_fail_always = true,
             "--inject-truncate-once" => {
                 out.inject_truncate_once = Some(PathBuf::from(value(&flag, &mut it)?));
+            }
+            "--inject-hang-once" => {
+                out.inject_hang_once = Some(PathBuf::from(value(&flag, &mut it)?));
+            }
+            "--inject-slow-ms" => {
+                let text = value(&flag, &mut it)?;
+                out.inject_slow_ms = text
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected a number, got {text:?}"))?;
+            }
+            "--inject-concurrency-dir" => {
+                out.inject_concurrency_dir = Some(PathBuf::from(value(&flag, &mut it)?));
             }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other:?}; try --help")),
@@ -116,6 +139,16 @@ pub fn shard_main(argv: Vec<String>) -> i32 {
             return 3;
         }
     }
+    if let Some(marker) = &args.inject_hang_once {
+        if first_time(marker) {
+            // A worker that never exits: the coordinator's watchdog must
+            // kill it at --shard-timeout (there is nothing else to stop it).
+            eprintln!("mc shard: injected hang (waiting to be killed)");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+    }
 
     let config = args.campaign.clone().into_config();
     if let Err(e) = config.validate() {
@@ -131,6 +164,48 @@ pub fn shard_main(argv: Vec<String>) -> i32 {
     }
     let spec = ShardSpec::partition(config.samples, args.num_shards)[args.shard_index];
 
+    // Concurrency probe: hold a live-marker for the worker's lifetime and
+    // record how many live markers exist, so a process-level test can
+    // assert the coordinator's --max-inflight bound from *inside* the
+    // worker fleet. O_APPEND keeps the short count lines atomic.
+    let live_marker = args.inject_concurrency_dir.as_ref().map(|dir| {
+        let _ = std::fs::create_dir_all(dir);
+        let marker = dir.join(format!("live-{}", std::process::id()));
+        let _ = std::fs::write(&marker, b"live\n");
+        marker
+    });
+    if args.inject_slow_ms > 0 {
+        std::thread::sleep(Duration::from_millis(args.inject_slow_ms));
+    }
+    if let Some(dir) = &args.inject_concurrency_dir {
+        let live = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.file_name().to_string_lossy().starts_with("live-"))
+                    .count()
+            })
+            .unwrap_or(0);
+        use std::io::Write as _;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("observed.txt"))
+        {
+            let _ = writeln!(file, "{live}");
+        }
+    }
+
+    let code = run_shard_to_file(&args, &config, spec);
+    if let Some(marker) = live_marker {
+        let _ = std::fs::remove_file(marker);
+    }
+    code
+}
+
+/// The worker's payload after all injection preambles: optionally write a
+/// torn partial, otherwise fold the slice and write the real one.
+fn run_shard_to_file(args: &ShardArgs, config: &super::McConfig, spec: ShardSpec) -> i32 {
     if let Some(marker) = &args.inject_truncate_once {
         if first_time(marker) {
             // A torn write: valid JSON prefix, no `complete` marker.
@@ -145,7 +220,7 @@ pub fn shard_main(argv: Vec<String>) -> i32 {
         }
     }
 
-    let partial: ShardPartial = run_shard(&config, &spec);
+    let partial: ShardPartial = run_shard(config, &spec);
     if let Err(e) = std::fs::write(&args.out, partial.to_json()) {
         eprintln!("mc shard: cannot write {}: {e}", args.out.display());
         return 1;
@@ -170,6 +245,10 @@ struct CoordinateArgs {
     worker: Option<PathBuf>,
     keep_partials: bool,
     in_process: bool,
+    shard_timeout: Option<Duration>,
+    max_inflight: Option<usize>,
+    resume: bool,
+    worker_args: Vec<String>,
 }
 
 impl Default for CoordinateArgs {
@@ -183,20 +262,33 @@ impl Default for CoordinateArgs {
             worker: None,
             keep_partials: false,
             in_process: false,
+            shard_timeout: None,
+            max_inflight: None,
+            resume: false,
+            worker_args: Vec::new(),
         }
     }
 }
 
 fn coordinate_usage() -> String {
     format!(
-        "xbar mc coordinate: sharded Monte Carlo over worker processes\n\nflags:\n\
+        "xbar mc coordinate: fault-tolerant sharded Monte Carlo over worker processes\n\nflags:\n\
          {CAMPAIGN_FLAGS_USAGE}\n  \
          --shards N         worker processes / sample-range shards (default 3)\n  \
          --max-attempts N   attempts per shard before giving up (default 3)\n  \
+         --shard-timeout S  kill a worker still running after S seconds and retry\n                     \
+         (fractional ok; default: no watchdog, wait forever)\n  \
+         --max-inflight N   live workers at once (default: available parallelism)\n  \
+         --resume           reuse valid partials already in the run directory and\n                     \
+         schedule only missing or corrupt shards\n  \
          --out PATH         merged stats artifact (default MC_merged.json)\n  \
-         --work-dir PATH    partial-file directory (default: temp dir)\n  \
+         --work-dir PATH    parent of the per-campaign run directory\n                     \
+         (default: <temp>/xbar-mc; partials live in\n                     \
+         <work-dir>/run-seed<seed>-n<samples>-k<shards>-<stream>)\n  \
          --worker PATH      worker binary, spawned with the shard flags directly\n                     \
          (default: the xbar binary next to this one, via `mc shard`)\n  \
+         --worker-arg ARG   extra argument appended to every worker invocation\n                     \
+         (repeatable; used by fault-injection tests and CI)\n  \
          --keep-partials    keep partial files after the merge\n  \
          --in-process       run monolithically (no processes) through the same\n                     \
          accumulators; output is byte-identical to a sharded run"
@@ -220,9 +312,30 @@ fn parse_coordinate_args(args: Vec<String>) -> Result<Option<CoordinateArgs>, St
         match flag.as_str() {
             "--shards" => out.shards = num(&flag, value(&flag, &mut it)?)?,
             "--max-attempts" => out.max_attempts = num(&flag, value(&flag, &mut it)?)?,
+            "--shard-timeout" => {
+                let text = value(&flag, &mut it)?;
+                let secs: f64 = text
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected seconds, got {text:?}"))?;
+                let timeout = Duration::try_from_secs_f64(secs)
+                    .map_err(|_| format!("{flag}: {secs} is not a representable duration"))?;
+                if timeout.is_zero() {
+                    return Err(format!("{flag} must be positive"));
+                }
+                out.shard_timeout = Some(timeout);
+            }
+            "--max-inflight" => {
+                let inflight = num(&flag, value(&flag, &mut it)?)?;
+                if inflight == 0 {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+                out.max_inflight = Some(inflight);
+            }
+            "--resume" => out.resume = true,
             "--out" => out.out = PathBuf::from(value(&flag, &mut it)?),
             "--work-dir" => out.work_dir = Some(PathBuf::from(value(&flag, &mut it)?)),
             "--worker" => out.worker = Some(PathBuf::from(value(&flag, &mut it)?)),
+            "--worker-arg" => out.worker_args.push(value(&flag, &mut it)?),
             "--keep-partials" => out.keep_partials = true,
             "--in-process" => out.in_process = true,
             "--help" | "-h" => return Ok(None),
@@ -230,6 +343,22 @@ fn parse_coordinate_args(args: Vec<String>) -> Result<Option<CoordinateArgs>, St
         }
     }
     Ok(Some(out))
+}
+
+/// One line of scheduling facts after a successful sharded run —
+/// deliberately on stdout (not in the byte-compared artifact) so scripts
+/// and CI can check how the campaign executed (e.g. that `--resume`
+/// actually reused checkpoints).
+fn print_report(report: &RunReport) {
+    println!(
+        "coordinator: spawned {} worker(s), reused {} partial(s), {} retrie(s), \
+         {} timeout(s), peak {} in flight",
+        report.spawned,
+        report.reused,
+        report.retries,
+        report.timeouts,
+        report.max_inflight_observed
+    );
 }
 
 /// `xbar mc coordinate` / legacy `mc_coordinator`: partitions a campaign
@@ -279,8 +408,12 @@ pub fn coordinate_main(argv: Vec<String>) -> i32 {
             max_attempts: args.max_attempts,
             worker,
             work_dir: args.work_dir.clone().unwrap_or_else(default_work_dir),
-            extra_worker_args: Vec::new(),
+            extra_worker_args: args.worker_args.clone(),
             keep_partials: args.keep_partials,
+            shard_timeout: args.shard_timeout,
+            max_inflight: args.max_inflight,
+            resume: args.resume,
+            retry_base: DEFAULT_RETRY_BASE,
         };
         println!(
             "running {} samples across {} worker process(es) (seed {}, {:.0}% defects)",
@@ -289,8 +422,11 @@ pub fn coordinate_main(argv: Vec<String>) -> i32 {
             config.seed,
             config.defect_rate * 100.0
         );
-        match run_coordinator(&coordinator) {
-            Ok(merged) => merged,
+        match run_coordinator_with_report(&coordinator) {
+            Ok((merged, report)) => {
+                print_report(&report);
+                merged
+            }
             Err(e) => {
                 eprintln!("mc coordinate: {e}");
                 return 1;
@@ -336,9 +472,77 @@ mod tests {
         assert_eq!(args.shards, 5);
         assert!(args.in_process);
         assert_eq!(args.campaign.seed, 7);
+        assert_eq!(args.shard_timeout, None, "watchdog defaults off");
+        assert_eq!(args.max_inflight, None, "inflight defaults to auto");
+        assert!(!args.resume);
 
         let help = parse_coordinate_args(vec!["--help".to_owned()]).expect("ok");
         assert!(help.is_none(), "--help short-circuits");
+    }
+
+    #[test]
+    fn coordinate_args_parse_the_fault_tolerance_flags() {
+        let argv = [
+            "--shard-timeout",
+            "2.5",
+            "--max-inflight",
+            "4",
+            "--resume",
+            "--worker-arg",
+            "--inject-fail-once",
+            "--worker-arg",
+            "/tmp/marker",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let args = parse_coordinate_args(argv)
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(args.shard_timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(args.max_inflight, Some(4));
+        assert!(args.resume);
+        assert_eq!(args.worker_args, ["--inject-fail-once", "/tmp/marker"]);
+    }
+
+    #[test]
+    fn coordinate_args_reject_degenerate_fault_tolerance_values() {
+        for words in [
+            &["--shard-timeout", "0"][..],
+            &["--shard-timeout", "-1"][..],
+            &["--shard-timeout", "NaN"][..],
+            &["--shard-timeout", "soon"][..],
+            &["--max-inflight", "0"][..],
+            &["--max-inflight", "lots"][..],
+            &["--worker-arg"][..],
+        ] {
+            let argv = words.iter().map(|s| (*s).to_owned()).collect();
+            assert!(parse_coordinate_args(argv).is_err(), "{words:?} must fail");
+        }
+    }
+
+    #[test]
+    fn shard_args_parse_the_new_injection_hooks() {
+        let argv = [
+            "--inject-hang-once",
+            "/tmp/hang",
+            "--inject-slow-ms",
+            "250",
+            "--inject-concurrency-dir",
+            "/tmp/conc",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let args = parse_shard_args(argv).expect("parses").expect("not help");
+        assert_eq!(args.inject_hang_once, Some(PathBuf::from("/tmp/hang")));
+        assert_eq!(args.inject_slow_ms, 250);
+        assert_eq!(
+            args.inject_concurrency_dir,
+            Some(PathBuf::from("/tmp/conc"))
+        );
+        let bad = vec!["--inject-slow-ms".to_owned(), "soon".to_owned()];
+        assert!(parse_shard_args(bad).is_err());
     }
 
     #[test]

@@ -1,25 +1,63 @@
-//! The shard coordinator: spawns one `mc_shard` worker process per shard,
-//! detects failed or corrupt shards, re-runs them, and merges the partial
-//! results into the campaign's merged statistics.
+//! The fault-tolerant campaign runner: schedules `mc_shard` worker
+//! processes over a bounded work queue, enforces per-shard watchdog
+//! deadlines, retries failed shards with deterministic exponential
+//! backoff, and checkpoints progress so a killed coordinator can
+//! `--resume` instead of restarting.
+//!
+//! Process supervision, in order of defense:
+//!
+//! * **Bounded, event-driven scheduling** — at most
+//!   [`CoordinatorConfig::max_inflight`] workers are ever live; a work
+//!   queue feeds free slots as children exit, so one slow shard never
+//!   serializes the campaign behind a lockstep retry round.
+//! * **Watchdog timeouts** — with [`CoordinatorConfig::shard_timeout`]
+//!   set, a worker that outlives its wall-clock deadline is killed and
+//!   reaped, turning a hang into an ordinary retriable failure (without a
+//!   timeout the coordinator waits indefinitely, the historical
+//!   behaviour).
+//! * **Backoff retry** — each shard retries independently up to
+//!   [`CoordinatorConfig::max_attempts`] times, delayed by
+//!   [`backoff_delay`]: exponential growth plus jitter that is a pure
+//!   function of `(seed, shard, attempt)`, so retry schedules are
+//!   reproducible — no wall-clock RNG.
+//! * **Checkpoint/resume** — every campaign owns a run directory derived
+//!   from its identity ([`campaign_run_dir`]) with a `campaign.json`
+//!   manifest; a directory holding a *different* campaign is rejected
+//!   with a clear error instead of clobbered. With
+//!   [`CoordinatorConfig::resume`], valid partials found there are reused
+//!   and only missing or corrupt shards are scheduled.
 //!
 //! The merged **stats artifact** ([`render_stats_json`]) contains only
 //! integer-derived statistics, so it is byte-identical across shard
-//! layouts — `--shards 7` and a monolithic in-process run produce the
-//! same file. Wall-clock runtime moments are merged too (deterministically
-//! for a fixed layout) but reported separately ([`render_timing_table`]).
+//! layouts, failure histories, and resumes — `--shards 7` with injected
+//! crashes and a monolithic in-process run produce the same file.
+//! Wall-clock runtime moments are merged too (deterministically for a
+//! fixed layout) but reported separately ([`render_timing_table`]).
 
 use super::partial::ShardPartial;
 use super::{run_shard, McConfig, ShardSpec};
 use crate::experiments::table2::CircuitAccum;
 use crate::table::{pct, secs, Table};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::fs;
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 use xbar_core::SampleStream;
 
 /// Schema tag of the merged stats artifact.
 pub const MERGED_SCHEMA: &str = "xbar-mc-merged/1";
+
+/// Schema tag of the `campaign.json` manifest a run directory carries.
+pub const CAMPAIGN_SCHEMA: &str = "xbar-mc-campaign/1";
+
+/// Default base delay of the exponential retry backoff.
+pub const DEFAULT_RETRY_BASE: Duration = Duration::from_millis(100);
+
+/// How often the scheduler polls children when nothing has changed.
+const POLL_INTERVAL: Duration = Duration::from_millis(4);
 
 /// The worker process a coordinator spawns per shard: a binary path plus
 /// the argument prefix selecting its shard entry point — empty for the
@@ -64,19 +102,34 @@ pub struct CoordinatorConfig {
     pub max_attempts: usize,
     /// The worker process spawned per shard.
     pub worker: Worker,
-    /// Directory for partial-result files (created if missing).
+    /// Parent directory for run directories (created if missing); the
+    /// campaign's partials live in [`campaign_run_dir`] beneath it.
     pub work_dir: PathBuf,
     /// Extra arguments appended to every worker invocation (used by the
-    /// failure-injection tests; empty in production).
+    /// failure-injection tests and CI smoke; empty in production).
     pub extra_worker_args: Vec<String>,
-    /// Keep partial files after a successful merge.
+    /// Keep partial files (and the run directory) after a successful
+    /// merge.
     pub keep_partials: bool,
+    /// Per-attempt wall-clock deadline: a worker still running after this
+    /// long is killed, reaped, and retried. `None` (the default) disables
+    /// the watchdog — the historical wait-forever behaviour.
+    pub shard_timeout: Option<Duration>,
+    /// Maximum live workers at any instant; `None` = the machine's
+    /// available parallelism.
+    pub max_inflight: Option<usize>,
+    /// Reuse valid partials already present in the run directory and
+    /// schedule only the missing or corrupt shards.
+    pub resume: bool,
+    /// Base delay of the exponential retry backoff (see
+    /// [`backoff_delay`]).
+    pub retry_base: Duration,
 }
 
 impl CoordinatorConfig {
     /// A coordinator with defaults: worker binary next to the current
-    /// executable, partials under a process-unique temp directory, three
-    /// attempts per shard.
+    /// executable, partials under the default work dir, three attempts
+    /// per shard, no watchdog, inflight bound = available parallelism.
     ///
     /// # Errors
     ///
@@ -90,15 +143,52 @@ impl CoordinatorConfig {
             work_dir: default_work_dir(),
             extra_worker_args: Vec::new(),
             keep_partials: false,
+            shard_timeout: None,
+            max_inflight: None,
+            resume: false,
+            retry_base: DEFAULT_RETRY_BASE,
         })
     }
 }
 
-/// The default partial-file directory: process-unique under the system
-/// temp dir.
+/// The default parent directory for run directories. Deliberately stable
+/// across processes (unlike the old pid-derived path) so `--resume` after
+/// a coordinator crash finds the previous run's partials; per-campaign
+/// isolation comes from [`campaign_run_dir`] beneath it.
 #[must_use]
 pub fn default_work_dir() -> PathBuf {
-    std::env::temp_dir().join(format!("mc-shard-{}", std::process::id()))
+    std::env::temp_dir().join("xbar-mc")
+}
+
+/// The run directory a campaign owns beneath `work_dir`, derived from the
+/// campaign identity `(seed, samples, shards, stream)` — two coordinators
+/// running *different* campaigns against the same `--work-dir` can no
+/// longer clobber each other's `partial-N.json` files. Parameters that
+/// don't fit in a path (defect rate, circuit list) are covered by the
+/// `campaign.json` manifest check inside the directory.
+#[must_use]
+pub fn campaign_run_dir(work_dir: &Path, config: &McConfig, shards: usize) -> PathBuf {
+    work_dir.join(format!(
+        "run-seed{}-n{}-k{}-{}",
+        config.seed, config.samples, shards, config.stream
+    ))
+}
+
+/// Per-run counters reported by [`run_coordinator_with_report`]:
+/// scheduling facts (how the campaign was executed), deliberately
+/// separate from the byte-compared stats artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Worker processes spawned (all attempts).
+    pub spawned: usize,
+    /// Shards satisfied from existing partials (`--resume`).
+    pub reused: usize,
+    /// Retry attempts scheduled after a failure.
+    pub retries: usize,
+    /// Workers killed at the watchdog deadline.
+    pub timeouts: usize,
+    /// Peak number of simultaneously live workers.
+    pub max_inflight_observed: usize,
 }
 
 /// The merged campaign result: the configuration plus one merged
@@ -177,44 +267,9 @@ pub fn merge_partials(
 
     for partial in &ordered {
         let id = format!("shard {}", partial.spec.index);
-        if partial.config.samples != config.samples {
-            return Err(format!(
-                "{id}: samples {} != campaign {}",
-                partial.config.samples, config.samples
-            ));
-        }
-        if partial.config.seed != config.seed {
-            return Err(format!(
-                "{id}: seed {} != campaign {}",
-                partial.config.seed, config.seed
-            ));
-        }
-        if partial.config.defect_rate.to_bits() != config.defect_rate.to_bits() {
-            return Err(format!(
-                "{id}: defect_rate {} != campaign {}",
-                partial.config.defect_rate, config.defect_rate
-            ));
-        }
-        if partial.config.stream != config.stream {
-            return Err(format!(
-                "{id}: rng stream {} != campaign {} (a shard sampled under a \
-                 different stream cannot merge into this campaign)",
-                partial.config.stream, config.stream
-            ));
-        }
-        if partial.config.circuits != config.circuits {
-            return Err(format!(
-                "{id}: circuit list {:?} != campaign {:?}",
-                partial.config.circuits, config.circuits
-            ));
-        }
-        if partial.circuits.len() != config.circuits.len() {
-            return Err(format!(
-                "{id}: {} circuit entries, campaign has {}",
-                partial.circuits.len(),
-                config.circuits.len()
-            ));
-        }
+        partial
+            .validate_config_echo(config)
+            .map_err(|e| format!("{id}: {e}"))?;
         let expected: u64 = partial.spec.len() as u64;
         for ((name, accum), campaign_name) in partial.circuits.iter().zip(&config.circuits) {
             if name != campaign_name {
@@ -265,15 +320,205 @@ pub fn merge_partials(
     })
 }
 
-fn partial_path(work_dir: &Path, index: usize) -> PathBuf {
-    work_dir.join(format!("partial-{index}.json"))
+fn partial_path(run_dir: &Path, index: usize) -> PathBuf {
+    run_dir.join(format!("partial-{index}.json"))
 }
 
-fn spawn_worker(
-    cfg: &CoordinatorConfig,
-    spec: &ShardSpec,
-    out: &Path,
-) -> std::io::Result<std::process::Child> {
+// ---------------------------------------------------------------------------
+// Deterministic retry backoff
+// ---------------------------------------------------------------------------
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The delay before retrying `shard` after its `attempt`-th failed
+/// attempt (1-based): `base · 2^(attempt-1)` (exponent capped at 6) plus
+/// jitter in `[0, 100%)` of that step. The jitter is a pure function of
+/// `(seed, shard, attempt)` — no wall-clock RNG — so a campaign's retry
+/// schedule is reproducible while concurrent retries still de-correlate.
+#[must_use]
+pub fn backoff_delay(seed: u64, shard: usize, attempt: usize, base: Duration) -> Duration {
+    let exponent = u32::try_from(attempt.saturating_sub(1).min(6)).expect("capped exponent");
+    let step = base.saturating_mul(1 << exponent);
+    let hash = splitmix64(
+        seed ^ (shard as u64).rotate_left(32)
+            ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    );
+    // 53 high bits -> a fraction in [0, 1).
+    let frac = (hash >> 11) as f64 / (1u64 << 53) as f64;
+    step.mul_f64(1.0 + frac)
+}
+
+// ---------------------------------------------------------------------------
+// Campaign manifest: what a run directory belongs to
+// ---------------------------------------------------------------------------
+
+fn render_campaign_manifest(config: &McConfig, shards: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{CAMPAIGN_SCHEMA}\",");
+    let _ = writeln!(out, "  \"seed\": {},", config.seed);
+    let _ = writeln!(out, "  \"defect_rate\": {:?},", config.defect_rate);
+    let _ = writeln!(out, "  \"samples\": {},", config.samples);
+    let _ = writeln!(out, "  \"shards\": {shards},");
+    let _ = writeln!(out, "  \"rng_stream\": \"{}\",", config.stream);
+    let names: Vec<String> = config
+        .circuits
+        .iter()
+        .map(|name| format!("\"{}\"", super::json::escape(name)))
+        .collect();
+    let _ = writeln!(out, "  \"circuits\": [{}]", names.join(", "));
+    out.push_str("}\n");
+    out
+}
+
+fn parse_campaign_manifest(text: &str) -> Result<(McConfig, usize), String> {
+    let doc = super::json::Json::parse(text).map_err(|e| format!("malformed manifest: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(super::json::Json::as_str)
+        .ok_or("manifest missing `schema`")?;
+    if schema != CAMPAIGN_SCHEMA {
+        return Err(format!(
+            "manifest schema mismatch: got {schema:?}, expected {CAMPAIGN_SCHEMA:?}"
+        ));
+    }
+    let u64_field = |key: &str| {
+        doc.get(key)
+            .and_then(super::json::Json::as_u64)
+            .ok_or_else(|| format!("manifest missing u64 `{key}`"))
+    };
+    let circuits = doc
+        .get("circuits")
+        .and_then(super::json::Json::as_arr)
+        .ok_or("manifest missing `circuits` array")?
+        .iter()
+        .map(|value| {
+            value
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "manifest circuit entry is not a string".to_owned())
+        })
+        .collect::<Result<Vec<String>, String>>()?;
+    let config = McConfig {
+        samples: usize::try_from(u64_field("samples")?)
+            .map_err(|_| "manifest samples exceeds usize".to_owned())?,
+        seed: u64_field("seed")?,
+        defect_rate: doc
+            .get("defect_rate")
+            .and_then(super::json::Json::as_f64)
+            .ok_or("manifest missing f64 `defect_rate`")?,
+        stream: SampleStream::parse(
+            doc.get("rng_stream")
+                .and_then(super::json::Json::as_str)
+                .ok_or("manifest missing `rng_stream`")?,
+        )?,
+        circuits,
+    };
+    let shards = usize::try_from(u64_field("shards")?)
+        .map_err(|_| "manifest shards exceeds usize".to_owned())?;
+    Ok((config, shards))
+}
+
+/// Describes how `found` differs from the campaign `expected`; `None`
+/// when they describe the same campaign.
+fn campaign_mismatch(
+    expected: &McConfig,
+    expected_shards: usize,
+    found: &McConfig,
+    found_shards: usize,
+) -> Option<String> {
+    let mut diffs = Vec::new();
+    if found.seed != expected.seed {
+        diffs.push(format!("seed {} != {}", found.seed, expected.seed));
+    }
+    if found.samples != expected.samples {
+        diffs.push(format!("samples {} != {}", found.samples, expected.samples));
+    }
+    if found.defect_rate.to_bits() != expected.defect_rate.to_bits() {
+        diffs.push(format!(
+            "defect_rate {} != {}",
+            found.defect_rate, expected.defect_rate
+        ));
+    }
+    if found.stream != expected.stream {
+        diffs.push(format!(
+            "rng stream {} != {}",
+            found.stream, expected.stream
+        ));
+    }
+    if found.circuits != expected.circuits {
+        diffs.push(format!(
+            "circuits {:?} != {:?}",
+            found.circuits, expected.circuits
+        ));
+    }
+    if found_shards != expected_shards {
+        diffs.push(format!("shards {found_shards} != {expected_shards}"));
+    }
+    if diffs.is_empty() {
+        None
+    } else {
+        Some(diffs.join(", "))
+    }
+}
+
+/// Prepares the run directory: creates it, and either validates an
+/// existing `campaign.json` manifest against this campaign or writes a
+/// fresh one. A directory claimed by a *different* campaign — or holding
+/// partials with no manifest at all — is rejected with a clear error
+/// instead of silently clobbered.
+fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<(), String> {
+    fs::create_dir_all(run_dir)
+        .map_err(|e| format!("cannot create run dir {}: {e}", run_dir.display()))?;
+    let manifest_path = run_dir.join("campaign.json");
+    match fs::read_to_string(&manifest_path) {
+        Ok(text) => {
+            let (found, found_shards) = parse_campaign_manifest(&text).map_err(|e| {
+                format!(
+                    "{}: {e}; remove the directory (or pick another --work-dir) to proceed",
+                    manifest_path.display()
+                )
+            })?;
+            if let Some(diff) = campaign_mismatch(&cfg.config, cfg.shards, &found, found_shards) {
+                return Err(format!(
+                    "run dir {} belongs to a different campaign ({diff}); refusing to \
+                     clobber its partials — remove the directory or pick another --work-dir",
+                    run_dir.display()
+                ));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // No manifest: a partial here was written by something we
+            // cannot identify (a pre-manifest run or a foreign tool) —
+            // refuse rather than mix campaigns.
+            if let Some(index) = (0..cfg.shards).find(|i| partial_path(run_dir, *i).exists()) {
+                return Err(format!(
+                    "run dir {} holds {} but no campaign manifest; refusing to \
+                     clobber — remove the directory or pick another --work-dir",
+                    run_dir.display(),
+                    partial_path(run_dir, index).display()
+                ));
+            }
+            fs::write(
+                &manifest_path,
+                render_campaign_manifest(&cfg.config, cfg.shards),
+            )
+            .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))
+        }
+        Err(e) => Err(format!("cannot read {}: {e}", manifest_path.display())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The event-driven scheduler
+// ---------------------------------------------------------------------------
+
+fn spawn_worker(cfg: &CoordinatorConfig, spec: &ShardSpec, out: &Path) -> std::io::Result<Child> {
     Command::new(&cfg.worker.binary)
         .args(&cfg.worker.prefix_args)
         .arg("--samples")
@@ -294,70 +539,273 @@ fn spawn_worker(
         .arg("--out")
         .arg(out)
         .args(&cfg.extra_worker_args)
-        .stdout(Stdio::piped())
+        // stdout is the worker's one-line progress note — discard it; a
+        // full pipe must never be able to block a child the scheduler is
+        // only polling.
+        .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()
 }
 
-fn collect_worker(
-    cfg: &CoordinatorConfig,
-    spec: &ShardSpec,
-    child: std::io::Result<std::process::Child>,
-) -> Result<ShardPartial, String> {
-    let child = child.map_err(|e| format!("spawn failed: {e}"))?;
-    let output = child
-        .wait_with_output()
-        .map_err(|e| format!("wait failed: {e}"))?;
-    if !output.status.success() {
-        let stderr = String::from_utf8_lossy(&output.stderr);
-        let lines: Vec<&str> = stderr.lines().collect();
-        let tail = lines[lines.len().saturating_sub(3)..].join(" | ");
-        return Err(format!("worker exited with {}: {tail}", output.status));
+/// Reads whatever the exited child wrote to stderr and keeps the tail.
+fn stderr_tail(child: &mut Child) -> String {
+    let mut text = String::new();
+    if let Some(stderr) = child.stderr.as_mut() {
+        let _ = stderr.read_to_string(&mut text);
     }
-    let path = partial_path(&cfg.work_dir, spec.index);
-    let text = fs::read_to_string(&path)
-        .map_err(|e| format!("cannot read partial {}: {e}", path.display()))?;
-    let partial = ShardPartial::from_json(&text)?;
-    if partial.spec != *spec {
-        return Err(format!(
-            "partial describes shard {:?}, expected {:?}",
-            partial.spec, spec
-        ));
-    }
-    Ok(partial)
+    let lines: Vec<&str> = text.lines().collect();
+    lines[lines.len().saturating_sub(3)..].join(" | ")
 }
 
-/// Runs the sharded campaign: spawns all shards as concurrent worker
-/// processes, retries any shard whose process failed or whose partial
-/// file is missing/corrupt, and merges the partials.
-///
-/// A shard that keeps failing surfaces as an error after
-/// `max_attempts` attempts — the coordinator never hangs on it.
+/// A shard waiting (or backing off) for a worker slot.
+#[derive(Debug, Clone, Copy)]
+struct QueueItem {
+    spec: ShardSpec,
+    /// 1-based attempt number this spawn would be.
+    attempt: usize,
+    /// Earliest instant the attempt may start (backoff delay).
+    ready_at: Instant,
+}
+
+/// A live worker process.
+struct Inflight {
+    spec: ShardSpec,
+    attempt: usize,
+    deadline: Option<Instant>,
+    child: Child,
+}
+
+struct Scheduler<'a> {
+    cfg: &'a CoordinatorConfig,
+    run_dir: PathBuf,
+    max_inflight: usize,
+    queue: VecDeque<QueueItem>,
+    inflight: Vec<Inflight>,
+    partials: Vec<Option<ShardPartial>>,
+    report: RunReport,
+    /// Indices of shards that exhausted their attempts.
+    permanent: Vec<usize>,
+    last_error: String,
+}
+
+impl Scheduler<'_> {
+    /// Records a failed attempt: schedules a backoff retry while attempts
+    /// remain, otherwise marks the shard permanently failed.
+    fn note_failure(&mut self, spec: ShardSpec, attempt: usize, error: &str) {
+        self.last_error = format!("shard {} (attempt {attempt}): {error}", spec.index);
+        eprintln!("mc coordinate: {}", self.last_error);
+        if attempt < self.cfg.max_attempts {
+            self.report.retries += 1;
+            let delay = backoff_delay(
+                self.cfg.config.seed,
+                spec.index,
+                attempt,
+                self.cfg.retry_base,
+            );
+            self.queue.push_back(QueueItem {
+                spec,
+                attempt: attempt + 1,
+                ready_at: Instant::now() + delay,
+            });
+        } else {
+            self.permanent.push(spec.index);
+        }
+    }
+
+    /// Validates the partial a successfully exited worker left behind.
+    fn collect_exited(&self, spec: &ShardSpec) -> Result<ShardPartial, String> {
+        let path = partial_path(&self.run_dir, spec.index);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read partial {}: {e}", path.display()))?;
+        let partial = ShardPartial::from_json(&text)?;
+        partial.validate_for(&self.cfg.config, spec)?;
+        Ok(partial)
+    }
+
+    /// Spawns due queue items into free worker slots; true when at least
+    /// one child was spawned (or a spawn failure was recorded).
+    fn fill_slots(&mut self) -> bool {
+        let mut progressed = false;
+        while self.inflight.len() < self.max_inflight {
+            let now = Instant::now();
+            let Some(pos) = self.queue.iter().position(|item| item.ready_at <= now) else {
+                break;
+            };
+            let item = self.queue.remove(pos).expect("position is in range");
+            let out = partial_path(&self.run_dir, item.spec.index);
+            progressed = true;
+            match spawn_worker(self.cfg, &item.spec, &out) {
+                Ok(child) => {
+                    self.report.spawned += 1;
+                    self.inflight.push(Inflight {
+                        spec: item.spec,
+                        attempt: item.attempt,
+                        deadline: self.cfg.shard_timeout.map(|t| now + t),
+                        child,
+                    });
+                }
+                Err(e) => {
+                    self.note_failure(item.spec, item.attempt, &format!("spawn failed: {e}"));
+                }
+            }
+        }
+        self.report.max_inflight_observed =
+            self.report.max_inflight_observed.max(self.inflight.len());
+        progressed
+    }
+
+    /// Polls every live worker once: collects exits, kills and reaps
+    /// children past their watchdog deadline. True when anything changed.
+    fn reap(&mut self) -> bool {
+        let mut progressed = false;
+        let mut index = 0;
+        while index < self.inflight.len() {
+            match self.inflight[index].child.try_wait() {
+                Ok(Some(status)) => {
+                    let mut slot = self.inflight.swap_remove(index);
+                    progressed = true;
+                    if status.success() {
+                        match self.collect_exited(&slot.spec) {
+                            Ok(partial) => self.partials[slot.spec.index] = Some(partial),
+                            Err(e) => self.note_failure(slot.spec, slot.attempt, &e),
+                        }
+                    } else {
+                        let tail = stderr_tail(&mut slot.child);
+                        self.note_failure(
+                            slot.spec,
+                            slot.attempt,
+                            &format!("worker exited with {status}: {tail}"),
+                        );
+                    }
+                }
+                Ok(None) => {
+                    let overdue = self.inflight[index]
+                        .deadline
+                        .is_some_and(|deadline| Instant::now() >= deadline);
+                    if overdue {
+                        let mut slot = self.inflight.swap_remove(index);
+                        progressed = true;
+                        self.report.timeouts += 1;
+                        let _ = slot.child.kill();
+                        let _ = slot.child.wait();
+                        let timeout = self
+                            .cfg
+                            .shard_timeout
+                            .expect("a deadline implies a configured timeout");
+                        self.note_failure(
+                            slot.spec,
+                            slot.attempt,
+                            &format!("hit the {timeout:?} watchdog deadline; worker killed"),
+                        );
+                    } else {
+                        index += 1;
+                    }
+                }
+                Err(e) => {
+                    let mut slot = self.inflight.swap_remove(index);
+                    progressed = true;
+                    let _ = slot.child.kill();
+                    let _ = slot.child.wait();
+                    self.note_failure(slot.spec, slot.attempt, &format!("wait failed: {e}"));
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Kills and reaps every still-running worker (fail-fast path; their
+    /// partial files stay on disk for a later `--resume`).
+    fn abort_inflight(&mut self) {
+        for slot in &mut self.inflight {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+        self.inflight.clear();
+    }
+}
+
+/// Turns the scheduler's `Option`-slotted partials into the merge input,
+/// surfacing a coordinator bug as an error (exit 1 with a message at the
+/// CLI) instead of an unwrap panic.
+fn take_collected(partials: Vec<Option<ShardPartial>>) -> Result<Vec<ShardPartial>, String> {
+    partials
+        .into_iter()
+        .enumerate()
+        .map(|(index, partial)| {
+            partial.ok_or_else(|| {
+                format!(
+                    "internal coordinator invariant violated: shard {index} has no partial \
+                     although scheduling reported the campaign complete — please report this bug"
+                )
+            })
+        })
+        .collect()
+}
+
+/// Runs the sharded campaign and returns the merged result (see
+/// [`run_coordinator_with_report`] for the full contract).
 ///
 /// # Errors
 ///
-/// Reports configuration problems, unwritable work directories, and
-/// permanently failing shards (with the last per-shard error).
+/// Reports configuration problems, unwritable work directories, run
+/// directories owned by a different campaign, and permanently failing
+/// shards (with the last per-shard error).
 pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<MergedResult, String> {
+    run_coordinator_with_report(cfg).map(|(merged, _)| merged)
+}
+
+/// Runs the sharded campaign through the fault-tolerant scheduler:
+/// at most `max_inflight` workers live at once, each shard retried
+/// independently with deterministic backoff, hung workers killed at the
+/// watchdog deadline, and (with `resume`) valid partials from a previous
+/// run reused instead of recomputed. With a `shard_timeout` configured
+/// the coordinator can never hang on a stuck worker; a shard that keeps
+/// failing surfaces as an error after `max_attempts` attempts.
+///
+/// # Errors
+///
+/// See [`run_coordinator`].
+pub fn run_coordinator_with_report(
+    cfg: &CoordinatorConfig,
+) -> Result<(MergedResult, RunReport), String> {
     if cfg.shards == 0 {
         return Err("need at least one shard".to_owned());
     }
     if cfg.max_attempts == 0 {
         return Err("need at least one attempt per shard".to_owned());
     }
+    if cfg.max_inflight == Some(0) {
+        return Err("need at least one in-flight worker slot".to_owned());
+    }
     cfg.config.validate()?;
     fs::create_dir_all(&cfg.work_dir)
         .map_err(|e| format!("cannot create work dir {}: {e}", cfg.work_dir.display()))?;
+    let run_dir = campaign_run_dir(&cfg.work_dir, &cfg.config, cfg.shards);
+    preflight_run_dir(cfg, &run_dir)?;
 
+    let max_inflight = cfg.max_inflight.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    });
     let specs = ShardSpec::partition(cfg.config.samples, cfg.shards);
-    let mut partials: Vec<Option<ShardPartial>> = vec![None; specs.len()];
-    // Empty shards (more shards than samples) need no process: their
-    // partial is the empty accumulator, synthesized here instead of paying
-    // a worker spawn plus per-circuit cover minimization for zero samples.
-    let mut pending: Vec<ShardSpec> = Vec::with_capacity(specs.len());
+    let mut scheduler = Scheduler {
+        cfg,
+        run_dir: run_dir.clone(),
+        max_inflight,
+        queue: VecDeque::with_capacity(specs.len()),
+        inflight: Vec::new(),
+        partials: vec![None; specs.len()],
+        report: RunReport::default(),
+        permanent: Vec::new(),
+        last_error: String::new(),
+    };
+
+    let start = Instant::now();
     for spec in specs {
         if spec.is_empty() {
-            partials[spec.index] = Some(ShardPartial {
+            // Empty shards (more shards than samples) need no process:
+            // their partial is the empty accumulator, synthesized here
+            // instead of paying a worker spawn for zero samples.
+            scheduler.partials[spec.index] = Some(ShardPartial {
                 config: cfg.config.clone(),
                 spec,
                 circuits: cfg
@@ -368,55 +816,68 @@ pub fn run_coordinator(cfg: &CoordinatorConfig) -> Result<MergedResult, String> 
                     .collect(),
             });
         } else {
-            pending.push(spec);
-        }
-    }
-    let mut last_error = String::new();
-
-    for attempt in 1..=cfg.max_attempts {
-        if pending.is_empty() {
-            break;
-        }
-        let children: Vec<(ShardSpec, std::io::Result<std::process::Child>)> = pending
-            .iter()
-            .map(|spec| {
-                let out = partial_path(&cfg.work_dir, spec.index);
-                (*spec, spawn_worker(cfg, spec, &out))
-            })
-            .collect();
-        let mut failed = Vec::new();
-        for (spec, child) in children {
-            match collect_worker(cfg, &spec, child) {
-                Ok(partial) => partials[spec.index] = Some(partial),
-                Err(e) => {
-                    last_error = format!("shard {} (attempt {attempt}): {e}", spec.index);
-                    eprintln!("mc_coordinator: {last_error}");
-                    failed.push(spec);
+            // With --resume, a valid checkpoint from a previous (killed
+            // or partial) run is reused; only missing/corrupt shards get
+            // scheduled.
+            if cfg.resume {
+                if let Ok(partial) = scheduler.collect_exited(&spec) {
+                    scheduler.partials[spec.index] = Some(partial);
+                    scheduler.report.reused += 1;
+                    continue;
                 }
             }
+            scheduler.queue.push_back(QueueItem {
+                spec,
+                attempt: 1,
+                ready_at: start,
+            });
         }
-        pending = failed;
     }
 
-    if !pending.is_empty() {
-        let indices: Vec<String> = pending.iter().map(|s| s.index.to_string()).collect();
+    // The event loop: fill free slots with due work, poll children, and
+    // sleep briefly only when nothing moved. Terminates because every
+    // shard either completes or runs out of attempts.
+    while scheduler.permanent.is_empty()
+        && (!scheduler.queue.is_empty() || !scheduler.inflight.is_empty())
+    {
+        let spawned = scheduler.fill_slots();
+        let reaped = scheduler.reap();
+        if !spawned && !reaped {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    if !scheduler.permanent.is_empty() {
+        // Fail fast: kill the rest (their partials stay for --resume) and
+        // surface the first permanent failure.
+        scheduler.abort_inflight();
+        scheduler.permanent.sort_unstable();
+        scheduler.permanent.dedup();
+        let indices: Vec<String> = scheduler
+            .permanent
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         return Err(format!(
             "shard(s) {} failed permanently after {} attempt(s); last error: {}",
             indices.join(", "),
             cfg.max_attempts,
-            last_error
+            scheduler.last_error
         ));
     }
 
-    let collected: Vec<ShardPartial> = partials.into_iter().map(Option::unwrap).collect();
+    let report = scheduler.report;
+    let collected = take_collected(scheduler.partials)?;
     let merged = merge_partials(&cfg.config, &collected)?;
     if !cfg.keep_partials {
         for index in 0..cfg.shards {
-            let _ = fs::remove_file(partial_path(&cfg.work_dir, index));
+            let _ = fs::remove_file(partial_path(&run_dir, index));
         }
+        let _ = fs::remove_file(run_dir.join("campaign.json"));
+        let _ = fs::remove_dir(&run_dir);
         let _ = fs::remove_dir(&cfg.work_dir);
     }
-    Ok(merged)
+    Ok((merged, report))
 }
 
 /// Renders the deterministic merged-stats artifact: **only**
@@ -637,5 +1098,68 @@ mod tests {
         assert!(circuits[0].get("hba_success_rate").is_some());
         let timing = render_timing_table(&merged);
         assert!(timing.contains("rd53"));
+    }
+
+    #[test]
+    fn backoff_is_a_pure_function_of_seed_shard_and_attempt() {
+        let base = Duration::from_millis(100);
+        let delay = backoff_delay(7, 3, 1, base);
+        assert_eq!(delay, backoff_delay(7, 3, 1, base), "deterministic");
+        assert_ne!(delay, backoff_delay(7, 4, 1, base), "per-shard jitter");
+        assert_ne!(delay, backoff_delay(8, 3, 1, base), "per-seed jitter");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let base = Duration::from_millis(100);
+        for attempt in 1..=6 {
+            let step = base * (1 << (attempt - 1));
+            for (seed, shard) in [(0u64, 0usize), (2018, 5), (u64::MAX, 31)] {
+                let delay = backoff_delay(seed, shard, attempt, base);
+                assert!(
+                    delay >= step && delay < step * 2,
+                    "attempt {attempt}: {delay:?} outside [{step:?}, {:?})",
+                    step * 2
+                );
+            }
+        }
+        // The exponent is capped: huge attempt counts cannot overflow.
+        assert!(backoff_delay(7, 3, 10_000, base) < base * 128);
+    }
+
+    #[test]
+    fn campaign_manifest_roundtrips_and_detects_mismatches() {
+        let config = config();
+        let text = render_campaign_manifest(&config, 3);
+        let (back, shards) = parse_campaign_manifest(&text).expect("parses");
+        assert_eq!(back, config);
+        assert_eq!(shards, 3);
+        assert!(campaign_mismatch(&config, 3, &back, shards).is_none());
+
+        let mut other = config.clone();
+        other.defect_rate = 0.25;
+        let diff = campaign_mismatch(&config, 3, &other, 3).expect("must differ");
+        assert!(diff.contains("defect_rate"), "{diff}");
+        let diff = campaign_mismatch(&config, 3, &config, 5).expect("must differ");
+        assert!(diff.contains("shards"), "{diff}");
+    }
+
+    #[test]
+    fn run_dir_name_derives_from_campaign_identity() {
+        let config = config();
+        let dir = campaign_run_dir(Path::new("/w"), &config, 4);
+        assert_eq!(dir, PathBuf::from("/w/run-seed5-n20-k4-v1"));
+        let v2 = McConfig {
+            stream: SampleStream::V2,
+            ..self::config()
+        };
+        assert_ne!(campaign_run_dir(Path::new("/w"), &v2, 4), dir);
+    }
+
+    #[test]
+    fn missing_partial_after_scheduling_is_an_invariant_error_not_a_panic() {
+        let err = take_collected(vec![None]).expect_err("must be an error");
+        assert!(err.contains("invariant"), "{err}");
+        assert!(err.contains("shard 0"), "{err}");
     }
 }

@@ -7,9 +7,12 @@
 //! and its [`ShardSpec`]. Each worker folds its slice into the mergeable
 //! accumulators of [`xbar_core::stats`] and writes a self-describing
 //! partial-result file ([`partial::ShardPartial`], hand-rolled JSON via
-//! [`json`]); the [`coordinator`] spawns workers, retries failed shards,
-//! and merges partials into output **byte-identical** to a monolithic run
-//! for every integer-derived statistic.
+//! [`json`]); the [`coordinator`] is a fault-tolerant campaign runner —
+//! bounded event-driven scheduling, watchdog timeouts for hung workers,
+//! per-shard deterministic backoff retry, and checkpoint/resume over a
+//! per-campaign run directory — that merges partials into output
+//! **byte-identical** to a monolithic run for every integer-derived
+//! statistic, whatever failures occurred along the way.
 //!
 //! Reproducibility contract (also documented in the README):
 //!

@@ -68,6 +68,89 @@ fn parse_moments(value: &Json, context: &str) -> Result<Moments, String> {
 }
 
 impl ShardPartial {
+    /// Checks this partial's embedded configuration echo against a
+    /// campaign — the shared gate the coordinator applies before a
+    /// partial may contribute to a merge.
+    ///
+    /// # Errors
+    ///
+    /// Names the first disagreeing field.
+    pub fn validate_config_echo(&self, config: &McConfig) -> Result<(), String> {
+        if self.config.samples != config.samples {
+            return Err(format!(
+                "samples {} != campaign {}",
+                self.config.samples, config.samples
+            ));
+        }
+        if self.config.seed != config.seed {
+            return Err(format!(
+                "seed {} != campaign {}",
+                self.config.seed, config.seed
+            ));
+        }
+        if self.config.defect_rate.to_bits() != config.defect_rate.to_bits() {
+            return Err(format!(
+                "defect_rate {} != campaign {}",
+                self.config.defect_rate, config.defect_rate
+            ));
+        }
+        if self.config.stream != config.stream {
+            return Err(format!(
+                "rng stream {} != campaign {} (a shard sampled under a \
+                 different stream cannot merge into this campaign)",
+                self.config.stream, config.stream
+            ));
+        }
+        if self.config.circuits != config.circuits {
+            return Err(format!(
+                "circuit list {:?} != campaign {:?}",
+                self.config.circuits, config.circuits
+            ));
+        }
+        if self.circuits.len() != config.circuits.len() {
+            return Err(format!(
+                "{} circuit entries, campaign has {}",
+                self.circuits.len(),
+                config.circuits.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Full per-file validation: the configuration echo, the exact slice
+    /// the coordinator expected this file to hold, and per-circuit folded
+    /// sample counts. Applied both to a worker's fresh output and to
+    /// checkpoint files found by `--resume` — a stale, foreign, or torn
+    /// partial can never be merged.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatch.
+    pub fn validate_for(&self, config: &McConfig, spec: &ShardSpec) -> Result<(), String> {
+        if self.spec != *spec {
+            return Err(format!(
+                "partial describes shard {:?}, expected {:?}",
+                self.spec, spec
+            ));
+        }
+        self.validate_config_echo(config)?;
+        let expected: u64 = spec.len() as u64;
+        for ((name, accum), campaign_name) in self.circuits.iter().zip(&config.circuits) {
+            if name != campaign_name {
+                return Err(format!(
+                    "circuit entry {name:?} out of order (expected {campaign_name:?})"
+                ));
+            }
+            if accum.samples() != expected {
+                return Err(format!(
+                    "circuit {name:?} folded {} samples, range holds {expected}",
+                    accum.samples()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Renders the partial as a JSON document.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -349,6 +432,59 @@ mod tests {
         assert_eq!(back, partial);
         assert_eq!(back.circuits[0].1.hba.successes, 0);
         assert_eq!(back.circuits[0].1.hba.rate(), 0.0);
+    }
+
+    #[test]
+    fn validate_for_accepts_the_matching_slice_and_rejects_everything_else() {
+        // A real shard: 33 samples folded into each circuit accumulator.
+        let config = McConfig {
+            samples: 100,
+            seed: 9,
+            defect_rate: 0.1,
+            stream: SampleStream::V1,
+            circuits: vec!["rd53".to_owned()],
+        };
+        let spec = ShardSpec {
+            index: 1,
+            num_shards: 3,
+            start: 34,
+            end: 67,
+        };
+        let mut accum = CircuitAccum::new();
+        for _ in 0..33 {
+            accum.push(true, 1e-6, false, 2e-6);
+        }
+        let partial = ShardPartial {
+            config: config.clone(),
+            spec,
+            circuits: vec![("rd53".to_owned(), accum)],
+        };
+        partial.validate_for(&config, &spec).expect("valid");
+
+        let other_spec = ShardSpec { index: 0, ..spec };
+        let err = partial
+            .validate_for(&config, &other_spec)
+            .expect_err("spec");
+        assert!(err.contains("expected"), "{err}");
+
+        let mut other_config = config.clone();
+        other_config.seed = 10;
+        let err = partial
+            .validate_for(&other_config, &spec)
+            .expect_err("seed");
+        assert!(err.contains("seed"), "{err}");
+
+        let mut other_config = config.clone();
+        other_config.stream = SampleStream::V2;
+        let err = partial
+            .validate_for(&other_config, &spec)
+            .expect_err("stream");
+        assert!(err.contains("rng stream"), "{err}");
+
+        let mut short = partial.clone();
+        short.circuits[0].1 = CircuitAccum::new();
+        let err = short.validate_for(&config, &spec).expect_err("samples");
+        assert!(err.contains("folded"), "{err}");
     }
 
     #[test]

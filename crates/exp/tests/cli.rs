@@ -288,6 +288,10 @@ fn usage_problems_exit_2_with_help_not_a_backtrace() {
         &["mc", "frobnicate"][..],
         &["mc", "shard", "--shard-index", "x"][..],
         &["mc", "coordinate", "--shards"][..],
+        &["mc", "coordinate", "--shard-timeout", "soon"][..],
+        &["mc", "coordinate", "--shard-timeout", "0"][..],
+        &["mc", "coordinate", "--max-inflight", "0"][..],
+        &["mc", "coordinate", "--worker-arg"][..],
     ] {
         let out = xbar(args);
         assert_eq!(

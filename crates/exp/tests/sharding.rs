@@ -1,19 +1,24 @@
 //! Process-level tests of the sharded Monte Carlo subsystem: the
-//! coordinator spawning real `mc_shard` worker processes
-//! (`CARGO_BIN_EXE_mc_shard`), retrying injected failures, and always
-//! producing a merged stats artifact byte-identical to the monolithic
-//! in-process run.
+//! fault-tolerant coordinator spawning real worker processes
+//! (`CARGO_BIN_EXE_mc_shard` / `CARGO_BIN_EXE_xbar`), killing hung
+//! workers at the watchdog deadline, bounding in-flight concurrency,
+//! resuming from checkpoints after a `kill -9`, and always producing a
+//! merged stats artifact byte-identical to the monolithic in-process run.
 
 use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 use xbar_core::SampleStream;
 use xbar_exp::shard::coordinator::{
-    render_stats_json, run_coordinator, run_monolithic, CoordinatorConfig, Worker,
+    campaign_run_dir, render_stats_json, run_coordinator, run_coordinator_with_report,
+    run_monolithic, CoordinatorConfig, Worker,
 };
+use xbar_exp::shard::partial::ShardPartial;
 use xbar_exp::shard::McConfig;
 
 fn worker_binary() -> Worker {
     // The legacy standalone worker shim; the `xbar mc shard` path is
-    // exercised by crates/exp/tests/cli.rs.
+    // exercised by crates/exp/tests/cli.rs and the kill/resume test below.
     Worker::standalone(PathBuf::from(env!("CARGO_BIN_EXE_mc_shard")))
 }
 
@@ -42,6 +47,12 @@ fn coordinator(tag: &str, shards: usize) -> CoordinatorConfig {
         work_dir: scratch(tag),
         extra_worker_args: Vec::new(),
         keep_partials: false,
+        shard_timeout: None,
+        max_inflight: None,
+        resume: false,
+        // Tiny backoff: retry-path tests stay fast without changing the
+        // deterministic shape of the schedule.
+        retry_base: Duration::from_millis(5),
     }
 }
 
@@ -93,8 +104,9 @@ fn empty_shards_need_no_workers_and_merge_cleanly() {
     let mono = render_stats_json(&run_monolithic(&config));
     let mut cfg = coordinator("empty-shards", 7);
     cfg.config = config;
-    let merged = run_coordinator(&cfg).expect("coordinator run");
+    let (merged, report) = run_coordinator_with_report(&cfg).expect("coordinator run");
     assert_eq!(render_stats_json(&merged), mono);
+    assert_eq!(report.spawned, 4, "only non-empty shards spawn workers");
 }
 
 #[test]
@@ -107,8 +119,9 @@ fn coordinator_retries_a_crashing_shard_and_still_matches() {
         "--inject-fail-once".to_owned(),
         marker.to_string_lossy().into_owned(),
     ];
-    let merged = run_coordinator(&cfg).expect("retry must recover");
+    let (merged, report) = run_coordinator_with_report(&cfg).expect("retry must recover");
     assert_eq!(render_stats_json(&merged), mono);
+    assert!(report.retries >= 1, "{report:?}");
     let _ = std::fs::remove_file(&marker);
     let _ = std::fs::remove_dir(&cfg.work_dir);
 }
@@ -127,6 +140,246 @@ fn coordinator_retries_a_torn_partial_and_still_matches() {
     assert_eq!(render_stats_json(&merged), mono);
     let _ = std::fs::remove_file(&marker);
     let _ = std::fs::remove_dir(&cfg.work_dir);
+}
+
+#[test]
+fn hung_worker_is_killed_at_the_deadline_and_retried() {
+    // One worker hangs forever (first `--inject-hang-once` hit); the
+    // watchdog must kill it at the deadline and the retry must finish the
+    // shard, with the merged artifact still byte-identical.
+    let mono = render_stats_json(&run_monolithic(&campaign()));
+    let mut cfg = coordinator("hang", 2);
+    let marker = cfg.work_dir.join("hang-marker");
+    std::fs::create_dir_all(&cfg.work_dir).expect("scratch dir");
+    cfg.shard_timeout = Some(Duration::from_secs(3));
+    cfg.extra_worker_args = vec![
+        "--inject-hang-once".to_owned(),
+        marker.to_string_lossy().into_owned(),
+    ];
+    let start = Instant::now();
+    let (merged, report) = run_coordinator_with_report(&cfg).expect("watchdog must recover");
+    assert_eq!(render_stats_json(&merged), mono);
+    assert_eq!(report.timeouts, 1, "{report:?}");
+    assert!(report.retries >= 1, "{report:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "the watchdog must turn the hang into a bounded retry"
+    );
+    let _ = std::fs::remove_file(&marker);
+    let _ = std::fs::remove_dir(&cfg.work_dir);
+}
+
+#[test]
+fn slow_but_finishing_worker_is_not_killed() {
+    // Workers sleep 150 ms but the deadline is far away: the watchdog
+    // must not fire, and no retries happen.
+    let mono = render_stats_json(&run_monolithic(&campaign()));
+    let mut cfg = coordinator("slow-ok", 2);
+    cfg.shard_timeout = Some(Duration::from_secs(60));
+    cfg.extra_worker_args = vec!["--inject-slow-ms".to_owned(), "150".to_owned()];
+    let (merged, report) = run_coordinator_with_report(&cfg).expect("slow run");
+    assert_eq!(render_stats_json(&merged), mono);
+    assert_eq!(report.timeouts, 0, "{report:?}");
+    assert_eq!(report.retries, 0, "{report:?}");
+    assert_eq!(report.spawned, 2, "{report:?}");
+}
+
+#[test]
+fn inflight_workers_never_exceed_max_inflight() {
+    // 5 shards, 2 slots, each worker slowed so lifetimes overlap. The
+    // workers themselves record how many live-markers exist while they
+    // run (`--inject-concurrency-dir`), so the bound is asserted from
+    // inside the fleet, not from the coordinator's bookkeeping alone.
+    let config = McConfig {
+        samples: 10,
+        ..campaign()
+    };
+    let mono = render_stats_json(&run_monolithic(&config));
+    let mut cfg = coordinator("inflight", 5);
+    cfg.config = config;
+    cfg.max_inflight = Some(2);
+    let obs_dir = cfg.work_dir.join("concurrency");
+    cfg.extra_worker_args = vec![
+        "--inject-slow-ms".to_owned(),
+        "150".to_owned(),
+        "--inject-concurrency-dir".to_owned(),
+        obs_dir.to_string_lossy().into_owned(),
+    ];
+    let (merged, report) = run_coordinator_with_report(&cfg).expect("bounded run");
+    assert_eq!(render_stats_json(&merged), mono);
+    assert_eq!(
+        report.max_inflight_observed, 2,
+        "5 queued shards must saturate (but never exceed) the 2 slots: {report:?}"
+    );
+    let observed = std::fs::read_to_string(obs_dir.join("observed.txt")).expect("observations");
+    let counts: Vec<usize> = observed
+        .lines()
+        .map(|line| line.parse().expect("count line"))
+        .collect();
+    assert_eq!(counts.len(), 5, "every worker samples once: {observed:?}");
+    assert!(
+        counts.iter().all(|&live| (1..=2).contains(&live)),
+        "no worker may ever see more than --max-inflight live peers: {counts:?}"
+    );
+    let _ = std::fs::remove_dir_all(&cfg.work_dir);
+}
+
+#[test]
+fn resume_reuses_valid_partials_and_schedules_only_the_rest() {
+    // First run keeps its partials; then one is corrupted and one
+    // deleted. `--resume` must reuse the intact checkpoint, re-run
+    // exactly the two damaged shards, and reproduce the identical bytes.
+    let mono = render_stats_json(&run_monolithic(&campaign()));
+    let mut cfg = coordinator("resume", 3);
+    cfg.keep_partials = true;
+    let (first, r1) = run_coordinator_with_report(&cfg).expect("first run");
+    assert_eq!(render_stats_json(&first), mono);
+    assert_eq!(r1.spawned, 3);
+    assert_eq!(r1.reused, 0);
+
+    let run_dir = campaign_run_dir(&cfg.work_dir, &cfg.config, cfg.shards);
+    std::fs::write(run_dir.join("partial-1.json"), "{\n  \"schema\": \"tor").expect("corrupt");
+    std::fs::remove_file(run_dir.join("partial-2.json")).expect("delete");
+
+    cfg.resume = true;
+    cfg.keep_partials = false;
+    let (second, r2) = run_coordinator_with_report(&cfg).expect("resumed run");
+    assert_eq!(
+        render_stats_json(&second),
+        mono,
+        "a resumed campaign must merge to the identical artifact"
+    );
+    assert_eq!(r2.reused, 1, "{r2:?}");
+    assert_eq!(r2.spawned, 2, "{r2:?}");
+}
+
+#[test]
+fn resume_after_coordinator_kill_finishes_the_campaign_with_identical_bytes() {
+    // The real crash story: a coordinator process (xbar spawning itself
+    // as `xbar mc shard`) is SIGKILLed mid-campaign, then a second
+    // coordinator with --resume picks up the surviving checkpoints and
+    // completes — byte-identical artifact, fewer spawns.
+    let dir = scratch("kill-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let work = dir.join("work");
+    std::fs::create_dir_all(&work).expect("scratch dir");
+    let out = dir.join("merged.json");
+    let mono = render_stats_json(&run_monolithic(&campaign()));
+
+    // Serialized workers (--max-inflight 1), each slowed 400 ms, so
+    // partials appear one by one and the kill lands mid-campaign.
+    let campaign_flags = [
+        "--samples",
+        "30",
+        "--circuits",
+        "rd53",
+        "--shards",
+        "4",
+        "--work-dir",
+    ];
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_xbar"))
+        .arg("mc")
+        .arg("coordinate")
+        .args(campaign_flags)
+        .arg(&work)
+        .args(["--max-inflight", "1", "--keep-partials"])
+        .args(["--worker-arg", "--inject-slow-ms", "--worker-arg", "400"])
+        .args(["--out".as_ref(), out.as_os_str()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+
+    // Wait for the first complete checkpoint, then SIGKILL the
+    // coordinator (kill() is SIGKILL on unix).
+    let run_dir = campaign_run_dir(&work, &campaign(), 4);
+    let first_partial = run_dir.join("partial-0.json");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared before the deadline"
+        );
+        if coordinator.try_wait().expect("try_wait").is_some() {
+            panic!("coordinator finished before it could be killed; slow the workers down");
+        }
+        if let Ok(text) = std::fs::read_to_string(&first_partial) {
+            if ShardPartial::from_json(&text).is_ok() {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    coordinator.kill().expect("kill -9 the coordinator");
+    let _ = coordinator.wait();
+    // Let the orphaned in-flight worker finish writing its partial so the
+    // resume below starts from a quiet directory.
+    std::thread::sleep(Duration::from_millis(800));
+
+    let out2 = dir.join("merged-resumed.json");
+    let resumed = Command::new(env!("CARGO_BIN_EXE_xbar"))
+        .arg("mc")
+        .arg("coordinate")
+        .args(campaign_flags)
+        .arg(&work)
+        .arg("--resume")
+        .args(["--out".as_ref(), out2.as_os_str()])
+        .output()
+        .expect("spawn resumed coordinator");
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {stdout}\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let report_line = stdout
+        .lines()
+        .find(|line| line.starts_with("coordinator:"))
+        .expect("report line");
+    // The report reads "coordinator: spawned 2 worker(s), reused 2
+    // partial(s), ..." — the count follows its verb.
+    let field = |key: &str| -> usize {
+        let tokens: Vec<&str> = report_line
+            .split([' ', ','])
+            .filter(|t| !t.is_empty())
+            .collect();
+        tokens
+            .windows(2)
+            .find(|pair| pair[0] == key)
+            .and_then(|pair| pair[1].parse().ok())
+            .unwrap_or_else(|| panic!("no `{key}` count in {report_line:?}"))
+    };
+    assert!(
+        field("reused") >= 1,
+        "the killed run's checkpoints must be reused: {report_line:?}"
+    );
+    assert!(
+        field("spawned") < 4,
+        "resume must spawn fewer workers than a fresh campaign: {report_line:?}"
+    );
+    let merged = std::fs::read_to_string(&out2).expect("resumed artifact");
+    assert_eq!(
+        merged, mono,
+        "kill -9 + --resume must still produce the monolithic bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_run_dir_claimed_by_a_different_campaign_is_rejected() {
+    // Same (seed, samples, shards, stream) — so the same derived run
+    // directory — but a different defect rate: the manifest check must
+    // refuse to clobber the first campaign's partials.
+    let mut cfg = coordinator("campaign-clash", 2);
+    cfg.keep_partials = true;
+    let _ = run_coordinator(&cfg).expect("first campaign");
+
+    let mut other = coordinator("campaign-clash", 2);
+    other.config.defect_rate = 0.25;
+    let err = run_coordinator(&other).expect_err("must refuse");
+    assert!(err.contains("different campaign"), "{err}");
+    assert!(err.contains("defect_rate"), "{err}");
+    let _ = std::fs::remove_dir_all(&cfg.work_dir);
 }
 
 #[test]
