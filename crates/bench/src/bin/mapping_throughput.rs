@@ -8,7 +8,8 @@
 
 use std::path::PathBuf;
 use xbar_bench::throughput::{
-    measure_circuit, measure_sharded, registry_crosscheck, render_json_with_sharded,
+    measure_circuit, measure_model_dispatch, measure_sharded, registry_crosscheck,
+    render_json_with_sharded,
 };
 use xbar_bench::TABLE2_BENCH_CIRCUITS;
 use xbar_core::SampleStream;
@@ -182,7 +183,27 @@ fn main() {
             }
         }
     };
-    let json = render_json_with_sharded(&results, args.defect_rate, args.seed, sharded.as_ref());
+    // Defect-model dispatch overhead on the i.i.d. hot path: the frozen
+    // direct resample API vs the same draw routed through the DefectSampler
+    // model dispatch. Guards the PR-8 trait layer against regressing the
+    // V1 Monte Carlo inner loop.
+    let dispatch = measure_model_dispatch(128, 48, args.samples * 50, args.defect_rate, args.seed);
+    println!(
+        "model dispatch ({}x{}, {} resamples): direct {:.1}/s  dispatch {:.1}/s  ({:.2}x)",
+        dispatch.rows,
+        dispatch.cols,
+        dispatch.samples,
+        dispatch.direct_sps(),
+        dispatch.dispatch_sps(),
+        dispatch.ratio()
+    );
+    let json = render_json_with_sharded(
+        &results,
+        args.defect_rate,
+        args.seed,
+        sharded.as_ref(),
+        Some(&dispatch),
+    );
     std::fs::write(&args.out, &json).expect("write BENCH_mapping.json");
     println!("wrote {}", args.out.display());
 }

@@ -94,7 +94,9 @@ pub use mapping::{
     MappingStats, RowAssignment,
 };
 pub use matrices::{
-    row_compatible, BitRow, CrossbarMatrix, DefectSampler, FunctionMatrix, SampleStream,
+    row_compatible, BitRow, ClusteredDefects, CompositeDefects, CrossbarMatrix, DefectModel,
+    DefectModelKind, DefectModelSpec, DefectSampler, FunctionMatrix, IidDefects, LineDefects,
+    SampleStream,
 };
 pub use multilevel::{map_multilevel, MultiLevelDesign, MultiLevelMapping};
 pub use redundancy::{estimate_yield, redundancy_sweep, MapperKind, YieldConfig, YieldResult};

@@ -304,35 +304,337 @@ impl fmt::Display for SampleStream {
     }
 }
 
-/// The stream-aware defect-sampling handle: the one seam every stuck-open
-/// sweep goes through (engine loops, experiments, benches, examples), so a
-/// future `DefectModel` trait replaces a single entry point instead of
-/// scattered free calls.
+/// The spatial structure of a defect draw, selected per campaign via
+/// `--defect-model` and threaded as typed identity exactly like
+/// [`SampleStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DefectModelKind {
+    /// Independent per-cell stuck-open defects — the paper's Table II
+    /// model and the only kind the frozen V1/V2 streams draw. **Default.**
+    #[default]
+    Iid,
+    /// Clustered cell defects: a seeded two-state (Markov) renewal process
+    /// over the row-major cell order, parameterized by target rate and
+    /// mean cluster size.
+    Clustered,
+    /// Line-correlated failures: whole broken wordlines/bitlines drawn
+    /// per-row/per-column at the line rate (cell rate unused).
+    Lines,
+    /// Line faults layered over clustered cell defects (cluster size 1
+    /// degenerates the cell layer to i.i.d.).
+    Composite,
+}
+
+impl DefectModelKind {
+    /// Every model kind, in declaration order.
+    pub const ALL: [DefectModelKind; 4] = [
+        DefectModelKind::Iid,
+        DefectModelKind::Clustered,
+        DefectModelKind::Lines,
+        DefectModelKind::Composite,
+    ];
+
+    /// Canonical lowercase name, as accepted by
+    /// [`DefectModelKind::parse`] and echoed in artifacts.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DefectModelKind::Iid => "iid",
+            DefectModelKind::Clustered => "clustered",
+            DefectModelKind::Lines => "lines",
+            DefectModelKind::Composite => "composite",
+        }
+    }
+
+    /// Parses a canonical model name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `text` names no model.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "iid" => Ok(DefectModelKind::Iid),
+            "clustered" => Ok(DefectModelKind::Clustered),
+            "lines" => Ok(DefectModelKind::Lines),
+            "composite" => Ok(DefectModelKind::Composite),
+            other => Err(format!(
+                "unknown defect model {other:?} (expected \"iid\", \"clustered\", \"lines\" or \"composite\")"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for DefectModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A fully parameterized defect model: the campaign-identity value carried
+/// through params, shard partials and the campaign manifest.
 ///
-/// A sampler is a `Copy` value wrapping the chosen [`SampleStream`]; the
-/// stream fully determines RNG consumption, so two samplers with the same
-/// stream are interchangeable mid-campaign.
+/// Construction normalizes parameters a kind does not use back to their
+/// defaults ([`DefectModelSpec::DEFAULT_CLUSTER_SIZE`],
+/// [`DefectModelSpec::DEFAULT_LINE_RATE`]), so two specs compare equal
+/// exactly when they draw the same defect maps — `--cluster-size` passed
+/// alongside `--defect-model lines` cannot create a phantom identity
+/// mismatch between coordinator and worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefectModelSpec {
+    kind: DefectModelKind,
+    cluster_size: f64,
+    line_rate: f64,
+}
+
+impl Default for DefectModelSpec {
+    fn default() -> Self {
+        Self {
+            kind: DefectModelKind::Iid,
+            cluster_size: Self::DEFAULT_CLUSTER_SIZE,
+            line_rate: Self::DEFAULT_LINE_RATE,
+        }
+    }
+}
+
+impl DefectModelSpec {
+    /// Default mean cluster size (`--cluster-size`).
+    pub const DEFAULT_CLUSTER_SIZE: f64 = 4.0;
+    /// Default broken-line probability (`--line-rate`).
+    pub const DEFAULT_LINE_RATE: f64 = 0.02;
+
+    /// A validated, normalized spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `cluster_size` is not finite
+    /// and `>= 1`, or `line_rate` is not finite in `[0, 1]`.
+    pub fn new(kind: DefectModelKind, cluster_size: f64, line_rate: f64) -> Result<Self, String> {
+        if !(cluster_size.is_finite() && cluster_size >= 1.0) {
+            return Err(format!(
+                "cluster size must be finite and >= 1, got {cluster_size}"
+            ));
+        }
+        if !(line_rate.is_finite() && (0.0..=1.0).contains(&line_rate)) {
+            return Err(format!(
+                "line rate must be finite in [0, 1], got {line_rate}"
+            ));
+        }
+        let uses_cluster = matches!(
+            kind,
+            DefectModelKind::Clustered | DefectModelKind::Composite
+        );
+        let uses_lines = matches!(kind, DefectModelKind::Lines | DefectModelKind::Composite);
+        Ok(Self {
+            kind,
+            cluster_size: if uses_cluster {
+                cluster_size
+            } else {
+                Self::DEFAULT_CLUSTER_SIZE
+            },
+            line_rate: if uses_lines {
+                line_rate
+            } else {
+                Self::DEFAULT_LINE_RATE
+            },
+        })
+    }
+
+    /// The model kind.
+    #[must_use]
+    pub const fn kind(self) -> DefectModelKind {
+        self.kind
+    }
+
+    /// Mean cluster size (meaningful for `clustered` / `composite`).
+    #[must_use]
+    pub const fn cluster_size(self) -> f64 {
+        self.cluster_size
+    }
+
+    /// Broken-line probability (meaningful for `lines` / `composite`).
+    #[must_use]
+    pub const fn line_rate(self) -> f64 {
+        self.line_rate
+    }
+
+    /// Whether this is the default i.i.d. model — the condition under
+    /// which artifacts, partials and stats omit the model fields so every
+    /// pre-model document stays byte-frozen.
+    #[must_use]
+    pub fn is_default(self) -> bool {
+        self.kind == DefectModelKind::Iid
+    }
+
+    /// Whether the kind consumes `cluster_size`.
+    #[must_use]
+    pub const fn uses_cluster(self) -> bool {
+        matches!(
+            self.kind,
+            DefectModelKind::Clustered | DefectModelKind::Composite
+        )
+    }
+
+    /// Whether the kind consumes `line_rate`.
+    #[must_use]
+    pub const fn uses_lines(self) -> bool {
+        matches!(
+            self.kind,
+            DefectModelKind::Lines | DefectModelKind::Composite
+        )
+    }
+}
+
+impl fmt::Display for DefectModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.uses_cluster(), self.uses_lines()) {
+            (false, false) => f.write_str(self.kind.as_str()),
+            (true, false) => write!(f, "{}(cluster-size {:?})", self.kind, self.cluster_size),
+            (false, true) => write!(f, "{}(line-rate {:?})", self.kind, self.line_rate),
+            (true, true) => write!(
+                f,
+                "{}(cluster-size {:?}, line-rate {:?})",
+                self.kind, self.cluster_size, self.line_rate
+            ),
+        }
+    }
+}
+
+/// A defect model: redraws a [`CrossbarMatrix`] in place as one Monte
+/// Carlo trial. Every implementation fully overwrites the matrix (rows
+/// *and* column bitplanes) and consumes the RNG as a pure function of its
+/// parameters, so a (model, seed) pair reproduces bit-identical maps on
+/// any host.
+pub trait DefectModel {
+    /// Redraws `cm` under this model. `rate` is the target *cell* defect
+    /// rate; models without a cell layer ([`LineDefects`]) ignore it.
+    fn resample(&self, cm: &mut CrossbarMatrix, rate: f64, rng: &mut StdRng);
+}
+
+/// The default model: independent per-cell stuck-open defects drawn from
+/// a versioned [`SampleStream`] — exactly the pre-model sampler, so the
+/// V1/V2 golden pins are pins on this implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IidDefects {
+    /// The stream the cells are drawn from.
+    pub stream: SampleStream,
+}
+
+impl DefectModel for IidDefects {
+    fn resample(&self, cm: &mut CrossbarMatrix, rate: f64, rng: &mut StdRng) {
+        match self.stream {
+            SampleStream::V1 => cm.resample_dense(rate, rng),
+            SampleStream::V2 => cm.resample_geometric(rate, rng),
+        }
+    }
+}
+
+/// Clustered cell defects: a two-state renewal (Markov) process over the
+/// row-major cell order. Defect runs have geometric length with mean
+/// `mean_cluster`; gaps between runs are geometric with the entry
+/// probability chosen so the long-run defect fraction equals the target
+/// `rate` (`q_enter = rate / (rate + mean_cluster · (1 − rate))`). Runs
+/// are scattered straight into the row words and column bitplanes.
+///
+/// `mean_cluster = 1` degenerates to an i.i.d. Bernoulli process (with
+/// its own RNG consumption, distinct from the V1/V2 streams). Rates above
+/// `mean_cluster / (mean_cluster + 1)` saturate toward back-to-back runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteredDefects {
+    /// Mean defect-run length (>= 1).
+    pub mean_cluster: f64,
+}
+
+impl DefectModel for ClusteredDefects {
+    fn resample(&self, cm: &mut CrossbarMatrix, rate: f64, rng: &mut StdRng) {
+        cm.resample_clustered(rate, self.mean_cluster, rng);
+    }
+}
+
+/// Line-correlated failures: every wordline (row) and bitline (column)
+/// breaks independently with probability `line_rate`. A broken line kills
+/// all its crosspoints — one word fill over the [`BitRow`] / the column
+/// plane. Rows are drawn first (index order), then columns; the cell
+/// `rate` argument is unused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineDefects {
+    /// Per-line break probability.
+    pub line_rate: f64,
+}
+
+impl LineDefects {
+    /// Layers line faults onto `cm` *without* clearing it first — the
+    /// composite building block ([`CompositeDefects`] is exactly a cell
+    /// model followed by this).
+    pub fn apply(&self, cm: &mut CrossbarMatrix, rng: &mut StdRng) {
+        cm.apply_line_faults(self.line_rate, rng);
+    }
+}
+
+impl DefectModel for LineDefects {
+    fn resample(&self, cm: &mut CrossbarMatrix, _rate: f64, rng: &mut StdRng) {
+        cm.clear_defects();
+        self.apply(cm, rng);
+    }
+}
+
+/// The composite model: line faults layered over clustered cell defects.
+/// Draw order (and therefore RNG consumption) is cells first, lines
+/// second — identical to running [`ClusteredDefects`] then
+/// [`LineDefects::apply`] on one generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompositeDefects {
+    /// The clustered cell layer.
+    pub cells: ClusteredDefects,
+    /// The line-fault layer.
+    pub lines: LineDefects,
+}
+
+impl DefectModel for CompositeDefects {
+    fn resample(&self, cm: &mut CrossbarMatrix, rate: f64, rng: &mut StdRng) {
+        self.cells.resample(cm, rate, rng);
+        self.lines.apply(cm, rng);
+    }
+}
+
+/// The model-aware defect-sampling handle: the one seam every defect draw
+/// goes through (engine loops, experiments, benches, examples). The
+/// [`DefectModel`] implementations live behind it; a sampler is a `Copy`
+/// value wrapping the chosen [`SampleStream`] and [`DefectModelSpec`],
+/// which together fully determine RNG consumption, so two samplers with
+/// the same pair are interchangeable mid-campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DefectSampler {
     stream: SampleStream,
+    model: DefectModelSpec,
 }
 
 impl DefectSampler {
-    /// A sampler drawing from `stream`.
+    /// A sampler drawing the default i.i.d. model from `stream`.
     #[must_use]
-    pub const fn new(stream: SampleStream) -> Self {
-        Self { stream }
+    pub fn new(stream: SampleStream) -> Self {
+        Self {
+            stream,
+            model: DefectModelSpec::default(),
+        }
+    }
+
+    /// A sampler drawing `model`, with `stream` selecting the i.i.d. cell
+    /// stream where the model has one (`iid` itself; the clustered and
+    /// line processes define their own RNG consumption).
+    #[must_use]
+    pub fn with_model(stream: SampleStream, model: DefectModelSpec) -> Self {
+        Self { stream, model }
     }
 
     /// The frozen compatibility sampler ([`SampleStream::V1`]).
     #[must_use]
-    pub const fn v1() -> Self {
+    pub fn v1() -> Self {
         Self::new(SampleStream::V1)
     }
 
     /// The geometric-skip sampler ([`SampleStream::V2`]).
     #[must_use]
-    pub const fn v2() -> Self {
+    pub fn v2() -> Self {
         Self::new(SampleStream::V2)
     }
 
@@ -342,7 +644,13 @@ impl DefectSampler {
         self.stream
     }
 
-    /// Samples a fresh stuck-open defect map of the given shape.
+    /// The defect model this sampler draws.
+    #[must_use]
+    pub const fn model(self) -> DefectModelSpec {
+        self.model
+    }
+
+    /// Samples a fresh defect map of the given shape.
     #[must_use]
     pub fn sample(self, rows: usize, cols: usize, rate: f64, rng: &mut StdRng) -> CrossbarMatrix {
         let mut cm = CrossbarMatrix::perfect(rows, cols);
@@ -350,14 +658,37 @@ impl DefectSampler {
         cm
     }
 
-    /// Re-samples `cm` in place as a fresh stuck-open defect map, reusing
-    /// its row and plane buffers (zero allocation per trial). Consumes the
-    /// RNG exactly like [`DefectSampler::sample`] on the same stream, so
+    /// Re-samples `cm` in place as a fresh defect map, reusing its row and
+    /// plane buffers (zero allocation per trial). Consumes the RNG exactly
+    /// like [`DefectSampler::sample`] on the same stream and model, so
     /// with the same generator state both produce bit-identical matrices.
+    ///
+    /// The default-model path dispatches on two `Copy` enums and lands in
+    /// the same V1/V2 code as before the model layer existed — the bench
+    /// gate pins that this stays within noise of the direct call.
     pub fn resample(self, cm: &mut CrossbarMatrix, rate: f64, rng: &mut StdRng) {
-        match self.stream {
-            SampleStream::V1 => cm.resample_dense(rate, rng),
-            SampleStream::V2 => cm.resample_geometric(rate, rng),
+        match self.model.kind() {
+            DefectModelKind::Iid => IidDefects {
+                stream: self.stream,
+            }
+            .resample(cm, rate, rng),
+            DefectModelKind::Clustered => ClusteredDefects {
+                mean_cluster: self.model.cluster_size(),
+            }
+            .resample(cm, rate, rng),
+            DefectModelKind::Lines => LineDefects {
+                line_rate: self.model.line_rate(),
+            }
+            .resample(cm, rate, rng),
+            DefectModelKind::Composite => CompositeDefects {
+                cells: ClusteredDefects {
+                    mean_cluster: self.model.cluster_size(),
+                },
+                lines: LineDefects {
+                    line_rate: self.model.line_rate(),
+                },
+            }
+            .resample(cm, rate, rng),
         }
     }
 }
@@ -676,6 +1007,107 @@ impl CrossbarMatrix {
                     planes_s[c * pw + (r >> 6)] |= 1u64 << (r & 63);
                     c += 1;
                 }
+            }
+        }
+    }
+
+    /// The [`DefectModelKind::Clustered`] draw: an alternating renewal
+    /// process over the row-major cell order. Good gaps are
+    /// Geometric(`q_enter`), defect runs are `1 + Geometric(1/cluster)`
+    /// (mean length `cluster`), with `q_enter` chosen so the long-run
+    /// defect fraction is exactly `rate`. One `u64` draw per gap and one
+    /// per run, O(defects + clusters) like the V2 skip stream.
+    fn resample_clustered(&mut self, rate: f64, cluster: f64, rng: &mut StdRng) {
+        self.clear_defects();
+        let n = self.rows.len() * self.cols;
+        let rate = if rate.is_nan() {
+            0.0
+        } else {
+            rate.clamp(0.0, 1.0)
+        };
+        if n == 0 || rate <= 0.0 {
+            return;
+        }
+        if rate >= 1.0 {
+            self.mark_defective_span(0, n);
+            return;
+        }
+        let cluster = cluster.max(1.0);
+        let q_exit = 1.0 / cluster;
+        // Renewal-exact stationarity: mean cycle = (1-q_enter)/q_enter
+        // (gap) + cluster (run); defect fraction = cluster / cycle = rate.
+        let q_enter = rate / (rate + cluster * (1.0 - rate));
+        // Geometric(q) over {0, 1, ...} by exact logarithmic inversion of
+        // a (0, 1] uniform; clamped to `n` so pathological draws cannot
+        // overflow the position arithmetic.
+        let mut geometric = |q: f64| -> usize {
+            let u = 1.0 - rng.unit_f64();
+            let g = u.ln() / (1.0 - q).ln();
+            if g.is_finite() && g < n as f64 {
+                g as usize
+            } else {
+                n
+            }
+        };
+        let mut pos = 0usize;
+        while pos < n {
+            pos += geometric(q_enter);
+            if pos >= n {
+                break;
+            }
+            let run = (1 + geometric(q_exit)).min(n - pos);
+            self.mark_defective_span(pos, run);
+            pos += run;
+        }
+    }
+
+    /// Marks the row-major linear span `[start, start + len)` defective,
+    /// updating row words and column bitplanes together.
+    fn mark_defective_span(&mut self, start: usize, len: usize) {
+        let (cols, pw) = (self.cols, self.plane_words);
+        let mut pos = start;
+        let end = start + len;
+        while pos < end {
+            let (r, c) = (pos / cols, pos % cols);
+            let seg = (cols - c).min(end - pos);
+            let (rw, rb) = (r >> 6, 1u64 << (r & 63));
+            for cc in c..c + seg {
+                self.rows[r].words[cc >> 6] &= !(1u64 << (cc & 63));
+                self.planes[cc * pw + rw] |= rb;
+            }
+            pos += seg;
+        }
+    }
+
+    /// Layers [`DefectModelKind::Lines`] faults onto the current map
+    /// without clearing it: each row then each column breaks independently
+    /// with probability `line_rate` (one uniform per line, index order). A
+    /// broken wordline is a single word fill over its [`BitRow`]; a broken
+    /// bitline is a single fill over its column plane.
+    fn apply_line_faults(&mut self, line_rate: f64, rng: &mut StdRng) {
+        let rate = if line_rate.is_nan() {
+            0.0
+        } else {
+            line_rate.clamp(0.0, 1.0)
+        };
+        let (rows, cols, pw) = (self.rows.len(), self.cols, self.plane_words);
+        for r in 0..rows {
+            if rng.random_bool(rate) {
+                self.rows[r].words.fill(0);
+                let (rw, rb) = (r >> 6, 1u64 << (r & 63));
+                for c in 0..cols {
+                    self.planes[c * pw + rw] |= rb;
+                }
+            }
+        }
+        for c in 0..cols {
+            if rng.random_bool(rate) {
+                let (cw, cb) = (c >> 6, !(1u64 << (c & 63)));
+                for row in &mut self.rows {
+                    row.words[cw] &= cb;
+                }
+                self.planes[c * pw..(c + 1) * pw].fill(0);
+                bits::set_range(&mut self.planes[c * pw..(c + 1) * pw], rows);
             }
         }
     }
@@ -1092,6 +1524,172 @@ mod tests {
         for r in 0..5 {
             assert!(crate::bits::get_bit(plane7, r));
         }
+    }
+
+    #[test]
+    fn model_names_round_trip() {
+        for kind in DefectModelKind::ALL {
+            assert_eq!(DefectModelKind::parse(kind.as_str()), Ok(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert!(DefectModelKind::parse("blobs").is_err());
+        assert!(
+            DefectModelKind::parse("Iid").is_err(),
+            "names are lowercase"
+        );
+        assert_eq!(DefectModelKind::default(), DefectModelKind::Iid);
+        assert!(DefectModelSpec::default().is_default());
+        assert_eq!(DefectSampler::default().model(), DefectModelSpec::default());
+    }
+
+    #[test]
+    fn spec_normalizes_unused_params_and_validates() {
+        // Unused params snap back to defaults, so identity comparison
+        // cannot be poisoned by a flag the model never reads.
+        let lines = DefectModelSpec::new(DefectModelKind::Lines, 9.0, 0.05).expect("valid");
+        assert_eq!(lines.cluster_size(), DefectModelSpec::DEFAULT_CLUSTER_SIZE);
+        assert_eq!(lines.line_rate(), 0.05);
+        let clustered = DefectModelSpec::new(DefectModelKind::Clustered, 9.0, 0.5).expect("valid");
+        assert_eq!(clustered.cluster_size(), 9.0);
+        assert_eq!(clustered.line_rate(), DefectModelSpec::DEFAULT_LINE_RATE);
+        let iid = DefectModelSpec::new(DefectModelKind::Iid, 9.0, 0.5).expect("valid");
+        assert!(iid.is_default());
+        assert_eq!(iid, DefectModelSpec::default());
+        // Validation.
+        assert!(DefectModelSpec::new(DefectModelKind::Clustered, 0.5, 0.0).is_err());
+        assert!(DefectModelSpec::new(DefectModelKind::Clustered, f64::NAN, 0.0).is_err());
+        assert!(DefectModelSpec::new(DefectModelKind::Lines, 4.0, 1.5).is_err());
+        assert!(DefectModelSpec::new(DefectModelKind::Lines, 4.0, f64::NAN).is_err());
+        // Display names the kind and only the params the kind reads.
+        assert_eq!(DefectModelSpec::default().to_string(), "iid");
+        assert_eq!(clustered.to_string(), "clustered(cluster-size 9.0)");
+        assert_eq!(lines.to_string(), "lines(line-rate 0.05)");
+        let composite = DefectModelSpec::new(DefectModelKind::Composite, 2.0, 0.1).expect("valid");
+        assert_eq!(
+            composite.to_string(),
+            "composite(cluster-size 2.0, line-rate 0.1)"
+        );
+    }
+
+    #[test]
+    fn default_model_handle_is_bit_identical_to_the_pre_model_sampler() {
+        for stream in SampleStream::ALL {
+            let mut rng_a = StdRng::seed_from_u64(2018);
+            let mut rng_b = StdRng::seed_from_u64(2018);
+            let via_model = DefectSampler::with_model(stream, DefectModelSpec::default())
+                .sample(34, 16, 0.1, &mut rng_a);
+            let direct = DefectSampler::new(stream).sample(34, 16, 0.1, &mut rng_b);
+            assert_eq!(via_model, direct, "stream {stream}");
+            assert_eq!(rng_a, rng_b);
+        }
+    }
+
+    #[test]
+    fn clustered_planes_stay_consistent_and_resample_matches_sample() {
+        let spec = DefectModelSpec::new(DefectModelKind::Clustered, 3.0, 0.0).expect("valid");
+        let sampler = DefectSampler::with_model(SampleStream::V1, spec);
+        let mut rng = StdRng::seed_from_u64(11);
+        for rows in [3usize, 64, 65, 130] {
+            let cm = sampler.sample(rows, 12, 0.2, &mut rng);
+            assert_planes_consistent(&cm);
+        }
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut reused = sampler.sample(9, 17, 0.4, &mut rng_a);
+        let _ = sampler.sample(9, 17, 0.4, &mut rng_b);
+        for _ in 0..5 {
+            sampler.resample(&mut reused, 0.2, &mut rng_a);
+            let fresh = sampler.sample(9, 17, 0.2, &mut rng_b);
+            assert_eq!(reused, fresh);
+            assert_planes_consistent(&reused);
+        }
+    }
+
+    #[test]
+    fn clustered_hits_the_target_rate_and_clusters() {
+        let spec = DefectModelSpec::new(DefectModelKind::Clustered, 5.0, 0.0).expect("valid");
+        let sampler = DefectSampler::with_model(SampleStream::V1, spec);
+        let mut rng = StdRng::seed_from_u64(2018);
+        // Average the defect fraction over trials on a large array.
+        let mut defect_frac = 0.0;
+        let trials = 40;
+        let mut cm = CrossbarMatrix::perfect(120, 100);
+        for _ in 0..trials {
+            sampler.resample(&mut cm, 0.1, &mut rng);
+            defect_frac += 1.0 - cm.functional_fraction();
+        }
+        defect_frac /= f64::from(trials);
+        assert!(
+            (0.08..0.12).contains(&defect_frac),
+            "target 10%, got {defect_frac}"
+        );
+    }
+
+    #[test]
+    fn clustered_rate_extremes() {
+        let spec = DefectModelSpec::new(DefectModelKind::Clustered, 4.0, 0.0).expect("valid");
+        let sampler = DefectSampler::with_model(SampleStream::V1, spec);
+        let mut rng = StdRng::seed_from_u64(4);
+        let perfect = sampler.sample(67, 10, 0.0, &mut rng);
+        assert_eq!(perfect, CrossbarMatrix::perfect(67, 10));
+        let dead = sampler.sample(67, 10, 1.0, &mut rng);
+        assert_eq!(dead.functional_fraction(), 0.0);
+        assert_planes_consistent(&dead);
+        let empty = sampler.sample(0, 10, 0.5, &mut rng);
+        assert_eq!(empty.num_rows(), 0);
+    }
+
+    #[test]
+    fn line_faults_kill_whole_lines_only() {
+        let spec = DefectModelSpec::new(DefectModelKind::Lines, 1.0, 0.3).expect("valid");
+        let sampler = DefectSampler::with_model(SampleStream::V1, spec);
+        let mut rng = StdRng::seed_from_u64(8);
+        for (rows, cols) in [(9usize, 12usize), (70, 70), (130, 9)] {
+            let cm = sampler.sample(rows, cols, 0.99, &mut rng);
+            assert_planes_consistent(&cm);
+            // The cell rate is unused: every defect belongs to a fully
+            // broken row or column.
+            let broken_rows: Vec<usize> =
+                (0..rows).filter(|&r| cm.row(r).count_ones() == 0).collect();
+            let broken_cols: Vec<usize> = (0..cols)
+                .filter(|&c| (0..rows).all(|r| !cm.row(r).get(c)))
+                .collect();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let defective = !cm.row(r).get(c);
+                    let expected = broken_rows.contains(&r) || broken_cols.contains(&c);
+                    assert_eq!(defective, expected, "({r}, {c})");
+                }
+            }
+        }
+        // line-rate 1 kills everything; 0 kills nothing.
+        let all = DefectSampler::with_model(
+            SampleStream::V1,
+            DefectModelSpec::new(DefectModelKind::Lines, 1.0, 1.0).expect("valid"),
+        )
+        .sample(10, 10, 0.0, &mut rng);
+        assert_eq!(all.functional_fraction(), 0.0);
+        let none = DefectSampler::with_model(
+            SampleStream::V1,
+            DefectModelSpec::new(DefectModelKind::Lines, 1.0, 0.0).expect("valid"),
+        )
+        .sample(10, 10, 0.9, &mut rng);
+        assert_eq!(none, CrossbarMatrix::perfect(10, 10));
+    }
+
+    #[test]
+    fn composite_equals_cells_then_line_fill_sequentially() {
+        let spec = DefectModelSpec::new(DefectModelKind::Composite, 3.0, 0.15).expect("valid");
+        let composite = DefectSampler::with_model(SampleStream::V1, spec);
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let got = composite.sample(40, 22, 0.12, &mut rng_a);
+        let mut want = CrossbarMatrix::perfect(40, 22);
+        ClusteredDefects { mean_cluster: 3.0 }.resample(&mut want, 0.12, &mut rng_b);
+        LineDefects { line_rate: 0.15 }.apply(&mut want, &mut rng_b);
+        assert_eq!(got, want);
+        assert_eq!(rng_a, rng_b);
+        assert_planes_consistent(&got);
     }
 
     #[test]

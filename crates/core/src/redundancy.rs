@@ -12,7 +12,9 @@
 
 use crate::engine::MatchEngine;
 use crate::mapping::{map_exact, map_hybrid, MappingOutcome};
-use crate::matrices::{CrossbarMatrix, DefectSampler, FunctionMatrix, SampleStream};
+use crate::matrices::{
+    CrossbarMatrix, DefectModelSpec, DefectSampler, FunctionMatrix, SampleStream,
+};
 use crate::stats::SuccessCount;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,6 +74,9 @@ pub struct YieldConfig {
     /// stuck-open/stuck-closed sampling goes through device-level
     /// [`Crossbar`] construction, which is stream-independent).
     pub stream: SampleStream,
+    /// Spatial defect model for the stuck-open-only regime (the
+    /// stuck-closed path keeps its device-level i.i.d. semantics).
+    pub model: DefectModelSpec,
 }
 
 /// Result of a yield experiment.
@@ -111,7 +116,7 @@ pub fn estimate_yield(fm: &FunctionMatrix, config: &YieldConfig) -> YieldResult 
     // once so every sample's adjacency build starts from the cache.
     engine.prepare_fm(fm);
     let mut cm_buf = CrossbarMatrix::perfect(rows, cols);
-    let sampler = DefectSampler::new(config.stream);
+    let sampler = DefectSampler::with_model(config.stream, config.model);
     for _ in 0..config.samples {
         let success = if config.stuck_closed_fraction > 0.0 {
             // Stuck-closed defects need full device semantics (row/column
@@ -191,6 +196,7 @@ mod tests {
             mapper: MapperKind::Exact,
             seed: 17,
             stream: SampleStream::V1,
+            model: DefectModelSpec::default(),
         }
     }
 

@@ -29,6 +29,8 @@ pub struct ExpArgs {
     pub defect_rate: f64,
     /// Defect sampling stream version (`--rng-stream`, default V1).
     pub stream: xbar_core::SampleStream,
+    /// Spatial defect model (`--defect-model` family, default i.i.d.).
+    pub model: xbar_core::DefectModelSpec,
     /// Optional CSV output path.
     pub csv: Option<PathBuf>,
 }
@@ -40,6 +42,7 @@ impl Default for ExpArgs {
             seed: 2018,
             defect_rate: 0.10,
             stream: xbar_core::SampleStream::V1,
+            model: xbar_core::DefectModelSpec::default(),
             csv: None,
         }
     }

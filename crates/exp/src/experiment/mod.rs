@@ -17,7 +17,8 @@ mod params;
 mod registry;
 
 pub use params::{
-    spec, ParamKind, ParamSpec, ParamValue, Params, UsageError, COMMON_PARAMS, RNG_STREAM_PARAM,
+    spec, ParamKind, ParamSpec, ParamValue, Params, UsageError, CLUSTER_SIZE_PARAM, COMMON_PARAMS,
+    DEFECT_MODEL_PARAM, DEFECT_MODEL_PARAMS, LINE_RATE_PARAM, RNG_STREAM_PARAM,
 };
 pub use registry::{find_experiment, registry};
 

@@ -12,7 +12,7 @@ use crate::shard::json::JsonValue;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
-use xbar_core::SampleStream;
+use xbar_core::{DefectModelKind, DefectModelSpec, SampleStream};
 
 /// A flag-parsing/usage error. The CLI driver prints it with the
 /// experiment's usage text and exits with code 2.
@@ -172,6 +172,49 @@ pub const RNG_STREAM_PARAM: ParamSpec = spec(
     "defect sampling stream: v1 = frozen dense sweep, v2 = geometric skip",
 );
 
+/// The shared `--defect-model` declaration: which spatial defect model
+/// the campaign draws. Defaults to `iid` (the paper's Table II model) and
+/// is echoed in artifacts **only when non-default**, so every pre-model
+/// artifact stays byte-frozen.
+pub const DEFECT_MODEL_PARAM: ParamSpec = spec(
+    "defect-model",
+    ParamKind::Enum(&["iid", "clustered", "lines", "composite"]),
+    "iid",
+    "spatial defect model: iid cells, clustered runs, broken lines, or lines over clusters",
+);
+
+/// The shared `--cluster-size` declaration (mean defect-run length for
+/// the `clustered`/`composite` models). Echoed only when non-default.
+pub const CLUSTER_SIZE_PARAM: ParamSpec = spec(
+    "cluster-size",
+    ParamKind::F64,
+    "4",
+    "mean defect-cluster size for clustered/composite models (>= 1)",
+);
+
+/// The shared `--line-rate` declaration (per-line break probability for
+/// the `lines`/`composite` models). Echoed only when non-default.
+pub const LINE_RATE_PARAM: ParamSpec = spec(
+    "line-rate",
+    ParamKind::F64,
+    "0.02",
+    "broken wordline/bitline probability for lines/composite models",
+);
+
+/// The full defect-model declaration set, appended by every sampling
+/// experiment after [`RNG_STREAM_PARAM`].
+pub const DEFECT_MODEL_PARAMS: [ParamSpec; 3] =
+    [DEFECT_MODEL_PARAM, CLUSTER_SIZE_PARAM, LINE_RATE_PARAM];
+
+/// Extras echoed in artifact `params` **only when non-default**: the
+/// defect-model family postdates the frozen artifact pins, so the echo
+/// must not disturb existing documents when the campaign never opted in.
+const OMIT_DEFAULT_ECHO: [&str; 3] = [
+    DEFECT_MODEL_PARAM.name,
+    CLUSTER_SIZE_PARAM.name,
+    LINE_RATE_PARAM.name,
+];
+
 /// The parameters every experiment shares (the old `ExpArgs` surface plus
 /// output routing), rendered in usage text for all experiments.
 pub const COMMON_PARAMS: &[ParamSpec] = &[
@@ -326,6 +369,21 @@ impl Params {
         if out.samples == 0 {
             return Err(usage_err("--samples must be at least 1"));
         }
+        // Central range checks for the shared defect-model params (the
+        // same role the `--defect-rate` bound plays above), so
+        // `Params::defect_model` is infallible for accessor code.
+        if let Some(ParamValue::F64(v)) = out.extras.get(CLUSTER_SIZE_PARAM.name) {
+            // Non-finite values never reach here: `parse_value` rejects
+            // them for every F64 param.
+            if *v < 1.0 {
+                return Err(usage_err("--cluster-size must be at least 1"));
+            }
+        }
+        if let Some(ParamValue::F64(v)) = out.extras.get(LINE_RATE_PARAM.name) {
+            if !(0.0..=1.0).contains(v) {
+                return Err(usage_err("--line-rate must be a probability in [0, 1]"));
+            }
+        }
         Ok(out)
     }
 
@@ -400,6 +458,29 @@ impl Params {
         }
     }
 
+    /// The defect model selected by `--defect-model` (+ `--cluster-size`,
+    /// `--line-rate`), or the default i.i.d. model for experiments that
+    /// never declared [`DEFECT_MODEL_PARAMS`]. Parameter ranges are
+    /// enforced at parse time, so this is infallible.
+    #[must_use]
+    pub fn defect_model(&self) -> DefectModelSpec {
+        let kind = match self.extras.get(DEFECT_MODEL_PARAM.name) {
+            Some(ParamValue::Str(v)) => DefectModelKind::parse(v)
+                .unwrap_or_else(|_| panic!("--defect-model validated at parse time, got {v:?}")),
+            _ => return DefectModelSpec::default(),
+        };
+        let cluster_size = match self.extras.get(CLUSTER_SIZE_PARAM.name) {
+            Some(ParamValue::F64(v)) => *v,
+            _ => DefectModelSpec::DEFAULT_CLUSTER_SIZE,
+        };
+        let line_rate = match self.extras.get(LINE_RATE_PARAM.name) {
+            Some(ParamValue::F64(v)) => *v,
+            _ => DefectModelSpec::DEFAULT_LINE_RATE,
+        };
+        DefectModelSpec::new(kind, cluster_size, line_rate)
+            .expect("defect-model params validated at parse time")
+    }
+
     /// The equivalent legacy [`ExpArgs`](crate::ExpArgs) for experiment
     /// code that predates the typed layer.
     #[must_use]
@@ -409,6 +490,7 @@ impl Params {
             seed: self.seed,
             defect_rate: self.defect_rate,
             stream: self.sample_stream(),
+            model: self.defect_model(),
             csv: self.csv.clone(),
         }
     }
@@ -430,6 +512,18 @@ impl Params {
                 .extras
                 .get(s.name)
                 .expect("defaults seeded every declared extra");
+            // The defect-model family is echoed only when non-default:
+            // these params postdate the frozen artifact pins, and omitting
+            // them at their defaults keeps every existing document
+            // byte-identical.
+            if OMIT_DEFAULT_ECHO.contains(&s.name)
+                && value
+                    == &s
+                        .parse_value(s.default)
+                        .expect("defaults validated by Params::defaults")
+            {
+                continue;
+            }
             fields.push((s.name.replace('-', "_"), value.to_json()));
         }
         JsonValue::Obj(fields)
@@ -599,6 +693,86 @@ mod tests {
         let text = Params::usage("demo", "a demo experiment", EXTRA);
         assert!(text.contains("--rng-stream v1|v2"), "{text}");
         assert!(text.contains("(default v1)"), "{text}");
+    }
+
+    const MODELED: &[ParamSpec] = &[
+        RNG_STREAM_PARAM,
+        DEFECT_MODEL_PARAM,
+        CLUSTER_SIZE_PARAM,
+        LINE_RATE_PARAM,
+    ];
+
+    fn parse_modeled(words: &[&str]) -> Result<Params, UsageError> {
+        Params::parse(MODELED, words.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defect_model_defaults_parses_and_normalizes() {
+        // Default and undeclared both answer the i.i.d. model.
+        let p = parse_modeled(&[]).expect("defaults parse");
+        assert_eq!(p.defect_model(), DefectModelSpec::default());
+        let p = Params::parse(&[], std::iter::empty()).expect("parses");
+        assert_eq!(p.defect_model(), DefectModelSpec::default());
+
+        let p =
+            parse_modeled(&["--defect-model", "clustered", "--cluster-size", "6"]).expect("parses");
+        let spec = p.defect_model();
+        assert_eq!(spec.kind(), DefectModelKind::Clustered);
+        assert!((spec.cluster_size() - 6.0).abs() < 1e-12);
+
+        let p =
+            parse_modeled(&["--defect-model", "lines", "--line-rate", "0.125"]).expect("parses");
+        let spec = p.defect_model();
+        assert_eq!(spec.kind(), DefectModelKind::Lines);
+        assert!((spec.line_rate() - 0.125).abs() < 1e-12);
+
+        // A parameter the chosen kind never consumes is normalized back to
+        // its default, so campaign identity comparisons stay exact.
+        let p = parse_modeled(&["--defect-model", "lines", "--cluster-size", "9"]).expect("parses");
+        assert!(
+            (p.defect_model().cluster_size() - DefectModelSpec::DEFAULT_CLUSTER_SIZE).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn defect_model_params_are_range_checked_at_parse_time() {
+        for (words, needle) in [
+            (&["--defect-model", "blobs"][..], "one of iid, clustered"),
+            (&["--cluster-size", "0.5"][..], "at least 1"),
+            (&["--cluster-size", "NaN"][..], "finite"),
+            (&["--cluster-size", "inf"][..], "finite"),
+            (&["--line-rate", "1.5"][..], "[0, 1]"),
+            (&["--line-rate", "-0.1"][..], "[0, 1]"),
+            (&["--line-rate", "NaN"][..], "finite"),
+        ] {
+            let err = parse_modeled(words).expect_err("must fail");
+            assert!(err.0.contains(needle), "{words:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn default_model_params_are_omitted_from_the_echo() {
+        // The frozen-artifact contract: at their defaults the model params
+        // leave no trace in the params echo, so pre-existing documents stay
+        // byte-identical.
+        let p = parse_modeled(&[]).expect("defaults parse");
+        let text = p.to_json(MODELED).render();
+        // `rng_stream` predates the freeze and is echoed unconditionally;
+        // the model family must leave no trace at its defaults.
+        assert!(text.contains("\"rng_stream\": \"v1\""), "{text}");
+        for absent in ["defect_model", "cluster_size", "line_rate"] {
+            assert!(
+                !text.contains(absent),
+                "default echo leaks {absent}: {text}"
+            );
+        }
+
+        let p =
+            parse_modeled(&["--defect-model", "clustered", "--cluster-size", "6"]).expect("parses");
+        let text = p.to_json(MODELED).render();
+        assert!(text.contains("\"defect_model\": \"clustered\""), "{text}");
+        assert!(text.contains("\"cluster_size\": 6.0"), "{text}");
+        assert!(!text.contains("line_rate"), "{text}");
     }
 
     #[test]

@@ -7,8 +7,10 @@ use super::Experiment;
 use crate::experiments::estimate_yield::EstimateYieldExperiment;
 use crate::experiments::ext_ablation_hba::ExtAblationHbaExperiment;
 use crate::experiments::ext_analog_validation::ExtAnalogValidationExperiment;
+use crate::experiments::ext_cluster_tolerance::ExtClusterToleranceExperiment;
 use crate::experiments::ext_column_redundancy::ExtColumnRedundancyExperiment;
 use crate::experiments::ext_defect_scan::ExtDefectScanExperiment;
+use crate::experiments::ext_model_yield::ExtModelYieldExperiment;
 use crate::experiments::ext_multilevel_defects::ExtMultilevelDefectsExperiment;
 use crate::experiments::ext_yield_redundancy::ExtYieldRedundancyExperiment;
 use crate::experiments::fig1::Fig1Experiment;
@@ -23,7 +25,7 @@ use crate::experiments::table2::Table2Experiment;
 
 /// Every registered experiment, in presentation order (paper tables, then
 /// figures, then extension studies, then building blocks).
-static REGISTRY: [&dyn Experiment; 16] = [
+static REGISTRY: [&dyn Experiment; 18] = [
     &Table1Experiment,
     &Table2Experiment,
     &Fig1Experiment,
@@ -39,6 +41,8 @@ static REGISTRY: [&dyn Experiment; 16] = [
     &ExtAnalogValidationExperiment,
     &ExtColumnRedundancyExperiment,
     &ExtDefectScanExperiment,
+    &ExtModelYieldExperiment,
+    &ExtClusterToleranceExperiment,
     &EstimateYieldExperiment,
 ];
 

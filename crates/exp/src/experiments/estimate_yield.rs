@@ -5,7 +5,7 @@
 
 use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
-    Reporter, RNG_STREAM_PARAM,
+    Reporter, CLUSTER_SIZE_PARAM, DEFECT_MODEL_PARAM, LINE_RATE_PARAM, RNG_STREAM_PARAM,
 };
 use crate::shard::json::JsonValue;
 use crate::table::{pct, Table};
@@ -42,6 +42,9 @@ const YIELD_PARAMS: &[ParamSpec] = &[
         "mapping algorithm: `hybrid` (HBA) or `exact` (EA)",
     ),
     RNG_STREAM_PARAM,
+    DEFECT_MODEL_PARAM,
+    CLUSTER_SIZE_PARAM,
+    LINE_RATE_PARAM,
 ];
 
 /// Parses a `--mapper` value.
@@ -101,6 +104,7 @@ impl Experiment for EstimateYieldExperiment {
                 mapper,
                 seed: params.seed,
                 stream: params.sample_stream(),
+                model: params.defect_model(),
             },
         );
 

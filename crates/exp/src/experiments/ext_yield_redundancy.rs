@@ -10,7 +10,7 @@
 
 use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
-    Reporter, RNG_STREAM_PARAM,
+    Reporter, CLUSTER_SIZE_PARAM, DEFECT_MODEL_PARAM, LINE_RATE_PARAM, RNG_STREAM_PARAM,
 };
 use crate::shard::json::JsonValue;
 use crate::table::{pct, Table};
@@ -29,6 +29,9 @@ const EXT_A_PARAMS: &[ParamSpec] = &[
         "registry circuit whose function matrix is swept",
     ),
     RNG_STREAM_PARAM,
+    DEFECT_MODEL_PARAM,
+    CLUSTER_SIZE_PARAM,
+    LINE_RATE_PARAM,
 ];
 
 /// One sweep cell: `(spare_rows, successes, samples)`.
@@ -88,6 +91,7 @@ impl Experiment for ExtYieldRedundancyExperiment {
                                     mapper,
                                     seed,
                                     stream: params.sample_stream(),
+                                    model: params.defect_model(),
                                 },
                             );
                             (spare, result.successes as u64, result.samples as u64)

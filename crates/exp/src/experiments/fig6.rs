@@ -226,8 +226,7 @@ mod tests {
             samples: 60,
             seed: 11,
             defect_rate: 0.1,
-            stream: xbar_core::SampleStream::V1,
-            csv: None,
+            ..ExpArgs::default()
         }
     }
 

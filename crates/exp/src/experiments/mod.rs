@@ -6,8 +6,10 @@
 pub mod estimate_yield;
 pub mod ext_ablation_hba;
 pub mod ext_analog_validation;
+pub mod ext_cluster_tolerance;
 pub mod ext_column_redundancy;
 pub mod ext_defect_scan;
+pub mod ext_model_yield;
 pub mod ext_multilevel_defects;
 pub mod ext_yield_redundancy;
 pub mod fig1;

@@ -11,7 +11,7 @@
 use crate::cli::ExpArgs;
 use crate::experiment::{
     spec, write_csv_if_requested, Artifact, ExpError, Experiment, ParamKind, ParamSpec, Params,
-    Reporter, RNG_STREAM_PARAM,
+    Reporter, CLUSTER_SIZE_PARAM, DEFECT_MODEL_PARAM, LINE_RATE_PARAM, RNG_STREAM_PARAM,
 };
 use crate::mc::monte_carlo_range_fold;
 use crate::shard::json::JsonValue;
@@ -140,14 +140,16 @@ pub fn run_circuit_range_on(cover: &Cover, args: &ExpArgs, range: Range<usize>) 
     // campaign's stream-selected [`DefectSampler`]: under V1 it consumes
     // the per-sample RNG exactly like `sample_stuck_open`, keeping the
     // statistics bit-identical to the pre-engine implementation; V2 pins
-    // its own golden values. HBA and EA stay
+    // its own golden values. Non-default spatial models dispatch through
+    // the same handle, so the i.i.d. hot path stays untouched. HBA and EA
+    // stay
     // separate calls (each paying its own adjacency build) because this
     // table reports per-algorithm runtime; success-only loops should
     // prefer `hybrid_and_exact_success`. Trials fold straight into
     // per-worker accumulators (nothing per-sample is materialized, so
     // memory stays flat at any sample count); success counters are
     // merge-exact, so the worker count never shows in the statistics.
-    let sampler = DefectSampler::new(args.stream);
+    let sampler = DefectSampler::with_model(args.stream, args.model);
     monte_carlo_range_fold(
         range,
         mc_seed(args.seed),
@@ -240,6 +242,9 @@ const TABLE2_PARAMS: &[ParamSpec] = &[
         "comma-separated registry subset in run order, or `all` for the full Table II set",
     ),
     RNG_STREAM_PARAM,
+    DEFECT_MODEL_PARAM,
+    CLUSTER_SIZE_PARAM,
+    LINE_RATE_PARAM,
 ];
 
 /// Resolves a `--circuits` list (`all` or a subset) against the Table II
@@ -404,8 +409,7 @@ mod tests {
             samples: 40,
             seed: 5,
             defect_rate: 0.10,
-            stream: xbar_core::SampleStream::V1,
-            csv: None,
+            ..ExpArgs::default()
         }
     }
 

@@ -284,7 +284,7 @@ fn coordinate_usage() -> String {
          --out PATH         merged stats artifact (default MC_merged.json)\n  \
          --work-dir PATH    parent of the per-campaign run directory\n                     \
          (default: <temp>/xbar-mc; partials live in\n                     \
-         <work-dir>/run-seed<seed>-n<samples>-k<shards>-<stream>)\n  \
+         <work-dir>/run-seed<seed>-n<samples>-k<shards>-<stream>[-<model>])\n  \
          --worker PATH      worker binary, spawned with the shard flags directly\n                     \
          (default: the xbar binary next to this one, via `mc shard`)\n  \
          --worker-arg ARG   extra argument appended to every worker invocation\n                     \
@@ -543,6 +543,38 @@ mod tests {
         );
         let bad = vec!["--inject-slow-ms".to_owned(), "soon".to_owned()];
         assert!(parse_shard_args(bad).is_err());
+    }
+
+    #[test]
+    fn campaign_model_flags_parse_on_both_entry_points() {
+        let argv: Vec<String> = ["--defect-model", "clustered", "--cluster-size", "6"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let shard = parse_shard_args(argv.clone())
+            .expect("parses")
+            .expect("not help");
+        let config = shard.campaign.into_config();
+        assert_eq!(config.model.kind(), xbar_core::DefectModelKind::Clustered);
+        assert_eq!(config.model.cluster_size(), 6.0);
+        let coord = parse_coordinate_args(argv)
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(
+            coord.campaign.model_kind,
+            xbar_core::DefectModelKind::Clustered
+        );
+
+        for words in [
+            &["--defect-model", "blobs"][..],
+            &["--cluster-size", "0.5"][..],
+            &["--cluster-size", "NaN"][..],
+            &["--line-rate", "1.5"][..],
+            &["--line-rate", "-0.1"][..],
+        ] {
+            let argv = words.iter().map(|s| (*s).to_owned()).collect();
+            assert!(parse_shard_args(argv).is_err(), "{words:?} must fail");
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
-use xbar_core::SampleStream;
+use xbar_core::{DefectModelKind, DefectModelSpec, SampleStream};
 
 /// Schema tag of the merged stats artifact.
 pub const MERGED_SCHEMA: &str = "xbar-mc-merged/1";
@@ -161,17 +161,24 @@ pub fn default_work_dir() -> PathBuf {
 }
 
 /// The run directory a campaign owns beneath `work_dir`, derived from the
-/// campaign identity `(seed, samples, shards, stream)` — two coordinators
-/// running *different* campaigns against the same `--work-dir` can no
-/// longer clobber each other's `partial-N.json` files. Parameters that
-/// don't fit in a path (defect rate, circuit list) are covered by the
-/// `campaign.json` manifest check inside the directory.
+/// campaign identity `(seed, samples, shards, stream[, model kind])` — two
+/// coordinators running *different* campaigns against the same
+/// `--work-dir` can no longer clobber each other's `partial-N.json` files.
+/// Default-model campaigns keep the exact pre-model directory name (CI's
+/// resume smoke hardcodes it); a non-default spatial model appends its
+/// kind. Parameters that don't fit in a path (defect rate, circuit list,
+/// model parameters) are covered by the `campaign.json` manifest check
+/// inside the directory.
 #[must_use]
 pub fn campaign_run_dir(work_dir: &Path, config: &McConfig, shards: usize) -> PathBuf {
-    work_dir.join(format!(
+    let mut name = format!(
         "run-seed{}-n{}-k{}-{}",
         config.seed, config.samples, shards, config.stream
-    ))
+    );
+    if !config.model.is_default() {
+        let _ = write!(name, "-{}", config.model.kind().as_str());
+    }
+    work_dir.join(name)
 }
 
 /// Per-run counters reported by [`run_coordinator_with_report`]:
@@ -365,6 +372,27 @@ fn render_campaign_manifest(config: &McConfig, shards: usize) -> String {
     let _ = writeln!(out, "  \"samples\": {},", config.samples);
     let _ = writeln!(out, "  \"shards\": {shards},");
     let _ = writeln!(out, "  \"rng_stream\": \"{}\",", config.stream);
+    // Default-model manifests keep their pre-model bytes (so `--resume`
+    // against a run dir written before spatial models existed still
+    // validates); non-default models declare their kind plus exactly the
+    // parameters that kind consumes.
+    if !config.model.is_default() {
+        let _ = writeln!(
+            out,
+            "  \"defect_model\": \"{}\",",
+            config.model.kind().as_str()
+        );
+        if config.model.uses_cluster() {
+            let _ = writeln!(
+                out,
+                "  \"cluster_size\": {:?},",
+                config.model.cluster_size()
+            );
+        }
+        if config.model.uses_lines() {
+            let _ = writeln!(out, "  \"line_rate\": {:?},", config.model.line_rate());
+        }
+    }
     let names: Vec<String> = config
         .circuits
         .iter()
@@ -374,6 +402,23 @@ fn render_campaign_manifest(config: &McConfig, shards: usize) -> String {
     out.push_str("}\n");
     out
 }
+
+/// Every key a `xbar-mc-campaign/1` manifest may carry. The parser
+/// rejects anything else: a manifest written by a newer tool describes
+/// campaign identity this coordinator cannot check, and silently ignoring
+/// the extra field could merge partials from a different campaign.
+const CAMPAIGN_MANIFEST_KEYS: [&str; 10] = [
+    "schema",
+    "seed",
+    "defect_rate",
+    "samples",
+    "shards",
+    "rng_stream",
+    "defect_model",
+    "cluster_size",
+    "line_rate",
+    "circuits",
+];
 
 fn parse_campaign_manifest(text: &str) -> Result<(McConfig, usize), String> {
     let doc = super::json::Json::parse(text).map_err(|e| format!("malformed manifest: {e}"))?;
@@ -385,6 +430,17 @@ fn parse_campaign_manifest(text: &str) -> Result<(McConfig, usize), String> {
         return Err(format!(
             "manifest schema mismatch: got {schema:?}, expected {CAMPAIGN_SCHEMA:?}"
         ));
+    }
+    if let super::json::Json::Obj(map) = &doc {
+        if let Some(unknown) = map
+            .keys()
+            .find(|key| !CAMPAIGN_MANIFEST_KEYS.contains(&key.as_str()))
+        {
+            return Err(format!(
+                "manifest carries unknown key `{unknown}` (written by a newer tool?); \
+                 refusing to resume a campaign whose identity cannot be fully checked"
+            ));
+        }
     }
     let u64_field = |key: &str| {
         doc.get(key)
@@ -416,6 +472,26 @@ fn parse_campaign_manifest(text: &str) -> Result<(McConfig, usize), String> {
                 .and_then(super::json::Json::as_str)
                 .ok_or("manifest missing `rng_stream`")?,
         )?,
+        // Absent in manifests written before spatial models existed (and
+        // for default-model campaigns today): both mean i.i.d. sampling.
+        model: {
+            let kind = match doc.get("defect_model").map(super::json::Json::as_str) {
+                None => DefectModelKind::Iid,
+                Some(Some(name)) => DefectModelKind::parse(name)?,
+                Some(None) => return Err("manifest `defect_model` is not a string".to_owned()),
+            };
+            let f64_opt =
+                |key: &str, default: f64| match doc.get(key).map(super::json::Json::as_f64) {
+                    None => Ok(default),
+                    Some(Some(v)) => Ok(v),
+                    Some(None) => Err(format!("manifest `{key}` is not a number")),
+                };
+            DefectModelSpec::new(
+                kind,
+                f64_opt("cluster_size", DefectModelSpec::DEFAULT_CLUSTER_SIZE)?,
+                f64_opt("line_rate", DefectModelSpec::DEFAULT_LINE_RATE)?,
+            )?
+        },
         circuits,
     };
     let shards = usize::try_from(u64_field("shards")?)
@@ -450,6 +526,12 @@ fn campaign_mismatch(
             found.stream, expected.stream
         ));
     }
+    if found.model != expected.model {
+        diffs.push(format!(
+            "defect_model {} != {}",
+            found.model, expected.model
+        ));
+    }
     if found.circuits != expected.circuits {
         diffs.push(format!(
             "circuits {:?} != {:?}",
@@ -466,14 +548,99 @@ fn campaign_mismatch(
     }
 }
 
-/// Prepares the run directory: creates it, and either validates an
-/// existing `campaign.json` manifest against this campaign or writes a
-/// fresh one. A directory claimed by a *different* campaign — or holding
-/// partials with no manifest at all — is rejected with a clear error
-/// instead of silently clobbered.
-fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<(), String> {
+/// An exclusive claim on a campaign run directory, held for the
+/// coordinator's lifetime. Backed by a `coordinator.lock` file created
+/// with `O_EXCL` semantics ([`fs::OpenOptions::create_new`]) and holding
+/// the owner's pid; dropped (removed) when the coordinator finishes, and
+/// reclaimed by pid-liveness check when a previous coordinator was killed
+/// without cleanup (the CI resume smoke does exactly that).
+#[derive(Debug)]
+struct RunDirLock {
+    path: PathBuf,
+}
+
+impl Drop for RunDirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// True when the pid recorded in a lock file still names a live process.
+/// An unreadable or malformed lock counts as stale: the owner can no
+/// longer be identified, and the atomic re-create below still guarantees a
+/// single winner. Our own pid counts as alive — in-process coordinators
+/// (library callers) racing for one campaign must exclude each other just
+/// like separate processes do.
+fn lock_owner_alive(path: &Path) -> bool {
+    let Ok(text) = fs::read_to_string(path) else {
+        return false;
+    };
+    let Ok(pid) = text.trim().parse::<u32>() else {
+        return false;
+    };
+    if pid == std::process::id() {
+        return true;
+    }
+    // Without a /proc to consult (non-Linux), liveness cannot be checked;
+    // treating the lock as stale keeps crashed coordinators from blocking
+    // a campaign forever, which is the failure mode that actually occurs.
+    Path::new("/proc").is_dir() && Path::new(&format!("/proc/{pid}")).is_dir()
+}
+
+/// Atomically claims `run_dir` for this coordinator process.
+///
+/// # Errors
+///
+/// Reports a live concurrent coordinator ("campaign already running") or
+/// an I/O failure creating the lock.
+fn acquire_run_dir_lock(run_dir: &Path) -> Result<RunDirLock, String> {
+    use std::io::Write as _;
+    let path = run_dir.join("coordinator.lock");
+    // Two passes: the second handles the stale-lock case where the first
+    // observed a leftover file from a killed coordinator and removed it.
+    for _ in 0..2 {
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{}", std::process::id());
+                return Ok(RunDirLock { path });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                if lock_owner_alive(&path) {
+                    return Err(format!(
+                        "campaign already running: another coordinator holds {} \
+                         (pid {}); wait for it to finish or remove the lock if it is stale",
+                        path.display(),
+                        fs::read_to_string(&path).unwrap_or_default().trim()
+                    ));
+                }
+                // Stale lock from a killed coordinator: remove and retry
+                // the atomic create (a racing coordinator may win it).
+                let _ = fs::remove_file(&path);
+            }
+            Err(e) => return Err(format!("cannot create lock {}: {e}", path.display())),
+        }
+    }
+    Err(format!(
+        "campaign already running: could not win {} (another coordinator claimed it)",
+        path.display()
+    ))
+}
+
+/// Prepares the run directory: creates it, claims it with an exclusive
+/// lifetime lock (a second coordinator on the same live campaign fails
+/// fast instead of racing on `campaign.json` and the partials), and
+/// either validates an existing `campaign.json` manifest against this
+/// campaign or writes a fresh one. A directory claimed by a *different*
+/// campaign — or holding partials with no manifest at all — is rejected
+/// with a clear error instead of silently clobbered.
+fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<RunDirLock, String> {
     fs::create_dir_all(run_dir)
         .map_err(|e| format!("cannot create run dir {}: {e}", run_dir.display()))?;
+    let lock = acquire_run_dir_lock(run_dir)?;
     let manifest_path = run_dir.join("campaign.json");
     match fs::read_to_string(&manifest_path) {
         Ok(text) => {
@@ -490,7 +657,7 @@ fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<(), Stri
                     run_dir.display()
                 ));
             }
-            Ok(())
+            Ok(lock)
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             // No manifest: a partial here was written by something we
@@ -508,7 +675,8 @@ fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<(), Stri
                 &manifest_path,
                 render_campaign_manifest(&cfg.config, cfg.shards),
             )
-            .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))
+            .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
+            Ok(lock)
         }
         Err(e) => Err(format!("cannot read {}: {e}", manifest_path.display())),
     }
@@ -519,7 +687,8 @@ fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<(), Stri
 // ---------------------------------------------------------------------------
 
 fn spawn_worker(cfg: &CoordinatorConfig, spec: &ShardSpec, out: &Path) -> std::io::Result<Child> {
-    Command::new(&cfg.worker.binary)
+    let mut command = Command::new(&cfg.worker.binary);
+    command
         .args(&cfg.worker.prefix_args)
         .arg("--samples")
         .arg(cfg.config.samples.to_string())
@@ -529,7 +698,25 @@ fn spawn_worker(cfg: &CoordinatorConfig, spec: &ShardSpec, out: &Path) -> std::i
         // Shortest-round-trip text: the worker parses back the exact bits.
         .arg(format!("{:?}", cfg.config.defect_rate))
         .arg("--rng-stream")
-        .arg(cfg.config.stream.as_str())
+        .arg(cfg.config.stream.as_str());
+    // Forwarded only for non-default models, so default campaigns spawn
+    // workers with the exact pre-model argv.
+    if !cfg.config.model.is_default() {
+        command
+            .arg("--defect-model")
+            .arg(cfg.config.model.kind().as_str());
+        if cfg.config.model.uses_cluster() {
+            command
+                .arg("--cluster-size")
+                .arg(format!("{:?}", cfg.config.model.cluster_size()));
+        }
+        if cfg.config.model.uses_lines() {
+            command
+                .arg("--line-rate")
+                .arg(format!("{:?}", cfg.config.model.line_rate()));
+        }
+    }
+    command
         .arg("--circuits")
         .arg(cfg.config.circuits.join(","))
         .arg("--shard-index")
@@ -781,7 +968,9 @@ pub fn run_coordinator_with_report(
     fs::create_dir_all(&cfg.work_dir)
         .map_err(|e| format!("cannot create work dir {}: {e}", cfg.work_dir.display()))?;
     let run_dir = campaign_run_dir(&cfg.work_dir, &cfg.config, cfg.shards);
-    preflight_run_dir(cfg, &run_dir)?;
+    // Held until this function returns: a second coordinator on the same
+    // live campaign fails fast instead of racing on the run directory.
+    let _lock = preflight_run_dir(cfg, &run_dir)?;
 
     let max_inflight = cfg.max_inflight.unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
@@ -874,6 +1063,9 @@ pub fn run_coordinator_with_report(
             let _ = fs::remove_file(partial_path(&run_dir, index));
         }
         let _ = fs::remove_file(run_dir.join("campaign.json"));
+        // The lock guard removes its file on drop, but that runs after
+        // this cleanup — remove it now so the directory removal succeeds.
+        let _ = fs::remove_file(run_dir.join("coordinator.lock"));
         let _ = fs::remove_dir(&run_dir);
         let _ = fs::remove_dir(&cfg.work_dir);
     }
@@ -896,6 +1088,29 @@ pub fn render_stats_json(merged: &MergedResult) -> String {
     // the stream they were sampled under.
     if merged.config.stream != SampleStream::V1 {
         let _ = writeln!(out, "  \"rng_stream\": \"{}\",", merged.config.stream);
+    }
+    // Same freeze rule for the spatial model: default (i.i.d.) artifacts
+    // keep their pre-model bytes.
+    if !merged.config.model.is_default() {
+        let _ = writeln!(
+            out,
+            "  \"defect_model\": \"{}\",",
+            merged.config.model.kind().as_str()
+        );
+        if merged.config.model.uses_cluster() {
+            let _ = writeln!(
+                out,
+                "  \"cluster_size\": {:?},",
+                merged.config.model.cluster_size()
+            );
+        }
+        if merged.config.model.uses_lines() {
+            let _ = writeln!(
+                out,
+                "  \"line_rate\": {:?},",
+                merged.config.model.line_rate()
+            );
+        }
     }
     let _ = writeln!(out, "  \"circuits\": [");
     for (idx, (name, accum)) in merged.circuits.iter().enumerate() {
@@ -963,8 +1178,13 @@ mod tests {
             seed: 5,
             defect_rate: 0.1,
             stream: SampleStream::V1,
+            model: DefectModelSpec::default(),
             circuits: vec!["rd53".to_owned()],
         }
+    }
+
+    fn clustered_model() -> DefectModelSpec {
+        DefectModelSpec::new(DefectModelKind::Clustered, 3.0, 0.02).expect("valid")
     }
 
     fn partials_for(config: &McConfig, shards: usize) -> Vec<ShardPartial> {
@@ -1037,6 +1257,35 @@ mod tests {
         assert!(mono.contains("\"rng_stream\": \"v2\""), "{mono}");
         let merged = merge_partials(&config, &partials_for(&config, 3)).expect("merges");
         assert_eq!(render_stats_json(&merged), mono);
+    }
+
+    #[test]
+    fn merge_rejects_defect_model_mismatch() {
+        // A shard sampled under a clustered model holds statistics over a
+        // different spatial defect distribution; merging it into an i.i.d.
+        // campaign would corrupt the artifact silently.
+        let config = config();
+        let mut partials = partials_for(&config, 2);
+        partials[1].config.model = clustered_model();
+        let err = merge_partials(&config, &partials).expect_err("must fail");
+        assert!(err.contains("defect model"), "{err}");
+    }
+
+    #[test]
+    fn modeled_merge_matches_modeled_monolithic_and_declares_its_model() {
+        let config = McConfig {
+            model: clustered_model(),
+            ..self::config()
+        };
+        let mono = render_stats_json(&run_monolithic(&config));
+        assert!(mono.contains("\"defect_model\": \"clustered\""), "{mono}");
+        assert!(mono.contains("\"cluster_size\": 3.0"), "{mono}");
+        assert!(!mono.contains("line_rate"), "clustered ignores line_rate");
+        let merged = merge_partials(&config, &partials_for(&config, 3)).expect("merges");
+        assert_eq!(render_stats_json(&merged), mono);
+        // The default-model artifact never mentions the model at all.
+        let default_json = render_stats_json(&run_monolithic(&self::config()));
+        assert!(!default_json.contains("defect_model"), "{default_json}");
     }
 
     #[test]
@@ -1142,6 +1391,42 @@ mod tests {
         assert!(diff.contains("defect_rate"), "{diff}");
         let diff = campaign_mismatch(&config, 3, &config, 5).expect("must differ");
         assert!(diff.contains("shards"), "{diff}");
+
+        let mut other = config.clone();
+        other.model = clustered_model();
+        let diff = campaign_mismatch(&config, 3, &other, 3).expect("must differ");
+        assert!(diff.contains("defect_model"), "{diff}");
+    }
+
+    #[test]
+    fn modeled_manifest_roundtrips_and_default_manifest_stays_model_free() {
+        let default_text = render_campaign_manifest(&config(), 3);
+        assert!(!default_text.contains("defect_model"), "{default_text}");
+
+        let config = McConfig {
+            model: DefectModelSpec::new(DefectModelKind::Composite, 2.5, 0.125).expect("valid"),
+            ..self::config()
+        };
+        let text = render_campaign_manifest(&config, 3);
+        assert!(text.contains("\"defect_model\": \"composite\""), "{text}");
+        assert!(text.contains("\"cluster_size\": 2.5"), "{text}");
+        assert!(text.contains("\"line_rate\": 0.125"), "{text}");
+        let (back, shards) = parse_campaign_manifest(&text).expect("parses");
+        assert_eq!(back, config);
+        assert_eq!(shards, 3);
+    }
+
+    #[test]
+    fn manifest_with_an_unknown_key_is_rejected_not_ignored() {
+        // A future tool that extends campaign identity must not have its
+        // manifests silently reinterpreted by this coordinator.
+        let text = render_campaign_manifest(&config(), 3).replace(
+            "\"rng_stream\": \"v1\",",
+            "\"rng_stream\": \"v1\",\n  \"voltage_drift\": 0.3,",
+        );
+        let err = parse_campaign_manifest(&text).expect_err("must fail");
+        assert!(err.contains("voltage_drift"), "{err}");
+        assert!(err.contains("unknown key"), "{err}");
     }
 
     #[test]
@@ -1154,6 +1439,39 @@ mod tests {
             ..self::config()
         };
         assert_ne!(campaign_run_dir(Path::new("/w"), &v2, 4), dir);
+        // Non-default models get their own directory; the default keeps
+        // the exact pre-model name (CI's resume smoke hardcodes it).
+        let clustered = McConfig {
+            model: clustered_model(),
+            ..self::config()
+        };
+        assert_eq!(
+            campaign_run_dir(Path::new("/w"), &clustered, 4),
+            PathBuf::from("/w/run-seed5-n20-k4-v1-clustered")
+        );
+    }
+
+    #[test]
+    fn run_dir_lock_is_exclusive_reclaims_stale_owners_and_releases_on_drop() {
+        let dir = std::env::temp_dir().join(format!("xbar-lock-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create");
+        let lock = acquire_run_dir_lock(&dir).expect("first claim wins");
+        let path = dir.join("coordinator.lock");
+        assert!(path.is_file());
+
+        // A second claim while the owner (this process) is alive fails
+        // fast with the contractual message.
+        let err = acquire_run_dir_lock(&dir).expect_err("second claim must fail");
+        assert!(err.contains("campaign already running"), "{err}");
+
+        // A lock left by a dead process is reclaimed, not fatal. Pid 1 is
+        // init (alive), so fake staleness with an impossible pid instead.
+        drop(lock);
+        fs::write(&path, "4294967294\n").expect("plant stale lock");
+        let lock = acquire_run_dir_lock(&dir).expect("stale lock is reclaimed");
+        drop(lock);
+        assert!(!path.exists(), "drop releases the lock");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

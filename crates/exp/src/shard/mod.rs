@@ -33,7 +33,7 @@ pub mod partial;
 use crate::cli::ExpArgs;
 use crate::experiments::table2::{run_circuit_range, table2_circuit_names, CircuitAccum};
 use std::ops::Range;
-use xbar_core::SampleStream;
+use xbar_core::{DefectModelKind, DefectModelSpec, SampleStream};
 use xbar_logic::bench_reg::find;
 
 /// One contiguous slice of a Monte Carlo sample range.
@@ -109,6 +109,11 @@ pub struct McConfig {
     /// two different defect distributions; the coordinator rejects
     /// partials whose echoed stream disagrees with the campaign spec.
     pub stream: SampleStream,
+    /// Spatial defect model. Campaign identity exactly like `stream`: every
+    /// shard must sample under the same model (and model parameters) or the
+    /// merged statistics would mix defect distributions; the coordinator
+    /// rejects partials whose echoed model disagrees with the campaign spec.
+    pub model: DefectModelSpec,
     /// Registry circuits to simulate, in output order.
     pub circuits: Vec<String>,
 }
@@ -122,6 +127,7 @@ impl McConfig {
             seed,
             defect_rate,
             stream: SampleStream::V1,
+            model: DefectModelSpec::default(),
             circuits: table2_circuit_names(),
         }
     }
@@ -151,6 +157,7 @@ impl McConfig {
             seed: self.seed,
             defect_rate: self.defect_rate,
             stream: self.stream,
+            model: self.model,
             csv: None,
         }
     }
@@ -168,6 +175,12 @@ pub struct CampaignFlags {
     pub defect_rate: f64,
     /// Defect sampling stream (`--rng-stream`, default `v1`).
     pub stream: SampleStream,
+    /// Spatial defect model kind (`--defect-model`, default `iid`).
+    pub model_kind: DefectModelKind,
+    /// Mean defect cluster size (`--cluster-size`, default 4).
+    pub cluster_size: f64,
+    /// Broken-line probability (`--line-rate`, default 0.02).
+    pub line_rate: f64,
     /// Explicit circuit list (`--circuits`); `None` = the Table II set.
     pub circuits: Option<Vec<String>>,
 }
@@ -179,6 +192,9 @@ impl Default for CampaignFlags {
             seed: 2018,
             defect_rate: 0.10,
             stream: SampleStream::V1,
+            model_kind: DefectModelKind::Iid,
+            cluster_size: DefectModelSpec::DEFAULT_CLUSTER_SIZE,
+            line_rate: DefectModelSpec::DEFAULT_LINE_RATE,
             circuits: None,
         }
     }
@@ -190,6 +206,9 @@ pub const CAMPAIGN_FLAGS_USAGE: &str =
 --seed N           experiment seed (default 2018)\n  \
 --defect-rate F    stuck-open probability (default 0.10)\n  \
 --rng-stream v1|v2 defect sampling stream (default v1)\n  \
+--defect-model M   iid|clustered|lines|composite (default iid)\n  \
+--cluster-size F   mean defect cluster size, >= 1 (default 4)\n  \
+--line-rate F      broken-line probability in [0, 1] (default 0.02)\n  \
 --circuits a,b     registry circuits (default: the Table II set)";
 
 impl CampaignFlags {
@@ -231,6 +250,29 @@ impl CampaignFlags {
             "--rng-stream" => {
                 self.stream = SampleStream::parse(&value(it)?)?;
             }
+            "--defect-model" => {
+                self.model_kind = DefectModelKind::parse(&value(it)?)?;
+            }
+            "--cluster-size" => {
+                let text = value(it)?;
+                let size: f64 = text
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected a float, got {text:?}"))?;
+                if !size.is_finite() || size < 1.0 {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+                self.cluster_size = size;
+            }
+            "--line-rate" => {
+                let text = value(it)?;
+                let rate: f64 = text
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected a float, got {text:?}"))?;
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("{flag} must be a probability in [0, 1]"));
+                }
+                self.line_rate = rate;
+            }
             "--circuits" => {
                 self.circuits = Some(value(it)?.split(',').map(str::to_owned).collect());
             }
@@ -243,11 +285,14 @@ impl CampaignFlags {
     /// list to the Table II set).
     #[must_use]
     pub fn into_config(self) -> McConfig {
+        let model = DefectModelSpec::new(self.model_kind, self.cluster_size, self.line_rate)
+            .expect("consume() range-checked the model parameters");
         McConfig {
             samples: self.samples,
             seed: self.seed,
             defect_rate: self.defect_rate,
             stream: self.stream,
+            model,
             circuits: self.circuits.unwrap_or_else(table2_circuit_names),
         }
     }

@@ -14,7 +14,7 @@ use super::{McConfig, ShardSpec};
 use crate::experiments::table2::CircuitAccum;
 use std::fmt::Write as _;
 use xbar_core::stats::{Moments, SuccessCount};
-use xbar_core::SampleStream;
+use xbar_core::{DefectModelKind, DefectModelSpec, SampleStream};
 
 /// Schema tag written into (and required from) every partial file.
 pub const PARTIAL_SCHEMA: &str = "xbar-mc-partial/1";
@@ -101,6 +101,13 @@ impl ShardPartial {
                 self.config.stream, config.stream
             ));
         }
+        if self.config.model != config.model {
+            return Err(format!(
+                "defect model {} != campaign {} (a shard sampled under a \
+                 different spatial model cannot merge into this campaign)",
+                self.config.model, config.model
+            ));
+        }
         if self.config.circuits != config.circuits {
             return Err(format!(
                 "circuit list {:?} != campaign {:?}",
@@ -168,6 +175,30 @@ impl ShardPartial {
         // bytes they had before stream versioning existed.
         if self.config.stream != SampleStream::V1 {
             let _ = writeln!(out, "  \"rng_stream\": \"{}\",", self.config.stream);
+        }
+        // Same freeze rule for the spatial model: default (i.i.d.) partials
+        // keep their pre-model bytes; non-default models declare their kind
+        // and whichever parameters that kind consumes.
+        if !self.config.model.is_default() {
+            let _ = writeln!(
+                out,
+                "  \"defect_model\": \"{}\",",
+                self.config.model.kind().as_str()
+            );
+            if self.config.model.uses_cluster() {
+                let _ = writeln!(
+                    out,
+                    "  \"cluster_size\": {},",
+                    fmt_f64(self.config.model.cluster_size())
+                );
+            }
+            if self.config.model.uses_lines() {
+                let _ = writeln!(
+                    out,
+                    "  \"line_rate\": {},",
+                    fmt_f64(self.config.model.line_rate())
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -295,6 +326,23 @@ impl ShardPartial {
             };
             circuits.push((name, accum));
         }
+        // Absent in files written before spatial models existed (and by
+        // default-model workers today): both mean i.i.d. sampling.
+        let model_kind = match doc.get("defect_model").map(Json::as_str) {
+            None => DefectModelKind::Iid,
+            Some(Some(name)) => DefectModelKind::parse(name)?,
+            Some(None) => return Err("`defect_model` is not a string".to_owned()),
+        };
+        let f64_opt = |key: &str, default: f64| match doc.get(key).map(Json::as_f64) {
+            None => Ok(default),
+            Some(Some(v)) => Ok(v),
+            Some(None) => Err(format!("`{key}` is not a number")),
+        };
+        let model = DefectModelSpec::new(
+            model_kind,
+            f64_opt("cluster_size", DefectModelSpec::DEFAULT_CLUSTER_SIZE)?,
+            f64_opt("line_rate", DefectModelSpec::DEFAULT_LINE_RATE)?,
+        )?;
         Ok(ShardPartial {
             config: McConfig {
                 samples: u64_field("samples")?
@@ -312,6 +360,7 @@ impl ShardPartial {
                     Some(Some(name)) => SampleStream::parse(name)?,
                     Some(None) => return Err("`rng_stream` is not a string".to_owned()),
                 },
+                model,
                 circuits: circuits.iter().map(|(name, _)| name.clone()).collect(),
             },
             spec,
@@ -337,6 +386,7 @@ mod tests {
                 seed: u64::MAX - 41, // above 2^53: must survive the file
                 defect_rate: 0.1,
                 stream: SampleStream::V1,
+                model: DefectModelSpec::default(),
                 circuits: vec!["rd53".to_owned(), "misex1".to_owned()],
             },
             spec: ShardSpec {
@@ -385,6 +435,58 @@ mod tests {
     }
 
     #[test]
+    fn default_model_partials_never_mention_the_model_and_others_roundtrip() {
+        // The byte-freeze rule extends to spatial models: default (i.i.d.)
+        // partials carry no model keys at all, each non-default kind
+        // declares itself plus exactly the parameters it consumes.
+        let iid = sample_partial();
+        let json = iid.to_json();
+        for key in ["defect_model", "cluster_size", "line_rate"] {
+            assert!(!json.contains(key), "{key} leaked into a default partial");
+        }
+
+        let mut clustered = sample_partial();
+        clustered.config.model =
+            DefectModelSpec::new(DefectModelKind::Clustered, 6.5, 0.5).expect("valid");
+        let json = clustered.to_json();
+        assert!(json.contains("\"defect_model\": \"clustered\""), "{json}");
+        assert!(json.contains("\"cluster_size\": 6.5"), "{json}");
+        assert!(!json.contains("line_rate"), "clustered ignores line_rate");
+        let back = ShardPartial::from_json(&json).expect("parses");
+        assert_eq!(back, clustered);
+        assert_eq!(back.to_json(), json);
+
+        let mut composite = sample_partial();
+        composite.config.model =
+            DefectModelSpec::new(DefectModelKind::Composite, 2.0, 0.125).expect("valid");
+        let json = composite.to_json();
+        assert!(json.contains("\"cluster_size\": 2.0"), "{json}");
+        assert!(json.contains("\"line_rate\": 0.125"), "{json}");
+        let back = ShardPartial::from_json(&json).expect("parses");
+        assert_eq!(back, composite);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn unknown_defect_model_is_rejected() {
+        let mut lines = sample_partial();
+        lines.config.model =
+            DefectModelSpec::new(DefectModelKind::Lines, 1.0, 0.25).expect("valid");
+        let json = lines.to_json().replace("\"lines\"", "\"blobs\"");
+        let err = ShardPartial::from_json(&json).expect_err("must fail");
+        assert!(err.contains("blobs"), "{err}");
+    }
+
+    #[test]
+    fn model_mismatch_is_rejected_by_the_config_echo() {
+        let partial = sample_partial();
+        let mut other = partial.config.clone();
+        other.model = DefectModelSpec::new(DefectModelKind::Lines, 1.0, 0.02).expect("valid");
+        let err = partial.validate_config_echo(&other).expect_err("must fail");
+        assert!(err.contains("defect model"), "{err}");
+    }
+
+    #[test]
     fn unknown_rng_stream_is_rejected() {
         let mut v2 = sample_partial();
         v2.config.stream = SampleStream::V2;
@@ -401,6 +503,7 @@ mod tests {
                 seed: 7,
                 defect_rate: 0.1,
                 stream: SampleStream::V1,
+                model: DefectModelSpec::default(),
                 circuits: vec!["rd53".to_owned()],
             },
             spec: ShardSpec {
@@ -442,6 +545,7 @@ mod tests {
             seed: 9,
             defect_rate: 0.1,
             stream: SampleStream::V1,
+            model: DefectModelSpec::default(),
             circuits: vec!["rd53".to_owned()],
         };
         let spec = ShardSpec {

@@ -16,7 +16,7 @@ use xbar_exp::{find_experiment, registry, ExpError, Params, Reporter};
 #[test]
 fn registry_covers_every_experiment_with_unique_names() {
     let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-    assert_eq!(names.len(), 16, "tables + figures + ext studies + yield");
+    assert_eq!(names.len(), 18, "tables + figures + ext studies + yield");
     let unique: HashSet<&str> = names.iter().copied().collect();
     assert_eq!(unique.len(), names.len(), "duplicate names in {names:?}");
     // Every pre-redesign binary's experiment is present.
@@ -36,6 +36,8 @@ fn registry_covers_every_experiment_with_unique_names() {
         "ext_analog_validation",
         "ext_column_redundancy",
         "ext_defect_scan",
+        "ext_model_yield",
+        "ext_cluster_tolerance",
         "estimate_yield",
     ] {
         assert!(
@@ -204,6 +206,185 @@ fn golden_estimate_yield_artifact_layout_is_pinned() {
 }
 "#;
     assert_eq!(text, expected, "estimate_yield artifact layout drifted");
+}
+
+#[test]
+fn golden_ext_model_yield_artifact_layout_is_pinned() {
+    // Pins every spatial defect model's yield sweep in one document:
+    // the sampling procedures themselves are frozen by these counts.
+    let (text, _) = run_artifact("ext_model_yield", &["--samples", "12", "--seed", "5"]);
+    let expected = r#"{
+  "schema": "xbar-artifact/1",
+  "experiment": "ext_model_yield",
+  "params": {
+    "samples": 12,
+    "seed": 5,
+    "defect_rate": 0.1,
+    "circuit": "rd53",
+    "rng_stream": "v1"
+  },
+  "data": {
+    "circuit": "rd53",
+    "rows": 34,
+    "cols": 16,
+    "models": [
+      {
+        "model": "iid",
+        "sweep": [
+          {
+            "defect_rate": 0.05,
+            "successes": 12,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.1,
+            "successes": 12,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.15,
+            "successes": 10,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.2,
+            "successes": 2,
+            "samples": 12
+          }
+        ]
+      },
+      {
+        "model": "clustered",
+        "sweep": [
+          {
+            "defect_rate": 0.05,
+            "successes": 3,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.1,
+            "successes": 3,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.15,
+            "successes": 0,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.2,
+            "successes": 0,
+            "samples": 12
+          }
+        ]
+      },
+      {
+        "model": "lines",
+        "sweep": [
+          {
+            "defect_rate": 0.05,
+            "successes": 4,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.1,
+            "successes": 4,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.15,
+            "successes": 4,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.2,
+            "successes": 4,
+            "samples": 12
+          }
+        ]
+      },
+      {
+        "model": "composite",
+        "sweep": [
+          {
+            "defect_rate": 0.05,
+            "successes": 1,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.1,
+            "successes": 1,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.15,
+            "successes": 0,
+            "samples": 12
+          },
+          {
+            "defect_rate": 0.2,
+            "successes": 0,
+            "samples": 12
+          }
+        ]
+      }
+    ]
+  }
+}
+"#;
+    assert_eq!(text, expected, "ext_model_yield artifact layout drifted");
+}
+
+#[test]
+fn golden_ext_cluster_tolerance_artifact_layout_is_pinned() {
+    let (text, _) = run_artifact("ext_cluster_tolerance", &["--samples", "12", "--seed", "5"]);
+    let expected = r#"{
+  "schema": "xbar-artifact/1",
+  "experiment": "ext_cluster_tolerance",
+  "params": {
+    "samples": 12,
+    "seed": 5,
+    "defect_rate": 0.1,
+    "circuit": "rd53",
+    "rng_stream": "v1"
+  },
+  "data": {
+    "circuit": "rd53",
+    "products": 31,
+    "defect_rate": 0.1,
+    "sweep": [
+      {
+        "cluster_size": 1.0,
+        "hba_successes": 11,
+        "ea_successes": 12,
+        "samples": 12
+      },
+      {
+        "cluster_size": 2.0,
+        "hba_successes": 3,
+        "ea_successes": 4,
+        "samples": 12
+      },
+      {
+        "cluster_size": 4.0,
+        "hba_successes": 1,
+        "ea_successes": 1,
+        "samples": 12
+      },
+      {
+        "cluster_size": 8.0,
+        "hba_successes": 0,
+        "ea_successes": 0,
+        "samples": 12
+      }
+    ]
+  }
+}
+"#;
+    assert_eq!(
+        text, expected,
+        "ext_cluster_tolerance artifact layout drifted"
+    );
 }
 
 #[test]

@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
-use xbar_core::SampleStream;
+use xbar_core::{DefectModelKind, DefectModelSpec, SampleStream};
 use xbar_exp::shard::coordinator::{
     campaign_run_dir, render_stats_json, run_coordinator, run_coordinator_with_report,
     run_monolithic, CoordinatorConfig, Worker,
@@ -28,6 +28,7 @@ fn campaign() -> McConfig {
         seed: 2018,
         defect_rate: 0.10,
         stream: SampleStream::V1,
+        model: DefectModelSpec::default(),
         circuits: vec!["rd53".to_owned()],
     }
 }
@@ -91,6 +92,42 @@ fn v2_campaigns_shard_byte_identically_too() {
     cfg.config = config;
     let merged = run_coordinator(&cfg).expect("coordinator run");
     assert_eq!(render_stats_json(&merged), mono);
+}
+
+#[test]
+fn clustered_campaigns_shard_byte_identically_through_real_workers() {
+    // The spatial defect model must survive the full process round-trip
+    // exactly like the RNG stream: the coordinator forwards
+    // `--defect-model clustered --cluster-size 3` to every worker,
+    // partials echo the model, and the 3-shard merge is byte-identical to
+    // the monolithic clustered run.
+    let model = DefectModelSpec::new(DefectModelKind::Clustered, 3.0, 0.02).expect("valid spec");
+    let config = McConfig {
+        model,
+        ..campaign()
+    };
+    let mono = render_stats_json(&run_monolithic(&config));
+    assert!(
+        mono.contains("\"defect_model\": \"clustered\""),
+        "clustered stats must declare their model: {mono}"
+    );
+    assert!(
+        mono.contains("\"cluster_size\": 3.0"),
+        "clustered stats must pin the cluster size: {mono}"
+    );
+    assert_ne!(
+        mono,
+        render_stats_json(&run_monolithic(&campaign())),
+        "clustering draws different defect maps than the i.i.d. model"
+    );
+    let mut cfg = coordinator("clustered-model", 3);
+    cfg.config = config;
+    let merged = run_coordinator(&cfg).expect("coordinator run");
+    assert_eq!(
+        render_stats_json(&merged),
+        mono,
+        "3 worker processes must reproduce the monolithic clustered artifact"
+    );
 }
 
 #[test]
@@ -361,6 +398,95 @@ fn resume_after_coordinator_kill_finishes_the_campaign_with_identical_bytes() {
     assert_eq!(
         merged, mono,
         "kill -9 + --resume must still produce the monolithic bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_second_coordinator_on_a_live_campaign_fails_fast() {
+    // Two coordinators race for the same campaign: the first to create
+    // `coordinator.lock` wins and runs to completion; the second must
+    // fail fast with a clear "campaign already running" error instead of
+    // double-spawning workers or corrupting the run directory.
+    let dir = scratch("second-coordinator");
+    let _ = std::fs::remove_dir_all(&dir);
+    let work = dir.join("work");
+    std::fs::create_dir_all(&work).expect("scratch dir");
+    let out = dir.join("merged.json");
+
+    // Serialized workers, each slowed 400 ms, so the winner holds the
+    // lock long enough for the contender to collide with it.
+    let campaign_flags = [
+        "--samples",
+        "30",
+        "--circuits",
+        "rd53",
+        "--shards",
+        "4",
+        "--work-dir",
+    ];
+    let mut winner = Command::new(env!("CARGO_BIN_EXE_xbar"))
+        .arg("mc")
+        .arg("coordinate")
+        .args(campaign_flags)
+        .arg(&work)
+        .args(["--max-inflight", "1"])
+        .args(["--worker-arg", "--inject-slow-ms", "--worker-arg", "400"])
+        .args(["--out".as_ref(), out.as_os_str()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn first coordinator");
+
+    // Wait until the winner actually holds the run-dir lock.
+    let run_dir = campaign_run_dir(&work, &campaign(), 4);
+    let lock = run_dir.join("coordinator.lock");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !lock.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "no coordinator.lock appeared before the deadline"
+        );
+        if winner.try_wait().expect("try_wait").is_some() {
+            panic!(
+                "first coordinator finished before the contender could run; slow the workers down"
+            );
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let out2 = dir.join("merged-second.json");
+    let loser = Command::new(env!("CARGO_BIN_EXE_xbar"))
+        .arg("mc")
+        .arg("coordinate")
+        .args(campaign_flags)
+        .arg(&work)
+        .args(["--out".as_ref(), out2.as_os_str()])
+        .output()
+        .expect("run second coordinator");
+    let stderr = String::from_utf8_lossy(&loser.stderr);
+    assert!(
+        !loser.status.success(),
+        "the contender must lose the lock race: {stderr}"
+    );
+    assert!(
+        stderr.contains("campaign already running"),
+        "the loser must say why it stopped: {stderr}"
+    );
+    assert!(!out2.exists(), "the loser must not write an artifact");
+
+    // The winner is unaffected by the collision: it finishes cleanly and
+    // produces the monolithic bytes.
+    let status = winner.wait().expect("first coordinator");
+    assert!(
+        status.success(),
+        "the lock holder must still finish cleanly"
+    );
+    let merged = std::fs::read_to_string(&out).expect("winner artifact");
+    assert_eq!(
+        merged,
+        render_stats_json(&run_monolithic(&campaign())),
+        "the winner's artifact must be untouched by the losing contender"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

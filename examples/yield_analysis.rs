@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mapper: MapperKind::Hybrid,
         seed: 99,
         stream: SampleStream::V1,
+        model: xbar_core::DefectModelSpec::default(),
     };
 
     println!("\nstuck-open only, 15% defect rate (HBA):");

@@ -5,7 +5,7 @@
 //! byte-identity guarantee) — if either changes, these tests must be
 //! updated *deliberately*, never silently.
 
-use memristive_xbar_repro::core::SampleStream;
+use memristive_xbar_repro::core::{DefectModelKind, DefectModelSpec, SampleStream};
 use memristive_xbar_repro::exp::experiments::table2::{mc_seed, run_circuit, run_circuit_range};
 use memristive_xbar_repro::exp::{sample_seed, ExpArgs};
 use memristive_xbar_repro::logic::bench_reg::find;
@@ -39,7 +39,7 @@ fn seeded_table2_rd53_row_is_pinned() {
         seed: 5,
         defect_rate: 0.10,
         stream: SampleStream::V1,
-        csv: None,
+        ..ExpArgs::default()
     };
     let info = find("rd53").expect("registered");
     let accum = run_circuit_range(info, &args, 0..40);
@@ -65,7 +65,7 @@ fn seeded_table2_v2_rows_are_pinned() {
         seed: 5,
         defect_rate: 0.10,
         stream: SampleStream::V2,
-        csv: None,
+        ..ExpArgs::default()
     };
     let accum = run_circuit_range(find("rd53").expect("registered"), &args, 0..40);
     assert_eq!(accum.hba.successes, 35, "V2 HBA successes drifted");
@@ -81,6 +81,39 @@ fn seeded_table2_v2_rows_are_pinned() {
     assert_eq!(accum.ea.successes, 60, "V2 EA successes drifted");
 }
 
+/// Each spatial defect model pins its own success counts on the rd53
+/// campaign the V1 pin above freezes (40 samples, seed 5, 10% defects,
+/// default model parameters). A drift here means a model's RNG
+/// consumption or sampling procedure changed — which silently invalidates
+/// every artifact recorded under that model.
+#[test]
+fn seeded_table2_model_rows_are_pinned() {
+    let info = find("rd53").expect("registered");
+    for (kind, hba, ea) in [
+        (DefectModelKind::Clustered, 3, 4),
+        (DefectModelKind::Lines, 13, 13),
+        (DefectModelKind::Composite, 1, 1),
+    ] {
+        let args = ExpArgs {
+            samples: 40,
+            seed: 5,
+            defect_rate: 0.10,
+            stream: SampleStream::V1,
+            model: DefectModelSpec::new(
+                kind,
+                DefectModelSpec::DEFAULT_CLUSTER_SIZE,
+                DefectModelSpec::DEFAULT_LINE_RATE,
+            )
+            .expect("defaults are valid"),
+            ..ExpArgs::default()
+        };
+        let accum = run_circuit_range(info, &args, 0..40);
+        assert_eq!(accum.hba.samples, 40);
+        assert_eq!(accum.hba.successes, hba, "{kind}: HBA successes drifted");
+        assert_eq!(accum.ea.successes, ea, "{kind}: EA successes drifted");
+    }
+}
+
 #[test]
 fn seeded_table2_misex1_summary_is_pinned() {
     // misex1 at the paper's default seed: published 100%/100% at 10%
@@ -90,7 +123,7 @@ fn seeded_table2_misex1_summary_is_pinned() {
         seed: 2018,
         defect_rate: 0.10,
         stream: SampleStream::V1,
-        csv: None,
+        ..ExpArgs::default()
     };
     let accum = run_circuit_range(find("misex1").expect("registered"), &args, 0..60);
     assert_eq!(accum.hba.successes, 60);

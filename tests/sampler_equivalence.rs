@@ -6,7 +6,9 @@
 //! boundary. V1/V2 divergence and in-place resample identity are covered
 //! over arbitrary shapes too.
 
-use memristive_xbar_repro::core::{CrossbarMatrix, DefectSampler, SampleStream};
+use memristive_xbar_repro::core::{
+    CrossbarMatrix, DefectModelKind, DefectModelSpec, DefectSampler, LineDefects, SampleStream,
+};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use rand::rngs::StdRng;
@@ -87,6 +89,101 @@ proptest! {
         DefectSampler::v2().resample(&mut dirty, rate, &mut rng_a);
         let fresh = DefectSampler::v2().sample(rows, cols, rate, &mut rng_b);
         assert_words_identical(&dirty, &fresh)?;
+    }
+
+    /// Every spatial defect model keeps the row-word / column-bitplane
+    /// transpose invariant: a sampled matrix is bit-identical to its own
+    /// dense per-cell reconstruction, for shapes on both sides of the
+    /// 64-row and 64-column word boundaries — and the in-place resample
+    /// over a dirty buffer equals the fresh sample for every model too.
+    #[test]
+    fn every_model_sample_equals_dense_reconstruction(
+        rows in 1usize..=100,
+        cols in 1usize..=80,
+        rate_millis in 0u64..=1000,
+        cluster_tenths in 10u32..=120,
+        line_millis in 0u32..=1000,
+        model_idx in 0usize..DefectModelKind::ALL.len(),
+        stream_idx in 0usize..SampleStream::ALL.len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let spec = DefectModelSpec::new(
+            DefectModelKind::ALL[model_idx],
+            f64::from(cluster_tenths) / 10.0,
+            f64::from(line_millis) / 1000.0,
+        ).expect("in-range parameters");
+        let sampler = DefectSampler::with_model(SampleStream::ALL[stream_idx], spec);
+        let rate = rate_millis as f64 / 1000.0;
+        let cm = sampler.sample(rows, cols, rate, &mut StdRng::seed_from_u64(seed));
+        assert_words_identical(&cm, &dense_reconstruction(&cm))?;
+
+        let mut dirty = DefectSampler::v1().sample(
+            rows,
+            cols,
+            0.5,
+            &mut StdRng::seed_from_u64(seed ^ 0xD1B7),
+        );
+        sampler.resample(&mut dirty, rate, &mut StdRng::seed_from_u64(seed));
+        assert_words_identical(&dirty, &cm)?;
+    }
+
+    /// The composite model is *exactly* the clustered cell model followed
+    /// by the line-fault fill on one RNG — no hidden reseeding or draw
+    /// reordering between the layers.
+    #[test]
+    fn composite_equals_clustered_then_line_fill(
+        rows in 1usize..=100,
+        cols in 1usize..=80,
+        rate_millis in 0u64..=1000,
+        cluster_tenths in 10u32..=120,
+        line_millis in 0u32..=1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cluster = f64::from(cluster_tenths) / 10.0;
+        let line_rate = f64::from(line_millis) / 1000.0;
+        let rate = rate_millis as f64 / 1000.0;
+        let composite = DefectModelSpec::new(DefectModelKind::Composite, cluster, line_rate)
+            .expect("in-range parameters");
+        let cm = DefectSampler::with_model(SampleStream::V1, composite)
+            .sample(rows, cols, rate, &mut StdRng::seed_from_u64(seed));
+
+        let clustered = DefectModelSpec::new(DefectModelKind::Clustered, cluster, 0.0)
+            .expect("in-range parameters");
+        let mut manual = CrossbarMatrix::perfect(rows, cols);
+        let mut rng = StdRng::seed_from_u64(seed);
+        DefectSampler::with_model(SampleStream::V1, clustered)
+            .resample(&mut manual, rate, &mut rng);
+        LineDefects { line_rate }.apply(&mut manual, &mut rng);
+        assert_words_identical(&cm, &manual)?;
+    }
+
+    /// The clustered renewal process hits its target long-run defect
+    /// fraction: over a large plane the empirical rate converges to `rate`
+    /// for any mean cluster size (the entry probability derivation is
+    /// correct, not just plausible).
+    #[test]
+    fn clustered_empirical_rate_converges_to_the_target(
+        rate_centis in 5u32..=50,
+        cluster_tenths in 10u32..=80,
+        seed in 0u64..u64::MAX,
+    ) {
+        let rate = f64::from(rate_centis) / 100.0;
+        let cluster = f64::from(cluster_tenths) / 10.0;
+        let spec = DefectModelSpec::new(DefectModelKind::Clustered, cluster, 0.0)
+            .expect("in-range parameters");
+        let (rows, cols) = (200, 200);
+        let cm = DefectSampler::with_model(SampleStream::V1, spec)
+            .sample(rows, cols, rate, &mut StdRng::seed_from_u64(seed));
+        let observed = 1.0 - cm.functional_fraction();
+        // Clustering inflates the variance of the occupancy fraction by
+        // roughly (2·cluster − 1): bound the deviation at six of those
+        // standard errors plus a small absolute floor.
+        let cells = (rows * cols) as f64;
+        let sd = (rate * (1.0 - rate) * (2.0 * cluster - 1.0) / cells).sqrt();
+        prop_assert!(
+            (observed - rate).abs() <= 6.0 * sd + 0.005,
+            "target {rate}, cluster {cluster}: observed {observed} (sd {sd})"
+        );
     }
 
     /// Both streams agree exactly on the expected defect density at the

@@ -6,7 +6,7 @@
 //! files must round-trip all accumulator state bit-exactly.
 
 use memristive_xbar_repro::core::stats::Moments;
-use memristive_xbar_repro::core::SampleStream;
+use memristive_xbar_repro::core::{DefectModelKind, DefectModelSpec, SampleStream};
 use memristive_xbar_repro::exp::experiments::table2::CircuitAccum;
 use memristive_xbar_repro::exp::shard::coordinator::{
     merge_partials, render_stats_json, MergedResult,
@@ -70,15 +70,26 @@ proptest! {
         seed in 0u64..u64::MAX,
         defect_bits in 1u64..1000,
         stream_idx in 0usize..SampleStream::ALL.len(),
+        model_idx in 0usize..DefectModelKind::ALL.len(),
+        cluster_tenths in 10u32..200,
+        line_millis in 0u32..=1000,
     ) {
-        // Both streams run through the identical merge/round-trip path;
-        // V2 configs additionally exercise the `rng_stream` echo in the
-        // partial-file format (V1 omits it to stay byte-frozen).
+        // Both streams and all four spatial models run through the
+        // identical merge/round-trip path; V2 configs exercise the
+        // `rng_stream` echo, non-default models the `defect_model` /
+        // `cluster_size` / `line_rate` echoes (defaults omit them all to
+        // stay byte-frozen).
+        let model = DefectModelSpec::new(
+            DefectModelKind::ALL[model_idx],
+            f64::from(cluster_tenths) / 10.0,
+            f64::from(line_millis) / 1000.0,
+        ).expect("in-range parameters");
         let config = McConfig {
             samples,
             seed,
             defect_rate: defect_bits as f64 / 1000.0,
             stream: SampleStream::ALL[stream_idx],
+            model,
             circuits: vec!["synthetic".to_owned()],
         };
         let mono = fold(seed, 0..samples);
