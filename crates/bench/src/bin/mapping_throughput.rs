@@ -8,8 +8,8 @@
 
 use std::path::PathBuf;
 use xbar_bench::throughput::{
-    measure_circuit, measure_model_dispatch, measure_sharded, registry_crosscheck,
-    render_json_with_sharded,
+    measure_circuit, measure_model_dispatch, measure_service_overhead, measure_sharded,
+    registry_crosscheck, render_json_full,
 };
 use xbar_bench::TABLE2_BENCH_CIRCUITS;
 use xbar_core::SampleStream;
@@ -197,12 +197,25 @@ fn main() {
         dispatch.dispatch_sps(),
         dispatch.ratio()
     );
-    let json = render_json_with_sharded(
+    // Yield-oracle service front: the same table2 submit answered cold
+    // (execute + cache) vs warm (content-addressed cache hit). Guards the
+    // serving path — a repeated question must cost a round-trip, not a
+    // campaign.
+    let service = measure_service_overhead(args.samples, args.defect_rate, args.seed);
+    println!(
+        "service overhead ({} samples): cold {:.1}ms  cache hit {:.3}ms  ({:.1}x, byte-identical)",
+        service.samples,
+        service.cold_secs * 1000.0,
+        service.cache_hit_secs * 1000.0,
+        service.cold_over_hit()
+    );
+    let json = render_json_full(
         &results,
         args.defect_rate,
         args.seed,
         sharded.as_ref(),
         Some(&dispatch),
+        Some(&service),
     );
     std::fs::write(&args.out, &json).expect("write BENCH_mapping.json");
     println!("wrote {}", args.out.display());

@@ -417,6 +417,139 @@ pub fn measure_sharded(
     }
 }
 
+/// Measured overhead of the yield-oracle service front
+/// ([`xbar_exp::service`]): the same `table2` submit answered **cold**
+/// (queue admission + execution + cache store) vs **warm** (a
+/// content-addressed cache hit that spawns no work). The warm path is the
+/// service's whole value proposition — a repeated question must cost a
+/// TCP round-trip and a file read, not a Monte Carlo campaign — so the
+/// bench gate pins `cold / hit` above a floor: if a change ever makes the
+/// cache path re-execute (or the cold path trivially cheap to the point
+/// the measurement is meaningless), the ratio collapses and CI fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceOverhead {
+    /// Monte Carlo samples in the submitted campaign.
+    pub samples: usize,
+    /// Wall-clock seconds for the cold submit (one-shot: the first answer
+    /// necessarily executes, there is nothing to repeat).
+    pub cold_secs: f64,
+    /// Best-of-3 wall-clock seconds for a warm submit of the identical
+    /// request, answered from the artifact cache.
+    pub cache_hit_secs: f64,
+}
+
+impl ServiceOverhead {
+    /// Ratio cold/hit — how much work the cache actually saves.
+    #[must_use]
+    pub fn cold_over_hit(&self) -> f64 {
+        self.cold_secs / self.cache_hit_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures [`ServiceOverhead`]: starts an in-process daemon
+/// ([`xbar_exp::service::start`] with `in_process_jobs`, so no worker
+/// binary is needed), submits one `table2` campaign over a real TCP
+/// socket speaking `xbar-svc/1`, then re-submits the identical request
+/// best-of-3. Asserts the cold answer is a cache **miss**, every warm
+/// answer a **hit**, and all artifacts byte-identical — the timing only
+/// means "cache overhead" if the bytes prove both paths answered the same
+/// question the same way.
+///
+/// # Panics
+///
+/// Panics when the daemon fails to start, a reply is malformed, the
+/// cache dispositions are not miss-then-hit, or artifacts differ.
+#[must_use]
+pub fn measure_service_overhead(samples: usize, defect_rate: f64, seed: u64) -> ServiceOverhead {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use xbar_exp::service::{start, Request, ServeOptions};
+    use xbar_exp::shard::json::Json;
+
+    let work_dir = std::env::temp_dir().join(format!("xbar-bench-svc-{}", std::process::id()));
+    // A stale cache from a crashed earlier run would turn the cold submit
+    // into a hit and invalidate the measurement.
+    let _ = std::fs::remove_dir_all(&work_dir);
+    let handle = start(ServeOptions {
+        listen: "127.0.0.1:0".to_owned(),
+        work_dir: work_dir.clone(),
+        max_inflight: 1,
+        in_process_jobs: true,
+        ..ServeOptions::default()
+    })
+    .expect("service starts");
+    let addr = handle.addr();
+
+    let request = Request::Submit {
+        experiment: "table2".to_owned(),
+        args: vec![
+            "--samples".to_owned(),
+            samples.to_string(),
+            "--seed".to_owned(),
+            seed.to_string(),
+            "--defect-rate".to_owned(),
+            format!("{defect_rate:?}"),
+            "--circuits".to_owned(),
+            "rd53".to_owned(),
+        ],
+        wait: true,
+    }
+    .render();
+
+    // One full submit→result round-trip; returns (cache disposition,
+    // artifact bytes).
+    let submit = || -> (String, String) {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect to daemon");
+        writeln!(stream, "{request}").expect("send submit");
+        let mut cache = String::new();
+        for line in BufReader::new(stream).lines() {
+            let line = line.expect("read reply line");
+            let doc = Json::parse(&line).expect("reply parses");
+            match doc.get("type").and_then(Json::as_str) {
+                Some("submitted") => {
+                    cache = doc
+                        .get("cache")
+                        .and_then(Json::as_str)
+                        .expect("submitted carries cache")
+                        .to_owned();
+                }
+                Some("progress") => {}
+                Some("result") => {
+                    let artifact = doc
+                        .get("artifact")
+                        .and_then(Json::as_str)
+                        .expect("result carries artifact")
+                        .to_owned();
+                    return (cache, artifact);
+                }
+                other => panic!("unexpected service reply {other:?}: {line}"),
+            }
+        }
+        panic!("daemon closed the connection before the result");
+    };
+
+    let t0 = Instant::now();
+    let (cold_cache, cold_artifact) = submit();
+    let cold_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(cold_cache, "miss", "first submit must execute");
+
+    let cache_hit_secs = best_of_3(|| {
+        let (cache, artifact) = submit();
+        assert_eq!(cache, "hit", "repeated submit must be a cache hit");
+        assert_eq!(
+            artifact, cold_artifact,
+            "cached artifact must be byte-identical to the cold one"
+        );
+    });
+
+    handle.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&work_dir);
+    ServiceOverhead {
+        samples,
+        cold_secs,
+        cache_hit_secs,
+    }
+}
+
 /// Cross-checks the measured success counts against the experiment
 /// registry: runs `table2` through the typed [`xbar_exp::Experiment`] API
 /// on the same campaign (quiet reporter, same seeds) and compares each
@@ -501,6 +634,20 @@ pub fn render_json_with_sharded(
     sharded: Option<&ShardedThroughput>,
     dispatch: Option<&ModelDispatch>,
 ) -> String {
+    render_json_full(results, defect_rate, seed, sharded, dispatch, None)
+}
+
+/// [`render_json_with_sharded`] plus the optional yield-oracle service
+/// overhead entry.
+#[must_use]
+pub fn render_json_full(
+    results: &[CircuitThroughput],
+    defect_rate: f64,
+    seed: u64,
+    sharded: Option<&ShardedThroughput>,
+    dispatch: Option<&ModelDispatch>,
+    service: Option<&ServiceOverhead>,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"mapping_throughput\",");
     let _ = writeln!(
@@ -544,7 +691,7 @@ pub fn render_json_with_sharded(
     let legacy_secs: f64 = results.iter().map(|r| r.legacy_secs).sum();
     let engine_secs: f64 = results.iter().map(|r| r.engine_secs).sum();
     let samples: usize = results.iter().map(|r| r.samples).sum();
-    let comma = if sharded.is_some() || dispatch.is_some() {
+    let comma = if sharded.is_some() || dispatch.is_some() || service.is_some() {
         ","
     } else {
         ""
@@ -559,7 +706,11 @@ pub fn render_json_with_sharded(
         legacy_secs / engine_secs.max(f64::MIN_POSITIVE),
     );
     if let Some(d) = dispatch {
-        let comma = if sharded.is_some() { "," } else { "" };
+        let comma = if sharded.is_some() || service.is_some() {
+            ","
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  \"model_dispatch\": {{\"rows\": {}, \"cols\": {}, \"samples\": {}, \
@@ -574,12 +725,13 @@ pub fn render_json_with_sharded(
         );
     }
     if let Some(s) = sharded {
+        let comma = if service.is_some() { "," } else { "" };
         let _ = writeln!(
             out,
             "  \"sharded\": {{\"shards\": {}, \"samples\": {}, \"circuits\": {}, \
              \"sharded_samples_per_sec\": {:.1}, \"single_process_samples_per_sec\": {:.1}, \
              \"relative_throughput\": {:.2}, \"spawn_overhead_secs\": {:.3}, \
-             \"stats_byte_identical\": true}}",
+             \"stats_byte_identical\": true}}{comma}",
             s.shards,
             s.total_samples(),
             s.circuits.len(),
@@ -587,6 +739,18 @@ pub fn render_json_with_sharded(
             s.single_sps(),
             s.relative(),
             s.spawn_overhead_secs,
+        );
+    }
+    if let Some(v) = service {
+        let _ = writeln!(
+            out,
+            "  \"service_overhead\": {{\"samples\": {}, \"cold_ms\": {:.2}, \
+             \"cache_hit_ms\": {:.3}, \"cold_over_hit\": {:.1}, \
+             \"artifact_byte_identical\": true}}",
+            v.samples,
+            v.cold_secs * 1000.0,
+            v.cache_hit_secs * 1000.0,
+            v.cold_over_hit(),
         );
     }
     out.push_str("}\n");
@@ -652,6 +816,29 @@ mod tests {
         assert!(json.contains("\"sharded\""));
         assert!(json.contains("\"spawn_overhead_secs\": 0.050"));
         assert!(json.contains("\"stats_byte_identical\": true"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn service_overhead_measures_and_renders() {
+        // A tiny campaign through a real in-process daemon: the measure
+        // function itself asserts miss-then-hit and byte-identity, so the
+        // test's job is the JSON shape and a sane ratio.
+        let v = measure_service_overhead(4, 0.10, 77);
+        assert_eq!(v.samples, 4);
+        assert!(v.cold_secs > 0.0 && v.cache_hit_secs > 0.0);
+        assert!(
+            v.cold_over_hit() > 1.0,
+            "a cache hit must beat executing the campaign: {v:?}"
+        );
+        let json = render_json_full(&[], 0.10, 77, None, None, Some(&v));
+        assert!(json.contains("\"service_overhead\""));
+        assert!(json.contains("\"cold_over_hit\""));
+        assert!(json.contains("\"artifact_byte_identical\": true"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

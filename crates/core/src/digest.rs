@@ -1,0 +1,80 @@
+//! Stable content hashing for cache keys.
+//!
+//! The serving layer fronts experiment runs with a content-addressed
+//! artifact cache keyed by the canonical deterministic `params` echo of
+//! the `xbar-artifact/1` envelope: the same campaign always renders the
+//! same echo bytes, so hashing those bytes names the artifact forever.
+//! The hash here is 128-bit FNV-1a — dependency-free, deterministic
+//! across hosts and versions (the constants are pinned by test), and wide
+//! enough that collisions are not a practical concern. It is **not** a
+//! cryptographic hash: cache consumers must (and do) store the full key
+//! document next to the artifact and compare it on lookup, so even a
+//! constructed collision degrades to a cache miss, never a wrong answer.
+
+/// 128-bit FNV-1a offset basis (the hash of the empty input).
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// 128-bit FNV prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Hashes `bytes` with 128-bit FNV-1a. Pure and allocation-free; the
+/// same bytes hash identically on every host, which is what makes the
+/// result usable as a persistent cache key.
+#[must_use]
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV128_OFFSET;
+    for &byte in bytes {
+        hash ^= u128::from(byte);
+        hash = hash.wrapping_mul(FNV128_PRIME);
+    }
+    hash
+}
+
+/// Renders the content hash of `bytes` as a fixed-width (32 hex digit)
+/// lowercase string — filesystem- and protocol-safe, so it can name a
+/// cache entry directly.
+#[must_use]
+pub fn content_key(bytes: &[u8]) -> String {
+    format!("{:032x}", fnv1a_128(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_hashes_to_the_offset_basis() {
+        // The FNV-1a definition: no bytes folded means the hash *is* the
+        // offset basis. Pinning it here freezes the constants forever —
+        // a changed basis would silently invalidate every cache on disk.
+        assert_eq!(fnv1a_128(b""), FNV128_OFFSET);
+        assert_eq!(content_key(b""), "6c62272e07bb014262b821756295c58d");
+    }
+
+    #[test]
+    fn known_single_byte_vector_is_pinned() {
+        // One hand-checkable step: basis ^ 'a', then one prime multiply.
+        let expected = (FNV128_OFFSET ^ u128::from(b'a')).wrapping_mul(FNV128_PRIME);
+        assert_eq!(fnv1a_128(b"a"), expected);
+    }
+
+    #[test]
+    fn keys_are_fixed_width_deterministic_and_input_sensitive() {
+        let a = content_key(b"{\"samples\": 20, \"seed\": 2018}");
+        let b = content_key(b"{\"samples\": 20, \"seed\": 2019}");
+        assert_eq!(a.len(), 32);
+        assert_eq!(b.len(), 32);
+        assert_eq!(a, content_key(b"{\"samples\": 20, \"seed\": 2018}"));
+        assert_ne!(a, b, "one changed byte must change the key");
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn prefix_extension_changes_the_key() {
+        // FNV-1a folds every byte: extending the input never leaves the
+        // hash untouched (a cheap smoke against accidental truncation).
+        let short = content_key(b"table2");
+        let long = content_key(b"table2\n");
+        assert_ne!(short, long);
+    }
+}

@@ -72,6 +72,7 @@ pub mod bits {
 }
 
 mod column_redundancy;
+pub mod digest;
 mod engine;
 mod layout;
 mod mapping;
@@ -85,6 +86,7 @@ mod verify;
 pub use column_redundancy::{
     column_redundancy_yield, map_with_column_redundancy, RedundantMapping,
 };
+pub use digest::{content_key, fnv1a_128};
 pub use engine::MatchEngine;
 pub use layout::TwoLevelLayout;
 pub use mapping::reference;

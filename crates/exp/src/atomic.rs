@@ -1,0 +1,139 @@
+//! Atomic file writes for artifacts and checkpoints.
+//!
+//! Artifacts, shard partials, and cache entries are all consumed by
+//! *other* processes (a resuming coordinator, the serving daemon, a CI
+//! `cmp`), so a torn write is not a local bug — it poisons whoever reads
+//! the file next. Every durable write therefore goes through
+//! [`write_atomic`]: the bytes land in a temporary file in the **same
+//! directory** (staying on one filesystem so the rename is atomic) and
+//! are renamed into place only once fully written. A process killed at
+//! any instant leaves either the old file, the new file, or a stray
+//! `.tmp` sibling that readers never look at — never a truncated target.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter so concurrent writers in one process never race on
+/// the same temporary name (distinct processes are separated by pid).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// flushed and synced, then renamed over the target. On any error the
+/// temporary file is removed; the target is either untouched or fully
+/// replaced, never torn.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (missing parent directory,
+/// permissions, full disk, ...). `path` must name a file, not a
+/// directory.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("write_atomic target has no file name: {}", path.display()),
+        )
+    })?;
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xbar-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn writes_content_and_leaves_no_temp_files() {
+        let dir = scratch_dir("basic");
+        let target = dir.join("artifact.json");
+        write_atomic(&target, b"{\"a\": 1}\n").expect("write");
+        assert_eq!(fs::read(&target).unwrap(), b"{\"a\": 1}\n");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "artifact.json")
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replaces_an_existing_file_completely() {
+        let dir = scratch_dir("replace");
+        let target = dir.join("out.json");
+        write_atomic(&target, b"old contents, quite long").expect("first write");
+        write_atomic(&target, b"new").expect("second write");
+        // A non-atomic in-place rewrite of a shorter payload would leave
+        // the old tail behind; the rename swap must not.
+        assert_eq!(fs::read(&target).unwrap(), b"new");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_parent_directory_errors_and_creates_nothing() {
+        let dir = scratch_dir("noparent");
+        let target = dir.join("absent").join("out.json");
+        assert!(write_atomic(&target, b"x").is_err());
+        assert!(!target.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_target_without_a_file_name_is_rejected() {
+        let err = write_atomic(Path::new("/"), b"x").expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_target_never_tear() {
+        let dir = scratch_dir("race");
+        let target = dir.join("contended.json");
+        let payloads: Vec<Vec<u8>> = (0..4_u8)
+            .map(|i| vec![b'a' + i; 4096 + usize::from(i)])
+            .collect();
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        write_atomic(&target, payload).expect("write");
+                    }
+                });
+            }
+        });
+        // Last writer wins, but every observable state is one writer's
+        // payload in full — never a mix.
+        let bytes = fs::read(&target).unwrap();
+        assert!(
+            payloads.iter().any(|p| p == &bytes),
+            "target must hold exactly one complete payload"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

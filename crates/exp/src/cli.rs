@@ -5,7 +5,9 @@
 //! * `xbar run <exp> [flags]` — run through the typed [`Experiment`] API,
 //!   with `--json` printing the canonical artifact and `--out DIR`
 //!   writing it to disk;
-//! * `xbar mc shard|coordinate` — the sharded Monte Carlo entry points.
+//! * `xbar mc shard|coordinate` — the sharded Monte Carlo entry points;
+//! * `xbar serve` / `xbar submit` — the yield-oracle daemon and its
+//!   client (see [`crate::service`]).
 //!
 //! All parsing is `Result`-based: usage problems print the relevant help
 //! to stderr and exit with code **2**, runtime failures exit with **1** —
@@ -72,6 +74,8 @@ usage:
   xbar run <experiment> [flags]  run an experiment
   xbar mc shard [flags]          run one shard of a sharded MC campaign
   xbar mc coordinate [flags]     coordinate worker processes and merge
+  xbar serve [flags]             queued, cache-fronted experiment daemon
+  xbar submit <experiment> [...] submit to a running daemon
 
 common run flags (see `xbar describe <experiment>` for per-experiment ones):
   --samples N --seed N --defect-rate F --quick --json --out DIR --csv PATH
@@ -117,6 +121,8 @@ pub fn run_cli(args: impl IntoIterator<Item = String>) -> i32 {
                 2
             }
         },
+        "serve" => crate::service::serve_main(args.collect()),
+        "submit" => crate::service::submit_main(args.collect()),
         "--help" | "-h" | "help" => {
             println!("{TOP_USAGE}");
             0
@@ -190,7 +196,9 @@ fn run_experiment(name: &str, rest: Vec<String>) -> i32 {
                     return 1;
                 }
                 let path = dir.join(format!("{name}.json"));
-                if let Err(e) = std::fs::write(&path, &document) {
+                // Atomic so a crash mid-write never leaves a torn artifact
+                // where a previous good one stood.
+                if let Err(e) = crate::atomic::write_atomic(&path, document.as_bytes()) {
                     eprintln!("xbar: cannot write {}: {e}", path.display());
                     return 1;
                 }

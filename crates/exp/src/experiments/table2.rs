@@ -372,31 +372,44 @@ impl Experiment for Table2Experiment {
         ));
         write_csv_if_requested(params, reporter, &table)?;
 
-        // Artifact: seed-deterministic statistics only (success counters
-        // are integers, layout quantities are exact) — wall-clock runtimes
-        // stay in the human table so the document is byte-identical across
-        // hosts, runs, and shard layouts.
-        let data = JsonValue::obj([(
-            "circuits",
-            JsonValue::arr(rows.iter().zip(&accums).map(|(r, accum)| {
-                JsonValue::obj([
-                    ("name", JsonValue::str(r.name.clone())),
-                    ("inputs", JsonValue::usize(r.inputs)),
-                    ("outputs", JsonValue::usize(r.outputs)),
-                    ("products", JsonValue::usize(r.products)),
-                    ("area", JsonValue::usize(r.area)),
-                    ("area_published", JsonValue::usize(r.area_published)),
-                    ("inclusion_ratio", JsonValue::f64(r.inclusion_ratio)),
-                    ("samples", JsonValue::u64(accum.samples())),
-                    ("hba_successes", JsonValue::u64(accum.hba.successes)),
-                    ("hba_success_rate", JsonValue::f64(accum.hba.rate())),
-                    ("ea_successes", JsonValue::u64(accum.ea.successes)),
-                    ("ea_success_rate", JsonValue::f64(accum.ea.rate())),
-                ])
-            })),
-        )]);
-        Ok(Artifact::new(data))
+        Ok(Artifact::new(table2_artifact_data(&rows, &accums)))
     }
+}
+
+/// Builds the Table II artifact `data` block from report rows and their
+/// accumulators: seed-deterministic statistics only (success counters are
+/// integers, layout quantities are exact) — wall-clock runtimes stay in
+/// the human table so the document is byte-identical across hosts, runs,
+/// and shard layouts. Shared by [`Table2Experiment::run`] and the serving
+/// daemon, which rebuilds the identical artifact from coordinator-merged
+/// accumulators (the merge is integer-exact, so the bytes cannot differ).
+///
+/// # Panics
+///
+/// Panics when `rows` and `accums` disagree in length — they must come
+/// from the same per-circuit fold.
+#[must_use]
+pub fn table2_artifact_data(rows: &[Table2Row], accums: &[CircuitAccum]) -> JsonValue {
+    assert_eq!(rows.len(), accums.len(), "one accumulator per row");
+    JsonValue::obj([(
+        "circuits",
+        JsonValue::arr(rows.iter().zip(accums).map(|(r, accum)| {
+            JsonValue::obj([
+                ("name", JsonValue::str(r.name.clone())),
+                ("inputs", JsonValue::usize(r.inputs)),
+                ("outputs", JsonValue::usize(r.outputs)),
+                ("products", JsonValue::usize(r.products)),
+                ("area", JsonValue::usize(r.area)),
+                ("area_published", JsonValue::usize(r.area_published)),
+                ("inclusion_ratio", JsonValue::f64(r.inclusion_ratio)),
+                ("samples", JsonValue::u64(accum.samples())),
+                ("hba_successes", JsonValue::u64(accum.hba.successes)),
+                ("hba_success_rate", JsonValue::f64(accum.hba.rate())),
+                ("ea_successes", JsonValue::u64(accum.ea.successes)),
+                ("ea_success_rate", JsonValue::f64(accum.ea.rate())),
+            ])
+        })),
+    )])
 }
 
 #[cfg(test)]

@@ -10,7 +10,11 @@
 //!   machine-readable artifact;
 //! * `xbar mc shard|coordinate` — fault-tolerant process-sharded Monte
 //!   Carlo (watchdog timeouts, bounded concurrency, backoff retry,
-//!   checkpoint/resume — see [`shard::coordinator`]).
+//!   checkpoint/resume — see [`shard::coordinator`]);
+//! * `xbar serve` / `xbar submit` — the yield-oracle service: a queued,
+//!   batching, cache-fronted daemon over the sharded engine, speaking
+//!   newline-delimited JSON (`xbar-svc/1`) on a TCP socket — see
+//!   [`service`].
 //!
 //! | Experiment | `xbar run …` |
 //! |---|---|
@@ -37,10 +41,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod atomic;
 mod cli;
 pub mod experiment;
 pub mod experiments;
 mod mc;
+pub mod service;
 pub mod shard;
 mod table;
 

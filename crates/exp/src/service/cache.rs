@@ -1,0 +1,201 @@
+//! Content-addressed artifact cache.
+//!
+//! The `xbar-artifact/1` contract makes every artifact a pure function of
+//! its canonical `params` echo: the echo is deterministic (declared
+//! parameters in declaration order, output-routing flags excluded) and
+//! the data payload carries only seed-deterministic statistics. So the
+//! cache key is simply `experiment name + rendered echo`, hashed with
+//! [`xbar_core::fnv1a_128`] into a filename — a hit returns the stored
+//! bytes, guaranteed identical to what a fresh run would produce.
+//!
+//! Each entry is two files in the cache directory, both written
+//! atomically ([`crate::atomic::write_atomic`]):
+//!
+//! * `<exp>-<hash>.json` — the full artifact document;
+//! * `<exp>-<hash>.key` — the key document the hash was computed from.
+//!
+//! Lookups re-read the `.key` file and compare it byte-for-byte with the
+//! requested key document, so even an FNV collision (or a corrupted
+//! entry) degrades to a cache miss, never a wrong artifact.
+
+use crate::atomic::write_atomic;
+use crate::experiment::{Experiment, Params};
+use std::fs;
+use std::path::{Path, PathBuf};
+use xbar_core::content_key;
+
+/// The cache identity of one (experiment, params) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Registry experiment name.
+    pub experiment: String,
+    /// The key document: experiment name and canonical params echo, the
+    /// exact bytes the hash covers (stored beside the artifact and
+    /// verified on lookup).
+    pub document: String,
+    /// Entry name: `<experiment>-<32 hex digits>` — filesystem- and
+    /// protocol-safe.
+    pub name: String,
+}
+
+/// Computes the cache key for running `exp` with `params`. The key
+/// document embeds the *rendered* echo — the same bytes that will appear
+/// in the artifact's `params` block — so two requests collide exactly
+/// when their artifacts are guaranteed byte-identical.
+#[must_use]
+pub fn cache_key(exp: &dyn Experiment, params: &Params) -> CacheKey {
+    let echo = params.to_json(exp.extra_params()).render();
+    let document = format!("{}\n{}\n", exp.name(), echo);
+    let name = format!("{}-{}", exp.name(), content_key(document.as_bytes()));
+    CacheKey {
+        experiment: exp.name().to_owned(),
+        document,
+        name,
+    }
+}
+
+/// An on-disk artifact cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    root: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Reports a root that cannot be created.
+    pub fn open(root: &Path) -> Result<Self, String> {
+        fs::create_dir_all(root)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", root.display()))?;
+        Ok(Self {
+            root: root.to_owned(),
+        })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn artifact_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join(format!("{}.json", key.name))
+    }
+
+    fn key_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join(format!("{}.key", key.name))
+    }
+
+    /// Returns the cached artifact bytes for `key`, or `None` on a miss.
+    /// An entry whose stored key document does not match `key` (hash
+    /// collision, torn entry, foreign file) is a miss.
+    #[must_use]
+    pub fn lookup(&self, key: &CacheKey) -> Option<String> {
+        let stored_key = fs::read_to_string(self.key_path(key)).ok()?;
+        if stored_key != key.document {
+            return None;
+        }
+        fs::read_to_string(self.artifact_path(key)).ok()
+    }
+
+    /// Stores `artifact` under `key`. Both files are written atomically;
+    /// concurrent stores of the same key are idempotent (the artifact
+    /// bytes are deterministic, so last-writer-wins is harmless).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the daemon fails the job rather than
+    /// serving an uncached result it could not persist).
+    pub fn store(&self, key: &CacheKey, artifact: &str) -> Result<(), String> {
+        // Artifact first, key second: a reader trusts an entry only once
+        // the key file matches, so a crash between the two writes leaves
+        // an invisible (key-less) artifact, not a bogus hit.
+        write_atomic(&self.artifact_path(key), artifact.as_bytes())
+            .map_err(|e| format!("cannot write cache artifact {}: {e}", key.name))?;
+        write_atomic(&self.key_path(key), key.document.as_bytes())
+            .map_err(|e| format!("cannot write cache key {}: {e}", key.name))?;
+        Ok(())
+    }
+
+    /// Entries currently in the cache (artifact files with a key file).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        entries
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter(|e| e.path().with_extension("key").is_file())
+            .count()
+    }
+
+    /// True when the cache holds no complete entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::find_experiment;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xbar-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key_for(args: &[&str]) -> CacheKey {
+        let exp = find_experiment("table2").expect("registered");
+        let params = Params::parse(exp.extra_params(), args.iter().map(|s| (*s).to_owned()))
+            .expect("parses");
+        cache_key(exp, &params)
+    }
+
+    #[test]
+    fn key_is_deterministic_and_distinguishes_params() {
+        let a = key_for(&["--quick", "--seed", "9"]);
+        let b = key_for(&["--seed", "9", "--quick"]);
+        // Flag order does not matter: the echo is canonical.
+        assert_eq!(a, b);
+        assert!(a.name.starts_with("table2-"), "{}", a.name);
+        let c = key_for(&["--quick", "--seed", "10"]);
+        assert_ne!(a.name, c.name, "different campaign, different entry");
+        // The key document embeds the rendered echo, so it stays
+        // human-auditable on disk.
+        assert!(a.document.contains("\"seed\": 9"), "{}", a.document);
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips_and_misses_are_none() {
+        let root = scratch("roundtrip");
+        let cache = ArtifactCache::open(&root).expect("open");
+        let key = key_for(&["--quick"]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&key), None, "cold cache misses");
+        cache.store(&key, "{\"fake\": 1}\n").expect("store");
+        assert_eq!(cache.lookup(&key).as_deref(), Some("{\"fake\": 1}\n"));
+        assert_eq!(cache.len(), 1);
+        let other = key_for(&["--quick", "--seed", "3"]);
+        assert_eq!(cache.lookup(&other), None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mismatched_key_document_degrades_to_a_miss() {
+        let root = scratch("collide");
+        let cache = ArtifactCache::open(&root).expect("open");
+        let key = key_for(&["--quick"]);
+        cache.store(&key, "artifact\n").expect("store");
+        // Simulate a hash collision / corrupted entry: same file names,
+        // different key document.
+        fs::write(cache.key_path(&key), "someone-else\n").expect("corrupt");
+        assert_eq!(cache.lookup(&key), None, "must not trust the artifact");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

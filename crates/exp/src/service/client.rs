@@ -1,0 +1,414 @@
+//! The `xbar submit` client for a running `xbar serve` daemon.
+//!
+//! One invocation sends one `xbar-svc/1` request and renders the reply.
+//! For a waited submit, progress events go to stderr and the artifact —
+//! exactly the bytes `xbar run <exp> --json` would print — goes to
+//! stdout (or, with `--out`, is written atomically to a file), so the
+//! client composes with pipes and `cmp` the same way `xbar run` does.
+
+use crate::atomic::write_atomic;
+use crate::service::protocol::{Request, PROTOCOL};
+use crate::shard::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// What one `xbar submit` invocation asks the daemon to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Mode {
+    Submit {
+        experiment: String,
+        args: Vec<String>,
+    },
+    Status(u64),
+    ResultOf(u64),
+    Cancel(u64),
+    Stats,
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct SubmitArgs {
+    connect: String,
+    wait: bool,
+    out: Option<PathBuf>,
+    mode: Mode,
+}
+
+fn submit_usage() -> String {
+    "xbar submit: client for a running `xbar serve` daemon\n\n\
+     usage:\n  \
+     xbar submit <experiment> [experiment flags...] [--wait] [--out FILE]\n  \
+     xbar submit --status JOB | --result JOB | --cancel JOB | --stats | --shutdown\n\n\
+     The experiment name comes first; every flag the client does not\n\
+     recognize is forwarded verbatim to the daemon, exactly as `xbar run`\n\
+     would take it. Output-routing flags (--json/--out/--csv) stay on the\n\
+     client side.\n\nclient flags:\n  \
+     --connect ADDR   daemon address (default 127.0.0.1:7878)\n  \
+     --wait           stream progress (stderr) and print the finished\n                   \
+     artifact to stdout, byte-identical to `xbar run --json`\n  \
+     --out FILE       with --wait: write the artifact atomically to FILE\n                   \
+     instead of stdout\n  \
+     --status JOB     report a job's state\n  \
+     --result JOB     print a finished job's artifact to stdout\n  \
+     --cancel JOB     cancel a queued job\n  \
+     --stats          print the daemon's counters (one JSON line)\n  \
+     --shutdown       drain and stop the daemon"
+        .to_owned()
+}
+
+fn parse_submit_args(argv: Vec<String>) -> Result<Option<SubmitArgs>, String> {
+    let mut connect = "127.0.0.1:7878".to_owned();
+    let mut wait = false;
+    let mut out = None;
+    let mut mode: Option<Mode> = None;
+    let mut experiment: Option<String> = None;
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let job = |flag: &str, text: String| -> Result<u64, String> {
+        text.parse()
+            .map_err(|_| format!("{flag}: expected a job id, got {text:?}"))
+    };
+    let mut set_mode = |m: Mode| -> Result<(), String> {
+        match &mode {
+            None => {
+                mode = Some(m);
+                Ok(())
+            }
+            Some(prior) => Err(format!("conflicting modes: {prior:?} and {m:?}")),
+        }
+    };
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--connect" => connect = value(&token, &mut it)?,
+            "--wait" => wait = true,
+            "--out" => out = Some(PathBuf::from(value(&token, &mut it)?)),
+            "--status" => set_mode(Mode::Status(job(&token, value(&token, &mut it)?)?))?,
+            "--result" => set_mode(Mode::ResultOf(job(&token, value(&token, &mut it)?)?))?,
+            "--cancel" => set_mode(Mode::Cancel(job(&token, value(&token, &mut it)?)?))?,
+            "--stats" => set_mode(Mode::Stats)?,
+            "--shutdown" => set_mode(Mode::Shutdown)?,
+            "--help" | "-h" => return Ok(None),
+            _ if experiment.is_none() && !token.starts_with('-') => experiment = Some(token),
+            _ if experiment.is_some() => forwarded.push(token),
+            other => {
+                return Err(format!(
+                    "the experiment name must come before its flags (got {other:?} first); \
+                     try --help"
+                ))
+            }
+        }
+    }
+    let mode = match (mode, experiment) {
+        (Some(mode), None) => {
+            if !forwarded.is_empty() {
+                return Err(format!("{:?} does not take experiment flags", mode));
+            }
+            mode
+        }
+        (Some(mode), Some(exp)) => {
+            return Err(format!("conflicting modes: {mode:?} and submit {exp:?}"))
+        }
+        (None, Some(experiment)) => Mode::Submit {
+            experiment,
+            args: forwarded,
+        },
+        (None, None) => return Err("need an experiment name (or a query flag); try --help".into()),
+    };
+    Ok(Some(SubmitArgs {
+        connect,
+        wait,
+        out,
+        mode,
+    }))
+}
+
+/// One parsed response line (keeps the raw line for verbatim reprinting).
+struct Reply {
+    kind: String,
+    doc: Json,
+    line: String,
+}
+
+fn read_reply(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<Reply, String> {
+    let line = lines
+        .next()
+        .ok_or("connection closed by the daemon")?
+        .map_err(|e| format!("cannot read from the daemon: {e}"))?;
+    let doc = Json::parse(&line).map_err(|e| format!("unparseable response {line:?}: {e}"))?;
+    match doc.get("svc").and_then(Json::as_str) {
+        Some(PROTOCOL) => {}
+        _ => return Err(format!("not an {PROTOCOL} response: {line}")),
+    }
+    let kind = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("response without a type: {line}"))?
+        .to_owned();
+    if kind == "error" {
+        let message = doc
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified error");
+        return Err(message.to_owned());
+    }
+    Ok(Reply { kind, doc, line })
+}
+
+/// Routes a finished artifact: atomically to `--out`, else raw to stdout.
+fn deliver_artifact(reply: &Reply, out: Option<&PathBuf>) -> Result<(), String> {
+    let artifact = reply
+        .doc
+        .get("artifact")
+        .and_then(Json::as_str)
+        .ok_or("result response carries no artifact")?;
+    match out {
+        Some(path) => {
+            write_atomic(path, artifact.as_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("xbar submit: wrote {}", path.display());
+        }
+        None => {
+            print!("{artifact}");
+            let _ = std::io::stdout().flush();
+        }
+    }
+    Ok(())
+}
+
+/// The stderr completion note. Keeps the coordinator counters visible so
+/// scripts (and the resume smoke test) can see *how* the job ran — e.g.
+/// that a resubmit after a daemon crash actually reused checkpoints.
+fn describe_result(reply: &Reply) -> String {
+    let cache = reply
+        .doc
+        .get("cache")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    let counter = |name: &str| reply.doc.get(name).and_then(Json::as_u64);
+    match (counter("spawned"), counter("reused")) {
+        (Some(spawned), Some(reused)) => format!(
+            "cache {cache}; spawned {spawned}, reused {reused}, retries {}, timeouts {}",
+            counter("retries").unwrap_or(0),
+            counter("timeouts").unwrap_or(0)
+        ),
+        _ => format!("cache {cache}"),
+    }
+}
+
+fn run_submit(args: &SubmitArgs) -> Result<(), String> {
+    let stream = TcpStream::connect(&args.connect)
+        .map_err(|e| format!("cannot connect to {}: {e}", args.connect))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot split the connection: {e}"))?;
+    let mut lines = BufReader::new(stream).lines();
+    let send = |writer: &mut TcpStream, request: &Request| -> Result<(), String> {
+        writeln!(writer, "{}", request.render())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot send to the daemon: {e}"))
+    };
+
+    match &args.mode {
+        Mode::Submit {
+            experiment,
+            args: exp_args,
+        } => {
+            send(
+                &mut writer,
+                &Request::Submit {
+                    experiment: experiment.clone(),
+                    args: exp_args.clone(),
+                    wait: args.wait,
+                },
+            )?;
+            let submitted = read_reply(&mut lines)?;
+            let job = submitted.doc.get("job").and_then(Json::as_u64);
+            let cache = submitted
+                .doc
+                .get("cache")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown");
+            eprintln!(
+                "xbar submit: job {} (cache {cache})",
+                job.map_or_else(|| "?".to_owned(), |j| j.to_string())
+            );
+            if !args.wait {
+                return Ok(());
+            }
+            loop {
+                let reply = read_reply(&mut lines)?;
+                match reply.kind.as_str() {
+                    "progress" => {
+                        let field =
+                            |name: &str| reply.doc.get(name).and_then(Json::as_u64).unwrap_or(0);
+                        eprintln!(
+                            "xbar submit: job {} {} ({}/{} shards, {:.1}s)",
+                            field("job"),
+                            reply.doc.get("state").and_then(Json::as_str).unwrap_or("?"),
+                            field("shards_done"),
+                            field("shards"),
+                            field("elapsed_ms") as f64 / 1000.0
+                        );
+                    }
+                    "result" => {
+                        deliver_artifact(&reply, args.out.as_ref())?;
+                        eprintln!("xbar submit: result ({})", describe_result(&reply));
+                        return Ok(());
+                    }
+                    other => return Err(format!("unexpected {other:?} response while waiting")),
+                }
+            }
+        }
+        Mode::ResultOf(id) => {
+            send(&mut writer, &Request::ResultOf { job: *id })?;
+            let reply = read_reply(&mut lines)?;
+            deliver_artifact(&reply, args.out.as_ref())?;
+            eprintln!("xbar submit: result ({})", describe_result(&reply));
+            Ok(())
+        }
+        Mode::Status(id) => {
+            send(&mut writer, &Request::Status { job: *id })?;
+            print_reply_line(&read_reply(&mut lines)?)
+        }
+        Mode::Cancel(id) => {
+            send(&mut writer, &Request::Cancel { job: *id })?;
+            let _ = read_reply(&mut lines)?;
+            eprintln!("xbar submit: cancelled job {id}");
+            Ok(())
+        }
+        Mode::Stats => {
+            send(&mut writer, &Request::Stats)?;
+            print_reply_line(&read_reply(&mut lines)?)
+        }
+        Mode::Shutdown => {
+            send(&mut writer, &Request::Shutdown)?;
+            let _ = read_reply(&mut lines)?;
+            eprintln!("xbar submit: daemon is draining");
+            Ok(())
+        }
+    }
+}
+
+/// Reprints a reply verbatim (one compact JSON line) on stdout, so
+/// `--stats` / `--status` compose with grep and jq-alikes.
+fn print_reply_line(reply: &Reply) -> Result<(), String> {
+    println!("{}", reply.line);
+    Ok(())
+}
+
+/// `xbar submit`: parses flags, performs one request against the daemon,
+/// and returns the process exit code (0 ok, 1 runtime/daemon error,
+/// 2 usage).
+#[must_use]
+pub fn submit_main(argv: Vec<String>) -> i32 {
+    let args = match parse_submit_args(argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", submit_usage());
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("xbar submit: {e}\n\n{}", submit_usage());
+            return 2;
+        }
+    };
+    match run_submit(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("xbar submit: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Option<SubmitArgs>, String> {
+        parse_submit_args(words.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    #[test]
+    fn experiment_flags_forward_verbatim_and_client_flags_do_not() {
+        let args = parse(&[
+            "table2",
+            "--quick",
+            "--seed",
+            "9",
+            "--connect",
+            "127.0.0.1:9999",
+            "--wait",
+            "--circuits",
+            "rd53",
+            "--out",
+            "/tmp/a.json",
+        ])
+        .expect("parses")
+        .expect("not help");
+        assert_eq!(args.connect, "127.0.0.1:9999");
+        assert!(args.wait);
+        assert_eq!(args.out, Some(PathBuf::from("/tmp/a.json")));
+        let Mode::Submit {
+            experiment,
+            args: forwarded,
+        } = args.mode
+        else {
+            panic!("submit mode");
+        };
+        assert_eq!(experiment, "table2");
+        assert_eq!(
+            forwarded,
+            ["--quick", "--seed", "9", "--circuits", "rd53"],
+            "client flags consumed, experiment flags untouched"
+        );
+    }
+
+    #[test]
+    fn query_modes_parse_and_conflicts_are_usage_errors() {
+        assert_eq!(
+            parse(&["--stats"]).expect("ok").expect("args").mode,
+            Mode::Stats
+        );
+        assert_eq!(
+            parse(&["--status", "7"]).expect("ok").expect("args").mode,
+            Mode::Status(7)
+        );
+        assert_eq!(
+            parse(&["--result", "7"]).expect("ok").expect("args").mode,
+            Mode::ResultOf(7)
+        );
+        assert_eq!(
+            parse(&["--cancel", "0"]).expect("ok").expect("args").mode,
+            Mode::Cancel(0)
+        );
+        assert!(parse(&["--help"]).expect("ok").is_none());
+        for words in [
+            &[][..],
+            &["--stats", "--shutdown"][..],
+            &["--stats", "table2"][..],
+            &["--status", "soon"][..],
+            &["--quick", "table2"][..],
+            &["--connect"][..],
+        ] {
+            assert!(parse(words).is_err(), "{words:?} must fail");
+        }
+    }
+
+    #[test]
+    fn connecting_to_a_dead_daemon_is_a_runtime_error() {
+        // Port 1 on localhost is essentially never listening; the client
+        // must fail cleanly (CI uses this as its readiness probe).
+        let code = submit_main(
+            ["--stats", "--connect", "127.0.0.1:1"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+        );
+        assert_eq!(code, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! The yield-oracle service: a queued, batching, cache-fronted daemon
+//! over the sharded Monte Carlo engine.
+//!
+//! `xbar serve` runs a long-lived daemon speaking newline-delimited JSON
+//! ([`protocol`], schema `xbar-svc/1`) on a `std::net::TcpListener`;
+//! `xbar submit` is the matching client. A submitted experiment request
+//! flows through three layers:
+//!
+//! 1. **Cache** ([`cache`]): artifacts are content-addressed by the
+//!    canonical deterministic `params` echo of the `xbar-artifact/1`
+//!    envelope — byte-reproducibility makes a finished response valid
+//!    forever, so a repeated submit is answered byte-identical from disk
+//!    without spawning any work.
+//! 2. **Queue** ([`queue`]): a FIFO job queue with bounded worker slots.
+//!    Identical in-flight requests coalesce onto one job, and workers
+//!    prefer queued jobs sharing a circuit/seed *batch key* with the job
+//!    they just ran, so [`xbar_core::MatchEngine::prepare_fm`] covers —
+//!    minimized per (circuit, seed) — amortize across requests.
+//! 3. **Execution** ([`server`]): each job runs through the existing
+//!    registry + sharded-coordinator machinery with a per-job run
+//!    directory under the service work dir — the same `coordinator.lock`,
+//!    retry/timeout/resume semantics as `xbar mc coordinate`. Progress is
+//!    streamed to waiting clients as periodic `progress` events, and the
+//!    final response carries the coordinator's [`RunReport`] counters.
+//!    A daemon killed mid-job leaves resumable shard checkpoints: restart
+//!    it on the same work dir and resubmit.
+//!
+//! [`RunReport`]: crate::shard::coordinator::RunReport
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{cache_key, ArtifactCache, CacheKey};
+pub use client::submit_main;
+pub use protocol::{Request, PROTOCOL};
+pub use queue::{JobQueue, JobState};
+pub use server::{serve_main, start, ServeOptions, ServiceHandle};

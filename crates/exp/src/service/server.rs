@@ -1,0 +1,1035 @@
+//! The `xbar serve` daemon: accept loop, worker pool, and job execution.
+//!
+//! Architecture: one nonblocking accept thread spawns a thread per
+//! connection (requests are line-oriented and short-lived; a waiting
+//! `submit` ties its connection up only with sleeps, not CPU), and a
+//! fixed pool of `--max-inflight` worker threads pulls jobs from the
+//! shared [`JobQueue`] — the pool size *is* the concurrency bound.
+//!
+//! Execution reuses the existing machinery end to end. `table2` (the
+//! flagship Monte Carlo workload) runs through the sharded
+//! [`coordinator`](crate::shard::coordinator) with a per-job run
+//! directory under `<work-dir>/jobs/<cache-key>/` — the same
+//! `coordinator.lock`, watchdog, retry, and resume semantics as
+//! `xbar mc coordinate` — and the artifact is rebuilt from the merged
+//! accumulators via [`table2_artifact_data`], byte-identical to a
+//! monolithic `xbar run` because the merge is integer-exact. Every other
+//! experiment (and everything when `--in-process-jobs` is set) runs
+//! in-process through [`Experiment::run`], which is the `xbar run` code
+//! path itself. Either way the rendered artifact lands in the
+//! [`ArtifactCache`] before the job is reported done.
+//!
+//! Failure semantics: a daemon killed mid-job (SIGKILL, SIGTERM, power)
+//! leaves shard checkpoints and a reclaimable `coordinator.lock` in the
+//! job's run directory; restarting the daemon on the same `--work-dir`
+//! and resubmitting resumes from those checkpoints. A client that
+//! disconnects mid-wait detaches from the job, which keeps running and
+//! caches its artifact — resubmitting later is a cache hit.
+
+use crate::experiment::{find_experiment, Artifact, Experiment, Params, Reporter};
+use crate::experiments::table2::{resolve_circuit_subset, row_from_accum, table2_artifact_data};
+use crate::service::cache::{cache_key, ArtifactCache, CacheKey};
+use crate::service::protocol::{error_line, response, Request};
+use crate::service::queue::{JobQueue, JobSnapshot, JobSpec, JobState};
+use crate::shard::coordinator::{
+    campaign_run_dir, default_worker, run_coordinator_with_report, CoordinatorConfig, RunReport,
+    Worker, DEFAULT_RETRY_BASE,
+};
+use crate::shard::json::JsonValue;
+use crate::shard::McConfig;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xbar_logic::bench_reg::find;
+
+/// How often the accept loop polls for the shutdown flag. This is also
+/// the worst-case latency before a new connection is accepted — a cache
+/// hit's whole response time is dominated by it — so it is kept small;
+/// 200 idle wakeups/s cost nothing measurable.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// How often a waiting connection polls its job.
+const WAIT_POLL: Duration = Duration::from_millis(100);
+/// Progress event cadence, in wait-poll ticks (~every 500 ms).
+const PROGRESS_EVERY: u32 = 5;
+
+/// `xbar serve` configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (`--listen`, default `127.0.0.1:7878`; port 0 binds
+    /// an ephemeral port, reported on stdout and via
+    /// [`ServiceHandle::addr`]).
+    pub listen: String,
+    /// Service state root (`--work-dir`): the artifact cache lives in
+    /// `cache/`, per-job coordinator run dirs in `jobs/`. Reusing a work
+    /// dir across restarts keeps the cache and resumes interrupted jobs.
+    pub work_dir: PathBuf,
+    /// Worker slots — jobs executing simultaneously (`--max-inflight`,
+    /// default: available parallelism).
+    pub max_inflight: usize,
+    /// Shards per coordinator-backed job (`--job-shards`, default 4).
+    pub job_shards: usize,
+    /// Worker-process cap *within* one job's coordinator
+    /// (`--job-max-inflight`, default: the coordinator's own default).
+    pub job_max_inflight: Option<usize>,
+    /// Per-shard watchdog deadline (`--shard-timeout`, seconds).
+    pub shard_timeout: Option<Duration>,
+    /// Run every job in-process through the registry instead of spawning
+    /// shard workers (`--in-process-jobs`) — no worker binary needed.
+    pub in_process_jobs: bool,
+    /// Extra arguments forwarded to every shard worker (`--worker-arg`,
+    /// repeatable; the failure-injection smoke hooks live here).
+    pub worker_args: Vec<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:7878".to_owned(),
+            work_dir: std::env::temp_dir().join("xbar-svc"),
+            max_inflight: std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get),
+            job_shards: 4,
+            job_max_inflight: None,
+            shard_timeout: None,
+            in_process_jobs: false,
+            worker_args: Vec::new(),
+        }
+    }
+}
+
+/// Shared daemon state.
+#[derive(Debug)]
+struct ServiceState {
+    options: ServeOptions,
+    queue: JobQueue,
+    cache: ArtifactCache,
+    jobs_dir: PathBuf,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+/// A running service: bound address plus the handles needed to wait for
+/// or force its shutdown. Dropping the handle does **not** stop the
+/// daemon (threads are detached from the handle's lifetime until joined).
+#[derive(Debug)]
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    workers: Vec<JoinHandle<()>>,
+    acceptor: JoinHandle<()>,
+}
+
+impl ServiceHandle {
+    /// The bound listen address (resolves `--listen 127.0.0.1:0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a `shutdown` request arrives, then drains: running
+    /// jobs finish (their artifacts land in the cache), queued jobs are
+    /// cancelled, worker threads and the accept loop exit.
+    pub fn wait(self) {
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        self.join_after_shutdown();
+    }
+
+    /// Requests shutdown (as if a `shutdown` message arrived) and drains.
+    pub fn shutdown_and_wait(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.drain("service shutting down");
+        self.join_after_shutdown();
+    }
+
+    fn join_after_shutdown(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let _ = self.acceptor.join();
+        // Connection threads are detached; give clients waiting on a job
+        // that settled during the drain a beat to read its final line.
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// Binds the listener and starts the daemon threads.
+///
+/// # Errors
+///
+/// Reports an unusable listen address or work directory.
+pub fn start(options: ServeOptions) -> Result<ServiceHandle, String> {
+    if options.max_inflight == 0 {
+        return Err("need at least one worker slot".to_owned());
+    }
+    if options.job_shards == 0 {
+        return Err("need at least one shard per job".to_owned());
+    }
+    fs::create_dir_all(&options.work_dir)
+        .map_err(|e| format!("cannot create work dir {}: {e}", options.work_dir.display()))?;
+    let cache = ArtifactCache::open(&options.work_dir.join("cache"))?;
+    let jobs_dir = options.work_dir.join("jobs");
+    fs::create_dir_all(&jobs_dir)
+        .map_err(|e| format!("cannot create jobs dir {}: {e}", jobs_dir.display()))?;
+    let listener = TcpListener::bind(&options.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", options.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set listener nonblocking: {e}"))?;
+
+    let state = Arc::new(ServiceState {
+        options,
+        queue: JobQueue::new(),
+        cache,
+        jobs_dir,
+        started: Instant::now(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let workers = (0..state.options.max_inflight)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || worker_loop(&state))
+        })
+        .collect();
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || accept_loop(&state, &listener))
+    };
+    Ok(ServiceHandle {
+        addr,
+        state,
+        workers,
+        acceptor,
+    })
+}
+
+fn accept_loop(state: &Arc<ServiceState>, listener: &TcpListener) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                std::thread::spawn(move || handle_connection(&state, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                eprintln!("xbar serve: accept error: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServiceState>) {
+    let mut last_batch: Option<String> = None;
+    while let Some(spec) = state.queue.next_job(last_batch.as_deref()) {
+        last_batch = Some(spec.batch.clone());
+        execute_job(state, &spec);
+    }
+}
+
+fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else {
+            return; // client disconnected mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply_ok = match Request::parse(&line) {
+            Err(e) => send(&mut writer, &error_line(&e)),
+            Ok(request) => {
+                let stop_after = matches!(request, Request::Shutdown);
+                let ok = handle_request(state, &mut writer, request);
+                if stop_after {
+                    return;
+                }
+                ok
+            }
+        };
+        if !reply_ok {
+            return; // client disconnected; detach from any job
+        }
+    }
+}
+
+/// Writes one response line; false when the client is gone.
+fn send(writer: &mut TcpStream, line: &str) -> bool {
+    writeln!(writer, "{line}").is_ok() && writer.flush().is_ok()
+}
+
+fn handle_request(state: &Arc<ServiceState>, writer: &mut TcpStream, request: Request) -> bool {
+    match request {
+        Request::Submit {
+            experiment,
+            args,
+            wait,
+        } => handle_submit(state, writer, &experiment, args, wait),
+        Request::Status { job } => {
+            let line = match state.queue.snapshot(job) {
+                None => error_line(&format!("no such job {job}")),
+                Some(snap) => response("status", status_fields(&snap)),
+            };
+            send(writer, &line)
+        }
+        Request::ResultOf { job } => {
+            let line = match state.queue.snapshot(job) {
+                None => error_line(&format!("no such job {job}")),
+                Some(snap) => result_or_error_line(&snap),
+            };
+            send(writer, &line)
+        }
+        Request::Cancel { job } => {
+            let line = match state.queue.cancel(job) {
+                Ok(()) => response("ok", vec![("job".to_owned(), JsonValue::u64(job))]),
+                Err(e) => error_line(&e),
+            };
+            send(writer, &line)
+        }
+        Request::Stats => send(writer, &stats_line(state)),
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.drain("service shutting down");
+            send(writer, &response("ok", Vec::new()))
+        }
+    }
+}
+
+fn handle_submit(
+    state: &Arc<ServiceState>,
+    writer: &mut TcpStream,
+    experiment: &str,
+    args: Vec<String>,
+    wait: bool,
+) -> bool {
+    let Some(exp) = find_experiment(experiment) else {
+        return send(
+            writer,
+            &error_line(&format!(
+                "unknown experiment {experiment:?} (see `xbar list`)"
+            )),
+        );
+    };
+    // Output routing is the client's business: the daemon produces one
+    // canonical artifact per request, cached and served as bytes.
+    if let Some(flag) = args
+        .iter()
+        .find(|a| ["--json", "--out", "--csv"].contains(&a.as_str()))
+    {
+        return send(
+            writer,
+            &error_line(&format!(
+                "{flag} is not accepted by the service: output routing is client-side \
+                 (use `xbar submit --wait` / `--out`)"
+            )),
+        );
+    }
+    let params = match Params::parse(exp.extra_params(), args.iter().cloned()) {
+        Ok(params) => params,
+        Err(e) => return send(writer, &error_line(&format!("bad parameters: {e}"))),
+    };
+    let key = cache_key(exp, &params);
+
+    if let Some(artifact) = state.cache.lookup(&key) {
+        let artifact = Arc::new(artifact);
+        let id = state
+            .queue
+            .record_cache_hit(exp.name(), Arc::clone(&artifact));
+        let submitted = response(
+            "submitted",
+            vec![
+                ("job".to_owned(), JsonValue::u64(id)),
+                ("cache".to_owned(), JsonValue::str("hit")),
+                ("state".to_owned(), JsonValue::str("done")),
+            ],
+        );
+        if !send(writer, &submitted) {
+            return false;
+        }
+        if wait {
+            let snap = state.queue.snapshot(id).expect("job just recorded");
+            return send(writer, &result_or_error_line(&snap));
+        }
+        return true;
+    }
+
+    if state.shutdown.load(Ordering::SeqCst) {
+        return send(writer, &error_line("service is shutting down"));
+    }
+    let (id, disposition) = state.queue.submit(
+        exp.name(),
+        args,
+        &key.name,
+        &key.document,
+        batch_key(exp, &params),
+    );
+    let submitted = response(
+        "submitted",
+        vec![
+            ("job".to_owned(), JsonValue::u64(id)),
+            ("cache".to_owned(), JsonValue::str(disposition.as_str())),
+            (
+                "state".to_owned(),
+                JsonValue::str(
+                    state
+                        .queue
+                        .snapshot(id)
+                        .map_or("queued", |s| s.state.as_str()),
+                ),
+            ),
+        ],
+    );
+    if !send(writer, &submitted) {
+        return false;
+    }
+    if wait {
+        return stream_until_settled(state, writer, id);
+    }
+    true
+}
+
+/// Polls a job until it settles, streaming periodic `progress` events and
+/// the final `result`/`error` line. Progress counts the shard partials
+/// already checkpointed in the job's coordinator run directory — the same
+/// numbers [`RunReport`] summarizes at the end.
+fn stream_until_settled(state: &Arc<ServiceState>, writer: &mut TcpStream, id: u64) -> bool {
+    let mut tick: u32 = 0;
+    loop {
+        let Some(snap) = state.queue.snapshot(id) else {
+            return send(writer, &error_line(&format!("job {id} vanished")));
+        };
+        if snap.state.is_terminal() {
+            return send(writer, &result_or_error_line(&snap));
+        }
+        if tick % PROGRESS_EVERY == 0 {
+            let (done, total) = shard_progress(&snap);
+            let progress = response(
+                "progress",
+                vec![
+                    ("job".to_owned(), JsonValue::u64(id)),
+                    ("state".to_owned(), JsonValue::str(snap.state.as_str())),
+                    ("shards_done".to_owned(), JsonValue::usize(done)),
+                    ("shards".to_owned(), JsonValue::usize(total)),
+                    ("elapsed_ms".to_owned(), JsonValue::u64(snap.elapsed_ms)),
+                ],
+            );
+            if !send(writer, &progress) {
+                return false; // client gone; the job keeps running
+            }
+        }
+        tick = tick.wrapping_add(1);
+        std::thread::sleep(WAIT_POLL);
+    }
+}
+
+/// Counts checkpointed shard partials for a running coordinator job.
+fn shard_progress(snap: &JobSnapshot) -> (usize, usize) {
+    let Some(run_dir) = &snap.run_dir else {
+        return (0, snap.shards);
+    };
+    let done = fs::read_dir(run_dir).map_or(0, |entries| {
+        entries
+            .filter_map(Result::ok)
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("partial-") && name.ends_with(".json")
+            })
+            .count()
+    });
+    (done, snap.shards)
+}
+
+/// The final line for a settled job: `result` with the artifact (plus the
+/// coordinator counters when it ran sharded), or `error`.
+fn result_or_error_line(snap: &JobSnapshot) -> String {
+    match snap.state {
+        JobState::Done => {
+            let artifact = snap.artifact.as_deref().map_or("", String::as_str);
+            let mut fields = vec![
+                ("job".to_owned(), JsonValue::u64(snap.id)),
+                ("cache".to_owned(), JsonValue::str(snap.cache.as_str())),
+            ];
+            if let Some(report) = &snap.report {
+                fields.extend(report_fields(report));
+            }
+            fields.push(("artifact".to_owned(), JsonValue::str(artifact)));
+            response("result", fields)
+        }
+        JobState::Failed | JobState::Cancelled => error_line(&format!(
+            "job {} {}: {}",
+            snap.id,
+            snap.state.as_str(),
+            snap.error.as_deref().unwrap_or("no details")
+        )),
+        JobState::Queued | JobState::Running => error_line(&format!(
+            "job {} is still {} (use status, or submit with wait)",
+            snap.id,
+            snap.state.as_str()
+        )),
+    }
+}
+
+fn status_fields(snap: &JobSnapshot) -> Vec<(String, JsonValue)> {
+    let (done, total) = shard_progress(snap);
+    let mut fields = vec![
+        ("job".to_owned(), JsonValue::u64(snap.id)),
+        (
+            "experiment".to_owned(),
+            JsonValue::str(snap.experiment.clone()),
+        ),
+        ("state".to_owned(), JsonValue::str(snap.state.as_str())),
+        ("cache".to_owned(), JsonValue::str(snap.cache.as_str())),
+        ("shards_done".to_owned(), JsonValue::usize(done)),
+        ("shards".to_owned(), JsonValue::usize(total)),
+        ("elapsed_ms".to_owned(), JsonValue::u64(snap.elapsed_ms)),
+    ];
+    if let Some(report) = &snap.report {
+        fields.extend(report_fields(report));
+    }
+    if let Some(error) = &snap.error {
+        fields.push(("error".to_owned(), JsonValue::str(error.clone())));
+    }
+    fields
+}
+
+fn report_fields(report: &RunReport) -> Vec<(String, JsonValue)> {
+    vec![
+        ("spawned".to_owned(), JsonValue::usize(report.spawned)),
+        ("reused".to_owned(), JsonValue::usize(report.reused)),
+        ("retries".to_owned(), JsonValue::usize(report.retries)),
+        ("timeouts".to_owned(), JsonValue::usize(report.timeouts)),
+    ]
+}
+
+fn stats_line(state: &Arc<ServiceState>) -> String {
+    let stats = state.queue.stats();
+    let uptime = u64::try_from(state.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    response(
+        "stats",
+        vec![
+            ("submitted".to_owned(), JsonValue::u64(stats.submitted)),
+            ("completed".to_owned(), JsonValue::u64(stats.completed)),
+            ("failed".to_owned(), JsonValue::u64(stats.failed)),
+            ("cancelled".to_owned(), JsonValue::u64(stats.cancelled)),
+            ("cache_hits".to_owned(), JsonValue::u64(stats.cache_hits)),
+            ("coalesced".to_owned(), JsonValue::u64(stats.coalesced)),
+            ("running".to_owned(), JsonValue::usize(stats.running)),
+            ("queued".to_owned(), JsonValue::usize(stats.queued)),
+            (
+                "max_running_observed".to_owned(),
+                JsonValue::usize(stats.max_running_observed),
+            ),
+            (
+                "worker_slots".to_owned(),
+                JsonValue::usize(state.options.max_inflight),
+            ),
+            (
+                "cache_entries".to_owned(),
+                JsonValue::usize(state.cache.len()),
+            ),
+            ("uptime_ms".to_owned(), JsonValue::u64(uptime)),
+        ],
+    )
+}
+
+/// The batch-affinity key: jobs agreeing on experiment, seed, and circuit
+/// selection re-minimize the same covers and prepare the same FM
+/// structures, so running them back-to-back on one worker amortizes that
+/// setup across requests.
+fn batch_key(exp: &dyn Experiment, params: &Params) -> String {
+    let circuits = params
+        .opt_list("circuits")
+        .map(|list| list.join(","))
+        .or_else(|| params.opt_str("circuit").map(str::to_owned))
+        .unwrap_or_else(|| "-".to_owned());
+    format!("{}|{}|{}", exp.name(), params.seed, circuits)
+}
+
+fn execute_job(state: &Arc<ServiceState>, spec: &JobSpec) {
+    match run_job(state, spec) {
+        Ok((artifact, report)) => {
+            state.queue.finish(spec.id, Arc::new(artifact), report);
+        }
+        Err(e) => state.queue.fail(spec.id, e),
+    }
+}
+
+fn run_job(
+    state: &Arc<ServiceState>,
+    spec: &JobSpec,
+) -> Result<(String, Option<RunReport>), String> {
+    let exp = find_experiment(&spec.experiment).ok_or_else(|| {
+        format!(
+            "experiment {:?} vanished from the registry",
+            spec.experiment
+        )
+    })?;
+    let params = Params::parse(exp.extra_params(), spec.args.iter().cloned())
+        .map_err(|e| format!("bad parameters: {e}"))?;
+    let key = cache_key(exp, &params);
+
+    // `table2` runs through the sharded coordinator (checkpoints, retry,
+    // resume) unless the daemon was told to stay in-process; every other
+    // experiment runs through the registry directly — the exact
+    // `xbar run` code path, so the artifact is byte-identical by
+    // construction. A missing worker binary degrades to in-process too,
+    // so a daemon started from an unusual location still serves.
+    let sharded = !state.options.in_process_jobs && spec.experiment == "table2";
+    let (artifact, report) = if sharded {
+        match default_worker() {
+            Ok(worker) => run_coordinated_table2(state, spec.id, exp, &params, &key, worker)?,
+            Err(e) => {
+                eprintln!(
+                    "xbar serve: no shard worker ({e}); running job {} in-process",
+                    spec.id
+                );
+                (run_in_process(exp, &params)?, None)
+            }
+        }
+    } else {
+        (run_in_process(exp, &params)?, None)
+    };
+
+    // Cache before reporting done: once a client can observe "done", a
+    // repeated submit must hit.
+    state.cache.store(&key, &artifact)?;
+    Ok((artifact, report))
+}
+
+fn run_in_process(exp: &dyn Experiment, params: &Params) -> Result<String, String> {
+    let artifact = exp
+        .run(params, &mut Reporter::quiet())
+        .map_err(|e| match e {
+            crate::experiment::ExpError::Usage(m) => format!("bad parameters: {m}"),
+            crate::experiment::ExpError::Failed(m) => m,
+        })?;
+    Ok(artifact.render(exp, params))
+}
+
+/// Runs a `table2` job through the fault-tolerant sharded coordinator and
+/// rebuilds the canonical artifact from the merged accumulators. The
+/// job's run directory persists (`keep_partials`) until the artifact is
+/// safely cached, so a daemon killed mid-job resumes instead of
+/// restarting from sample zero.
+fn run_coordinated_table2(
+    state: &Arc<ServiceState>,
+    id: u64,
+    exp: &dyn Experiment,
+    params: &Params,
+    key: &CacheKey,
+    worker: Worker,
+) -> Result<(String, Option<RunReport>), String> {
+    let circuits = resolve_circuit_subset(params.list("circuits")).map_err(|e| match e {
+        crate::experiment::ExpError::Usage(m) | crate::experiment::ExpError::Failed(m) => m,
+    })?;
+    let config = McConfig {
+        samples: params.samples,
+        seed: params.seed,
+        defect_rate: params.defect_rate,
+        stream: params.sample_stream(),
+        model: params.defect_model(),
+        circuits,
+    };
+    let job_dir = state.jobs_dir.join(&key.name);
+    let cfg = CoordinatorConfig {
+        shards: state.options.job_shards,
+        max_attempts: 3,
+        worker,
+        work_dir: job_dir.clone(),
+        extra_worker_args: state.options.worker_args.clone(),
+        keep_partials: true,
+        shard_timeout: state.options.shard_timeout,
+        max_inflight: state.options.job_max_inflight,
+        resume: true,
+        retry_base: DEFAULT_RETRY_BASE,
+        config,
+    };
+    state.queue.set_run_dir(
+        id,
+        campaign_run_dir(&cfg.work_dir, &cfg.config, cfg.shards),
+        cfg.shards,
+    );
+    let (merged, report) = run_coordinator_with_report(&cfg)?;
+
+    let mut rows = Vec::with_capacity(merged.circuits.len());
+    let mut accums = Vec::with_capacity(merged.circuits.len());
+    for (name, accum) in &merged.circuits {
+        let info = find(name).map_err(|e| format!("registry lookup for {name:?}: {e}"))?;
+        let cover = info.mapping_cover(cfg.config.seed);
+        rows.push(row_from_accum(info, &cover, accum));
+        accums.push(*accum);
+    }
+    let artifact = Artifact::new(table2_artifact_data(&rows, &accums)).render(exp, params);
+
+    // The checkpoints have served their purpose once the artifact exists;
+    // the caller caches it before reporting done, and the cache — not the
+    // run dir — is the durable record.
+    let _ = fs::remove_dir_all(&job_dir);
+    Ok((artifact, Some(report)))
+}
+
+fn serve_usage() -> String {
+    "xbar serve: yield-oracle daemon over the sharded Monte Carlo engine\n\n\
+     Speaks newline-delimited JSON (schema xbar-svc/1) on a TCP socket; use\n\
+     `xbar submit` as the client. Artifacts are cached content-addressed in\n\
+     the work dir, so repeated submissions are answered byte-identical\n\
+     without re-running anything.\n\nflags:\n  \
+     --listen ADDR        listen address (default 127.0.0.1:7878; port 0 picks\n                       \
+     a free port, reported on stdout)\n  \
+     --work-dir PATH      service state root: artifact cache + per-job run\n                       \
+     dirs (default <temp>/xbar-svc; reuse it across\n                       \
+     restarts to keep the cache and resume interrupted jobs)\n  \
+     --max-inflight N     jobs executing at once (default: available\n                       \
+     parallelism)\n  \
+     --job-shards N       worker processes per coordinator-backed job (default 4)\n  \
+     --job-max-inflight N live shard workers within one job (default: the\n                       \
+     coordinator's choice)\n  \
+     --shard-timeout S    per-shard watchdog seconds, fractional ok (default:\n                       \
+     no watchdog)\n  \
+     --in-process-jobs    run jobs in-process instead of spawning shard workers\n  \
+     --worker-arg ARG     extra argument for every shard worker (repeatable;\n                       \
+     used by fault-injection tests)"
+        .to_owned()
+}
+
+fn parse_serve_args(argv: Vec<String>) -> Result<Option<ServeOptions>, String> {
+    let mut options = ServeOptions::default();
+    let mut it = argv.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let num = |flag: &str, text: String| -> Result<usize, String> {
+        text.parse()
+            .map_err(|_| format!("{flag}: expected a number, got {text:?}"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => options.listen = value(&flag, &mut it)?,
+            "--work-dir" => options.work_dir = PathBuf::from(value(&flag, &mut it)?),
+            "--max-inflight" => {
+                options.max_inflight = num(&flag, value(&flag, &mut it)?)?;
+                if options.max_inflight == 0 {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+            }
+            "--job-shards" => {
+                options.job_shards = num(&flag, value(&flag, &mut it)?)?;
+                if options.job_shards == 0 {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+            }
+            "--job-max-inflight" => {
+                let n = num(&flag, value(&flag, &mut it)?)?;
+                if n == 0 {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+                options.job_max_inflight = Some(n);
+            }
+            "--shard-timeout" => {
+                let text = value(&flag, &mut it)?;
+                let secs: f64 = text
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected seconds, got {text:?}"))?;
+                let timeout = Duration::try_from_secs_f64(secs)
+                    .map_err(|_| format!("{flag}: {secs} is not a representable duration"))?;
+                if timeout.is_zero() {
+                    return Err(format!("{flag} must be positive"));
+                }
+                options.shard_timeout = Some(timeout);
+            }
+            "--in-process-jobs" => options.in_process_jobs = true,
+            "--worker-arg" => options.worker_args.push(value(&flag, &mut it)?),
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}; try --help")),
+        }
+    }
+    Ok(Some(options))
+}
+
+/// `xbar serve`: parses flags, starts the daemon, and blocks until a
+/// `shutdown` request drains it. Returns the process exit code. The
+/// first stdout line reports the bound address (`listening on HOST:PORT`)
+/// so scripts driving `--listen 127.0.0.1:0` can discover the port.
+#[must_use]
+pub fn serve_main(argv: Vec<String>) -> i32 {
+    let options = match parse_serve_args(argv) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{}", serve_usage());
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("xbar serve: {e}\n\n{}", serve_usage());
+            return 2;
+        }
+    };
+    let work_dir = options.work_dir.clone();
+    let slots = options.max_inflight;
+    let handle = match start(options) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("xbar serve: {e}");
+            return 1;
+        }
+    };
+    // Ignore stdout write errors: a supervisor that read the address off
+    // the first line and closed the pipe must not take the daemon down
+    // with an EPIPE panic mid-serve.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "xbar serve: listening on {}", handle.addr());
+    let _ = writeln!(
+        stdout,
+        "xbar serve: {slots} worker slot(s), state in {}",
+        work_dir.display()
+    );
+    let _ = stdout.flush();
+    handle.wait();
+    let _ = writeln!(std::io::stdout(), "xbar serve: drained, exiting");
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::protocol::PROTOCOL;
+    use crate::shard::json::Json;
+
+    #[test]
+    fn serve_args_parse_and_reject_degenerate_values() {
+        let argv: Vec<String> = [
+            "--listen",
+            "127.0.0.1:0",
+            "--work-dir",
+            "/tmp/svc",
+            "--max-inflight",
+            "2",
+            "--job-shards",
+            "3",
+            "--job-max-inflight",
+            "1",
+            "--shard-timeout",
+            "2.5",
+            "--in-process-jobs",
+            "--worker-arg",
+            "--inject-slow-ms",
+            "--worker-arg",
+            "50",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let options = parse_serve_args(argv).expect("parses").expect("not help");
+        assert_eq!(options.listen, "127.0.0.1:0");
+        assert_eq!(options.work_dir, PathBuf::from("/tmp/svc"));
+        assert_eq!(options.max_inflight, 2);
+        assert_eq!(options.job_shards, 3);
+        assert_eq!(options.job_max_inflight, Some(1));
+        assert_eq!(options.shard_timeout, Some(Duration::from_millis(2500)));
+        assert!(options.in_process_jobs);
+        assert_eq!(options.worker_args, ["--inject-slow-ms", "50"]);
+
+        assert!(parse_serve_args(vec!["--help".to_owned()])
+            .expect("ok")
+            .is_none());
+        for words in [
+            &["--max-inflight", "0"][..],
+            &["--job-shards", "0"][..],
+            &["--job-max-inflight", "0"][..],
+            &["--shard-timeout", "0"][..],
+            &["--shard-timeout", "soon"][..],
+            &["--listen"][..],
+            &["--frobnicate"][..],
+        ] {
+            let argv = words.iter().map(|s| (*s).to_owned()).collect();
+            assert!(parse_serve_args(argv).is_err(), "{words:?} must fail");
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xbar-serve-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn request_lines(addr: SocketAddr, request: &str, expect: usize) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{request}").expect("send");
+        stream.flush().expect("flush");
+        let reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        for line in reader.lines() {
+            lines.push(line.expect("read"));
+            if lines.len() == expect {
+                break;
+            }
+        }
+        lines
+    }
+
+    /// End-to-end over a real socket, in-process jobs: submit runs the
+    /// experiment, a repeat submit is a cache hit with identical bytes,
+    /// and stats/errors/shutdown behave.
+    #[test]
+    fn service_round_trip_cache_hit_and_shutdown() {
+        let work_dir = scratch("roundtrip");
+        let handle = start(ServeOptions {
+            listen: "127.0.0.1:0".to_owned(),
+            work_dir: work_dir.clone(),
+            max_inflight: 1,
+            in_process_jobs: true,
+            ..ServeOptions::default()
+        })
+        .expect("starts");
+        let addr = handle.addr();
+
+        let submit = Request::Submit {
+            experiment: "table2".to_owned(),
+            args: ["--quick", "--circuits", "rd53"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+            wait: true,
+        }
+        .render();
+        let assert_type = |line: &str, want: &str| {
+            let doc = Json::parse(line).expect("parses");
+            assert_eq!(doc.get("svc").and_then(Json::as_str), Some(PROTOCOL));
+            assert_eq!(doc.get("type").and_then(Json::as_str), Some(want), "{line}");
+        };
+
+        // Cold: submitted (miss) ... progress* ... result.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{submit}").expect("send");
+        let mut lines = BufReader::new(stream.try_clone().expect("clone")).lines();
+        let submitted = lines.next().expect("line").expect("read");
+        assert_type(&submitted, "submitted");
+        assert!(submitted.contains("\"cache\": \"miss\""), "{submitted}");
+        let cold = loop {
+            let line = lines.next().expect("line").expect("read");
+            let doc = Json::parse(&line).expect("parses");
+            match doc.get("type").and_then(Json::as_str) {
+                Some("progress") => {}
+                Some("result") => break line,
+                other => panic!("unexpected {other:?}: {line}"),
+            }
+        };
+        drop(lines);
+        let artifact_of = |result_line: &str| -> String {
+            Json::parse(result_line)
+                .expect("parses")
+                .get("artifact")
+                .and_then(Json::as_str)
+                .expect("artifact field")
+                .to_owned()
+        };
+        let cold_artifact = artifact_of(&cold);
+        assert!(
+            cold_artifact.contains("\"schema\": \"xbar-artifact/1\""),
+            "served artifact is the canonical envelope"
+        );
+
+        // Warm: answered from the cache, byte-identical, no new job run.
+        let warm = request_lines(addr, &submit, 2);
+        assert_type(&warm[0], "submitted");
+        assert!(warm[0].contains("\"cache\": \"hit\""), "{}", warm[0]);
+        assert_type(&warm[1], "result");
+        assert_eq!(artifact_of(&warm[1]), cold_artifact, "cache serves bytes");
+
+        // Stats reflect exactly one execution and one hit, and the line is
+        // compact enough to grep.
+        let stats = request_lines(addr, &Request::Stats.render(), 1);
+        assert_type(&stats[0], "stats");
+        assert!(stats[0].contains("\"cache_hits\": 1"), "{}", stats[0]);
+        assert!(stats[0].contains("\"completed\": 1"), "{}", stats[0]);
+        assert!(stats[0].contains("\"worker_slots\": 1"), "{}", stats[0]);
+
+        // Unknown experiment and rejected output flags are clean errors.
+        let bad = Request::Submit {
+            experiment: "nope".to_owned(),
+            args: Vec::new(),
+            wait: false,
+        };
+        let err = request_lines(addr, &bad.render(), 1);
+        assert_type(&err[0], "error");
+        assert!(err[0].contains("unknown experiment"), "{}", err[0]);
+        let routed = Request::Submit {
+            experiment: "table2".to_owned(),
+            args: vec!["--json".to_owned()],
+            wait: false,
+        };
+        let err = request_lines(addr, &routed.render(), 1);
+        assert!(err[0].contains("output routing"), "{}", err[0]);
+
+        let ok = request_lines(addr, &Request::Shutdown.render(), 1);
+        assert_type(&ok[0], "ok");
+        handle.wait();
+        let _ = fs::remove_dir_all(&work_dir);
+    }
+
+    /// A cold daemon on a work dir whose cache already holds the artifact
+    /// answers without running anything — the cache is durable state, not
+    /// a per-process memo.
+    #[test]
+    fn cache_survives_a_daemon_restart() {
+        let work_dir = scratch("restart");
+        let exp = find_experiment("table2").expect("registered");
+        let args = vec![
+            "--quick".to_owned(),
+            "--circuits".to_owned(),
+            "squar5".to_owned(),
+        ];
+        let params = Params::parse(exp.extra_params(), args.iter().cloned()).expect("parses");
+        let key = cache_key(exp, &params);
+        let cache = ArtifactCache::open(&work_dir.join("cache")).expect("open");
+        cache
+            .store(&key, "prior incarnation's artifact\n")
+            .expect("store");
+
+        let handle = start(ServeOptions {
+            listen: "127.0.0.1:0".to_owned(),
+            work_dir: work_dir.clone(),
+            max_inflight: 1,
+            in_process_jobs: true,
+            ..ServeOptions::default()
+        })
+        .expect("starts");
+        let lines = request_lines(
+            handle.addr(),
+            &Request::Submit {
+                experiment: "table2".to_owned(),
+                args,
+                wait: true,
+            }
+            .render(),
+            2,
+        );
+        assert!(lines[0].contains("\"cache\": \"hit\""), "{}", lines[0]);
+        assert!(
+            lines[1].contains("prior incarnation's artifact"),
+            "{}",
+            lines[1]
+        );
+        handle.shutdown_and_wait();
+        let _ = fs::remove_dir_all(&work_dir);
+    }
+}

@@ -221,7 +221,10 @@ fn run_shard_to_file(args: &ShardArgs, config: &super::McConfig, spec: ShardSpec
     }
 
     let partial: ShardPartial = run_shard(config, &spec);
-    if let Err(e) = std::fs::write(&args.out, partial.to_json()) {
+    // Atomic: the coordinator treats any file at this path as a checkpoint
+    // candidate, so it must never observe a half-written partial (the
+    // injected torn write above stays a plain write on purpose).
+    if let Err(e) = crate::atomic::write_atomic(&args.out, partial.to_json().as_bytes()) {
         eprintln!("mc shard: cannot write {}: {e}", args.out.display());
         return 1;
     }
@@ -435,7 +438,7 @@ pub fn coordinate_main(argv: Vec<String>) -> i32 {
     };
 
     print!("{}", render_timing_table(&merged));
-    if let Err(e) = std::fs::write(&args.out, render_stats_json(&merged)) {
+    if let Err(e) = crate::atomic::write_atomic(&args.out, render_stats_json(&merged).as_bytes()) {
         eprintln!("mc coordinate: cannot write {}: {e}", args.out.display());
         return 1;
     }

@@ -551,9 +551,10 @@ fn campaign_mismatch(
 /// An exclusive claim on a campaign run directory, held for the
 /// coordinator's lifetime. Backed by a `coordinator.lock` file created
 /// with `O_EXCL` semantics ([`fs::OpenOptions::create_new`]) and holding
-/// the owner's pid; dropped (removed) when the coordinator finishes, and
-/// reclaimed by pid-liveness check when a previous coordinator was killed
-/// without cleanup (the CI resume smoke does exactly that).
+/// the owner's `pid starttime` incarnation; dropped (removed) when the
+/// coordinator finishes, and reclaimed by incarnation-liveness check when
+/// a previous coordinator was killed without cleanup (the CI resume smoke
+/// and the service restart test do exactly that).
 #[derive(Debug)]
 struct RunDirLock {
     path: PathBuf,
@@ -565,17 +566,37 @@ impl Drop for RunDirLock {
     }
 }
 
-/// True when the pid recorded in a lock file still names a live process.
-/// An unreadable or malformed lock counts as stale: the owner can no
-/// longer be identified, and the atomic re-create below still guarantees a
-/// single winner. Our own pid counts as alive — in-process coordinators
-/// (library callers) racing for one campaign must exclude each other just
-/// like separate processes do.
+/// The kernel `starttime` (clock ticks since boot at process start) of a
+/// live process: field 22 of `/proc/<pid>/stat`. The pair (pid,
+/// starttime) identifies a process *incarnation* — after pid reuse the
+/// recycled pid carries a different starttime. `None` when the process is
+/// gone or `/proc` is unavailable (non-Linux).
+fn proc_starttime(pid: u32) -> Option<u64> {
+    let stat = fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // Field 2 (comm) may itself contain spaces and parentheses, so fields
+    // can only be counted from the *last* `)`; the remainder starts at
+    // field 3 and starttime is field 22, i.e. index 19 of the remainder.
+    let rest = stat.rsplit_once(')')?.1;
+    rest.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// True when the owner recorded in a lock file still names a live process
+/// incarnation. The lock holds `pid starttime`; both must match the
+/// current `/proc` state, because a bare pid can be recycled by the
+/// kernel and misidentify an unrelated process as a live owner (the lock
+/// would then block the campaign forever). Locks written before the
+/// starttime field existed carry only a pid and degrade to the pid-only
+/// check. An unreadable or malformed lock counts as stale: the owner can
+/// no longer be identified, and the atomic re-create below still
+/// guarantees a single winner. Our own pid counts as alive — in-process
+/// coordinators (library callers) racing for one campaign must exclude
+/// each other just like separate processes do.
 fn lock_owner_alive(path: &Path) -> bool {
     let Ok(text) = fs::read_to_string(path) else {
         return false;
     };
-    let Ok(pid) = text.trim().parse::<u32>() else {
+    let mut fields = text.split_whitespace();
+    let Some(Ok(pid)) = fields.next().map(str::parse::<u32>) else {
         return false;
     };
     if pid == std::process::id() {
@@ -584,7 +605,18 @@ fn lock_owner_alive(path: &Path) -> bool {
     // Without a /proc to consult (non-Linux), liveness cannot be checked;
     // treating the lock as stale keeps crashed coordinators from blocking
     // a campaign forever, which is the failure mode that actually occurs.
-    Path::new("/proc").is_dir() && Path::new(&format!("/proc/{pid}")).is_dir()
+    if !Path::new("/proc").is_dir() {
+        return false;
+    }
+    match fields.next() {
+        // pid + starttime: alive only if that exact incarnation persists.
+        Some(recorded) => match recorded.parse::<u64>() {
+            Ok(starttime) => proc_starttime(pid) == Some(starttime),
+            Err(_) => false,
+        },
+        // Legacy pid-only lock: best effort, pid liveness alone.
+        None => Path::new(&format!("/proc/{pid}")).is_dir(),
+    }
 }
 
 /// Atomically claims `run_dir` for this coordinator process.
@@ -605,7 +637,18 @@ fn acquire_run_dir_lock(run_dir: &Path) -> Result<RunDirLock, String> {
             .open(&path)
         {
             Ok(mut file) => {
-                let _ = writeln!(file, "{}", std::process::id());
+                // Record the incarnation, not just the pid, so a future
+                // coordinator can distinguish "owner still running" from
+                // "pid recycled by an unrelated process".
+                let pid = std::process::id();
+                match proc_starttime(pid) {
+                    Some(starttime) => {
+                        let _ = writeln!(file, "{pid} {starttime}");
+                    }
+                    None => {
+                        let _ = writeln!(file, "{pid}");
+                    }
+                }
                 return Ok(RunDirLock { path });
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
@@ -1472,6 +1515,57 @@ mod tests {
         drop(lock);
         assert!(!path.exists(), "drop releases the lock");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_records_and_checks_the_owner_incarnation_not_just_the_pid() {
+        let dir = std::env::temp_dir().join(format!("xbar-lock-inc-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create");
+        let path = dir.join("coordinator.lock");
+
+        // A fresh lock records `pid starttime` for this process, and that
+        // starttime agrees with /proc.
+        let own = std::process::id();
+        let lock = acquire_run_dir_lock(&dir).expect("claim");
+        let text = fs::read_to_string(&path).expect("read lock");
+        let mut fields = text.split_whitespace();
+        assert_eq!(fields.next().unwrap().parse::<u32>().ok(), Some(own));
+        let recorded: u64 = fields.next().expect("starttime field").parse().unwrap();
+        assert_eq!(proc_starttime(own), Some(recorded));
+        drop(lock);
+
+        // Pid 1 is init — alive forever — but a lock naming pid 1 with a
+        // *wrong* starttime describes a dead incarnation whose pid was
+        // recycled: it must be reclaimed, not treated as a live owner.
+        fs::write(&path, format!("1 {}\n", u64::MAX)).expect("plant recycled-pid lock");
+        let lock = acquire_run_dir_lock(&dir).expect("recycled pid reclaimed");
+        drop(lock);
+
+        // The same pid with its *true* starttime is a live owner.
+        if let Some(start) = proc_starttime(1) {
+            fs::write(&path, format!("1 {start}\n")).expect("plant live lock");
+            let err = acquire_run_dir_lock(&dir).expect_err("live incarnation must block");
+            assert!(err.contains("campaign already running"), "{err}");
+            fs::remove_file(&path).expect("clear planted lock");
+        }
+
+        // Legacy pid-only locks still work: a live pid blocks, garbage is
+        // stale.
+        fs::write(&path, "1\n").expect("plant legacy lock");
+        assert!(lock_owner_alive(&path), "legacy pid-only lock, pid alive");
+        fs::write(&path, "1 not-a-number\n").expect("plant malformed lock");
+        assert!(!lock_owner_alive(&path), "malformed starttime is stale");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn proc_starttime_reads_this_process_and_tolerates_absence() {
+        // On Linux (the CI and dev environment) our own stat line parses.
+        if Path::new("/proc/self/stat").is_file() {
+            assert!(proc_starttime(std::process::id()).is_some());
+        }
+        // A pid that cannot exist yields None, not a panic.
+        assert_eq!(proc_starttime(u32::MAX - 1), None);
     }
 
     #[test]

@@ -219,6 +219,54 @@ impl JsonValue {
         out
     }
 
+    /// Renders the document as a single line (no newlines; `": "` after
+    /// keys and `", "` between fields/elements). This is the wire form of
+    /// the `xbar-svc/1` protocol: one message per line, still readable
+    /// enough that smoke tests can grep for `"cache_hits": 1` verbatim.
+    /// Deterministic like [`JsonValue::render`].
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(raw) => out.push_str(raw),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\": ");
+                    value.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent + 1);
         let close_pad = "  ".repeat(indent);
@@ -573,6 +621,31 @@ mod tests {
                 x.to_bits()
             );
         }
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_reparses() {
+        let doc = JsonValue::obj([
+            ("svc", JsonValue::str("xbar-svc/1")),
+            ("type", JsonValue::str("stats")),
+            ("cache_hits", JsonValue::u64(1)),
+            (
+                "jobs",
+                JsonValue::arr([JsonValue::usize(1), JsonValue::usize(2)]),
+            ),
+            ("empty_obj", JsonValue::obj::<String>([])),
+            ("note", JsonValue::str("line\nbreak")),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "wire form must stay on one line");
+        assert!(line.contains("\"cache_hits\": 1"), "greppable stats field");
+        assert!(line.contains("\"jobs\": [1, 2]"));
+        assert!(line.contains("\"empty_obj\": {}"));
+        let back = Json::parse(&line).expect("compact form reparses");
+        assert_eq!(back.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(back.get("note").unwrap().as_str(), Some("line\nbreak"));
+        // Pretty and compact forms agree on content.
+        assert_eq!(Json::parse(&doc.render()).unwrap(), back);
     }
 
     #[test]

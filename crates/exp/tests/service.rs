@@ -1,0 +1,359 @@
+//! Process-level tests of the yield-oracle service: a real `xbar serve`
+//! daemon on a real TCP socket, driven by real `xbar submit` processes.
+//! Covers the core service promises end to end: the served artifact is
+//! byte-identical to `xbar run --json`, a repeated submit is answered
+//! from the artifact cache without any new work, concurrent submissions
+//! never exceed the worker-slot bound, and a daemon killed mid-job
+//! leaves checkpoints a restarted daemon resumes from.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+use xbar_core::{DefectModelSpec, SampleStream};
+use xbar_exp::experiment::{find_experiment, Params};
+use xbar_exp::service::cache_key;
+use xbar_exp::shard::coordinator::campaign_run_dir;
+use xbar_exp::shard::partial::ShardPartial;
+use xbar_exp::shard::McConfig;
+
+fn xbar() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xbar"))
+}
+
+/// A unique scratch directory per test (no tempfile crate in the
+/// workspace).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xbar-service-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A running daemon plus the address it bound.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Starts `xbar serve --listen 127.0.0.1:0 --work-dir <work_dir>` plus
+    /// `extra` flags and reads the bound address off the first stdout
+    /// line.
+    fn start(work_dir: &PathBuf, extra: &[&str]) -> Self {
+        let mut child = xbar()
+            .args(["serve", "--listen", "127.0.0.1:0", "--work-dir"])
+            .arg(work_dir)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("daemon announces its address")
+            .expect("readable stdout");
+        let addr = first
+            .rsplit("listening on ")
+            .next()
+            .expect("address after the marker")
+            .trim()
+            .to_owned();
+        assert!(addr.contains(':'), "not an address: {first}");
+        Daemon { child, addr }
+    }
+
+    /// Runs one `xbar submit` against this daemon and returns its output.
+    fn submit(&self, args: &[&str]) -> Output {
+        xbar()
+            .args(["submit", "--connect", &self.addr])
+            .args(args)
+            .output()
+            .expect("run xbar submit")
+    }
+
+    /// Asks the daemon to drain and waits for a clean exit.
+    fn shutdown(mut self) {
+        let out = self.submit(&["--shutdown"]);
+        assert!(out.status.success(), "shutdown: {out:?}");
+        let status = self.child.wait().expect("daemon exit");
+        assert!(status.success(), "daemon exit: {status:?}");
+    }
+}
+
+fn stdout_str(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf8 stdout")
+}
+
+fn stderr_str(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf8 stderr")
+}
+
+#[test]
+fn served_artifact_is_byte_identical_to_xbar_run_and_repeats_hit_the_cache() {
+    let work_dir = scratch("identity");
+    let daemon = Daemon::start(&work_dir, &["--max-inflight", "2", "--job-shards", "2"]);
+
+    // The reference bytes a client of `xbar run` would get.
+    let reference = xbar()
+        .args(["run", "table2", "--quick", "--circuits", "rd53", "--json"])
+        .output()
+        .expect("run xbar run");
+    assert!(reference.status.success(), "{reference:?}");
+    let reference = stdout_str(&reference);
+    assert!(reference.contains("xbar-artifact/1"), "{reference}");
+
+    let submit_args = ["table2", "--quick", "--circuits", "rd53", "--wait"];
+    let cold = daemon.submit(&submit_args);
+    assert!(cold.status.success(), "{cold:?}");
+    assert_eq!(
+        stdout_str(&cold),
+        reference,
+        "served artifact must be byte-identical to xbar run --json"
+    );
+    assert!(
+        stderr_str(&cold).contains("cache miss"),
+        "{}",
+        stderr_str(&cold)
+    );
+
+    // Successful jobs clean their run directories up; only the cache
+    // remains as durable state.
+    let jobs_left = |dir: &PathBuf| {
+        std::fs::read_dir(dir.join("jobs"))
+            .map(|entries| entries.count())
+            .unwrap_or(0)
+    };
+    assert_eq!(jobs_left(&work_dir), 0, "cold run dir cleaned after merge");
+
+    let warm = daemon.submit(&submit_args);
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(stdout_str(&warm), reference, "cache hit serves same bytes");
+    assert!(
+        stderr_str(&warm).contains("cache hit"),
+        "{}",
+        stderr_str(&warm)
+    );
+    assert_eq!(jobs_left(&work_dir), 0, "a hit never creates a run dir");
+
+    let stats = daemon.submit(&["--stats"]);
+    assert!(stats.status.success(), "{stats:?}");
+    let stats = stdout_str(&stats);
+    assert!(stats.contains("\"cache_hits\": 1"), "{stats}");
+    assert!(stats.contains("\"completed\": 1"), "{stats}");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&work_dir);
+}
+
+#[test]
+fn concurrent_submissions_never_exceed_the_worker_slot_bound() {
+    let work_dir = scratch("slots");
+    let conc_dir = work_dir.join("conc");
+    // 2 worker slots, 1 shard per job, 1 live worker per job: at most two
+    // shard workers can be alive at any instant, and every worker records
+    // how many live siblings it sees.
+    let daemon = Daemon::start(
+        &work_dir,
+        &[
+            "--max-inflight",
+            "2",
+            "--job-shards",
+            "1",
+            "--job-max-inflight",
+            "1",
+            "--worker-arg",
+            "--inject-slow-ms",
+            "--worker-arg",
+            "300",
+            "--worker-arg",
+            "--inject-concurrency-dir",
+            "--worker-arg",
+            conc_dir.to_str().expect("utf8 path"),
+        ],
+    );
+
+    // Five concurrent clients with distinct seeds (distinct cache keys, so
+    // nothing coalesces) all waiting for completion.
+    let clients: Vec<_> = (0..5)
+        .map(|i| {
+            let addr = daemon.addr.clone();
+            std::thread::spawn(move || {
+                xbar()
+                    .args(["submit", "--connect", &addr])
+                    .args(["table2", "--samples", "6", "--circuits", "rd53", "--wait"])
+                    .args(["--seed", &format!("90{i}")])
+                    .output()
+                    .expect("run xbar submit")
+            })
+        })
+        .collect();
+    for client in clients {
+        let out = client.join().expect("client thread");
+        assert!(out.status.success(), "{out:?}");
+        assert!(stdout_str(&out).contains("xbar-artifact/1"));
+    }
+
+    let observed = std::fs::read_to_string(conc_dir.join("observed.txt"))
+        .expect("workers recorded live counts");
+    let max_live = observed
+        .lines()
+        .map(|line| line.trim().parse::<usize>().expect("count"))
+        .max()
+        .expect("at least one worker ran");
+    assert!(
+        (1..=2).contains(&max_live),
+        "worker-slot bound violated: {max_live} live workers\n{observed}"
+    );
+
+    let stats = stdout_str(&daemon.submit(&["--stats"]));
+    assert!(stats.contains("\"completed\": 5"), "{stats}");
+    assert!(
+        stats.contains("\"max_running_observed\": 2")
+            || stats.contains("\"max_running_observed\": 1"),
+        "{stats}"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&work_dir);
+}
+
+#[test]
+fn daemon_killed_mid_job_resumes_from_checkpoints_after_restart() {
+    let work_dir = scratch("resume");
+    let submit_args = ["table2", "--samples", "30", "--circuits", "rd53"];
+
+    // Where the job's first checkpoint will land: the job dir is named by
+    // the cache key, the run dir inside it by the campaign identity —
+    // both computed with the same library code the daemon uses.
+    let exp = find_experiment("table2").expect("registered");
+    let params = Params::parse(
+        exp.extra_params(),
+        submit_args[1..].iter().map(|s| (*s).to_owned()),
+    )
+    .expect("parses");
+    let key = cache_key(exp, &params);
+    let config = McConfig {
+        samples: 30,
+        seed: params.seed,
+        defect_rate: params.defect_rate,
+        stream: SampleStream::V1,
+        model: DefectModelSpec::default(),
+        circuits: vec!["rd53".to_owned()],
+    };
+    let job_dir = work_dir.join("jobs").join(&key.name);
+    let first_partial = campaign_run_dir(&job_dir, &config, 4).join("partial-0.json");
+
+    // Slow serialized shards so the kill lands mid-campaign.
+    let mut daemon = Daemon::start(
+        &work_dir,
+        &[
+            "--job-shards",
+            "4",
+            "--job-max-inflight",
+            "1",
+            "--worker-arg",
+            "--inject-slow-ms",
+            "--worker-arg",
+            "400",
+        ],
+    );
+    let accepted = daemon.submit(&submit_args);
+    assert!(accepted.status.success(), "{accepted:?}");
+
+    // Wait for the first complete checkpoint, then SIGTERM the daemon —
+    // no graceful drain, exactly like a supervisor timeout or reboot.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared at {}",
+            first_partial.display()
+        );
+        if let Ok(text) = std::fs::read_to_string(&first_partial) {
+            if ShardPartial::from_json(&text).is_ok() {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let _ = daemon.child.wait();
+    assert!(
+        first_partial.exists(),
+        "checkpoints must survive the daemon's death"
+    );
+
+    // Restart on the same work dir (full speed this time) and resubmit:
+    // the stale coordinator.lock of the dead daemon must be reclaimed,
+    // the surviving partials reused, and the artifact still byte-equal to
+    // a monolithic run.
+    let daemon = Daemon::start(&work_dir, &["--job-shards", "4", "--job-max-inflight", "1"]);
+    let resumed = daemon.submit(&[&submit_args[..], &["--wait"]].concat());
+    assert!(resumed.status.success(), "{resumed:?}");
+    let note = stderr_str(&resumed);
+    let reused: usize = note
+        .split("reused ")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no reused count in client note: {note}"));
+    assert!(reused >= 1, "restart must reuse checkpoints: {note}");
+
+    let reference = xbar()
+        .args(["run"])
+        .args(submit_args)
+        .arg("--json")
+        .output()
+        .expect("run xbar run");
+    assert_eq!(
+        stdout_str(&resumed),
+        stdout_str(&reference),
+        "resumed artifact must be byte-identical to a monolithic run"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&work_dir);
+}
+
+#[test]
+fn protocol_errors_and_usage_errors_have_distinct_exit_codes() {
+    let work_dir = scratch("errors");
+    let daemon = Daemon::start(&work_dir, &["--in-process-jobs"]);
+
+    // Daemon-side errors: clean exit 1 with the daemon's message.
+    let unknown = daemon.submit(&["frobnicate", "--wait"]);
+    assert_eq!(unknown.status.code(), Some(1), "{unknown:?}");
+    assert!(
+        stderr_str(&unknown).contains("unknown experiment"),
+        "{}",
+        stderr_str(&unknown)
+    );
+    let no_job = daemon.submit(&["--status", "999"]);
+    assert_eq!(no_job.status.code(), Some(1), "{no_job:?}");
+    assert!(
+        stderr_str(&no_job).contains("no such job"),
+        "{}",
+        stderr_str(&no_job)
+    );
+    let routed = daemon.submit(&["table2", "--json"]);
+    assert_eq!(routed.status.code(), Some(1), "{routed:?}");
+    assert!(
+        stderr_str(&routed).contains("output routing"),
+        "{}",
+        stderr_str(&routed)
+    );
+
+    // Client-side usage errors: exit 2 before anything touches the wire.
+    let usage = daemon.submit(&["--status", "soon"]);
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&work_dir);
+}

@@ -21,7 +21,12 @@ Fails (exit 1) when
 * the defect-model dispatch layer regresses the i.i.d. hot path: the
   `model_dispatch` entry's dispatch-over-direct ratio must stay >= 0.7
   (and the entry must be present — a silently dropped measurement would
-  otherwise disable the guard).
+  otherwise disable the guard), or
+* the yield-oracle service's cache front stops saving work: the
+  `service_overhead` entry's cold-over-hit ratio must stay >= 3.0 (and
+  the entry must be present). A warm submit is a TCP round-trip plus a
+  file read — measured hundreds of times cheaper than the cold execute —
+  so a ratio collapse means the cache path started re-running campaigns.
 
 Speedups are measured against the other path/stream in the same process
 on the same machine, so every floor is machine-independent. The bench
@@ -78,6 +83,13 @@ V2_OVER_V1 = {
 # if the model layer grows a real per-sample cost (allocation, indirect
 # call, parameter recomputation).
 DISPATCH_FLOOR = 0.7
+
+# Minimum cold-over-hit ratio for the yield-oracle service entry: a warm
+# submit (content-addressed cache hit) vs the cold submit that executed
+# the campaign. Measured ratios are in the hundreds even at quick sample
+# counts; 3.0 only trips when the cache path does real per-request work —
+# exactly the regression the serving layer exists to prevent.
+SERVICE_FLOOR = 3.0
 
 
 def main(path: str) -> int:
@@ -148,6 +160,16 @@ def main(path: str) -> int:
             f"model dispatch only {dispatch['dispatch_over_direct']:.2f}x the "
             f"direct resample (floor {DISPATCH_FLOOR}x)"
         )
+    service = doc.get("service_overhead")
+    if service is None:
+        failures.append(
+            "missing service_overhead entry (cache-front guard disabled)"
+        )
+    elif service["cold_over_hit"] < SERVICE_FLOOR:
+        failures.append(
+            f"service cache hit only {service['cold_over_hit']:.1f}x cheaper "
+            f"than cold execution (floor {SERVICE_FLOOR}x)"
+        )
     if failures:
         print("bench gate FAILED:")
         for f in failures:
@@ -155,7 +177,8 @@ def main(path: str) -> int:
         return 1
     print(
         f"bench gate passed: {len(seen)} circuit entries at or above pinned "
-        f"floors, counts golden, V2/V1 and model-dispatch ratios hold"
+        f"floors, counts golden, V2/V1, model-dispatch, and service-cache "
+        f"ratios hold"
     )
     return 0
 
