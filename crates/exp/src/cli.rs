@@ -74,6 +74,7 @@ usage:
   xbar run <experiment> [flags]  run an experiment
   xbar mc shard [flags]          run one shard of a sharded MC campaign
   xbar mc coordinate [flags]     coordinate worker processes and merge
+  xbar mc launch [flags]         dispatch shards across a fleet of hosts
   xbar serve [flags]             queued, cache-fronted experiment daemon
   xbar submit <experiment> [...] submit to a running daemon
 
@@ -112,12 +113,13 @@ pub fn run_cli(args: impl IntoIterator<Item = String>) -> i32 {
         "mc" => match args.next().as_deref() {
             Some("shard") => shard::cli::shard_main(args.collect()),
             Some("coordinate") => shard::cli::coordinate_main(args.collect()),
+            Some("launch") => crate::launch::cli::launch_main(args.collect()),
             Some(other) => {
-                eprintln!("xbar mc: unknown subcommand {other:?} (shard | coordinate)");
+                eprintln!("xbar mc: unknown subcommand {other:?} (shard | coordinate | launch)");
                 2
             }
             None => {
-                eprintln!("xbar mc: which subcommand? (shard | coordinate)");
+                eprintln!("xbar mc: which subcommand? (shard | coordinate | launch)");
                 2
             }
         },

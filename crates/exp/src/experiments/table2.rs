@@ -412,6 +412,33 @@ pub fn table2_artifact_data(rows: &[Table2Row], accums: &[CircuitAccum]) -> Json
     )])
 }
 
+/// Rebuilds the rendered canonical Table II artifact from merged
+/// per-circuit accumulators — the one reconstruction path shared by the
+/// serving daemon and the multi-host launcher, so neither can drift from
+/// the other (or from `xbar run table2`, whose artifact these bytes must
+/// equal: the merge is integer-exact and the layout quantities are
+/// seed-deterministic).
+///
+/// # Errors
+///
+/// Reports a circuit name missing from the benchmark registry.
+pub fn table2_artifact_from_accums(
+    circuits: &[(String, CircuitAccum)],
+    seed: u64,
+    exp: &dyn Experiment,
+    params: &Params,
+) -> Result<String, String> {
+    let mut rows = Vec::with_capacity(circuits.len());
+    let mut accums = Vec::with_capacity(circuits.len());
+    for (name, accum) in circuits {
+        let info = find(name).map_err(|e| format!("registry lookup for {name:?}: {e}"))?;
+        let cover = info.mapping_cover(seed);
+        rows.push(row_from_accum(info, &cover, accum));
+        accums.push(*accum);
+    }
+    Ok(Artifact::new(table2_artifact_data(&rows, &accums)).render(exp, params))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,37 @@
+//! Multi-host launcher: fault-tolerant remote dispatch over the sharded
+//! Monte Carlo engine.
+//!
+//! The launcher sits exactly where `xbar mc coordinate` does — same
+//! campaign vocabulary, same run directory, checkpoints, lock, and
+//! deterministic retry backoff — but dispatches shards through a
+//! [`Transport`] onto a fleet of named hosts instead of spawning local
+//! workers directly:
+//!
+//! * [`transport`] — the dispatch abstraction ([`Transport`]/[`Flight`]),
+//!   its two real implementations ([`LocalProc`] subprocesses and the
+//!   [`Exec`] command template that covers `ssh` without new
+//!   dependencies), and the deterministic fault injector ([`Faulty`]);
+//! * [`pool`] — the [`HostPool`] with per-host health (healthy → suspect
+//!   → quarantined → timed probation) and in-flight slot bounds;
+//! * [`scheduler`] — the event loop: dispatch, watchdog deadlines,
+//!   backoff retries, hedged re-dispatch of stragglers, torn-transfer
+//!   detection on every returned stream;
+//! * [`merge`] — the two-level merge tree (per-host pre-merge, root
+//!   merge), byte-identical to the flat merge by construction;
+//! * [`cli`] — `xbar mc launch`.
+//!
+//! The hard invariant, pinned by tests and the CI loopback smoke: the
+//! merged artifacts are **byte-identical** to a monolithic run under
+//! every tolerated fault — dropped dispatches, mid-stream truncation,
+//! host death mid-campaign, hung flights, duplicated hedge partials.
+
+pub mod cli;
+pub mod merge;
+pub mod pool;
+pub mod scheduler;
+pub mod transport;
+
+pub use merge::merge_host_groups;
+pub use pool::{parse_hosts, HostCount, HostHealth, HostPool, HostSpec};
+pub use scheduler::{run_launch, run_launch_with_report, LaunchConfig, LaunchReport};
+pub use transport::{Exec, FaultKind, FaultPlan, Faulty, Flight, LocalProc, Transport, WorkerJob};

@@ -11,6 +11,11 @@
 //! * `xbar mc shard|coordinate` — fault-tolerant process-sharded Monte
 //!   Carlo (watchdog timeouts, bounded concurrency, backoff retry,
 //!   checkpoint/resume — see [`shard::coordinator`]);
+//! * `xbar mc launch` — multi-host dispatch over the same engine: a
+//!   pluggable transport (local subprocesses or an `ssh`-style command
+//!   template), per-host health tracking with quarantine, hedged
+//!   re-dispatch of stragglers, and a two-level merge tree — see
+//!   [`launch`];
 //! * `xbar serve` / `xbar submit` — the yield-oracle service: a queued,
 //!   batching, cache-fronted daemon over the sharded engine, speaking
 //!   newline-delimited JSON (`xbar-svc/1`) on a TCP socket — see
@@ -45,6 +50,7 @@ pub mod atomic;
 mod cli;
 pub mod experiment;
 pub mod experiments;
+pub mod launch;
 mod mc;
 pub mod service;
 pub mod shard;

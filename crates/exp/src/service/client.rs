@@ -9,9 +9,22 @@
 use crate::atomic::write_atomic;
 use crate::service::protocol::{Request, PROTOCOL};
 use crate::shard::json::Json;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Lines, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// How many consecutive failed reconnect attempts a waited submit
+/// tolerates before giving up. The counter resets every time the daemon
+/// answers, so a long job behind a brief daemon bounce still completes;
+/// 40 × 250 ms bounds a *continuous* outage at ~10 s.
+const RECONNECT_ATTEMPTS: u32 = 40;
+/// Pause between reconnect attempts.
+const RECONNECT_DELAY: Duration = Duration::from_millis(250);
+/// How many times a vanished job (daemon restarted with fresh queue
+/// state) is resubmitted before the client gives up. Checkpoints in a
+/// shared `--work-dir` make each resubmit a resume, not a restart.
+const MAX_RESUBMITS: u32 = 3;
 
 /// What one `xbar submit` invocation asks the daemon to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,29 +146,50 @@ struct Reply {
     line: String,
 }
 
-fn read_reply(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<Reply, String> {
+/// Why a reply could not be produced. The split matters for `--wait`
+/// hardening: an [`ReadError::Io`] failure means the *connection* died
+/// (the daemon may be bouncing — reconnect and keep following the job),
+/// while a [`ReadError::Daemon`] error is the daemon answering clearly —
+/// retrying the same request would loop forever on the same answer.
+enum ReadError {
+    /// The connection broke (closed, reset, unparseable stream).
+    Io(String),
+    /// The daemon replied with an `error` line.
+    Daemon(String),
+}
+
+fn read_reply_raw(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Result<Reply, ReadError> {
     let line = lines
         .next()
-        .ok_or("connection closed by the daemon")?
-        .map_err(|e| format!("cannot read from the daemon: {e}"))?;
-    let doc = Json::parse(&line).map_err(|e| format!("unparseable response {line:?}: {e}"))?;
+        .ok_or_else(|| ReadError::Io("connection closed by the daemon".to_owned()))?
+        .map_err(|e| ReadError::Io(format!("cannot read from the daemon: {e}")))?;
+    let doc = Json::parse(&line)
+        .map_err(|e| ReadError::Io(format!("unparseable response {line:?}: {e}")))?;
     match doc.get("svc").and_then(Json::as_str) {
         Some(PROTOCOL) => {}
-        _ => return Err(format!("not an {PROTOCOL} response: {line}")),
+        _ => return Err(ReadError::Io(format!("not an {PROTOCOL} response: {line}"))),
     }
     let kind = doc
         .get("type")
         .and_then(Json::as_str)
-        .ok_or_else(|| format!("response without a type: {line}"))?
+        .ok_or_else(|| ReadError::Io(format!("response without a type: {line}")))?
         .to_owned();
     if kind == "error" {
         let message = doc
             .get("message")
             .and_then(Json::as_str)
             .unwrap_or("unspecified error");
-        return Err(message.to_owned());
+        return Err(ReadError::Daemon(message.to_owned()));
     }
     Ok(Reply { kind, doc, line })
+}
+
+fn read_reply(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Result<Reply, String> {
+    read_reply_raw(lines).map_err(|e| match e {
+        ReadError::Io(m) | ReadError::Daemon(m) => m,
+    })
 }
 
 /// Routes a finished artifact: atomically to `--out`, else raw to stdout.
@@ -189,28 +223,64 @@ fn describe_result(reply: &Reply) -> String {
         .and_then(Json::as_str)
         .unwrap_or("unknown");
     let counter = |name: &str| reply.doc.get(name).and_then(Json::as_u64);
-    match (counter("spawned"), counter("reused")) {
+    let mut text = match (counter("spawned"), counter("reused")) {
         (Some(spawned), Some(reused)) => format!(
             "cache {cache}; spawned {spawned}, reused {reused}, retries {}, timeouts {}",
             counter("retries").unwrap_or(0),
             counter("timeouts").unwrap_or(0)
         ),
         _ => format!("cache {cache}"),
+    };
+    // Per-host dispatch attribution, when the job ran through the
+    // multi-host launcher.
+    if let Some(hosts) = reply.doc.get("hosts").and_then(Json::as_arr) {
+        let parts: Vec<String> = hosts
+            .iter()
+            .filter_map(|h| {
+                let name = h.get("host").and_then(Json::as_str)?;
+                let dispatched = h.get("dispatched").and_then(Json::as_u64).unwrap_or(0);
+                Some(format!("{name}:{dispatched}"))
+            })
+            .collect();
+        if !parts.is_empty() {
+            text.push_str("; hosts ");
+            text.push_str(&parts.join(" "));
+        }
     }
+    text
+}
+
+/// Opens a connection to the daemon, returning the write half and a line
+/// iterator over the read half.
+fn connect(addr: &str) -> Result<(TcpStream, Lines<BufReader<TcpStream>>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot split the connection: {e}"))?;
+    Ok((writer, BufReader::new(stream).lines()))
+}
+
+fn send_request(writer: &mut TcpStream, request: &Request) -> Result<(), String> {
+    writeln!(writer, "{}", request.render())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send to the daemon: {e}"))
+}
+
+/// Prints one progress/status line for a waited job to stderr.
+fn print_progress(job: u64, reply: &Reply) {
+    let field = |name: &str| reply.doc.get(name).and_then(Json::as_u64).unwrap_or(0);
+    eprintln!(
+        "xbar submit: job {job} {} ({}/{} shards, {:.1}s)",
+        reply.doc.get("state").and_then(Json::as_str).unwrap_or("?"),
+        field("shards_done"),
+        field("shards"),
+        field("elapsed_ms") as f64 / 1000.0
+    );
 }
 
 fn run_submit(args: &SubmitArgs) -> Result<(), String> {
-    let stream = TcpStream::connect(&args.connect)
-        .map_err(|e| format!("cannot connect to {}: {e}", args.connect))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("cannot split the connection: {e}"))?;
-    let mut lines = BufReader::new(stream).lines();
-    let send = |writer: &mut TcpStream, request: &Request| -> Result<(), String> {
-        writeln!(writer, "{}", request.render())
-            .and_then(|()| writer.flush())
-            .map_err(|e| format!("cannot send to the daemon: {e}"))
-    };
+    let (mut writer, mut lines) = connect(&args.connect)?;
+    let send = send_request;
 
     match &args.mode {
         Mode::Submit {
@@ -240,26 +310,36 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
                 return Ok(());
             }
             loop {
-                let reply = read_reply(&mut lines)?;
-                match reply.kind.as_str() {
-                    "progress" => {
-                        let field =
-                            |name: &str| reply.doc.get(name).and_then(Json::as_u64).unwrap_or(0);
+                match read_reply_raw(&mut lines) {
+                    Ok(reply) => match reply.kind.as_str() {
+                        "progress" => {
+                            print_progress(
+                                reply.doc.get("job").and_then(Json::as_u64).unwrap_or(0),
+                                &reply,
+                            );
+                        }
+                        "result" => {
+                            deliver_artifact(&reply, args.out.as_ref())?;
+                            eprintln!("xbar submit: result ({})", describe_result(&reply));
+                            return Ok(());
+                        }
+                        other => {
+                            return Err(format!("unexpected {other:?} response while waiting"))
+                        }
+                    },
+                    // A daemon error is an answer; retrying would get the
+                    // same one.
+                    Err(ReadError::Daemon(e)) => return Err(e),
+                    // A broken connection is not: the job keeps running
+                    // (or resumes from checkpoints after a daemon bounce),
+                    // so reconnect and keep following it.
+                    Err(ReadError::Io(io)) => {
+                        let Some(id) = job else { return Err(io) };
                         eprintln!(
-                            "xbar submit: job {} {} ({}/{} shards, {:.1}s)",
-                            field("job"),
-                            reply.doc.get("state").and_then(Json::as_str).unwrap_or("?"),
-                            field("shards_done"),
-                            field("shards"),
-                            field("elapsed_ms") as f64 / 1000.0
+                            "xbar submit: lost the daemon ({io}); reconnecting to follow job {id}"
                         );
+                        return resume_wait(args, experiment, exp_args, id);
                     }
-                    "result" => {
-                        deliver_artifact(&reply, args.out.as_ref())?;
-                        eprintln!("xbar submit: result ({})", describe_result(&reply));
-                        return Ok(());
-                    }
-                    other => return Err(format!("unexpected {other:?} response while waiting")),
                 }
             }
         }
@@ -289,6 +369,116 @@ fn run_submit(args: &SubmitArgs) -> Result<(), String> {
             let _ = read_reply(&mut lines)?;
             eprintln!("xbar submit: daemon is draining");
             Ok(())
+        }
+    }
+}
+
+/// Follows a job across daemon outages: reconnect (bounded consecutive
+/// attempts), poll `status`, fetch the artifact with `result` once done.
+/// If the daemon comes back with fresh queue state ("no such job" — it
+/// was restarted, not just unreachable), the original submit is resent
+/// up to [`MAX_RESUBMITS`] times; shard checkpoints in a shared work dir
+/// turn each resubmit into a resume. The delivered bytes are the same
+/// cached artifact an uninterrupted `--wait` would have printed.
+fn resume_wait(
+    args: &SubmitArgs,
+    experiment: &str,
+    exp_args: &[String],
+    mut job: u64,
+) -> Result<(), String> {
+    let mut failures: u32 = 0;
+    let mut resubmits: u32 = 0;
+    let mut polls: u32 = 0;
+    loop {
+        failures += 1;
+        if failures > RECONNECT_ATTEMPTS {
+            return Err(format!(
+                "gave up on job {job} after {RECONNECT_ATTEMPTS} consecutive failed \
+                 reconnect attempts"
+            ));
+        }
+        std::thread::sleep(RECONNECT_DELAY);
+        let Ok((mut writer, mut lines)) = connect(&args.connect) else {
+            continue;
+        };
+        if send_request(&mut writer, &Request::Status { job }).is_err() {
+            continue;
+        }
+        match read_reply_raw(&mut lines) {
+            Err(ReadError::Io(_)) => continue,
+            Err(ReadError::Daemon(e)) if e.contains("no such job") => {
+                // The daemon restarted with a fresh queue. Resubmit the
+                // original request; a shared work dir resumes from the
+                // dead job's checkpoints, and a cached artifact is an
+                // instant hit either way.
+                resubmits += 1;
+                if resubmits > MAX_RESUBMITS {
+                    return Err(format!(
+                        "job {job} vanished and {MAX_RESUBMITS} resubmit(s) did not settle"
+                    ));
+                }
+                let request = Request::Submit {
+                    experiment: experiment.to_owned(),
+                    args: exp_args.to_vec(),
+                    wait: false,
+                };
+                if send_request(&mut writer, &request).is_err() {
+                    continue;
+                }
+                match read_reply_raw(&mut lines) {
+                    Ok(reply) => {
+                        if let Some(new_id) = reply.doc.get("job").and_then(Json::as_u64) {
+                            eprintln!(
+                                "xbar submit: daemon lost job {job}; resubmitted as job {new_id}"
+                            );
+                            job = new_id;
+                            failures = 0;
+                        }
+                    }
+                    Err(ReadError::Daemon(e)) => return Err(e),
+                    Err(ReadError::Io(_)) => {}
+                }
+            }
+            Err(ReadError::Daemon(e)) => return Err(e),
+            Ok(status) => {
+                // The daemon answered: whatever happens next, this was
+                // not a failed attempt.
+                failures = 0;
+                match status.doc.get("state").and_then(Json::as_str) {
+                    Some("done") => {
+                        if send_request(&mut writer, &Request::ResultOf { job }).is_err() {
+                            continue;
+                        }
+                        match read_reply_raw(&mut lines) {
+                            Ok(result) => {
+                                deliver_artifact(&result, args.out.as_ref())?;
+                                eprintln!("xbar submit: result ({})", describe_result(&result));
+                                return Ok(());
+                            }
+                            Err(ReadError::Daemon(e)) => return Err(e),
+                            Err(ReadError::Io(_)) => continue,
+                        }
+                    }
+                    Some(state @ ("failed" | "cancelled")) => {
+                        return Err(format!(
+                            "job {job} {state}: {}",
+                            status
+                                .doc
+                                .get("error")
+                                .and_then(Json::as_str)
+                                .unwrap_or("no details")
+                        ));
+                    }
+                    _ => {
+                        // Throttle to roughly the daemon's own progress
+                        // cadence instead of one line per 250 ms poll.
+                        if polls % 4 == 0 {
+                            print_progress(job, &status);
+                        }
+                        polls = polls.wrapping_add(1);
+                    }
+                }
+            }
         }
     }
 }

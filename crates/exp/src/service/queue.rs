@@ -21,6 +21,7 @@
 //!   all of which are hot in the page cache and CPU caches right after a
 //!   batch sibling ran.
 
+use crate::launch::HostCount;
 use crate::shard::coordinator::RunReport;
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -123,6 +124,9 @@ pub struct JobSnapshot {
     pub shards: usize,
     /// Coordinator scheduling counters, once finished.
     pub report: Option<RunReport>,
+    /// Per-host dispatch attribution, when the job ran through the
+    /// multi-host launcher (empty for in-process and single-host runs).
+    pub hosts: Vec<HostCount>,
     /// Milliseconds since the job started running (or was submitted, if
     /// still queued); frozen at completion.
     pub elapsed_ms: u64,
@@ -149,6 +153,14 @@ pub struct QueueStats {
     pub queued: usize,
     /// Peak simultaneous running jobs observed.
     pub max_running_observed: usize,
+    /// Shard workers spawned across all sharded jobs.
+    pub shard_spawned: u64,
+    /// Checkpointed shard partials reused across all sharded jobs.
+    pub shard_reused: u64,
+    /// Shard retry dispatches across all sharded jobs.
+    pub shard_retries: u64,
+    /// Shard watchdog timeouts across all sharded jobs.
+    pub shard_timeouts: u64,
 }
 
 #[derive(Debug)]
@@ -166,6 +178,7 @@ struct JobEntry {
     run_dir: Option<PathBuf>,
     shards: usize,
     report: Option<RunReport>,
+    hosts: Vec<HostCount>,
     submitted_at: Instant,
     started_at: Option<Instant>,
     finished_ms: Option<u64>,
@@ -191,6 +204,7 @@ impl JobEntry {
             run_dir: self.run_dir.clone(),
             shards: self.shards,
             report: self.report,
+            hosts: self.hosts.clone(),
             elapsed_ms: self.elapsed_ms(),
         }
     }
@@ -272,6 +286,7 @@ impl JobQueue {
             run_dir: None,
             shards: 0,
             report: None,
+            hosts: Vec::new(),
             submitted_at: Instant::now(),
             started_at: None,
             finished_ms: None,
@@ -305,6 +320,7 @@ impl JobQueue {
             run_dir: None,
             shards: 0,
             report: None,
+            hosts: Vec::new(),
             submitted_at: Instant::now(),
             started_at: None,
             finished_ms: Some(0),
@@ -366,14 +382,20 @@ impl JobQueue {
     }
 
     /// Completes a running job with its artifact (and the coordinator's
-    /// report, when it ran sharded).
-    pub fn finish(&self, id: u64, artifact: Arc<String>, report: Option<RunReport>) {
-        self.conclude(id, JobState::Done, Some(artifact), None, report);
+    /// report plus per-host attribution, when it ran sharded).
+    pub fn finish(
+        &self,
+        id: u64,
+        artifact: Arc<String>,
+        report: Option<RunReport>,
+        hosts: Vec<HostCount>,
+    ) {
+        self.conclude(id, JobState::Done, Some(artifact), None, report, hosts);
     }
 
     /// Fails a running job.
     pub fn fail(&self, id: u64, error: String) {
-        self.conclude(id, JobState::Failed, None, Some(error), None);
+        self.conclude(id, JobState::Failed, None, Some(error), None, Vec::new());
     }
 
     fn conclude(
@@ -383,6 +405,7 @@ impl JobQueue {
         artifact: Option<Arc<String>>,
         error: Option<String>,
         report: Option<RunReport>,
+        hosts: Vec<HostCount>,
     ) {
         let mut inner = self.inner.lock().expect("queue lock");
         match state {
@@ -391,12 +414,19 @@ impl JobQueue {
             _ => unreachable!("conclude is for terminal execution states"),
         }
         inner.stats.running = inner.stats.running.saturating_sub(1);
+        if let Some(report) = &report {
+            inner.stats.shard_spawned += report.spawned as u64;
+            inner.stats.shard_reused += report.reused as u64;
+            inner.stats.shard_retries += report.retries as u64;
+            inner.stats.shard_timeouts += report.timeouts as u64;
+        }
         if let Some(entry) = inner.entry_mut(id) {
             entry.finished_ms = Some(entry.elapsed_ms());
             entry.state = state;
             entry.artifact = artifact;
             entry.error = error;
             entry.report = report;
+            entry.hosts = hosts;
         }
         self.cond.notify_all();
     }
@@ -500,7 +530,7 @@ mod tests {
         assert_eq!(joined, id);
         // After completion a new identical submit is a fresh job (the
         // cache layer will answer it before it reaches the queue).
-        queue.finish(spec.id, Arc::new("artifact".to_owned()), None);
+        queue.finish(spec.id, Arc::new("artifact".to_owned()), None, Vec::new());
         let (fresh, cache) = queue.submit("table2", vec![], "k", "k", "b".to_owned());
         assert_ne!(fresh, id);
         assert_eq!(cache, CacheDisposition::Miss);
@@ -558,7 +588,7 @@ mod tests {
         };
         std::thread::sleep(Duration::from_millis(30));
         assert!(!waiter.is_finished(), "still one running job");
-        queue.finish(running, Arc::new("a".to_owned()), None);
+        queue.finish(running, Arc::new("a".to_owned()), None, Vec::new());
         waiter.join().expect("wait_idle returns");
     }
 
@@ -585,13 +615,33 @@ mod tests {
         let s2 = queue.next_job(None).unwrap();
         assert_eq!(queue.stats().running, 2);
         assert_eq!(queue.stats().queued, 1);
-        queue.finish(s1.id, Arc::new("x".to_owned()), None);
+        let report = RunReport {
+            spawned: 3,
+            reused: 1,
+            retries: 2,
+            timeouts: 1,
+            max_inflight_observed: 2,
+        };
+        let hosts = vec![HostCount {
+            name: "alpha".to_owned(),
+            dispatched: 3,
+            completed: 3,
+            ..HostCount::default()
+        }];
+        queue.finish(s1.id, Arc::new("x".to_owned()), Some(report), hosts);
         queue.fail(s2.id, "boom".to_owned());
         let stats = queue.stats();
         assert_eq!(stats.running, 0);
         assert_eq!(stats.max_running_observed, 2);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 1);
+        assert_eq!(stats.shard_spawned, 3);
+        assert_eq!(stats.shard_reused, 1);
+        assert_eq!(stats.shard_retries, 2);
+        assert_eq!(stats.shard_timeouts, 1);
+        let snap = queue.snapshot(s1.id).unwrap();
+        assert_eq!(snap.hosts.len(), 1);
+        assert_eq!(snap.hosts[0].name, "alpha");
         assert_eq!(
             queue.snapshot(s2.id).unwrap().error.as_deref(),
             Some("boom")

@@ -26,8 +26,12 @@
 //! disconnects mid-wait detaches from the job, which keeps running and
 //! caches its artifact — resubmitting later is a cache hit.
 
-use crate::experiment::{find_experiment, Artifact, Experiment, Params, Reporter};
-use crate::experiments::table2::{resolve_circuit_subset, row_from_accum, table2_artifact_data};
+use crate::experiment::{find_experiment, Experiment, Params, Reporter};
+use crate::experiments::table2::{resolve_circuit_subset, table2_artifact_from_accums};
+use crate::launch::{
+    parse_hosts, run_launch_with_report, FaultPlan, Faulty, HostCount, HostSpec, LaunchConfig,
+    LocalProc, Transport,
+};
 use crate::service::cache::{cache_key, ArtifactCache, CacheKey};
 use crate::service::protocol::{error_line, response, Request};
 use crate::service::queue::{JobQueue, JobSnapshot, JobSpec, JobState};
@@ -45,7 +49,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xbar_logic::bench_reg::find;
 
 /// How often the accept loop polls for the shutdown flag. This is also
 /// the worst-case latency before a new connection is accepted — a cache
@@ -84,6 +87,15 @@ pub struct ServeOptions {
     /// Extra arguments forwarded to every shard worker (`--worker-arg`,
     /// repeatable; the failure-injection smoke hooks live here).
     pub worker_args: Vec<String>,
+    /// Route sharded jobs through the multi-host launcher instead of the
+    /// single-host coordinator (`--launcher SPEC`, same `name[*slots]`
+    /// grammar as `xbar mc launch --hosts`). Nothing above the job
+    /// executor changes; artifacts stay byte-identical.
+    pub launcher_hosts: Option<Vec<HostSpec>>,
+    /// Fault plans injected into the launcher transport
+    /// (`--launcher-fault host=kind[@ordinal]`, repeatable; exists for
+    /// the failure-injection smoke tests).
+    pub launcher_faults: Vec<FaultPlan>,
 }
 
 impl Default for ServeOptions {
@@ -98,6 +110,8 @@ impl Default for ServeOptions {
             shard_timeout: None,
             in_process_jobs: false,
             worker_args: Vec::new(),
+            launcher_hosts: None,
+            launcher_faults: Vec::new(),
         }
     }
 }
@@ -472,6 +486,9 @@ fn result_or_error_line(snap: &JobSnapshot) -> String {
             if let Some(report) = &snap.report {
                 fields.extend(report_fields(report));
             }
+            if !snap.hosts.is_empty() {
+                fields.push(("hosts".to_owned(), hosts_field(&snap.hosts)));
+            }
             fields.push(("artifact".to_owned(), JsonValue::str(artifact)));
             response("result", fields)
         }
@@ -506,6 +523,9 @@ fn status_fields(snap: &JobSnapshot) -> Vec<(String, JsonValue)> {
     if let Some(report) = &snap.report {
         fields.extend(report_fields(report));
     }
+    if !snap.hosts.is_empty() {
+        fields.push(("hosts".to_owned(), hosts_field(&snap.hosts)));
+    }
     if let Some(error) = &snap.error {
         fields.push(("error".to_owned(), JsonValue::str(error.clone())));
     }
@@ -519,6 +539,20 @@ fn report_fields(report: &RunReport) -> Vec<(String, JsonValue)> {
         ("retries".to_owned(), JsonValue::usize(report.retries)),
         ("timeouts".to_owned(), JsonValue::usize(report.timeouts)),
     ]
+}
+
+/// Per-host dispatch attribution (from the launcher's [`HostCount`]s) as
+/// a JSON array field on `result` and `status` responses.
+fn hosts_field(hosts: &[HostCount]) -> JsonValue {
+    JsonValue::arr(hosts.iter().map(|h| {
+        JsonValue::obj([
+            ("host", JsonValue::str(h.name.clone())),
+            ("dispatched", JsonValue::usize(h.dispatched)),
+            ("completed", JsonValue::usize(h.completed)),
+            ("failed", JsonValue::usize(h.failed)),
+            ("quarantines", JsonValue::usize(h.quarantines)),
+        ])
+    }))
 }
 
 fn stats_line(state: &Arc<ServiceState>) -> String {
@@ -538,6 +572,22 @@ fn stats_line(state: &Arc<ServiceState>) -> String {
             (
                 "max_running_observed".to_owned(),
                 JsonValue::usize(stats.max_running_observed),
+            ),
+            (
+                "shard_spawned".to_owned(),
+                JsonValue::u64(stats.shard_spawned),
+            ),
+            (
+                "shard_reused".to_owned(),
+                JsonValue::u64(stats.shard_reused),
+            ),
+            (
+                "shard_retries".to_owned(),
+                JsonValue::u64(stats.shard_retries),
+            ),
+            (
+                "shard_timeouts".to_owned(),
+                JsonValue::u64(stats.shard_timeouts),
             ),
             (
                 "worker_slots".to_owned(),
@@ -567,8 +617,10 @@ fn batch_key(exp: &dyn Experiment, params: &Params) -> String {
 
 fn execute_job(state: &Arc<ServiceState>, spec: &JobSpec) {
     match run_job(state, spec) {
-        Ok((artifact, report)) => {
-            state.queue.finish(spec.id, Arc::new(artifact), report);
+        Ok((artifact, report, hosts)) => {
+            state
+                .queue
+                .finish(spec.id, Arc::new(artifact), report, hosts);
         }
         Err(e) => state.queue.fail(spec.id, e),
     }
@@ -577,7 +629,7 @@ fn execute_job(state: &Arc<ServiceState>, spec: &JobSpec) {
 fn run_job(
     state: &Arc<ServiceState>,
     spec: &JobSpec,
-) -> Result<(String, Option<RunReport>), String> {
+) -> Result<(String, Option<RunReport>, Vec<HostCount>), String> {
     let exp = find_experiment(&spec.experiment).ok_or_else(|| {
         format!(
             "experiment {:?} vanished from the registry",
@@ -589,31 +641,42 @@ fn run_job(
     let key = cache_key(exp, &params);
 
     // `table2` runs through the sharded coordinator (checkpoints, retry,
-    // resume) unless the daemon was told to stay in-process; every other
-    // experiment runs through the registry directly — the exact
-    // `xbar run` code path, so the artifact is byte-identical by
-    // construction. A missing worker binary degrades to in-process too,
-    // so a daemon started from an unusual location still serves.
+    // resume) unless the daemon was told to stay in-process; with
+    // `--launcher` the same shards are instead dispatched over the host
+    // fleet by the multi-host launcher. Every other experiment runs
+    // through the registry directly — the exact `xbar run` code path, so
+    // the artifact is byte-identical by construction. A missing worker
+    // binary degrades to in-process too, so a daemon started from an
+    // unusual location still serves.
     let sharded = !state.options.in_process_jobs && spec.experiment == "table2";
-    let (artifact, report) = if sharded {
+    let (artifact, report, hosts) = if sharded {
         match default_worker() {
-            Ok(worker) => run_coordinated_table2(state, spec.id, exp, &params, &key, worker)?,
+            Ok(worker) => match &state.options.launcher_hosts {
+                Some(hosts) => {
+                    run_launched_table2(state, spec.id, exp, &params, &key, worker, hosts)?
+                }
+                None => {
+                    let (artifact, report) =
+                        run_coordinated_table2(state, spec.id, exp, &params, &key, worker)?;
+                    (artifact, report, Vec::new())
+                }
+            },
             Err(e) => {
                 eprintln!(
                     "xbar serve: no shard worker ({e}); running job {} in-process",
                     spec.id
                 );
-                (run_in_process(exp, &params)?, None)
+                (run_in_process(exp, &params)?, None, Vec::new())
             }
         }
     } else {
-        (run_in_process(exp, &params)?, None)
+        (run_in_process(exp, &params)?, None, Vec::new())
     };
 
     // Cache before reporting done: once a client can observe "done", a
     // repeated submit must hit.
     state.cache.store(&key, &artifact)?;
-    Ok((artifact, report))
+    Ok((artifact, report, hosts))
 }
 
 fn run_in_process(exp: &dyn Experiment, params: &Params) -> Result<String, String> {
@@ -631,6 +694,20 @@ fn run_in_process(exp: &dyn Experiment, params: &Params) -> Result<String, Strin
 /// job's run directory persists (`keep_partials`) until the artifact is
 /// safely cached, so a daemon killed mid-job resumes instead of
 /// restarting from sample zero.
+fn table2_mc_config(params: &Params) -> Result<McConfig, String> {
+    let circuits = resolve_circuit_subset(params.list("circuits")).map_err(|e| match e {
+        crate::experiment::ExpError::Usage(m) | crate::experiment::ExpError::Failed(m) => m,
+    })?;
+    Ok(McConfig {
+        samples: params.samples,
+        seed: params.seed,
+        defect_rate: params.defect_rate,
+        stream: params.sample_stream(),
+        model: params.defect_model(),
+        circuits,
+    })
+}
+
 fn run_coordinated_table2(
     state: &Arc<ServiceState>,
     id: u64,
@@ -639,17 +716,7 @@ fn run_coordinated_table2(
     key: &CacheKey,
     worker: Worker,
 ) -> Result<(String, Option<RunReport>), String> {
-    let circuits = resolve_circuit_subset(params.list("circuits")).map_err(|e| match e {
-        crate::experiment::ExpError::Usage(m) | crate::experiment::ExpError::Failed(m) => m,
-    })?;
-    let config = McConfig {
-        samples: params.samples,
-        seed: params.seed,
-        defect_rate: params.defect_rate,
-        stream: params.sample_stream(),
-        model: params.defect_model(),
-        circuits,
-    };
+    let config = table2_mc_config(params)?;
     let job_dir = state.jobs_dir.join(&key.name);
     let cfg = CoordinatorConfig {
         shards: state.options.job_shards,
@@ -670,22 +737,55 @@ fn run_coordinated_table2(
         cfg.shards,
     );
     let (merged, report) = run_coordinator_with_report(&cfg)?;
-
-    let mut rows = Vec::with_capacity(merged.circuits.len());
-    let mut accums = Vec::with_capacity(merged.circuits.len());
-    for (name, accum) in &merged.circuits {
-        let info = find(name).map_err(|e| format!("registry lookup for {name:?}: {e}"))?;
-        let cover = info.mapping_cover(cfg.config.seed);
-        rows.push(row_from_accum(info, &cover, accum));
-        accums.push(*accum);
-    }
-    let artifact = Artifact::new(table2_artifact_data(&rows, &accums)).render(exp, params);
+    let artifact = table2_artifact_from_accums(&merged.circuits, cfg.config.seed, exp, params)?;
 
     // The checkpoints have served their purpose once the artifact exists;
     // the caller caches it before reporting done, and the cache — not the
     // run dir — is the durable record.
     let _ = fs::remove_dir_all(&job_dir);
     Ok((artifact, Some(report)))
+}
+
+/// Runs a `table2` job through the multi-host launcher (`--launcher`):
+/// the same shard partition, checkpoint format, and integer-exact merge
+/// as the coordinator path, but dispatched across the configured fleet
+/// with per-host health tracking and hedged stragglers. Nothing above
+/// this executor changes, and the artifact stays byte-identical.
+fn run_launched_table2(
+    state: &Arc<ServiceState>,
+    id: u64,
+    exp: &dyn Experiment,
+    params: &Params,
+    key: &CacheKey,
+    worker: Worker,
+    hosts: &[HostSpec],
+) -> Result<(String, Option<RunReport>, Vec<HostCount>), String> {
+    let config = table2_mc_config(params)?;
+    let job_dir = state.jobs_dir.join(&key.name);
+    let mut cfg = LaunchConfig::new(config, state.options.job_shards, hosts.to_vec())?;
+    cfg.worker = worker;
+    cfg.work_dir = job_dir.clone();
+    cfg.extra_worker_args = state.options.worker_args.clone();
+    cfg.keep_partials = true;
+    cfg.shard_timeout = state.options.shard_timeout;
+    cfg.resume = true;
+    state.queue.set_run_dir(
+        id,
+        campaign_run_dir(&cfg.work_dir, &cfg.config, cfg.shards),
+        cfg.shards,
+    );
+    let transport: Box<dyn Transport> = if state.options.launcher_faults.is_empty() {
+        Box::new(LocalProc)
+    } else {
+        Box::new(Faulty::new(
+            LocalProc,
+            state.options.launcher_faults.clone(),
+        ))
+    };
+    let (merged, report) = run_launch_with_report(&cfg, &transport)?;
+    let artifact = table2_artifact_from_accums(&merged.circuits, cfg.config.seed, exp, params)?;
+    let _ = fs::remove_dir_all(&job_dir);
+    Ok((artifact, Some(report.base), report.hosts))
 }
 
 fn serve_usage() -> String {
@@ -708,7 +808,13 @@ fn serve_usage() -> String {
      no watchdog)\n  \
      --in-process-jobs    run jobs in-process instead of spawning shard workers\n  \
      --worker-arg ARG     extra argument for every shard worker (repeatable;\n                       \
-     used by fault-injection tests)"
+     used by fault-injection tests)\n  \
+     --launcher SPEC      dispatch sharded jobs over a host fleet via the\n                       \
+     multi-host launcher (same `name[*slots],...` grammar\n                       \
+     as `xbar mc launch --hosts`); artifacts stay\n                       \
+     byte-identical to the coordinator path\n  \
+     --launcher-fault P   inject a transport fault `host=kind[@ordinal]`\n                       \
+     (repeatable; used by the failure-injection smokes)"
         .to_owned()
 }
 
@@ -759,6 +865,17 @@ fn parse_serve_args(argv: Vec<String>) -> Result<Option<ServeOptions>, String> {
             }
             "--in-process-jobs" => options.in_process_jobs = true,
             "--worker-arg" => options.worker_args.push(value(&flag, &mut it)?),
+            "--launcher" => {
+                let spec = value(&flag, &mut it)?;
+                options.launcher_hosts =
+                    Some(parse_hosts(&spec).map_err(|e| format!("{flag}: {e}"))?);
+            }
+            "--launcher-fault" => {
+                let plan = value(&flag, &mut it)?;
+                options
+                    .launcher_faults
+                    .push(FaultPlan::parse(&plan).map_err(|e| format!("{flag}: {e}"))?);
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other:?}; try --help")),
         }
@@ -834,6 +951,10 @@ mod tests {
             "--inject-slow-ms",
             "--worker-arg",
             "50",
+            "--launcher",
+            "alpha*2,beta",
+            "--launcher-fault",
+            "beta=die@1",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -847,6 +968,12 @@ mod tests {
         assert_eq!(options.shard_timeout, Some(Duration::from_millis(2500)));
         assert!(options.in_process_jobs);
         assert_eq!(options.worker_args, ["--inject-slow-ms", "50"]);
+        let hosts = options.launcher_hosts.expect("launcher fleet");
+        assert_eq!(hosts.len(), 2);
+        assert_eq!(hosts[0].name, "alpha");
+        assert_eq!(hosts[0].slots, 2);
+        assert_eq!(options.launcher_faults.len(), 1);
+        assert_eq!(options.launcher_faults[0].host, "beta");
 
         assert!(parse_serve_args(vec!["--help".to_owned()])
             .expect("ok")
@@ -858,6 +985,10 @@ mod tests {
             &["--shard-timeout", "0"][..],
             &["--shard-timeout", "soon"][..],
             &["--listen"][..],
+            &["--launcher", ""][..],
+            &["--launcher", "a*0"][..],
+            &["--launcher-fault", "beta"][..],
+            &["--launcher-fault", "beta=melt"][..],
             &["--frobnicate"][..],
         ] {
             let argv = words.iter().map(|s| (*s).to_owned()).collect();

@@ -48,7 +48,8 @@ fn shard_usage() -> String {
          {CAMPAIGN_FLAGS_USAGE}\n  \
          --shard-index I    this shard's index (default 0)\n  \
          --num-shards N     shards in the campaign (default 1)\n  \
-         --out PATH         partial-result output path (default partial-0.json)\n\n\
+         --out PATH         partial-result output path (default partial-0.json);\n                     \
+         `-` streams the partial to stdout (remote launch)\n\n\
          test-only failure injection:\n  \
          --inject-fail-once MARKER      exit 3 unless MARKER exists (created on the way out)\n  \
          --inject-fail-always           always exit 4\n  \
@@ -204,14 +205,20 @@ pub fn shard_main(argv: Vec<String>) -> i32 {
 }
 
 /// The worker's payload after all injection preambles: optionally write a
-/// torn partial, otherwise fold the slice and write the real one.
+/// torn partial, otherwise fold the slice and write the real one. With
+/// `--out -` the partial streams to stdout instead — the remote-launch
+/// transport contract — so stdout carries *only* partial bytes (the
+/// progress note is suppressed; the torn injection prints its truncated
+/// prefix to stdout, exercising the receiver's torn-transfer detection).
 fn run_shard_to_file(args: &ShardArgs, config: &super::McConfig, spec: ShardSpec) -> i32 {
+    let stream_stdout = args.out.as_os_str() == "-";
     if let Some(marker) = &args.inject_truncate_once {
         if first_time(marker) {
             // A torn write: valid JSON prefix, no `complete` marker.
-            if let Err(e) =
-                std::fs::write(&args.out, "{\n  \"schema\": \"xbar-mc-partial/1\", \"trunc")
-            {
+            let torn = "{\n  \"schema\": \"xbar-mc-partial/1\", \"trunc";
+            if stream_stdout {
+                print!("{torn}");
+            } else if let Err(e) = std::fs::write(&args.out, torn) {
                 eprintln!("mc shard: cannot write torn partial: {e}");
                 return 1;
             }
@@ -221,6 +228,22 @@ fn run_shard_to_file(args: &ShardArgs, config: &super::McConfig, spec: ShardSpec
     }
 
     let partial: ShardPartial = run_shard(config, &spec);
+    if stream_stdout {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout().lock();
+        if let Err(e) = stdout
+            .write_all(partial.to_json().as_bytes())
+            .and_then(|()| stdout.flush())
+        {
+            eprintln!("mc shard: cannot stream partial to stdout: {e}");
+            return 1;
+        }
+        eprintln!(
+            "mc shard: shard {}/{} samples [{}, {}) -> stdout",
+            spec.index, spec.num_shards, spec.start, spec.end
+        );
+        return 0;
+    }
     // Atomic: the coordinator treats any file at this path as a checkpoint
     // candidate, so it must never observe a half-written partial (the
     // injected torn write above stays a plain write on purpose).

@@ -273,43 +273,9 @@ pub fn merge_partials(
     ordered.sort_by_key(|p| p.spec.start);
 
     for partial in &ordered {
-        let id = format!("shard {}", partial.spec.index);
-        partial
-            .validate_config_echo(config)
-            .map_err(|e| format!("{id}: {e}"))?;
-        let expected: u64 = partial.spec.len() as u64;
-        for ((name, accum), campaign_name) in partial.circuits.iter().zip(&config.circuits) {
-            if name != campaign_name {
-                return Err(format!(
-                    "{id}: circuit entry {name:?} out of order (expected {campaign_name:?})"
-                ));
-            }
-            if accum.samples() != expected {
-                return Err(format!(
-                    "{id}: circuit {name:?} folded {} samples, range holds {expected}",
-                    accum.samples()
-                ));
-            }
-        }
+        validate_partial_for_merge(config, partial)?;
     }
-
-    let mut cursor = 0usize;
-    for partial in &ordered {
-        if partial.spec.start != cursor {
-            return Err(format!(
-                "sample range not tiled: expected a shard starting at {cursor}, \
-                 found shard {} starting at {}",
-                partial.spec.index, partial.spec.start
-            ));
-        }
-        cursor = partial.spec.end;
-    }
-    if cursor != config.samples {
-        return Err(format!(
-            "sample range not covered: shards end at {cursor}, campaign has {} samples",
-            config.samples
-        ));
-    }
+    check_exact_tiling(config.samples, &ordered)?;
 
     let mut circuits: Vec<(String, CircuitAccum)> = config
         .circuits
@@ -327,7 +293,60 @@ pub fn merge_partials(
     })
 }
 
-fn partial_path(run_dir: &Path, index: usize) -> PathBuf {
+/// Validates one partial against the campaign it claims to belong to:
+/// configuration echo, circuit-name order, and folded sample counts equal
+/// to the claimed slice. Shared between the flat [`merge_partials`] merge
+/// and the launcher's two-level per-host merge tree, so both reject torn
+/// or foreign partials with identical messages.
+pub(crate) fn validate_partial_for_merge(
+    config: &McConfig,
+    partial: &ShardPartial,
+) -> Result<(), String> {
+    let id = format!("shard {}", partial.spec.index);
+    partial
+        .validate_config_echo(config)
+        .map_err(|e| format!("{id}: {e}"))?;
+    let expected: u64 = partial.spec.len() as u64;
+    for ((name, accum), campaign_name) in partial.circuits.iter().zip(&config.circuits) {
+        if name != campaign_name {
+            return Err(format!(
+                "{id}: circuit entry {name:?} out of order (expected {campaign_name:?})"
+            ));
+        }
+        if accum.samples() != expected {
+            return Err(format!(
+                "{id}: circuit {name:?} folded {} samples, range holds {expected}",
+                accum.samples()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `ordered` (ascending by `start`) tiles `0..samples`
+/// exactly: no gap, no overlap, full coverage. A duplicated shard (a
+/// hedge loser whose partial leaked into the merge input) fails here.
+pub(crate) fn check_exact_tiling(samples: usize, ordered: &[&ShardPartial]) -> Result<(), String> {
+    let mut cursor = 0usize;
+    for partial in ordered {
+        if partial.spec.start != cursor {
+            return Err(format!(
+                "sample range not tiled: expected a shard starting at {cursor}, \
+                 found shard {} starting at {}",
+                partial.spec.index, partial.spec.start
+            ));
+        }
+        cursor = partial.spec.end;
+    }
+    if cursor != samples {
+        return Err(format!(
+            "sample range not covered: shards end at {cursor}, campaign has {samples} samples"
+        ));
+    }
+    Ok(())
+}
+
+pub(crate) fn partial_path(run_dir: &Path, index: usize) -> PathBuf {
     run_dir.join(format!("partial-{index}.json"))
 }
 
@@ -364,7 +383,17 @@ pub fn backoff_delay(seed: u64, shard: usize, attempt: usize, base: Duration) ->
 // Campaign manifest: what a run directory belongs to
 // ---------------------------------------------------------------------------
 
-fn render_campaign_manifest(config: &McConfig, shards: usize) -> String {
+/// Renders the `campaign.json` manifest. `hosts` is the launcher's host
+/// attribution (`"name*slots"` per entry) — informational provenance for
+/// a resumed launch, rendered only when non-empty so coordinator-written
+/// manifests keep their exact pre-launcher bytes. It deliberately does
+/// NOT participate in [`campaign_mismatch`]: the same campaign may be
+/// resumed with a different host fleet.
+pub(crate) fn render_campaign_manifest(
+    config: &McConfig,
+    shards: usize,
+    hosts: &[String],
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"{CAMPAIGN_SCHEMA}\",");
     let _ = writeln!(out, "  \"seed\": {},", config.seed);
@@ -372,6 +401,13 @@ fn render_campaign_manifest(config: &McConfig, shards: usize) -> String {
     let _ = writeln!(out, "  \"samples\": {},", config.samples);
     let _ = writeln!(out, "  \"shards\": {shards},");
     let _ = writeln!(out, "  \"rng_stream\": \"{}\",", config.stream);
+    if !hosts.is_empty() {
+        let entries: Vec<String> = hosts
+            .iter()
+            .map(|host| format!("\"{}\"", super::json::escape(host)))
+            .collect();
+        let _ = writeln!(out, "  \"hosts\": [{}],", entries.join(", "));
+    }
     // Default-model manifests keep their pre-model bytes (so `--resume`
     // against a run dir written before spatial models existed still
     // validates); non-default models declare their kind plus exactly the
@@ -407,7 +443,7 @@ fn render_campaign_manifest(config: &McConfig, shards: usize) -> String {
 /// rejects anything else: a manifest written by a newer tool describes
 /// campaign identity this coordinator cannot check, and silently ignoring
 /// the extra field could merge partials from a different campaign.
-const CAMPAIGN_MANIFEST_KEYS: [&str; 10] = [
+const CAMPAIGN_MANIFEST_KEYS: [&str; 11] = [
     "schema",
     "seed",
     "defect_rate",
@@ -418,6 +454,10 @@ const CAMPAIGN_MANIFEST_KEYS: [&str; 10] = [
     "cluster_size",
     "line_rate",
     "circuits",
+    // Launcher host attribution: provenance, not campaign identity — a
+    // resume may use a different fleet, so the parser tolerates the key
+    // and the mismatch check ignores it.
+    "hosts",
 ];
 
 fn parse_campaign_manifest(text: &str) -> Result<(McConfig, usize), String> {
@@ -556,7 +596,7 @@ fn campaign_mismatch(
 /// a previous coordinator was killed without cleanup (the CI resume smoke
 /// and the service restart test do exactly that).
 #[derive(Debug)]
-struct RunDirLock {
+pub(crate) struct RunDirLock {
     path: PathBuf,
 }
 
@@ -680,7 +720,12 @@ fn acquire_run_dir_lock(run_dir: &Path) -> Result<RunDirLock, String> {
 /// campaign or writes a fresh one. A directory claimed by a *different*
 /// campaign — or holding partials with no manifest at all — is rejected
 /// with a clear error instead of silently clobbered.
-fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<RunDirLock, String> {
+pub(crate) fn preflight_run_dir(
+    config: &McConfig,
+    shards: usize,
+    hosts: &[String],
+    run_dir: &Path,
+) -> Result<RunDirLock, String> {
     fs::create_dir_all(run_dir)
         .map_err(|e| format!("cannot create run dir {}: {e}", run_dir.display()))?;
     let lock = acquire_run_dir_lock(run_dir)?;
@@ -693,7 +738,7 @@ fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<RunDirLo
                     manifest_path.display()
                 )
             })?;
-            if let Some(diff) = campaign_mismatch(&cfg.config, cfg.shards, &found, found_shards) {
+            if let Some(diff) = campaign_mismatch(config, shards, &found, found_shards) {
                 return Err(format!(
                     "run dir {} belongs to a different campaign ({diff}); refusing to \
                      clobber its partials — remove the directory or pick another --work-dir",
@@ -706,7 +751,7 @@ fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<RunDirLo
             // No manifest: a partial here was written by something we
             // cannot identify (a pre-manifest run or a foreign tool) —
             // refuse rather than mix campaigns.
-            if let Some(index) = (0..cfg.shards).find(|i| partial_path(run_dir, *i).exists()) {
+            if let Some(index) = (0..shards).find(|i| partial_path(run_dir, *i).exists()) {
                 return Err(format!(
                     "run dir {} holds {} but no campaign manifest; refusing to \
                      clobber — remove the directory or pick another --work-dir",
@@ -716,7 +761,7 @@ fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<RunDirLo
             }
             fs::write(
                 &manifest_path,
-                render_campaign_manifest(&cfg.config, cfg.shards),
+                render_campaign_manifest(config, shards, hosts),
             )
             .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
             Ok(lock)
@@ -729,43 +774,50 @@ fn preflight_run_dir(cfg: &CoordinatorConfig, run_dir: &Path) -> Result<RunDirLo
 // The event-driven scheduler
 // ---------------------------------------------------------------------------
 
+/// The shard-describing worker flags every dispatch shares: campaign
+/// identity plus the shard slice, exactly as [`spawn_worker`] has always
+/// passed them (model flags only for non-default models, so default
+/// campaigns keep the exact pre-model argv). Excludes `--out` — the
+/// local coordinator points it at the partial file while the launcher
+/// streams over stdout (`--out -`).
+pub(crate) fn worker_shard_args(config: &McConfig, spec: &ShardSpec) -> Vec<String> {
+    let mut args = vec![
+        "--samples".to_owned(),
+        config.samples.to_string(),
+        "--seed".to_owned(),
+        config.seed.to_string(),
+        "--defect-rate".to_owned(),
+        // Shortest-round-trip text: the worker parses back the exact bits.
+        format!("{:?}", config.defect_rate),
+        "--rng-stream".to_owned(),
+        config.stream.as_str().to_owned(),
+    ];
+    if !config.model.is_default() {
+        args.push("--defect-model".to_owned());
+        args.push(config.model.kind().as_str().to_owned());
+        if config.model.uses_cluster() {
+            args.push("--cluster-size".to_owned());
+            args.push(format!("{:?}", config.model.cluster_size()));
+        }
+        if config.model.uses_lines() {
+            args.push("--line-rate".to_owned());
+            args.push(format!("{:?}", config.model.line_rate()));
+        }
+    }
+    args.push("--circuits".to_owned());
+    args.push(config.circuits.join(","));
+    args.push("--shard-index".to_owned());
+    args.push(spec.index.to_string());
+    args.push("--num-shards".to_owned());
+    args.push(spec.num_shards.to_string());
+    args
+}
+
 fn spawn_worker(cfg: &CoordinatorConfig, spec: &ShardSpec, out: &Path) -> std::io::Result<Child> {
     let mut command = Command::new(&cfg.worker.binary);
     command
         .args(&cfg.worker.prefix_args)
-        .arg("--samples")
-        .arg(cfg.config.samples.to_string())
-        .arg("--seed")
-        .arg(cfg.config.seed.to_string())
-        .arg("--defect-rate")
-        // Shortest-round-trip text: the worker parses back the exact bits.
-        .arg(format!("{:?}", cfg.config.defect_rate))
-        .arg("--rng-stream")
-        .arg(cfg.config.stream.as_str());
-    // Forwarded only for non-default models, so default campaigns spawn
-    // workers with the exact pre-model argv.
-    if !cfg.config.model.is_default() {
-        command
-            .arg("--defect-model")
-            .arg(cfg.config.model.kind().as_str());
-        if cfg.config.model.uses_cluster() {
-            command
-                .arg("--cluster-size")
-                .arg(format!("{:?}", cfg.config.model.cluster_size()));
-        }
-        if cfg.config.model.uses_lines() {
-            command
-                .arg("--line-rate")
-                .arg(format!("{:?}", cfg.config.model.line_rate()));
-        }
-    }
-    command
-        .arg("--circuits")
-        .arg(cfg.config.circuits.join(","))
-        .arg("--shard-index")
-        .arg(spec.index.to_string())
-        .arg("--num-shards")
-        .arg(spec.num_shards.to_string())
+        .args(worker_shard_args(&cfg.config, spec))
         .arg("--out")
         .arg(out)
         .args(&cfg.extra_worker_args)
@@ -1013,7 +1065,7 @@ pub fn run_coordinator_with_report(
     let run_dir = campaign_run_dir(&cfg.work_dir, &cfg.config, cfg.shards);
     // Held until this function returns: a second coordinator on the same
     // live campaign fails fast instead of racing on the run directory.
-    let _lock = preflight_run_dir(cfg, &run_dir)?;
+    let _lock = preflight_run_dir(&cfg.config, cfg.shards, &[], &run_dir)?;
 
     let max_inflight = cfg.max_inflight.unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
@@ -1422,7 +1474,7 @@ mod tests {
     #[test]
     fn campaign_manifest_roundtrips_and_detects_mismatches() {
         let config = config();
-        let text = render_campaign_manifest(&config, 3);
+        let text = render_campaign_manifest(&config, 3, &[]);
         let (back, shards) = parse_campaign_manifest(&text).expect("parses");
         assert_eq!(back, config);
         assert_eq!(shards, 3);
@@ -1443,14 +1495,14 @@ mod tests {
 
     #[test]
     fn modeled_manifest_roundtrips_and_default_manifest_stays_model_free() {
-        let default_text = render_campaign_manifest(&config(), 3);
+        let default_text = render_campaign_manifest(&config(), 3, &[]);
         assert!(!default_text.contains("defect_model"), "{default_text}");
 
         let config = McConfig {
             model: DefectModelSpec::new(DefectModelKind::Composite, 2.5, 0.125).expect("valid"),
             ..self::config()
         };
-        let text = render_campaign_manifest(&config, 3);
+        let text = render_campaign_manifest(&config, 3, &[]);
         assert!(text.contains("\"defect_model\": \"composite\""), "{text}");
         assert!(text.contains("\"cluster_size\": 2.5"), "{text}");
         assert!(text.contains("\"line_rate\": 0.125"), "{text}");
@@ -1463,13 +1515,36 @@ mod tests {
     fn manifest_with_an_unknown_key_is_rejected_not_ignored() {
         // A future tool that extends campaign identity must not have its
         // manifests silently reinterpreted by this coordinator.
-        let text = render_campaign_manifest(&config(), 3).replace(
+        let text = render_campaign_manifest(&config(), 3, &[]).replace(
             "\"rng_stream\": \"v1\",",
             "\"rng_stream\": \"v1\",\n  \"voltage_drift\": 0.3,",
         );
         let err = parse_campaign_manifest(&text).expect_err("must fail");
         assert!(err.contains("voltage_drift"), "{err}");
         assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn manifest_host_attribution_roundtrips_and_stays_out_of_identity() {
+        // A launcher-written manifest records its fleet; the key parses
+        // back cleanly (it is in CAMPAIGN_MANIFEST_KEYS) and never feeds
+        // campaign_mismatch — the same campaign may resume on different
+        // hosts. Coordinator-written manifests stay byte-free of it.
+        let config = config();
+        let hosts = vec!["alpha*2".to_owned(), "beta".to_owned()];
+        let text = render_campaign_manifest(&config, 3, &hosts);
+        assert!(
+            text.contains("\"hosts\": [\"alpha*2\", \"beta\"]"),
+            "{text}"
+        );
+        let (back, shards) = parse_campaign_manifest(&text).expect("hosts key tolerated");
+        assert_eq!(back, config);
+        assert_eq!(shards, 3);
+        assert!(campaign_mismatch(&config, 3, &back, shards).is_none());
+        assert!(
+            !render_campaign_manifest(&config, 3, &[]).contains("hosts"),
+            "hostless manifests keep their pre-launcher bytes"
+        );
     }
 
     #[test]

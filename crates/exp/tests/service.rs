@@ -41,8 +41,21 @@ impl Daemon {
     /// `extra` flags and reads the bound address off the first stdout
     /// line.
     fn start(work_dir: &PathBuf, extra: &[&str]) -> Self {
+        Self::start_at(work_dir, "127.0.0.1:0", extra)
+    }
+
+    /// Starts a daemon on an explicit listen address (the bounce test
+    /// must rebind the address a killed daemon just vacated).
+    fn start_at(work_dir: &PathBuf, listen: &str, extra: &[&str]) -> Self {
+        Self::try_start_at(work_dir, listen, extra).expect("daemon announces its address")
+    }
+
+    /// Fallible start: `None` when the daemon exits before announcing
+    /// its address (e.g. the listen address is still in TIME_WAIT after
+    /// a kill — callers retry).
+    fn try_start_at(work_dir: &PathBuf, listen: &str, extra: &[&str]) -> Option<Self> {
         let mut child = xbar()
-            .args(["serve", "--listen", "127.0.0.1:0", "--work-dir"])
+            .args(["serve", "--listen", listen, "--work-dir"])
             .arg(work_dir)
             .args(extra)
             .stdout(Stdio::piped())
@@ -51,10 +64,11 @@ impl Daemon {
             .expect("spawn daemon");
         let stdout = child.stdout.take().expect("piped stdout");
         let mut lines = std::io::BufReader::new(stdout).lines();
-        let first = lines
-            .next()
-            .expect("daemon announces its address")
-            .expect("readable stdout");
+        let Some(Ok(first)) = lines.next() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return None;
+        };
         let addr = first
             .rsplit("listening on ")
             .next()
@@ -62,7 +76,7 @@ impl Daemon {
             .trim()
             .to_owned();
         assert!(addr.contains(':'), "not an address: {first}");
-        Daemon { child, addr }
+        Some(Daemon { child, addr })
     }
 
     /// Runs one `xbar submit` against this daemon and returns its output.
@@ -353,6 +367,182 @@ fn protocol_errors_and_usage_errors_have_distinct_exit_codes() {
     // Client-side usage errors: exit 2 before anything touches the wire.
     let usage = daemon.submit(&["--status", "soon"]);
     assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&work_dir);
+}
+
+#[test]
+fn launcher_mode_serves_byte_identical_artifacts_with_host_attribution() {
+    let work_dir = scratch("launcher");
+    // A 2-host loopback fleet with one host dying on its first dispatch:
+    // the executor must fail over, attribute the work, and still serve
+    // the canonical bytes.
+    let daemon = Daemon::start(
+        &work_dir,
+        &[
+            "--job-shards",
+            "3",
+            "--launcher",
+            "alpha*3,beta",
+            "--launcher-fault",
+            "beta=die@0",
+        ],
+    );
+
+    let reference = xbar()
+        .args(["run", "table2", "--quick", "--circuits", "rd53", "--json"])
+        .output()
+        .expect("run xbar run");
+    assert!(reference.status.success(), "{reference:?}");
+
+    let served = daemon.submit(&["table2", "--quick", "--circuits", "rd53", "--wait"]);
+    assert!(served.status.success(), "{served:?}");
+    assert_eq!(
+        stdout_str(&served),
+        stdout_str(&reference),
+        "launcher-run artifact must be byte-identical to xbar run --json"
+    );
+    let note = stderr_str(&served);
+    assert!(
+        note.contains("hosts ") && note.contains("alpha:"),
+        "the completion note must attribute dispatches to hosts: {note}"
+    );
+
+    let stats = stdout_str(&daemon.submit(&["--stats"]));
+    assert!(
+        stats.contains("\"shard_spawned\": 3"),
+        "launcher flights must reach the stats counters: {stats}"
+    );
+    assert!(
+        stats.contains("\"shard_retries\": 1"),
+        "the dead host costs exactly one shard retry: {stats}"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&work_dir);
+}
+
+#[test]
+fn waiting_client_survives_a_daemon_bounce_and_still_gets_identical_bytes() {
+    let work_dir = scratch("bounce");
+    let submit_args = ["table2", "--samples", "30", "--circuits", "rd53"];
+
+    // Slow serialized shards so the kill lands mid-campaign (same
+    // checkpoint bookkeeping as the resume test above).
+    let exp = find_experiment("table2").expect("registered");
+    let params = Params::parse(
+        exp.extra_params(),
+        submit_args[1..].iter().map(|s| (*s).to_owned()),
+    )
+    .expect("parses");
+    let key = cache_key(exp, &params);
+    let config = McConfig {
+        samples: 30,
+        seed: params.seed,
+        defect_rate: params.defect_rate,
+        stream: SampleStream::V1,
+        model: DefectModelSpec::default(),
+        circuits: vec!["rd53".to_owned()],
+    };
+    let job_dir = work_dir.join("jobs").join(&key.name);
+    let first_partial = campaign_run_dir(&job_dir, &config, 4).join("partial-0.json");
+
+    let mut daemon = Daemon::start(
+        &work_dir,
+        &[
+            "--job-shards",
+            "4",
+            "--job-max-inflight",
+            "1",
+            "--worker-arg",
+            "--inject-slow-ms",
+            "--worker-arg",
+            "400",
+        ],
+    );
+    let addr = daemon.addr.clone();
+
+    // A client waiting on the job while the daemon dies under it.
+    let client = xbar()
+        .args(["submit", "--connect", &addr])
+        .args(submit_args)
+        .arg("--wait")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn waiting client");
+
+    // Wait for the first complete checkpoint, then SIGKILL — a hard
+    // bounce, no drain, no goodbye on the client's connection.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared at {}",
+            first_partial.display()
+        );
+        if let Ok(text) = std::fs::read_to_string(&first_partial) {
+            if ShardPartial::from_json(&text).is_ok() {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let kill = Command::new("kill")
+        .args(["-KILL", &daemon.child.id().to_string()])
+        .status()
+        .expect("send SIGKILL");
+    assert!(kill.success());
+    let _ = daemon.child.wait();
+
+    // Rebind the same address (retrying while the socket drains) at full
+    // speed; the new daemon has fresh queue state, so the client must
+    // resubmit and the resubmit must resume from the checkpoints.
+    let daemon = {
+        let rebind_deadline = Instant::now() + Duration::from_secs(8);
+        loop {
+            if let Some(daemon) = Daemon::try_start_at(
+                &work_dir,
+                &addr,
+                &["--job-shards", "4", "--job-max-inflight", "1"],
+            ) {
+                break daemon;
+            }
+            assert!(
+                Instant::now() < rebind_deadline,
+                "could not rebind {addr} after the bounce"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    };
+
+    let out = client.wait_with_output().expect("client output");
+    assert!(
+        out.status.success(),
+        "client must survive the bounce: {out:?}"
+    );
+    let note = stderr_str(&out);
+    assert!(
+        note.contains("reconnecting to follow job"),
+        "the client must notice the outage: {note}"
+    );
+    assert!(
+        note.contains("resubmitted as job"),
+        "the bounced daemon lost its queue; the client resubmits: {note}"
+    );
+
+    let reference = xbar()
+        .args(["run"])
+        .args(submit_args)
+        .arg("--json")
+        .output()
+        .expect("run xbar run");
+    assert_eq!(
+        stdout_str(&out),
+        stdout_str(&reference),
+        "bytes delivered across the bounce must equal a monolithic run"
+    );
 
     daemon.shutdown();
     let _ = std::fs::remove_dir_all(&work_dir);
